@@ -1,0 +1,55 @@
+// Ablation bench (extension beyond the paper): number of attention heads.
+// The paper and SASRec use single-head attention; the Transformer default
+// is multi-head.  Measures whether splitting the same d across heads helps
+// at bench scale.
+
+#include <iostream>
+
+#include "common/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace vsan {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind,
+                std::vector<std::vector<std::string>>* csv_rows) {
+  const BenchConfig config = MakeBenchConfig(kind);
+  const data::StrongSplit split = MakeSplit(config);
+  std::cout << "\n=== Attention-head ablation -- " << DatasetName(kind)
+            << " ===\n";
+
+  TablePrinter table({"heads", "NDCG@10", "Recall@10", "Recall@20"});
+  for (const int32_t heads : {1, 2, 4}) {
+    RunResult r = RunModelAveraged(
+        [&] {
+          core::VsanConfig cfg = MakeVsanConfig(config);
+          cfg.num_heads = heads;
+          cfg.next_k = (kind == DatasetKind::kML1M) ? 2 : 1;
+          return std::make_unique<core::Vsan>(cfg);
+        },
+        split, config, /*runs=*/1);
+    table.AddRow({StrCat(heads), Pct(r.metrics.ndcg.at(10)),
+                  Pct(r.metrics.recall.at(10)), Pct(r.metrics.recall.at(20))});
+    csv_rows->push_back({DatasetName(kind), StrCat(heads),
+                         Pct(r.metrics.ndcg.at(10)),
+                         Pct(r.metrics.recall.at(10)),
+                         Pct(r.metrics.recall.at(20))});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vsan
+
+int main() {
+  using namespace vsan::bench;
+  std::vector<std::vector<std::string>> csv_rows = {
+      {"dataset", "heads", "ndcg@10", "recall@10", "recall@20"}};
+  RunDataset(DatasetKind::kBeauty, &csv_rows);
+  RunDataset(DatasetKind::kML1M, &csv_rows);
+  WriteCsv("ablation_heads", csv_rows);
+  return 0;
+}

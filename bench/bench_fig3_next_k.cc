@@ -1,0 +1,71 @@
+// Reproduces Fig. 3: performance of VSAN and SVAE as the number of predicted
+// next items k varies (Eq. 18).  The paper's claims: VSAN > SVAE at every k,
+// and performance first rises then falls with k.
+
+#include <iostream>
+
+#include "common/experiment.h"
+#include "models/svae.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace vsan {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind,
+                std::vector<std::vector<std::string>>* csv_rows) {
+  const BenchConfig config = MakeBenchConfig(kind);
+  const data::StrongSplit split = MakeSplit(config);
+  std::cout << "\n=== Fig. 3 -- " << DatasetName(kind)
+            << " (NDCG@10 / Recall@10 vs k) ===\n";
+
+  TablePrinter table({"k", "VSAN NDCG@10", "VSAN Recall@10", "SVAE NDCG@10",
+                      "SVAE Recall@10"});
+  for (int32_t k = 1; k <= 6; ++k) {
+    RunResult vsan = RunModelAveraged(
+        [&] {
+          core::VsanConfig cfg = MakeVsanConfig(config);
+          cfg.next_k = k;
+          return std::make_unique<core::Vsan>(cfg);
+        },
+        split, config, /*runs=*/1);
+    RunResult svae = RunModelAveraged(
+        [&] {
+          models::Svae::Config cfg;
+          cfg.max_len = config.max_len;
+          cfg.d = config.d;
+          cfg.hidden = config.d;
+          cfg.latent = config.d / 2;
+          cfg.next_k = k;
+          cfg.dropout = config.dropout;
+          return std::make_unique<models::Svae>(cfg);
+        },
+        split, config, /*runs=*/1);
+    table.AddRow({StrCat(k), Pct(vsan.metrics.ndcg.at(10)),
+                  Pct(vsan.metrics.recall.at(10)),
+                  Pct(svae.metrics.ndcg.at(10)),
+                  Pct(svae.metrics.recall.at(10))});
+    csv_rows->push_back({DatasetName(kind), StrCat(k),
+                         Pct(vsan.metrics.ndcg.at(10)),
+                         Pct(vsan.metrics.recall.at(10)),
+                         Pct(svae.metrics.ndcg.at(10)),
+                         Pct(svae.metrics.recall.at(10))});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vsan
+
+int main() {
+  using namespace vsan::bench;
+  std::vector<std::vector<std::string>> csv_rows = {
+      {"dataset", "k", "vsan_ndcg@10", "vsan_recall@10", "svae_ndcg@10",
+       "svae_recall@10"}};
+  RunDataset(DatasetKind::kBeauty, &csv_rows);
+  RunDataset(DatasetKind::kML1M, &csv_rows);
+  WriteCsv("fig3_next_k", csv_rows);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Fig. 5: VSAN performance as the dropout rate sweeps 0 -> 0.9.
+// The paper's claim: an inverted-U -- no dropout underperforms, moderate
+// dropout is best, heavy dropout collapses.
+
+#include <iostream>
+
+#include "common/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace vsan {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind,
+                std::vector<std::vector<std::string>>* csv_rows) {
+  const BenchConfig base = MakeBenchConfig(kind);
+  const data::StrongSplit split = MakeSplit(base);
+  std::cout << "\n=== Fig. 5 -- " << DatasetName(kind)
+            << " (NDCG@10 / Recall@10 vs dropout) ===\n";
+
+  TablePrinter table({"dropout", "NDCG@10", "Recall@10"});
+  for (float rate : {0.0f, 0.1f, 0.2f, 0.3f, 0.5f, 0.7f, 0.9f}) {
+    BenchConfig config = base;
+    config.dropout = rate;
+    RunResult r = RunModelAveraged(
+        [&] {
+          core::VsanConfig cfg = MakeVsanConfig(config);
+          cfg.next_k = (kind == DatasetKind::kML1M) ? 2 : 1;
+          return std::make_unique<core::Vsan>(cfg);
+        },
+        split, config, /*runs=*/1);
+    table.AddRow({FormatDouble(rate, 1), Pct(r.metrics.ndcg.at(10)),
+                  Pct(r.metrics.recall.at(10))});
+    csv_rows->push_back({DatasetName(kind), FormatDouble(rate, 1),
+                         Pct(r.metrics.ndcg.at(10)),
+                         Pct(r.metrics.recall.at(10))});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vsan
+
+int main() {
+  using namespace vsan::bench;
+  std::vector<std::vector<std::string>> csv_rows = {
+      {"dataset", "dropout", "ndcg@10", "recall@10"}};
+  RunDataset(DatasetKind::kBeauty, &csv_rows);
+  RunDataset(DatasetKind::kML1M, &csv_rows);
+  WriteCsv("fig5_dropout", csv_rows);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Fig. 6: VSAN with a fixed KL weight beta swept over a grid,
+// compared against the KL-annealing schedule (the paper's dashed line).
+// The paper's claim: annealing beats every fixed beta, and large fixed
+// betas hurt (posterior collapse).
+
+#include <iostream>
+
+#include "common/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace vsan {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind,
+                std::vector<std::vector<std::string>>* csv_rows) {
+  const BenchConfig config = MakeBenchConfig(kind);
+  const data::StrongSplit split = MakeSplit(config);
+  std::cout << "\n=== Fig. 6 -- " << DatasetName(kind)
+            << " (NDCG@10 vs fixed beta; last row = KL annealing) ===\n";
+
+  TablePrinter table({"beta", "NDCG@10", "Recall@10"});
+  auto run = [&](float fixed_beta) {
+    return RunModelAveraged(
+        [&] {
+          core::VsanConfig cfg = MakeVsanConfig(config);
+          cfg.fixed_beta = fixed_beta;  // < 0 = annealing
+          cfg.next_k = (kind == DatasetKind::kML1M) ? 2 : 1;
+          return std::make_unique<core::Vsan>(cfg);
+        },
+        split, config, /*runs=*/1);
+  };
+  for (float beta : {0.0f, 0.001f, 0.01f, 0.05f, 0.1f, 0.3f, 0.5f, 0.9f}) {
+    RunResult r = run(beta);
+    table.AddRow({FormatDouble(beta, 3), Pct(r.metrics.ndcg.at(10)),
+                  Pct(r.metrics.recall.at(10))});
+    csv_rows->push_back({DatasetName(kind), FormatDouble(beta, 3),
+                         Pct(r.metrics.ndcg.at(10)),
+                         Pct(r.metrics.recall.at(10))});
+  }
+  RunResult annealed = run(-1.0f);
+  table.AddSeparator();
+  table.AddRow({"annealed", Pct(annealed.metrics.ndcg.at(10)),
+                Pct(annealed.metrics.recall.at(10))});
+  csv_rows->push_back({DatasetName(kind), "annealed",
+                       Pct(annealed.metrics.ndcg.at(10)),
+                       Pct(annealed.metrics.recall.at(10))});
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vsan
+
+int main() {
+  using namespace vsan::bench;
+  std::vector<std::vector<std::string>> csv_rows = {
+      {"dataset", "beta", "ndcg@10", "recall@10"}};
+  RunDataset(DatasetKind::kBeauty, &csv_rows);
+  RunDataset(DatasetKind::kML1M, &csv_rows);
+  WriteCsv("fig6_kl_beta", csv_rows);
+  return 0;
+}

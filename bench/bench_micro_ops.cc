@@ -1,0 +1,125 @@
+// Kernel micro-benchmarks (google-benchmark) backing the complexity
+// analysis of Sec. IV-F: attention is O(n^2 d), the FFN O(n d^2), the output
+// projection O(n d N).
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "nn/attention.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace {
+
+void BM_MatMul2D(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandomNormal({n, n}, &rng);
+  Tensor b = Tensor::RandomNormal({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul2D(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul2D)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMul2DTransposed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::RandomNormal({n, n}, &rng);
+  Tensor b = Tensor::RandomNormal({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul2D(a, b, false, true));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul2DTransposed)->Arg(64)->Arg(128);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  Tensor a = Tensor::RandomNormal({16, n, n}, &rng);
+  Tensor b = Tensor::RandomNormal({16, n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BatchedMatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * n * n * n);
+}
+BENCHMARK(BM_BatchedMatMul)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SoftmaxLastDim(benchmark::State& state) {
+  const int64_t cols = state.range(0);
+  Rng rng(4);
+  Tensor x = Tensor::RandomNormal({256, cols}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxLastDim(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * cols);
+}
+BENCHMARK(BM_SoftmaxLastDim)->Arg(128)->Arg(1024)->Arg(4096);
+
+void BM_LayerNormForwardBackward(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  Rng rng(5);
+  Tensor x = Tensor::RandomNormal({256, d}, &rng);
+  Tensor gamma = Tensor::Ones({d});
+  Tensor beta = Tensor::Zeros({d});
+  for (auto _ : state) {
+    Variable xv(x, /*requires_grad=*/true);
+    Variable gv(gamma, true);
+    Variable bv(beta, true);
+    Variable loss = ops::Mean(ops::LayerNorm(xv, gv, bv));
+    loss.Backward();
+    benchmark::DoNotOptimize(xv.grad());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * d);
+}
+BENCHMARK(BM_LayerNormForwardBackward)->Arg(32)->Arg(128);
+
+void BM_EmbeddingLookup(benchmark::State& state) {
+  const int64_t steps = state.range(0);
+  Rng rng(6);
+  Tensor table = Tensor::RandomNormal({5000, 64}, &rng);
+  std::vector<int32_t> indices(64 * steps);
+  for (auto& idx : indices) {
+    idx = static_cast<int32_t>(rng.UniformInt(1, 4999));
+  }
+  Variable tv(table, /*requires_grad=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::EmbeddingLookup(tv, indices, 64, steps));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * steps);
+}
+BENCHMARK(BM_EmbeddingLookup)->Arg(30)->Arg(60);
+
+// The O(n^2 d) claim: one self-attention block forward over [8, n, d].
+void BM_AttentionBlockForward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t d = state.range(1);
+  Rng rng(7);
+  nn::SelfAttentionBlockConfig cfg;
+  cfg.d = d;
+  cfg.dropout = 0.0f;
+  nn::SelfAttentionBlock block(cfg, &rng);
+  block.SetTraining(false);
+  Tensor mask = nn::MakeCausalMask(n);
+  Tensor x = Tensor::RandomNormal({8, n, d}, &rng);
+  Rng drop(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        block.Forward(Variable::Constant(x), mask, &drop));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n * n * d);
+}
+BENCHMARK(BM_AttentionBlockForward)
+    ->Args({16, 32})
+    ->Args({32, 32})
+    ->Args({64, 32})
+    ->Args({128, 32})
+    ->Args({64, 64});
+
+}  // namespace
+}  // namespace vsan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Training-step micro-benchmarks (google-benchmark) for the Sec. IV-F
+// complexity comparison: VSAN's per-step cost vs sequence length n
+// (expected ~quadratic once attention dominates) and vs SASRec / GRU4Rec
+// at matched sizes (VSAN adds the latent layer without changing the
+// asymptotics; the RNN is O(n d^2) but strictly sequential).
+
+#include <benchmark/benchmark.h>
+
+#include "core/vsan.h"
+#include "data/synthetic.h"
+#include "models/gru4rec.h"
+#include "models/sasrec.h"
+
+namespace vsan {
+namespace {
+
+data::SequenceDataset MakeCorpus(int32_t seq_len) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 128;
+  cfg.num_items = 300;
+  cfg.num_categories = 10;
+  cfg.min_seq_len = seq_len;
+  cfg.max_seq_len = seq_len;
+  cfg.seed = 11;
+  return data::GenerateSynthetic(cfg);
+}
+
+// One Fit() epoch == 2 batches of 64 over 128 fixed-length users.
+TrainOptions OneEpoch() {
+  TrainOptions t;
+  t.epochs = 1;
+  t.batch_size = 64;
+  return t;
+}
+
+void BM_VsanTrainEpoch_SeqLen(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  data::SequenceDataset ds = MakeCorpus(static_cast<int32_t>(n));
+  core::VsanConfig cfg;
+  cfg.max_len = n;
+  cfg.d = 32;
+  cfg.dropout = 0.0f;
+  for (auto _ : state) {
+    core::Vsan model(cfg);
+    model.Fit(ds, OneEpoch());
+  }
+}
+BENCHMARK(BM_VsanTrainEpoch_SeqLen)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VsanTrainEpoch_Dim(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  data::SequenceDataset ds = MakeCorpus(20);
+  core::VsanConfig cfg;
+  cfg.max_len = 20;
+  cfg.d = d;
+  cfg.dropout = 0.0f;
+  for (auto _ : state) {
+    core::Vsan model(cfg);
+    model.Fit(ds, OneEpoch());
+  }
+}
+BENCHMARK(BM_VsanTrainEpoch_Dim)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SasRecTrainEpoch_SeqLen(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  data::SequenceDataset ds = MakeCorpus(static_cast<int32_t>(n));
+  models::SasRec::Config cfg;
+  cfg.max_len = n;
+  cfg.d = 32;
+  cfg.num_blocks = 2;  // match VSAN's h1 + h2
+  cfg.dropout = 0.0f;
+  for (auto _ : state) {
+    models::SasRec model(cfg);
+    model.Fit(ds, OneEpoch());
+  }
+}
+BENCHMARK(BM_SasRecTrainEpoch_SeqLen)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Gru4RecTrainEpoch_SeqLen(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  data::SequenceDataset ds = MakeCorpus(static_cast<int32_t>(n));
+  models::Gru4Rec::Config cfg;
+  cfg.max_len = n;
+  cfg.d = 32;
+  cfg.hidden = 32;
+  cfg.dropout = 0.0f;
+  for (auto _ : state) {
+    models::Gru4Rec model(cfg);
+    model.Fit(ds, OneEpoch());
+  }
+}
+BENCHMARK(BM_Gru4RecTrainEpoch_SeqLen)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vsan
+
+BENCHMARK_MAIN();

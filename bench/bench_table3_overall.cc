@@ -1,0 +1,85 @@
+// Reproduces Table III: overall performance of all nine models on the
+// Beauty-like and ML-1M-like corpora, reporting NDCG / Recall / Precision at
+// 10 and 20 (in percent), plus VSAN's improvement over the best baseline.
+
+#include <iostream>
+#include <memory>
+
+#include "common/experiment.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace vsan {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind,
+                std::vector<std::vector<std::string>>* csv_rows) {
+  const BenchConfig config = MakeBenchConfig(kind);
+  const data::StrongSplit split = MakeSplit(config);
+  std::cout << "\n=== Table III -- " << DatasetName(kind) << " (scale "
+            << config.scale << ", " << split.train.num_users()
+            << " train users, " << split.train.num_items() << " items, "
+            << split.test.size() << " held-out test users) ===\n";
+
+  TablePrinter table({"Model", "NDCG@10", "NDCG@20", "Recall@10", "Recall@20",
+                      "Prec@10", "Prec@20", "train(s)"});
+  std::vector<RunResult> results;
+  for (const std::string& name : TableIIIModelNames()) {
+    RunResult r = RunModelAveraged(
+        [&] { return MakeModel(name, config); }, split, config);
+    results.push_back(r);
+    if (name == "SASRec") table.AddSeparator();
+    table.AddRow({r.model, Pct(r.metrics.ndcg[10]), Pct(r.metrics.ndcg[20]),
+                  Pct(r.metrics.recall[10]), Pct(r.metrics.recall[20]),
+                  Pct(r.metrics.precision[10]), Pct(r.metrics.precision[20]),
+                  FormatDouble(r.train_seconds, 1)});
+    csv_rows->push_back({DatasetName(kind), r.model, Pct(r.metrics.ndcg[10]),
+                         Pct(r.metrics.ndcg[20]), Pct(r.metrics.recall[10]),
+                         Pct(r.metrics.recall[20]),
+                         Pct(r.metrics.precision[10]),
+                         Pct(r.metrics.precision[20]),
+                         FormatDouble(r.train_seconds, 2)});
+  }
+
+  // Improvement row: VSAN vs the strongest baseline per metric (the paper's
+  // "Improv." row).
+  const RunResult& vsan = results.back();
+  auto improv = [&](auto metric_of) {
+    double best = 0.0;
+    for (size_t i = 0; i + 1 < results.size(); ++i) {
+      best = std::max(best, metric_of(results[i]));
+    }
+    if (best <= 0.0) return std::string("n/a");
+    return FormatDouble((metric_of(vsan) - best) / best * 100.0, 2);
+  };
+  table.AddSeparator();
+  table.AddRow(
+      {"Improv.%",
+       improv([](const RunResult& r) { return r.metrics.ndcg.at(10); }),
+       improv([](const RunResult& r) { return r.metrics.ndcg.at(20); }),
+       improv([](const RunResult& r) { return r.metrics.recall.at(10); }),
+       improv([](const RunResult& r) { return r.metrics.recall.at(20); }),
+       improv([](const RunResult& r) { return r.metrics.precision.at(10); }),
+       improv([](const RunResult& r) { return r.metrics.precision.at(20); }),
+       ""});
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vsan
+
+int main() {
+  using namespace vsan::bench;
+  vsan::Stopwatch total;
+  std::vector<std::vector<std::string>> csv_rows = {
+      {"dataset", "model", "ndcg@10", "ndcg@20", "recall@10", "recall@20",
+       "precision@10", "precision@20", "train_seconds"}};
+  RunDataset(DatasetKind::kBeauty, &csv_rows);
+  RunDataset(DatasetKind::kML1M, &csv_rows);
+  WriteCsv("table3_overall", csv_rows);
+  std::cout << "total " << total.ElapsedSeconds() << "s\n";
+  return 0;
+}

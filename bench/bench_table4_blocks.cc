@@ -1,0 +1,55 @@
+// Reproduces Table IV: Recall@20 of VSAN over the grid of inference (h1)
+// and generative (h2) self-attention block counts, per dataset.
+
+#include <iostream>
+
+#include "common/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace vsan {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind,
+                std::vector<std::vector<std::string>>* csv_rows) {
+  const BenchConfig config = MakeBenchConfig(kind);
+  const data::StrongSplit split = MakeSplit(config);
+  std::cout << "\n=== Table IV -- " << DatasetName(kind)
+            << " (Recall@20, h1 across columns, h2 down rows) ===\n";
+
+  TablePrinter table({"Recall@20", "h1=0", "h1=1", "h1=2", "h1=3"});
+  for (int32_t h2 = 0; h2 <= 3; ++h2) {
+    std::vector<std::string> cells = {StrCat("h2=", h2)};
+    for (int32_t h1 = 0; h1 <= 3; ++h1) {
+      RunResult r = RunModelAveraged(
+          [&] {
+            core::VsanConfig cfg = MakeVsanConfig(config);
+            cfg.h1 = h1;
+            cfg.h2 = h2;
+            cfg.next_k = (kind == DatasetKind::kML1M) ? 2 : 1;
+            return std::make_unique<core::Vsan>(cfg);
+          },
+          split, config, /*runs=*/1);
+      cells.push_back(Pct(r.metrics.recall[20]));
+      csv_rows->push_back({DatasetName(kind), StrCat(h1), StrCat(h2),
+                           Pct(r.metrics.recall[20])});
+    }
+    table.AddRow(cells);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vsan
+
+int main() {
+  using namespace vsan::bench;
+  std::vector<std::vector<std::string>> csv_rows = {
+      {"dataset", "h1", "h2", "recall@20"}};
+  RunDataset(DatasetKind::kBeauty, &csv_rows);
+  RunDataset(DatasetKind::kML1M, &csv_rows);
+  WriteCsv("table4_blocks", csv_rows);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Table VI: the influence of the point-wise feed-forward network.
+// Four variants: all FFNs removed, inference-side removed, generative-side
+// removed, and the full model.  Uses h1 = h2 = 1 on both datasets so that
+// both ablation sides exist.
+
+#include <iostream>
+
+#include "common/experiment.h"
+#include "util/table_printer.h"
+
+namespace vsan {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind,
+                std::vector<std::vector<std::string>>* csv_rows) {
+  BenchConfig config = MakeBenchConfig(kind);
+  config.h1 = 1;
+  config.h2 = 1;
+  const data::StrongSplit split = MakeSplit(config);
+  std::cout << "\n=== Table VI -- " << DatasetName(kind) << " ===\n";
+
+  struct VariantSpec {
+    bool infer_ffn;
+    bool gen_ffn;
+  };
+  const VariantSpec variants[] = {
+      {false, false},  // VSAN-all-feed
+      {false, true},   // VSAN-infer-feed
+      {true, false},   // VSAN-gene-feed
+      {true, true},    // VSAN
+  };
+
+  TablePrinter table(
+      {"Method", "NDCG@10", "Recall@10", "NDCG@20", "Recall@20"});
+  for (const VariantSpec& v : variants) {
+    RunResult r = RunModelAveraged(
+        [&] {
+          core::VsanConfig cfg = MakeVsanConfig(config);
+          cfg.infer_ffn = v.infer_ffn;
+          cfg.gen_ffn = v.gen_ffn;
+          cfg.next_k = (kind == DatasetKind::kML1M) ? 2 : 1;
+          return std::make_unique<core::Vsan>(cfg);
+        },
+        split, config);
+    table.AddRow({r.model, Pct(r.metrics.ndcg.at(10)),
+                  Pct(r.metrics.recall.at(10)), Pct(r.metrics.ndcg.at(20)),
+                  Pct(r.metrics.recall.at(20))});
+    csv_rows->push_back({DatasetName(kind), r.model,
+                         Pct(r.metrics.ndcg.at(10)),
+                         Pct(r.metrics.recall.at(10)),
+                         Pct(r.metrics.ndcg.at(20)),
+                         Pct(r.metrics.recall.at(20))});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vsan
+
+int main() {
+  using namespace vsan::bench;
+  std::vector<std::vector<std::string>> csv_rows = {
+      {"dataset", "method", "ndcg@10", "recall@10", "ndcg@20", "recall@20"}};
+  RunDataset(DatasetKind::kBeauty, &csv_rows);
+  RunDataset(DatasetKind::kML1M, &csv_rows);
+  WriteCsv("table6_feedforward", csv_rows);
+  return 0;
+}

@@ -1,0 +1,97 @@
+#ifndef VSAN_BENCH_COMMON_EXPERIMENT_H_
+#define VSAN_BENCH_COMMON_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/vsan.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/recommender.h"
+
+// Shared harness for the experiment binaries that regenerate the paper's
+// tables and figures.  Every binary:
+//   * builds the two synthetic dataset presets at VSAN_BENCH_SCALE,
+//   * trains the models it needs with the per-dataset hyper-parameters below,
+//   * prints the paper's table/figure shape and writes a CSV next to the
+//     binary.
+//
+// Environment knobs (see EXPERIMENTS.md):
+//   VSAN_BENCH_SCALE   corpus scale factor vs Table II   (default 0.05)
+//   VSAN_BENCH_EPOCHS  training epochs per model          (default 8)
+//   VSAN_BENCH_D       embedding dimension                (default 32)
+
+namespace vsan {
+namespace bench {
+
+enum class DatasetKind { kBeauty, kML1M };
+
+std::string DatasetName(DatasetKind kind);
+
+// Per-dataset experiment defaults, derived from Sec. V-D scaled to the
+// single-core budget.
+struct BenchConfig {
+  DatasetKind kind = DatasetKind::kBeauty;
+  double scale = 0.05;
+  int64_t d = 32;
+  int64_t max_len = 30;     // n (paper: 50 Beauty / 200 ML-1M)
+  int32_t h1 = 1, h2 = 1;   // paper: (1,1) Beauty, (3,1) ML-1M
+  float dropout = 0.5f;     // paper: 0.5 Beauty / 0.2 ML-1M
+  int32_t epochs = 8;
+  int64_t batch_size = 64;
+  float learning_rate = 1e-3f;  // paper setting
+  int32_t heldout_users = 60;   // per split (validation == test size)
+  uint64_t seed = 7;
+};
+
+// Reads the env knobs and produces the config for one dataset.
+BenchConfig MakeBenchConfig(DatasetKind kind);
+
+// Synthesizes the corpus for `config` and splits it (strong generalization).
+data::StrongSplit MakeSplit(const BenchConfig& config);
+
+// Result of training + evaluating one model.
+struct RunResult {
+  std::string model;
+  eval::EvalResult metrics;
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+// Trains `model` on the split's training users and evaluates on its test
+// users at cutoffs {10, 20}.
+RunResult RunModel(SequentialRecommender* model, const data::StrongSplit& split,
+                   const BenchConfig& config);
+
+// Trains `runs` fresh models (different training seeds) via `factory` and
+// returns metrics averaged across runs, mirroring the paper's
+// "average performance under five times" (Sec. V-D).  `runs` defaults to
+// the VSAN_BENCH_SEEDS env knob (2).
+RunResult RunModelAveraged(
+    const std::function<std::unique_ptr<SequentialRecommender>()>& factory,
+    const data::StrongSplit& split, const BenchConfig& config, int32_t runs = 0);
+
+// --- Model factories with the bench defaults ---------------------------------
+
+core::VsanConfig MakeVsanConfig(const BenchConfig& config);
+std::unique_ptr<SequentialRecommender> MakeModel(const std::string& name,
+                                                 const BenchConfig& config);
+// All nine Table III models, in the paper's row order.
+std::vector<std::string> TableIIIModelNames();
+
+// --- Reporting ----------------------------------------------------------------
+
+// Formats a fraction as the paper's percentage cells ("6.776").
+std::string Pct(double fraction);
+
+// Writes rows to "<name>.csv" in the working directory and logs the path.
+void WriteCsv(const std::string& name,
+              const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace bench
+}  // namespace vsan
+
+#endif  // VSAN_BENCH_COMMON_EXPERIMENT_H_

@@ -1,0 +1,118 @@
+// Domain example: a sparse e-commerce catalogue ("Beauty"-style, Sec. V-A).
+// Trains the paper's headline comparison -- VSAN vs SASRec vs POP -- on a
+// Beauty-like corpus and shows why the probabilistic model matters on
+// sparse data: per-model metrics plus a side-by-side recommendation list
+// for one shopper with a mixed-category history (the Fig. 1 scenario).
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/vsan.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "models/pop.h"
+#include "models/sasrec.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+// Items are partitioned into contiguous category blocks by the generator;
+// recover the category for display.
+int32_t CategoryOf(int32_t item, const vsan::data::SyntheticConfig& cfg) {
+  return static_cast<int32_t>((static_cast<int64_t>(item - 1) *
+                               cfg.num_categories) /
+                              cfg.num_items);
+}
+
+}  // namespace
+
+int main() {
+  using namespace vsan;
+
+  const data::SyntheticConfig data_cfg = data::BeautyLikeConfig(0.04);
+  const data::SequenceDataset dataset = data::GenerateSynthetic(data_cfg);
+  std::cout << dataset.Summary("beauty-like corpus") << "\n\n";
+
+  data::SplitOptions split_cfg;
+  split_cfg.num_validation_users = 40;
+  split_cfg.num_test_users = 40;
+  const data::StrongSplit split = data::MakeStrongSplit(dataset, split_cfg);
+
+  TrainOptions train_cfg;
+  train_cfg.epochs = 20;
+  train_cfg.batch_size = 64;
+
+  models::Pop pop;
+  pop.Fit(split.train, train_cfg);
+
+  models::SasRec::Config sas_cfg;
+  sas_cfg.max_len = 30;
+  sas_cfg.d = 32;
+  sas_cfg.num_blocks = 1;
+  sas_cfg.dropout = 0.2f;
+  models::SasRec sasrec(sas_cfg);
+  sasrec.Fit(split.train, train_cfg);
+
+  core::VsanConfig vsan_cfg;
+  vsan_cfg.max_len = 30;
+  vsan_cfg.d = 32;
+  vsan_cfg.h1 = 1;
+  vsan_cfg.h2 = 0;
+  vsan_cfg.dropout = 0.2f;
+  vsan_cfg.beta_max = 0.002f;
+  core::Vsan vsan(vsan_cfg);
+  vsan.Fit(split.train, train_cfg);
+
+  eval::EvalOptions eval_cfg;
+  TablePrinter table({"Model", "NDCG@10", "Recall@10", "Precision@10"});
+  for (const SequentialRecommender* model :
+       {static_cast<const SequentialRecommender*>(&pop),
+        static_cast<const SequentialRecommender*>(&sasrec),
+        static_cast<const SequentialRecommender*>(&vsan)}) {
+    const eval::EvalResult r =
+        eval::EvaluateRanking(*model, split.test, eval_cfg);
+    table.AddRow({model->name(), FormatDouble(r.ndcg.at(10) * 100, 2),
+                  FormatDouble(r.recall.at(10) * 100, 2),
+                  FormatDouble(r.precision.at(10) * 100, 2)});
+  }
+  table.Print(std::cout);
+
+  // Find a shopper whose history spans two categories and compare lists.
+  for (const data::HeldOutUser& user : split.test) {
+    int32_t first_cat = CategoryOf(user.fold_in.front(), data_cfg);
+    bool mixed = false;
+    for (int32_t item : user.fold_in) {
+      mixed |= CategoryOf(item, data_cfg) != first_cat;
+    }
+    if (!mixed || user.fold_in.size() < 5) continue;
+
+    std::cout << "\nshopper history (item:category): ";
+    for (int32_t item : user.fold_in) {
+      std::cout << item << ":" << CategoryOf(item, data_cfg) << " ";
+    }
+    std::cout << "\n";
+    for (const SequentialRecommender* model :
+         {static_cast<const SequentialRecommender*>(&sasrec),
+          static_cast<const SequentialRecommender*>(&vsan)}) {
+      const std::vector<float> scores = model->Score(user.fold_in);
+      std::vector<bool> excluded(scores.size(), false);
+      excluded[data::kPaddingItem] = true;
+      for (int32_t item : user.fold_in) excluded[item] = true;
+      std::cout << std::setw(8) << model->name() << " suggests: ";
+      for (int32_t item : eval::TopNIndices(scores, excluded, 5)) {
+        std::cout << item << ":" << CategoryOf(item, data_cfg) << " ";
+      }
+      std::cout << "\n";
+    }
+    std::cout << "ground truth: ";
+    for (int32_t item : user.holdout) {
+      std::cout << item << ":" << CategoryOf(item, data_cfg) << " ";
+    }
+    std::cout << "\n";
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Domain example: dense movie-watching sessions ("ML-1M"-style) and the
+// next-k extension of Eq. 18.  Trains VSAN with k = 1, 2, 3 on a dense
+// corpus and shows how multi-step targets change what the model surfaces
+// for a session continuation (a "watch next" queue rather than a single
+// next title).
+
+#include <iostream>
+
+#include "core/vsan.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace vsan;
+
+  const data::SyntheticConfig data_cfg = data::ML1MLikeConfig(0.04);
+  const data::SequenceDataset dataset = data::GenerateSynthetic(data_cfg);
+  std::cout << dataset.Summary("movie corpus") << "\n\n";
+
+  data::SplitOptions split_cfg;
+  split_cfg.num_validation_users = 30;
+  split_cfg.num_test_users = 30;
+  const data::StrongSplit split = data::MakeStrongSplit(dataset, split_cfg);
+
+  TrainOptions train_cfg;
+  train_cfg.epochs = 15;
+  train_cfg.batch_size = 64;
+
+  TablePrinter table({"k", "NDCG@10", "Recall@10", "Recall@20"});
+  std::vector<std::unique_ptr<core::Vsan>> models;
+  for (int32_t k = 1; k <= 3; ++k) {
+    core::VsanConfig cfg;
+    cfg.max_len = 60;
+    cfg.d = 32;
+    cfg.h1 = 1;
+    cfg.h2 = 1;
+    cfg.dropout = 0.2f;
+    cfg.beta_max = 0.002f;
+    cfg.next_k = k;  // train each position against the next k titles
+    models.push_back(std::make_unique<core::Vsan>(cfg));
+    models.back()->Fit(split.train, train_cfg);
+
+    const eval::EvalResult r =
+        eval::EvaluateRanking(*models.back(), split.test, {});
+    table.AddRow({std::to_string(k), FormatDouble(r.ndcg.at(10) * 100, 2),
+                  FormatDouble(r.recall.at(10) * 100, 2),
+                  FormatDouble(r.recall.at(20) * 100, 2)});
+  }
+  table.Print(std::cout);
+
+  // Continue one viewer's session with each model's "watch next" queue.
+  const data::HeldOutUser& viewer = split.test[0];
+  std::cout << "\nviewer session tail: ";
+  const size_t n = viewer.fold_in.size();
+  for (size_t i = n > 8 ? n - 8 : 0; i < n; ++i) {
+    std::cout << viewer.fold_in[i] << " ";
+  }
+  std::cout << "\n";
+  for (size_t m = 0; m < models.size(); ++m) {
+    const std::vector<float> scores = models[m]->Score(viewer.fold_in);
+    std::vector<bool> excluded(scores.size(), false);
+    excluded[data::kPaddingItem] = true;
+    for (int32_t item : viewer.fold_in) excluded[item] = true;
+    std::cout << "k=" << (m + 1) << " queue: ";
+    for (int32_t item : eval::TopNIndices(scores, excluded, 6)) {
+      std::cout << item << " ";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "actually watched next: ";
+  for (size_t i = 0; i < viewer.holdout.size() && i < 6; ++i) {
+    std::cout << viewer.holdout[i] << " ";
+  }
+  std::cout << "\n";
+  return 0;
+}

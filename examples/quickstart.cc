@@ -1,0 +1,78 @@
+// Quickstart: train a Variational Self-Attention Network on a small
+// synthetic interaction corpus and produce top-N recommendations for a
+// brand-new user.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/vsan.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace vsan;
+
+  // 1. Data: a synthetic e-commerce-style corpus (users mix 2-4 latent
+  //    interest categories; items chain within categories).
+  data::SyntheticConfig data_cfg;
+  data_cfg.num_users = 800;
+  data_cfg.num_items = 400;
+  data_cfg.num_categories = 10;
+  data_cfg.seed = 42;
+  const data::SequenceDataset dataset = data::GenerateSynthetic(data_cfg);
+  std::cout << dataset.Summary("corpus") << "\n";
+
+  // 2. Strong-generalization split: evaluation users are unseen in training.
+  data::SplitOptions split_cfg;
+  split_cfg.num_validation_users = 50;
+  split_cfg.num_test_users = 50;
+  const data::StrongSplit split = data::MakeStrongSplit(dataset, split_cfg);
+
+  // 3. Model: VSAN with one inference and one generative attention block.
+  core::VsanConfig model_cfg;
+  model_cfg.max_len = 20;
+  model_cfg.d = 32;
+  model_cfg.h1 = 1;
+  model_cfg.h2 = 1;
+  model_cfg.dropout = 0.2f;
+  core::Vsan model(model_cfg);
+
+  TrainOptions train_cfg;
+  train_cfg.epochs = 10;
+  train_cfg.batch_size = 64;
+  train_cfg.epoch_callback = [](int32_t epoch, double loss) {
+    std::cout << "epoch " << epoch << "  loss " << loss << "\n";
+  };
+  model.Fit(split.train, train_cfg);
+
+  // 4. Evaluate on the held-out users (Precision/Recall/NDCG @ 10 and 20).
+  eval::EvalOptions eval_cfg;
+  const eval::EvalResult result =
+      eval::EvaluateRanking(model, split.test, eval_cfg);
+  std::cout << "test metrics: " << result.ToString() << "\n";
+
+  // 5. Recommend for one unseen user from their fold-in history alone.
+  const data::HeldOutUser& user = split.test[0];
+  const std::vector<float> scores = model.Score(user.fold_in);
+  std::vector<bool> excluded(scores.size(), false);
+  excluded[data::kPaddingItem] = true;
+  for (int32_t item : user.fold_in) excluded[item] = true;
+  const std::vector<int32_t> top = eval::TopNIndices(scores, excluded, 5);
+
+  std::cout << "history (last 5): ";
+  const size_t n = user.fold_in.size();
+  for (size_t i = n > 5 ? n - 5 : 0; i < n; ++i) {
+    std::cout << user.fold_in[i] << " ";
+  }
+  std::cout << "\ntop-5 recommendations: ";
+  for (int32_t item : top) std::cout << item << " ";
+  std::cout << "\nactually consumed next: ";
+  for (int32_t item : user.holdout) std::cout << item << " ";
+  std::cout << "\n";
+  return 0;
+}

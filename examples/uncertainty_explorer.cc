@@ -1,0 +1,157 @@
+// The Fig. 1 story, measured.  VSAN represents each user as a *density* in
+// the latent space rather than a point.  This example makes that concrete
+// with the public uncertainty APIs:
+//
+//   1. InspectPosterior(): the per-dimension (mu, sigma) of a user's
+//      posterior.
+//   2. Mode coverage: for "eclectic" users whose history mixes several
+//      latent categories (the ambiguous user u of Fig. 1), the top-10 list
+//      should span those modes instead of collapsing between them.
+//   3. ScoreWithSampledLatent(): decoding from sampled z ~ N(mu, sigma^2)
+//      yields a *spread* of plausible recommendation lists -- the dashed
+//      ellipse made operational.  Focused users' sampled lists agree more
+//      than eclectic users'.
+
+#include <algorithm>
+#include <iostream>
+#include <unordered_set>
+
+#include "core/vsan.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "util/string_util.h"
+
+namespace {
+
+int32_t CategoryOf(int32_t item, const vsan::data::SyntheticConfig& cfg) {
+  return static_cast<int32_t>((static_cast<int64_t>(item - 1) *
+                               cfg.num_categories) /
+                              cfg.num_items);
+}
+
+// Top-10 items, excluding the history.
+std::vector<int32_t> TopTen(const std::vector<float>& scores,
+                            const std::vector<int32_t>& history) {
+  std::vector<bool> excluded(scores.size(), false);
+  excluded[vsan::data::kPaddingItem] = true;
+  for (int32_t item : history) excluded[item] = true;
+  return vsan::eval::TopNIndices(scores, excluded, 10);
+}
+
+double Jaccard(const std::vector<int32_t>& a, const std::vector<int32_t>& b) {
+  std::unordered_set<int32_t> sa(a.begin(), a.end());
+  int32_t inter = 0;
+  for (int32_t x : b) inter += sa.count(x) > 0;
+  const double uni = static_cast<double>(sa.size() + b.size() - inter);
+  return uni > 0 ? inter / uni : 1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vsan;
+
+  data::SyntheticConfig data_cfg;
+  data_cfg.num_users = 1200;
+  data_cfg.num_items = 400;
+  data_cfg.num_categories = 10;
+  data_cfg.min_categories_per_user = 1;
+  data_cfg.max_categories_per_user = 4;  // mixes focused + eclectic users
+  data_cfg.min_seq_len = 8;
+  data_cfg.max_seq_len = 16;
+  data_cfg.seed = 77;
+  const data::SequenceDataset dataset = data::GenerateSynthetic(data_cfg);
+  std::cout << dataset.Summary("corpus") << "\n";
+
+  core::VsanConfig model_cfg;
+  model_cfg.max_len = 16;
+  model_cfg.d = 32;
+  model_cfg.h1 = 1;
+  model_cfg.h2 = 1;
+  model_cfg.dropout = 0.2f;
+  model_cfg.beta_max = 0.02f;
+  model_cfg.anneal_steps = 200;
+  core::Vsan model(model_cfg);
+
+  TrainOptions train_cfg;
+  train_cfg.epochs = 25;
+  train_cfg.batch_size = 64;
+  model.Fit(dataset, train_cfg);
+
+  // Cohort statistics: category coverage of the mean-decoded top-10, and
+  // agreement (Jaccard) between two sampled-latent top-10 lists.
+  double cover_focused = 0.0, cover_eclectic = 0.0;
+  double agree_focused = 0.0, agree_eclectic = 0.0;
+  int32_t n_focused = 0, n_eclectic = 0;
+  for (int32_t u = 0; u < dataset.num_users(); ++u) {
+    const std::vector<int32_t>& seq = dataset.sequence(u);
+    std::unordered_set<int32_t> cats;
+    for (int32_t item : seq) cats.insert(CategoryOf(item, data_cfg));
+    const bool focused = cats.size() <= 1;
+    const bool eclectic = cats.size() >= 3;
+    if (!focused && !eclectic) continue;
+
+    const std::vector<int32_t> top = TopTen(model.Score(seq), seq);
+    std::unordered_set<int32_t> top_cats;
+    for (int32_t item : top) top_cats.insert(CategoryOf(item, data_cfg));
+
+    const std::vector<int32_t> sample_a =
+        TopTen(model.ScoreWithSampledLatent(seq), seq);
+    const std::vector<int32_t> sample_b =
+        TopTen(model.ScoreWithSampledLatent(seq), seq);
+    const double agreement = Jaccard(sample_a, sample_b);
+
+    if (focused) {
+      cover_focused += top_cats.size();
+      agree_focused += agreement;
+      ++n_focused;
+    } else {
+      cover_eclectic += top_cats.size();
+      agree_eclectic += agreement;
+      ++n_eclectic;
+    }
+  }
+  cover_focused /= std::max(n_focused, 1);
+  cover_eclectic /= std::max(n_eclectic, 1);
+  agree_focused /= std::max(n_focused, 1);
+  agree_eclectic /= std::max(n_eclectic, 1);
+
+  std::cout << "\ncohorts: focused (1 category, n=" << n_focused
+            << ") vs eclectic (3+ categories, n=" << n_eclectic << ")\n";
+  std::cout << "categories covered by the top-10 list:\n"
+            << "  focused:  " << FormatDouble(cover_focused, 2) << "\n"
+            << "  eclectic: " << FormatDouble(cover_eclectic, 2) << "\n";
+  std::cout << "agreement between two sampled-z top-10 lists (Jaccard):\n"
+            << "  focused:  " << FormatDouble(agree_focused, 3) << "\n"
+            << "  eclectic: " << FormatDouble(agree_eclectic, 3) << "\n";
+  if (agree_eclectic < agree_focused) {
+    std::cout << "=> sampled recommendation lists disagree more for "
+                 "ambiguous users: the\n   posterior density is genuinely "
+                 "wider for them (Fig. 1's dashed ellipse),\n   while a "
+                 "deterministic point estimate would treat both cohorts "
+                 "identically.\n";
+  }
+
+  // Per-dimension posterior of one eclectic user via the inspection API.
+  for (int32_t u = 0; u < dataset.num_users(); ++u) {
+    const std::vector<int32_t>& seq = dataset.sequence(u);
+    std::unordered_set<int32_t> cats;
+    for (int32_t item : seq) cats.insert(CategoryOf(item, data_cfg));
+    if (cats.size() < 3) continue;
+    const core::PosteriorStats stats = model.InspectPosterior(seq);
+    std::cout << "\nexample eclectic user " << u << " (" << cats.size()
+              << " categories), mean sigma "
+              << FormatDouble(stats.MeanSigma(), 3)
+              << ", first 8 latent dims:\n  mu:    ";
+    for (int i = 0; i < 8; ++i) {
+      std::cout << FormatDouble(stats.mu[i], 3) << " ";
+    }
+    std::cout << "\n  sigma: ";
+    for (int i = 0; i < 8; ++i) {
+      std::cout << FormatDouble(stats.sigma[i], 3) << " ";
+    }
+    std::cout << "\n";
+    break;
+  }
+  return 0;
+}

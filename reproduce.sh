@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite, and regenerates every
+# table/figure of the paper, collecting outputs at the repository root
+# (test_output.txt, bench_output.txt) and CSVs in build/bench/.
+#
+# Knobs (see README): VSAN_BENCH_SCALE, VSAN_BENCH_EPOCHS, VSAN_BENCH_D,
+# VSAN_BENCH_SEEDS.  The defaults fit a single CPU core in ~45 minutes.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+(
+  cd build/bench
+  for b in ./bench_*; do
+    echo "=== RUN $b ==="
+    "$b"
+  done
+) 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt, build/bench/*.csv"

@@ -1,0 +1,135 @@
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace ops {
+
+using autograd::AccumulateGrad;
+using autograd::Node;
+
+Variable Relu(const Variable& x) {
+  Tensor out = x.value();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (out[i] < 0.0f) out[i] = 0.0f;
+  }
+  Tensor saved = out;
+  return Variable::MakeNode(
+      std::move(out), {x},
+      [saved](Node* self) {
+        Tensor gx = self->grad;
+        for (int64_t i = 0; i < gx.numel(); ++i) {
+          if (saved[i] <= 0.0f) gx[i] = 0.0f;
+        }
+        AccumulateGrad(self->parents[0].get(), gx);
+      },
+      "relu");
+}
+
+Variable Sigmoid(const Variable& x) {
+  Tensor out = x.value();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  Tensor saved = out;
+  return Variable::MakeNode(
+      std::move(out), {x},
+      [saved](Node* self) {
+        Tensor gx = self->grad;
+        for (int64_t i = 0; i < gx.numel(); ++i) {
+          gx[i] *= saved[i] * (1.0f - saved[i]);
+        }
+        AccumulateGrad(self->parents[0].get(), gx);
+      },
+      "sigmoid");
+}
+
+Variable Tanh(const Variable& x) {
+  Tensor out = x.value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(out[i]);
+  Tensor saved = out;
+  return Variable::MakeNode(
+      std::move(out), {x},
+      [saved](Node* self) {
+        Tensor gx = self->grad;
+        for (int64_t i = 0; i < gx.numel(); ++i) {
+          gx[i] *= 1.0f - saved[i] * saved[i];
+        }
+        AccumulateGrad(self->parents[0].get(), gx);
+      },
+      "tanh");
+}
+
+Variable Exp(const Variable& x) {
+  Tensor out = x.value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] = std::exp(out[i]);
+  Tensor saved = out;
+  return Variable::MakeNode(
+      std::move(out), {x},
+      [saved](Node* self) {
+        AccumulateGrad(self->parents[0].get(), vsan::Mul(self->grad, saved));
+      },
+      "exp");
+}
+
+Variable Log(const Variable& x) {
+  Tensor in = x.value();
+  Tensor out = in;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    VSAN_DCHECK(out[i] > 0.0f);
+    out[i] = std::log(out[i]);
+  }
+  return Variable::MakeNode(
+      std::move(out), {x},
+      [in](Node* self) {
+        Tensor gx = self->grad;
+        for (int64_t i = 0; i < gx.numel(); ++i) gx[i] /= in[i];
+        AccumulateGrad(self->parents[0].get(), gx);
+      },
+      "log");
+}
+
+Variable Softmax(const Variable& x) {
+  Tensor out = SoftmaxLastDim(x.value());
+  Tensor saved = out;
+  const int64_t n = out.dim(out.ndim() - 1);
+  return Variable::MakeNode(
+      std::move(out), {x},
+      [saved, n](Node* self) {
+        // dx = y * (dy - sum_j dy_j y_j) rowwise.
+        Tensor gx = self->grad;
+        const int64_t rows = gx.numel() / n;
+        for (int64_t r = 0; r < rows; ++r) {
+          float* g = gx.data() + r * n;
+          const float* y = saved.data() + r * n;
+          double dot = 0.0;
+          for (int64_t j = 0; j < n; ++j) dot += g[j] * y[j];
+          const float d = static_cast<float>(dot);
+          for (int64_t j = 0; j < n; ++j) g[j] = y[j] * (g[j] - d);
+        }
+        AccumulateGrad(self->parents[0].get(), gx);
+      },
+      "softmax");
+}
+
+Variable Dropout(const Variable& x, float rate, Rng* rng, bool training) {
+  VSAN_CHECK_GE(rate, 0.0f);
+  VSAN_CHECK_LT(rate, 1.0f);
+  if (!training || rate == 0.0f) return x;
+  const float keep_scale = 1.0f / (1.0f - rate);
+  Tensor mask(x.value().shape());
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask[i] = rng->Bernoulli(rate) ? 0.0f : keep_scale;
+  }
+  return Variable::MakeNode(
+      vsan::Mul(x.value(), mask), {x},
+      [mask](Node* self) {
+        AccumulateGrad(self->parents[0].get(), vsan::Mul(self->grad, mask));
+      },
+      "dropout");
+}
+
+}  // namespace ops
+}  // namespace vsan

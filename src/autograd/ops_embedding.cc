@@ -1,0 +1,51 @@
+#include <cstring>
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace ops {
+
+using autograd::AccumulateGrad;
+using autograd::Node;
+
+Variable EmbeddingLookup(const Variable& table,
+                         const std::vector<int32_t>& indices, int64_t batch,
+                         int64_t steps, bool mask_zero) {
+  const Tensor& tv = table.value();
+  VSAN_CHECK_EQ(tv.ndim(), 2);
+  VSAN_CHECK_EQ(static_cast<int64_t>(indices.size()), batch * steps);
+  const int64_t vocab = tv.dim(0);
+  const int64_t d = tv.dim(1);
+
+  Tensor out({batch, steps, d});
+  for (int64_t r = 0; r < batch * steps; ++r) {
+    const int32_t idx = indices[r];
+    VSAN_CHECK_GE(idx, 0);
+    VSAN_CHECK_LT(idx, vocab);
+    if (mask_zero && idx == 0) continue;  // zero row for the padding item
+    std::memcpy(out.data() + r * d, tv.data() + idx * d, sizeof(float) * d);
+  }
+
+  std::vector<int64_t> table_shape = tv.shape();
+  return Variable::MakeNode(
+      std::move(out), {table},
+      [indices, table_shape, d, mask_zero](Node* self) {
+        Node* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        Tensor gt(table_shape);
+        const float* g = self->grad.data();
+        for (size_t r = 0; r < indices.size(); ++r) {
+          const int32_t idx = indices[r];
+          if (mask_zero && idx == 0) continue;
+          float* dst = gt.data() + static_cast<int64_t>(idx) * d;
+          const float* src = g + static_cast<int64_t>(r) * d;
+          for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+        }
+        AccumulateGrad(parent, gt);
+      },
+      "embedding_lookup");
+}
+
+}  // namespace ops
+}  // namespace vsan

@@ -1,0 +1,255 @@
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace ops {
+
+using autograd::AccumulateGrad;
+using autograd::Node;
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int32_t>& targets,
+                             int32_t ignore_index) {
+  const Tensor& lv = logits.value();
+  VSAN_CHECK_EQ(lv.ndim(), 2);
+  const int64_t rows = lv.dim(0);
+  const int64_t classes = lv.dim(1);
+  VSAN_CHECK_EQ(static_cast<int64_t>(targets.size()), rows);
+
+  Tensor probs = SoftmaxLastDim(lv);
+  double loss = 0.0;
+  int64_t count = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int32_t t = targets[r];
+    if (t == ignore_index) continue;
+    VSAN_CHECK_GE(t, 0);
+    VSAN_CHECK_LT(t, classes);
+    const float p = probs.at(r, t);
+    loss += -std::log(std::max(p, 1e-12f));
+    ++count;
+  }
+  VSAN_CHECK_GT(count, 0) << "all rows ignored in cross-entropy";
+  loss /= count;
+
+  return Variable::MakeNode(
+      Tensor::Scalar(static_cast<float>(loss)), {logits},
+      [probs, targets, ignore_index, count, classes](Node* self) {
+        Node* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        const float scale = self->grad[0] / static_cast<float>(count);
+        Tensor gx(probs.shape());
+        for (int64_t r = 0; r < probs.dim(0); ++r) {
+          const int32_t t = targets[r];
+          if (t == ignore_index) continue;
+          float* grow = gx.data() + r * classes;
+          const float* prow = probs.data() + r * classes;
+          for (int64_t j = 0; j < classes; ++j) grow[j] = prow[j] * scale;
+          grow[t] -= scale;
+        }
+        AccumulateGrad(parent, gx);
+      },
+      "softmax_cross_entropy");
+}
+
+Variable MultiLabelSoftmaxCrossEntropy(
+    const Variable& logits, const std::vector<std::vector<int32_t>>& targets) {
+  const Tensor& lv = logits.value();
+  VSAN_CHECK_EQ(lv.ndim(), 2);
+  const int64_t rows = lv.dim(0);
+  const int64_t classes = lv.dim(1);
+  VSAN_CHECK_EQ(static_cast<int64_t>(targets.size()), rows);
+
+  Tensor probs = SoftmaxLastDim(lv);
+  double loss = 0.0;
+  int64_t count = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (targets[r].empty()) continue;
+    for (int32_t t : targets[r]) {
+      VSAN_CHECK_GE(t, 0);
+      VSAN_CHECK_LT(t, classes);
+      loss += -std::log(std::max(probs.at(r, t), 1e-12f));
+    }
+    ++count;
+  }
+  VSAN_CHECK_GT(count, 0) << "no labelled rows in multi-label cross-entropy";
+  loss /= count;
+
+  return Variable::MakeNode(
+      Tensor::Scalar(static_cast<float>(loss)), {logits},
+      [probs, targets, count, classes](Node* self) {
+        Node* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        const float scale = self->grad[0] / static_cast<float>(count);
+        Tensor gx(probs.shape());
+        for (int64_t r = 0; r < probs.dim(0); ++r) {
+          if (targets[r].empty()) continue;
+          float* grow = gx.data() + r * classes;
+          const float* prow = probs.data() + r * classes;
+          const float k = static_cast<float>(targets[r].size());
+          for (int64_t j = 0; j < classes; ++j) {
+            grow[j] = k * prow[j] * scale;
+          }
+          for (int32_t t : targets[r]) grow[t] -= scale;
+        }
+        AccumulateGrad(parent, gx);
+      },
+      "multilabel_softmax_cross_entropy");
+}
+
+Variable SampledBinaryCrossEntropy(
+    const Variable& logits, const std::vector<int32_t>& positives,
+    const std::vector<std::vector<int32_t>>& negatives) {
+  const Tensor& lv = logits.value();
+  VSAN_CHECK_EQ(lv.ndim(), 2);
+  const int64_t rows = lv.dim(0);
+  const int64_t classes = lv.dim(1);
+  VSAN_CHECK_EQ(static_cast<int64_t>(positives.size()), rows);
+  VSAN_CHECK_EQ(static_cast<int64_t>(negatives.size()), rows);
+
+  auto sigmoid = [](float x) { return 1.0f / (1.0f + std::exp(-x)); };
+  // Numerically stable -log sigmoid(x) = log(1 + exp(-x)) = softplus(-x).
+  auto softplus = [](float x) {
+    return x > 0.0f ? x + std::log1p(std::exp(-x)) : std::log1p(std::exp(x));
+  };
+
+  double loss = 0.0;
+  int64_t count = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int32_t pos = positives[r];
+    if (pos < 0) continue;
+    VSAN_CHECK_LT(pos, classes);
+    loss += softplus(-lv.at(r, pos));
+    for (int32_t neg : negatives[r]) {
+      VSAN_CHECK_GE(neg, 0);
+      VSAN_CHECK_LT(neg, classes);
+      loss += softplus(lv.at(r, neg));
+    }
+    ++count;
+  }
+  VSAN_CHECK_GT(count, 0) << "no labelled rows in sampled BCE";
+  loss /= count;
+
+  Tensor logits_saved = lv;
+  return Variable::MakeNode(
+      Tensor::Scalar(static_cast<float>(loss)), {logits},
+      [logits_saved, positives, negatives, count, classes, sigmoid](
+          Node* self) {
+        Node* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        const float scale = self->grad[0] / static_cast<float>(count);
+        Tensor gx(logits_saved.shape());
+        for (int64_t r = 0; r < logits_saved.dim(0); ++r) {
+          const int32_t pos = positives[r];
+          if (pos < 0) continue;
+          // d softplus(-x)/dx = -sigmoid(-x) = sigmoid(x) - 1.
+          gx.at(r, pos) += scale * (sigmoid(logits_saved.at(r, pos)) - 1.0f);
+          for (int32_t neg : negatives[r]) {
+            gx.at(r, neg) += scale * sigmoid(logits_saved.at(r, neg));
+          }
+        }
+        AccumulateGrad(parent, gx);
+      },
+      "sampled_binary_cross_entropy");
+}
+
+Variable KlStandardNormal(const Variable& mu, const Variable& logvar,
+                          const std::vector<float>& row_mask) {
+  const Tensor& mv = mu.value();
+  const Tensor& lv = logvar.value();
+  VSAN_CHECK(mv.SameShape(lv));
+  const int64_t d = mv.dim(mv.ndim() - 1);
+  const int64_t rows = mv.numel() / d;
+  VSAN_CHECK(row_mask.empty() ||
+             static_cast<int64_t>(row_mask.size()) == rows);
+
+  double kl = 0.0;
+  double count = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float w = row_mask.empty() ? 1.0f : row_mask[r];
+    if (w == 0.0f) continue;
+    const float* pm = mv.data() + r * d;
+    const float* pl = lv.data() + r * d;
+    double row_kl = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      row_kl += std::exp(pl[j]) + pm[j] * pm[j] - 1.0f - pl[j];
+    }
+    kl += 0.5 * w * row_kl;
+    count += w;
+  }
+  VSAN_CHECK_GT(count, 0.0) << "empty row mask in KL term";
+  kl /= count;
+
+  Tensor mu_saved = mv;
+  Tensor lv_saved = lv;
+  return Variable::MakeNode(
+      Tensor::Scalar(static_cast<float>(kl)), {mu, logvar},
+      [mu_saved, lv_saved, row_mask, d, rows, count](Node* self) {
+        Node* pmu = self->parents[0].get();
+        Node* plv = self->parents[1].get();
+        const float scale = self->grad[0] / static_cast<float>(count);
+        if (pmu->requires_grad) {
+          Tensor gm(mu_saved.shape());
+          for (int64_t r = 0; r < rows; ++r) {
+            const float w = row_mask.empty() ? 1.0f : row_mask[r];
+            if (w == 0.0f) continue;
+            const float* pm = mu_saved.data() + r * d;
+            float* g = gm.data() + r * d;
+            for (int64_t j = 0; j < d; ++j) g[j] = w * scale * pm[j];
+          }
+          AccumulateGrad(pmu, gm);
+        }
+        if (plv->requires_grad) {
+          Tensor gl(lv_saved.shape());
+          for (int64_t r = 0; r < rows; ++r) {
+            const float w = row_mask.empty() ? 1.0f : row_mask[r];
+            if (w == 0.0f) continue;
+            const float* pl = lv_saved.data() + r * d;
+            float* g = gl.data() + r * d;
+            for (int64_t j = 0; j < d; ++j) {
+              g[j] = w * scale * 0.5f * (std::exp(pl[j]) - 1.0f);
+            }
+          }
+          AccumulateGrad(plv, gl);
+        }
+      },
+      "kl_standard_normal");
+}
+
+Variable Reparameterize(const Variable& mu, const Variable& logvar, Rng* rng,
+                        bool sample) {
+  if (!sample) return mu;  // evaluation uses the posterior mean (Sec. IV-E)
+  const Tensor& mv = mu.value();
+  const Tensor& lv = logvar.value();
+  VSAN_CHECK(mv.SameShape(lv));
+
+  Tensor eps(mv.shape());
+  Tensor sigma(mv.shape());
+  Tensor z = mv;
+  for (int64_t i = 0; i < z.numel(); ++i) {
+    eps[i] = static_cast<float>(rng->Normal());
+    sigma[i] = std::exp(0.5f * lv[i]);
+    z[i] += sigma[i] * eps[i];
+  }
+
+  return Variable::MakeNode(
+      std::move(z), {mu, logvar},
+      [eps, sigma](Node* self) {
+        Node* pmu = self->parents[0].get();
+        Node* plv = self->parents[1].get();
+        AccumulateGrad(pmu, self->grad);
+        if (plv->requires_grad) {
+          Tensor gl = self->grad;
+          for (int64_t i = 0; i < gl.numel(); ++i) {
+            gl[i] *= 0.5f * sigma[i] * eps[i];
+          }
+          AccumulateGrad(plv, gl);
+        }
+      },
+      "reparameterize");
+}
+
+}  // namespace ops
+}  // namespace vsan

@@ -1,0 +1,100 @@
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace ops {
+
+using autograd::AccumulateGrad;
+using autograd::Node;
+
+namespace {
+
+// dA = G * B^T, dB = A^T * G (2-D case).
+void Backward2D(Node* self, const Tensor& a, const Tensor& b) {
+  Node* pa = self->parents[0].get();
+  Node* pb = self->parents[1].get();
+  if (pa->requires_grad) {
+    AccumulateGrad(pa, MatMul2D(self->grad, b, /*trans_a=*/false,
+                                /*trans_b=*/true));
+  }
+  if (pb->requires_grad) {
+    AccumulateGrad(pb, MatMul2D(a, self->grad, /*trans_a=*/true,
+                                /*trans_b=*/false));
+  }
+}
+
+// Batched case: per-batch 2-D rule.
+void BackwardBatched(Node* self, const Tensor& a, const Tensor& b) {
+  Node* pa = self->parents[0].get();
+  Node* pb = self->parents[1].get();
+  if (pa->requires_grad) {
+    AccumulateGrad(pa, BatchedMatMul(self->grad, b, /*trans_a=*/false,
+                                     /*trans_b=*/true));
+  }
+  if (pb->requires_grad) {
+    AccumulateGrad(pb, BatchedMatMul(a, self->grad, /*trans_a=*/true,
+                                     /*trans_b=*/false));
+  }
+}
+
+// Broadcast case ([B,m,k] x [k,n]): dW sums over the batch, which equals one
+// flattened 2-D GEMM.
+void BackwardBroadcast(Node* self, const Tensor& a, const Tensor& w) {
+  Node* pa = self->parents[0].get();
+  Node* pw = self->parents[1].get();
+  const int64_t bm = a.dim(0) * a.dim(1);
+  if (pa->requires_grad) {
+    Tensor ga2 = MatMul2D(self->grad.Reshaped({bm, w.dim(1)}), w,
+                          /*trans_a=*/false, /*trans_b=*/true);
+    AccumulateGrad(pa, ga2.Reshaped(a.shape()));
+  }
+  if (pw->requires_grad) {
+    AccumulateGrad(pw, MatMul2D(a.Reshaped({bm, a.dim(2)}),
+                                self->grad.Reshaped({bm, w.dim(1)}),
+                                /*trans_a=*/true, /*trans_b=*/false));
+  }
+}
+
+}  // namespace
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  const Tensor& av = a.value();
+  const Tensor& bv = b.value();
+  if (av.ndim() == 2 && bv.ndim() == 2) {
+    Tensor a_saved = av;
+    Tensor b_saved = bv;
+    return Variable::MakeNode(
+        MatMul2D(av, bv), {a, b},
+        [a_saved, b_saved](Node* self) {
+          Backward2D(self, a_saved, b_saved);
+        },
+        "matmul2d");
+  }
+  if (av.ndim() == 3 && bv.ndim() == 3) {
+    Tensor a_saved = av;
+    Tensor b_saved = bv;
+    return Variable::MakeNode(
+        BatchedMatMul(av, bv), {a, b},
+        [a_saved, b_saved](Node* self) {
+          BackwardBatched(self, a_saved, b_saved);
+        },
+        "matmul_batched");
+  }
+  if (av.ndim() == 3 && bv.ndim() == 2) {
+    Tensor a_saved = av;
+    Tensor b_saved = bv;
+    return Variable::MakeNode(
+        BatchedMatMulBroadcast(av, bv), {a, b},
+        [a_saved, b_saved](Node* self) {
+          BackwardBroadcast(self, a_saved, b_saved);
+        },
+        "matmul_broadcast");
+  }
+  VSAN_LOG_FATAL << "unsupported matmul ranks: " << av.ndim() << " x "
+                 << bv.ndim();
+  return Variable();
+}
+
+}  // namespace ops
+}  // namespace vsan

@@ -1,0 +1,105 @@
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace ops {
+
+using autograd::AccumulateGrad;
+using autograd::Node;
+
+Variable LayerNorm(const Variable& x, const Variable& gamma,
+                   const Variable& beta, float eps) {
+  const Tensor& xv = x.value();
+  const int64_t n = xv.dim(xv.ndim() - 1);
+  VSAN_CHECK_EQ(gamma.value().ndim(), 1);
+  VSAN_CHECK_EQ(gamma.value().dim(0), n);
+  VSAN_CHECK_EQ(beta.value().ndim(), 1);
+  VSAN_CHECK_EQ(beta.value().dim(0), n);
+  const int64_t rows = xv.numel() / n;
+
+  Tensor out(xv.shape());
+  Tensor xhat(xv.shape());          // normalized input, saved for backward
+  Tensor inv_std({rows});           // 1/sqrt(var+eps) per row
+  const float* px = xv.data();
+  const float* pg = gamma.value().data();
+  const float* pb = beta.value().data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = px + r * n;
+    double mean = 0.0;
+    for (int64_t j = 0; j < n; ++j) mean += row[j];
+    mean /= n;
+    double var = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      const double d = row[j] - mean;
+      var += d * d;
+    }
+    var /= n;
+    const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+    inv_std[r] = istd;
+    float* xh = xhat.data() + r * n;
+    float* po = out.data() + r * n;
+    for (int64_t j = 0; j < n; ++j) {
+      xh[j] = (row[j] - static_cast<float>(mean)) * istd;
+      po[j] = pg[j] * xh[j] + pb[j];
+    }
+  }
+
+  Tensor gamma_saved = gamma.value();
+  return Variable::MakeNode(
+      std::move(out), {x, gamma, beta},
+      [xhat, inv_std, gamma_saved, n, rows](Node* self) {
+        Node* px_node = self->parents[0].get();
+        Node* pg_node = self->parents[1].get();
+        Node* pb_node = self->parents[2].get();
+        const Tensor& gy = self->grad;
+
+        if (pg_node->requires_grad || pb_node->requires_grad) {
+          Tensor dgamma({n});
+          Tensor dbeta({n});
+          for (int64_t r = 0; r < rows; ++r) {
+            const float* g = gy.data() + r * n;
+            const float* xh = xhat.data() + r * n;
+            for (int64_t j = 0; j < n; ++j) {
+              dgamma[j] += g[j] * xh[j];
+              dbeta[j] += g[j];
+            }
+          }
+          AccumulateGrad(pg_node, dgamma);
+          AccumulateGrad(pb_node, dbeta);
+        }
+
+        if (px_node->requires_grad) {
+          Tensor gx(xhat.shape());
+          const float* pg = gamma_saved.data();
+          for (int64_t r = 0; r < rows; ++r) {
+            const float* g = gy.data() + r * n;
+            const float* xh = xhat.data() + r * n;
+            float* out_row = gx.data() + r * n;
+            // dxhat = gy * gamma; dx = istd*(dxhat - mean(dxhat)
+            //                                - xhat*mean(dxhat*xhat)).
+            double m1 = 0.0, m2 = 0.0;
+            for (int64_t j = 0; j < n; ++j) {
+              const double dxh = static_cast<double>(g[j]) * pg[j];
+              m1 += dxh;
+              m2 += dxh * xh[j];
+            }
+            m1 /= n;
+            m2 /= n;
+            const float istd = inv_std[r];
+            for (int64_t j = 0; j < n; ++j) {
+              const float dxh = g[j] * pg[j];
+              out_row[j] = istd * (dxh - static_cast<float>(m1) -
+                                   xh[j] * static_cast<float>(m2));
+            }
+          }
+          AccumulateGrad(px_node, gx);
+        }
+      },
+      "layer_norm");
+}
+
+}  // namespace ops
+}  // namespace vsan

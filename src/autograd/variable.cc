@@ -1,0 +1,132 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace vsan {
+
+namespace autograd {
+
+void AccumulateGrad(Node* node, const Tensor& g) {
+  if (!node->requires_grad) return;
+  VSAN_CHECK(g.shape() == node->value.shape())
+      << "gradient shape mismatch for op " << node->op;
+  if (!node->has_grad) {
+    node->grad = g;
+    node->has_grad = true;
+  } else {
+    Axpy(1.0f, g, &node->grad);
+  }
+}
+
+}  // namespace autograd
+
+using autograd::Node;
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Variable Variable::Constant(Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/false);
+}
+
+Variable Variable::MakeNode(Tensor value, std::vector<Variable> parents,
+                            std::function<void(Node*)> backward_fn,
+                            const char* op) {
+  Variable v(std::move(value), /*requires_grad=*/false);
+  v.node_->op = op;
+  for (const Variable& p : parents) {
+    VSAN_CHECK(p.defined()) << "undefined parent for op " << op;
+    v.node_->requires_grad |= p.requires_grad();
+    v.node_->parents.push_back(p.node_);
+  }
+  if (v.node_->requires_grad) {
+    v.node_->backward_fn = std::move(backward_fn);
+  } else {
+    // Prune the tape below nodes that cannot influence any parameter.
+    v.node_->parents.clear();
+  }
+  return v;
+}
+
+const Tensor& Variable::value() const {
+  VSAN_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  VSAN_CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  VSAN_CHECK(defined());
+  VSAN_CHECK(node_->has_grad) << "no gradient accumulated (op " << node_->op
+                              << ")";
+  return node_->grad;
+}
+
+Tensor& Variable::mutable_grad() {
+  VSAN_CHECK(defined());
+  VSAN_CHECK(node_->has_grad);
+  return node_->grad;
+}
+
+bool Variable::has_grad() const { return defined() && node_->has_grad; }
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+void Variable::Backward() {
+  VSAN_CHECK(defined());
+  VSAN_CHECK_EQ(node_->value.numel(), 1)
+      << "Backward() requires a scalar root";
+  VSAN_CHECK(node_->requires_grad)
+      << "Backward() on a graph with no trainable parameters";
+
+  // Iterative post-order DFS producing a topological order (children after
+  // all their ancestors once reversed).
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      Node* parent = frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  autograd::AccumulateGrad(node_.get(), Tensor::Ones(node_->value.shape()));
+  // topo is post-order: parents appear before children, so iterate from the
+  // back (root first).
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->has_grad) n->backward_fn(n);
+  }
+}
+
+void Variable::ZeroGrad() {
+  VSAN_CHECK(defined());
+  node_->has_grad = false;
+  node_->grad = Tensor();
+}
+
+}  // namespace vsan

@@ -1,0 +1,89 @@
+#ifndef VSAN_AUTOGRAD_VARIABLE_H_
+#define VSAN_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vsan {
+
+namespace autograd {
+
+// One node of the dynamic computation tape.
+struct Node {
+  Tensor value;
+  // Gradient of the final scalar loss w.r.t. `value`.  Allocated lazily on
+  // first accumulation (see AccumulateGrad); shape matches `value`.
+  Tensor grad;
+  bool has_grad = false;
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates `grad` into the parents.  Null for leaves.
+  std::function<void(Node* self)> backward_fn;
+  // Op name for debugging ("matmul", "layer_norm", ...).
+  const char* op = "leaf";
+};
+
+// Adds `g` into `node->grad` (no-op when the node does not require grad).
+void AccumulateGrad(Node* node, const Tensor& g);
+
+}  // namespace autograd
+
+// A tensor tracked by the autograd tape.  Cheap to copy (shared handle).
+//
+// Typical flow:
+//   Variable w(Tensor::RandomNormal({d, d}, &rng, 0.02f), /*requires_grad=*/true);
+//   Variable loss = ...ops over w...;
+//   loss.Backward();           // fills w.grad()
+//   ... optimizer consumes w.grad(), then w.ZeroGrad() ...
+class Variable {
+ public:
+  // Null handle; defined() is false.
+  Variable() = default;
+
+  // Wraps a value as a tape leaf.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  // Leaf that never requires grad (e.g. input batches, masks).
+  static Variable Constant(Tensor value);
+
+  // Interior node; used by the op library.  `requires_grad` is inferred from
+  // the parents.
+  static Variable MakeNode(Tensor value, std::vector<Variable> parents,
+                           std::function<void(autograd::Node*)> backward_fn,
+                           const char* op);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  // Mutable access for optimizers (in-place parameter updates).
+  Tensor& mutable_value();
+
+  // Gradient; CHECK-fails unless a backward pass has accumulated into this
+  // node.  Use has_grad() to query.
+  const Tensor& grad() const;
+  // Mutable gradient access for optimizers (clipping, in-place decay).
+  Tensor& mutable_grad();
+  bool has_grad() const;
+  bool requires_grad() const;
+
+  // Runs reverse-mode accumulation from this scalar (numel()==1) node.
+  void Backward();
+
+  // Clears this node's accumulated gradient.
+  void ZeroGrad();
+
+  // Identity for hashing/debugging.
+  const autograd::Node* node_ptr() const { return node_.get(); }
+  const std::shared_ptr<autograd::Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<autograd::Node> node_;
+};
+
+}  // namespace vsan
+
+#endif  // VSAN_AUTOGRAD_VARIABLE_H_

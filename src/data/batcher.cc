@@ -1,0 +1,93 @@
+#include "data/batcher.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace data {
+
+SequenceBatcher::SequenceBatcher(const SequenceDataset* dataset,
+                                 const Options& options)
+    : dataset_(dataset), options_(options), rng_(options.seed) {
+  VSAN_CHECK_GT(options_.max_len, 0);
+  VSAN_CHECK_GT(options_.batch_size, 0);
+  VSAN_CHECK_GE(options_.next_k, 1);
+  for (int32_t u = 0; u < dataset_->num_users(); ++u) {
+    if (dataset_->sequence(u).size() >= 2) user_order_.push_back(u);
+  }
+  NewEpoch();
+}
+
+void SequenceBatcher::NewEpoch() {
+  rng_.Shuffle(&user_order_);
+  cursor_ = 0;
+}
+
+int64_t SequenceBatcher::num_batches() const {
+  return (num_training_users() + options_.batch_size - 1) /
+         options_.batch_size;
+}
+
+std::vector<int32_t> SequenceBatcher::PadSequence(
+    const std::vector<int32_t>& seq, int64_t max_len, bool pad_left) {
+  std::vector<int32_t> out(max_len, kPaddingItem);
+  const int64_t len = static_cast<int64_t>(seq.size());
+  const int64_t take = std::min(len, max_len);
+  const int64_t offset = pad_left ? max_len - take : 0;
+  // Keep the most recent `take` items.
+  for (int64_t i = 0; i < take; ++i) {
+    out[offset + i] = seq[len - take + i];
+  }
+  return out;
+}
+
+void SequenceBatcher::FillRow(int32_t user, int64_t row,
+                              TrainBatch* batch) const {
+  const std::vector<int32_t>& seq = dataset_->sequence(user);
+  const int64_t n = options_.max_len;
+  const int64_t len = static_cast<int64_t>(seq.size());
+  // The model sees items [0, len-2] and predicts [1, len-1]; keep the most
+  // recent n of those input positions.
+  const int64_t input_len = len - 1;
+  const int64_t take = std::min(input_len, n);
+  const int64_t seq_start = input_len - take;  // first input index used
+
+  const int64_t offset = options_.pad_left ? n - take : 0;
+  for (int64_t i = 0; i < take; ++i) {
+    const int64_t pos = offset + i;             // row position
+    const int64_t s = seq_start + i;            // index into seq
+    const int64_t flat = row * n + pos;
+    batch->inputs[flat] = seq[s];
+    batch->next_targets[flat] = seq[s + 1];
+    batch->position_mask[flat] = 1.0f;
+    if (options_.next_k > 1) {
+      std::vector<int32_t>& set = batch->nextk_targets[flat];
+      for (int32_t j = 0; j < options_.next_k && s + 1 + j < len; ++j) {
+        set.push_back(seq[s + 1 + j]);
+      }
+    }
+  }
+}
+
+bool SequenceBatcher::NextBatch(TrainBatch* batch) {
+  if (cursor_ >= num_training_users()) return false;
+  const int64_t n = options_.max_len;
+  const int64_t rows =
+      std::min(options_.batch_size, num_training_users() - cursor_);
+  batch->batch_size = rows;
+  batch->seq_len = n;
+  batch->inputs.assign(rows * n, kPaddingItem);
+  batch->next_targets.assign(rows * n, -1);
+  batch->position_mask.assign(rows * n, 0.0f);
+  batch->nextk_targets.clear();
+  if (options_.next_k > 1) batch->nextk_targets.resize(rows * n);
+  for (int64_t r = 0; r < rows; ++r) {
+    FillRow(user_order_[cursor_ + r], r, batch);
+  }
+  cursor_ += rows;
+  return true;
+}
+
+}  // namespace data
+}  // namespace vsan

@@ -1,0 +1,50 @@
+#include "data/dataset.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vsan {
+namespace data {
+
+int32_t SequenceDataset::AddUser(std::vector<int32_t> sequence) {
+  for (int32_t item : sequence) {
+    VSAN_CHECK_GE(item, 1);
+    VSAN_CHECK_LE(item, num_items_);
+  }
+  sequences_.push_back(std::move(sequence));
+  return num_users() - 1;
+}
+
+const std::vector<int32_t>& SequenceDataset::sequence(int32_t user) const {
+  VSAN_CHECK_GE(user, 0);
+  VSAN_CHECK_LT(user, num_users());
+  return sequences_[user];
+}
+
+int64_t SequenceDataset::num_interactions() const {
+  int64_t total = 0;
+  for (const auto& s : sequences_) total += static_cast<int64_t>(s.size());
+  return total;
+}
+
+double SequenceDataset::Sparsity() const {
+  const double cells =
+      static_cast<double>(num_users()) * static_cast<double>(num_items());
+  if (cells == 0.0) return 1.0;
+  return 1.0 - static_cast<double>(num_interactions()) / cells;
+}
+
+double SequenceDataset::MeanSequenceLength() const {
+  if (num_users() == 0) return 0.0;
+  return static_cast<double>(num_interactions()) / num_users();
+}
+
+std::string SequenceDataset::Summary(const std::string& name) const {
+  return StrCat(name, ": ", num_users(), " users, ", num_items(), " items, ",
+                num_interactions(), " interactions, ",
+                FormatDouble(Sparsity() * 100.0, 2), "% sparse, mean length ",
+                FormatDouble(MeanSequenceLength(), 1));
+}
+
+}  // namespace data
+}  // namespace vsan

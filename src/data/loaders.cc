@@ -1,0 +1,181 @@
+#include "data/loaders.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace vsan {
+namespace data {
+namespace {
+
+// Splits `line` on the literal separator `sep` (multi-character allowed).
+std::vector<std::string> SplitOn(const std::string& line,
+                                 const std::string& sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = line.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(line.substr(start));
+      break;
+    }
+    parts.push_back(line.substr(start, pos - start));
+    start = pos + sep.size();
+  }
+  return parts;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end != s.c_str() && *end == '\0';
+}
+
+Result<std::vector<RawInteraction>> ParseWithSeparator(
+    std::istream& in, const std::string& sep, bool skip_header) {
+  std::vector<RawInteraction> out;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (skip_header && line_no == 1 &&
+        line.find("user") != std::string::npos) {
+      continue;
+    }
+    const std::vector<std::string> parts = SplitOn(line, sep);
+    if (parts.size() != 4) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": expected 4 fields, got ", parts.size()));
+    }
+    RawInteraction r;
+    r.user = parts[0];
+    r.item = parts[1];
+    if (!ParseDouble(parts[2], &r.rating)) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": bad rating '", parts[2], "'"));
+    }
+    if (!ParseInt64(parts[3], &r.timestamp)) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": bad timestamp '", parts[3], "'"));
+    }
+    if (r.user.empty() || r.item.empty()) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": empty user or item id"));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<RawInteraction>> ParseMovieLensRatings(std::istream& in) {
+  return ParseWithSeparator(in, "::", /*skip_header=*/false);
+}
+
+Result<std::vector<RawInteraction>> ParseAmazonRatingsCsv(std::istream& in) {
+  return ParseWithSeparator(in, ",", /*skip_header=*/true);
+}
+
+Result<SequenceDataset> Preprocess(std::vector<RawInteraction> interactions,
+                                   const PreprocessOptions& options) {
+  // 1. Binarize explicit feedback.
+  std::vector<RawInteraction> kept;
+  kept.reserve(interactions.size());
+  for (RawInteraction& r : interactions) {
+    if (r.rating >= options.min_rating) kept.push_back(std::move(r));
+  }
+  if (kept.empty()) {
+    return Status::InvalidArgument("no interactions at or above min_rating");
+  }
+
+  // 2. Iterative k-core: drop users/items with fewer than k interactions
+  //    until the bipartite graph is stable.
+  bool changed = true;
+  while (changed && !kept.empty()) {
+    changed = false;
+    std::unordered_map<std::string, int32_t> user_count;
+    std::unordered_map<std::string, int32_t> item_count;
+    for (const RawInteraction& r : kept) {
+      ++user_count[r.user];
+      ++item_count[r.item];
+    }
+    std::vector<RawInteraction> next;
+    next.reserve(kept.size());
+    for (RawInteraction& r : kept) {
+      if (user_count[r.user] >= options.k_core &&
+          item_count[r.item] >= options.k_core) {
+        next.push_back(std::move(r));
+      } else {
+        changed = true;
+      }
+    }
+    kept = std::move(next);
+  }
+  if (kept.empty()) {
+    return Status::InvalidArgument(
+        StrCat("k-core filter (k=", options.k_core,
+               ") removed every interaction"));
+  }
+
+  // 3. Densify item ids (1-based; 0 stays the padding item) and group by
+  //    user.
+  std::unordered_map<std::string, int32_t> item_ids;
+  for (const RawInteraction& r : kept) {
+    item_ids.emplace(r.item, static_cast<int32_t>(item_ids.size()) + 1);
+  }
+  std::unordered_map<std::string,
+                     std::vector<std::pair<int64_t, int32_t>>>
+      by_user;
+  for (const RawInteraction& r : kept) {
+    by_user[r.user].emplace_back(r.timestamp, item_ids.at(r.item));
+  }
+
+  // 4. Chronological sort per user (stable on timestamp ties via item id
+  //    for determinism), then emit.  User order is sorted by external id so
+  //    the result does not depend on hash-map iteration order.
+  SequenceDataset dataset(static_cast<int32_t>(item_ids.size()));
+  std::vector<std::string> users;
+  users.reserve(by_user.size());
+  for (const auto& [user, _] : by_user) users.push_back(user);
+  std::sort(users.begin(), users.end());
+  for (const std::string& user : users) {
+    auto& events = by_user[user];
+    std::sort(events.begin(), events.end());
+    std::vector<int32_t> seq;
+    seq.reserve(events.size());
+    for (const auto& [ts, item] : events) seq.push_back(item);
+    dataset.AddUser(std::move(seq));
+  }
+  return dataset;
+}
+
+Result<SequenceDataset> LoadRatingsFile(const std::string& path,
+                                        const std::string& format,
+                                        const PreprocessOptions& options) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound(StrCat("cannot open ", path));
+  }
+  Result<std::vector<RawInteraction>> parsed =
+      format == "movielens"    ? ParseMovieLensRatings(in)
+      : format == "amazon-csv" ? ParseAmazonRatingsCsv(in)
+                               : Result<std::vector<RawInteraction>>(
+                                     Status::InvalidArgument(
+                                         StrCat("unknown format ", format)));
+  if (!parsed.ok()) return parsed.status();
+  return Preprocess(std::move(parsed).value(), options);
+}
+
+}  // namespace data
+}  // namespace vsan

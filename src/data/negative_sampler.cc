@@ -1,0 +1,65 @@
+#include "data/negative_sampler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace data {
+
+NegativeSampler::NegativeSampler(const SequenceDataset& train,
+                                 Strategy strategy, uint64_t seed)
+    : strategy_(strategy), num_items_(train.num_items()), rng_(seed) {
+  VSAN_CHECK_GT(num_items_, 0);
+  if (strategy_ == Strategy::kPopularity) {
+    std::vector<double> counts(num_items_ + 1, 0.0);
+    for (int32_t u = 0; u < train.num_users(); ++u) {
+      for (int32_t item : train.sequence(u)) counts[item] += 1.0;
+    }
+    cumulative_.resize(num_items_ + 1, 0.0);
+    for (int32_t i = 1; i <= num_items_; ++i) {
+      // Add-one smoothing so unseen items remain sampleable.
+      cumulative_[i] = cumulative_[i - 1] + counts[i] + 1.0;
+    }
+  }
+}
+
+int32_t NegativeSampler::SampleRaw() {
+  if (strategy_ == Strategy::kUniform) {
+    return static_cast<int32_t>(rng_.UniformInt(1, num_items_));
+  }
+  const double r = rng_.Uniform() * cumulative_.back();
+  const auto it =
+      std::upper_bound(cumulative_.begin() + 1, cumulative_.end(), r);
+  return static_cast<int32_t>(it - cumulative_.begin());
+}
+
+int32_t NegativeSampler::Sample(
+    const std::unordered_set<int32_t>& exclude) {
+  VSAN_CHECK_LT(static_cast<int32_t>(exclude.size()), num_items_)
+      << "nothing left to sample";
+  while (true) {
+    const int32_t item = SampleRaw();
+    if (exclude.count(item) == 0) return item;
+  }
+}
+
+std::vector<int32_t> NegativeSampler::SampleK(
+    const std::unordered_set<int32_t>& exclude, int32_t k) {
+  VSAN_CHECK_LE(static_cast<int64_t>(exclude.size()) + k,
+                static_cast<int64_t>(num_items_))
+      << "not enough items for " << k << " distinct negatives";
+  std::unordered_set<int32_t> taken;
+  std::vector<int32_t> out;
+  out.reserve(k);
+  while (static_cast<int32_t>(out.size()) < k) {
+    const int32_t item = SampleRaw();
+    if (exclude.count(item) > 0 || taken.count(item) > 0) continue;
+    taken.insert(item);
+    out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace vsan

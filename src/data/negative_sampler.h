@@ -1,0 +1,54 @@
+#ifndef VSAN_DATA_NEGATIVE_SAMPLER_H_
+#define VSAN_DATA_NEGATIVE_SAMPLER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace data {
+
+// Draws negative items for pairwise/sampled losses and sampled evaluation.
+//
+// Two strategies:
+//   * kUniform    -- every item in [1, num_items] equally likely (the
+//                    classic BPR sampler).
+//   * kPopularity -- proportional to training interaction count, which
+//                    produces "hard" negatives (popular items the user
+//                    nevertheless skipped) and counteracts popularity bias.
+class NegativeSampler {
+ public:
+  enum class Strategy { kUniform, kPopularity };
+
+  // For kPopularity, `train` supplies the popularity counts; for kUniform
+  // only its num_items() is used.
+  NegativeSampler(const SequenceDataset& train, Strategy strategy,
+                  uint64_t seed);
+
+  // One negative not contained in `exclude` (e.g. the user's item set).
+  // CHECK-fails if fewer than one item is sampleable.
+  int32_t Sample(const std::unordered_set<int32_t>& exclude);
+
+  // `k` negatives, mutually distinct and disjoint from `exclude`.
+  std::vector<int32_t> SampleK(const std::unordered_set<int32_t>& exclude,
+                               int32_t k);
+
+  Strategy strategy() const { return strategy_; }
+
+ private:
+  int32_t SampleRaw();
+
+  Strategy strategy_;
+  int32_t num_items_;
+  Rng rng_;
+  // Cumulative popularity for O(log N) inverse-CDF sampling (kPopularity).
+  std::vector<double> cumulative_;
+};
+
+}  // namespace data
+}  // namespace vsan
+
+#endif  // VSAN_DATA_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,94 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace data {
+
+StrongSplit MakeStrongSplit(const SequenceDataset& dataset,
+                            const SplitOptions& options) {
+  VSAN_CHECK_GE(options.num_validation_users, 0);
+  VSAN_CHECK_GE(options.num_test_users, 0);
+  VSAN_CHECK_GT(options.fold_in_fraction, 0.0);
+  VSAN_CHECK_LT(options.fold_in_fraction, 1.0);
+  VSAN_CHECK_GE(options.min_heldout_length, 2);
+
+  Rng rng(options.seed);
+
+  // Only users with enough history can be held out.
+  std::vector<int32_t> eligible;
+  for (int32_t u = 0; u < dataset.num_users(); ++u) {
+    if (static_cast<int32_t>(dataset.sequence(u).size()) >=
+        options.min_heldout_length) {
+      eligible.push_back(u);
+    }
+  }
+  const int32_t needed = options.num_validation_users + options.num_test_users;
+  VSAN_CHECK_GE(static_cast<int32_t>(eligible.size()), needed)
+      << "not enough eligible users to hold out";
+  rng.Shuffle(&eligible);
+
+  std::vector<bool> held(dataset.num_users(), false);
+  std::vector<int32_t> val_users(eligible.begin(),
+                                 eligible.begin() + options.num_validation_users);
+  std::vector<int32_t> test_users(
+      eligible.begin() + options.num_validation_users,
+      eligible.begin() + needed);
+  for (int32_t u : val_users) held[u] = true;
+  for (int32_t u : test_users) held[u] = true;
+
+  StrongSplit split;
+  split.train.set_num_items(dataset.num_items());
+  for (int32_t u = 0; u < dataset.num_users(); ++u) {
+    if (!held[u]) split.train.AddUser(dataset.sequence(u));
+  }
+
+  auto make_heldout = [&](int32_t u) {
+    const std::vector<int32_t>& seq = dataset.sequence(u);
+    const int64_t len = static_cast<int64_t>(seq.size());
+    // At least one fold-in item and at least one holdout item.
+    int64_t cut = static_cast<int64_t>(
+        std::floor(options.fold_in_fraction * static_cast<double>(len)));
+    cut = std::clamp<int64_t>(cut, 1, len - 1);
+    HeldOutUser h;
+    h.fold_in.assign(seq.begin(), seq.begin() + cut);
+    h.holdout.assign(seq.begin() + cut, seq.end());
+    return h;
+  };
+  for (int32_t u : val_users) split.validation.push_back(make_heldout(u));
+  for (int32_t u : test_users) split.test.push_back(make_heldout(u));
+  return split;
+}
+
+StrongSplit MakeLeaveOneOutSplit(const SequenceDataset& dataset,
+                                 int32_t min_length) {
+  VSAN_CHECK_GE(min_length, 3);
+  StrongSplit split;
+  split.train.set_num_items(dataset.num_items());
+  for (int32_t u = 0; u < dataset.num_users(); ++u) {
+    const std::vector<int32_t>& seq = dataset.sequence(u);
+    if (static_cast<int32_t>(seq.size()) < min_length) {
+      split.train.AddUser(seq);
+      continue;
+    }
+    const int64_t len = static_cast<int64_t>(seq.size());
+    // Train on the prefix (everything except the last two items).
+    split.train.AddUser(std::vector<int32_t>(seq.begin(), seq.end() - 2));
+    HeldOutUser val;
+    val.fold_in.assign(seq.begin(), seq.end() - 2);
+    val.holdout.push_back(seq[len - 2]);
+    split.validation.push_back(std::move(val));
+    HeldOutUser test;
+    test.fold_in.assign(seq.begin(), seq.end() - 1);
+    test.holdout.push_back(seq[len - 1]);
+    split.test.push_back(std::move(test));
+  }
+  VSAN_CHECK(!split.test.empty()) << "no user long enough for leave-one-out";
+  return split;
+}
+
+}  // namespace data
+}  // namespace vsan

@@ -1,0 +1,55 @@
+#ifndef VSAN_DATA_SPLIT_H_
+#define VSAN_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace data {
+
+// One held-out user under strong generalization (Sec. V-A): the first
+// `fold_in` fraction of the time-ordered history conditions the model, the
+// remaining `holdout` items are the evaluation targets T.
+struct HeldOutUser {
+  std::vector<int32_t> fold_in;
+  std::vector<int32_t> holdout;
+};
+
+// Strong-generalization split: training users (full histories) are disjoint
+// from validation/test users (fold-in prefix + holdout suffix).
+struct StrongSplit {
+  SequenceDataset train;
+  std::vector<HeldOutUser> validation;
+  std::vector<HeldOutUser> test;
+};
+
+struct SplitOptions {
+  int32_t num_validation_users = 0;
+  int32_t num_test_users = 0;
+  // Fraction of each held-out user's history used as fold-in (paper: 80%).
+  double fold_in_fraction = 0.8;
+  // Held-out users need enough history to produce a non-empty fold-in and
+  // holdout; users shorter than this stay in the training set.
+  int32_t min_heldout_length = 3;
+  uint64_t seed = 1;
+};
+
+// Partitions users at random into train / validation / test per `options`.
+StrongSplit MakeStrongSplit(const SequenceDataset& dataset,
+                            const SplitOptions& options);
+
+// Weak-generalization (leave-one-out) protocol, as used by SASRec: every
+// user with at least `min_length` items contributes their prefix to
+// training, their second-to-last item as the validation target, and their
+// last item as the test target.  The paper argues strong generalization is
+// more realistic (Sec. V-A); this alternative is provided for
+// cross-protocol comparisons.  Shorter users go entirely to training.
+StrongSplit MakeLeaveOneOutSplit(const SequenceDataset& dataset,
+                                 int32_t min_length = 3);
+
+}  // namespace data
+}  // namespace vsan
+
+#endif  // VSAN_DATA_SPLIT_H_

@@ -1,0 +1,180 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace data {
+namespace {
+
+struct Category {
+  std::vector<int32_t> items;       // item ids in this category
+  std::vector<double> popularity;   // Zipf weights, aligned with items
+  std::vector<int32_t> successor;   // ring: items[i] -> items[successor[i]]
+};
+
+}  // namespace
+
+SequenceDataset GenerateSynthetic(const SyntheticConfig& config) {
+  VSAN_CHECK_GE(config.num_items, config.num_categories);
+  VSAN_CHECK_GE(config.min_categories_per_user, 1);
+  VSAN_CHECK_LE(config.min_categories_per_user,
+                config.max_categories_per_user);
+  // Clamp to the available categories so small test corpora stay valid.
+  const int32_t max_cats =
+      std::min(config.max_categories_per_user, config.num_categories);
+  const int32_t min_cats = std::min(config.min_categories_per_user, max_cats);
+  VSAN_CHECK_GE(config.min_seq_len, 2);
+  VSAN_CHECK_LE(config.min_seq_len, config.max_seq_len);
+
+  Rng rng(config.seed);
+
+  // Partition items 1..N into contiguous category blocks.
+  std::vector<Category> cats(config.num_categories);
+  std::vector<int32_t> item_to_cat(config.num_items + 1, 0);
+  for (int32_t item = 1; item <= config.num_items; ++item) {
+    const int32_t c =
+        static_cast<int32_t>((static_cast<int64_t>(item - 1) *
+                              config.num_categories) /
+                             config.num_items);
+    cats[c].items.push_back(item);
+    item_to_cat[item] = c;
+  }
+  // Per-category popularity (Zipf over a random rank order) and successor
+  // ring (a random cyclic permutation).
+  for (Category& cat : cats) {
+    const int32_t m = static_cast<int32_t>(cat.items.size());
+    VSAN_CHECK_GT(m, 0);
+    std::vector<int32_t> ranks(m);
+    for (int32_t i = 0; i < m; ++i) ranks[i] = i;
+    rng.Shuffle(&ranks);
+    cat.popularity.resize(m);
+    for (int32_t i = 0; i < m; ++i) {
+      cat.popularity[i] =
+          1.0 / std::pow(static_cast<double>(ranks[i] + 1),
+                         config.zipf_exponent);
+    }
+    std::vector<int32_t> perm(m);
+    for (int32_t i = 0; i < m; ++i) perm[i] = i;
+    rng.Shuffle(&perm);
+    cat.successor.resize(m);
+    for (int32_t i = 0; i < m; ++i) {
+      cat.successor[perm[i]] = perm[(i + 1) % m];
+    }
+  }
+  // Item id -> index within its category.
+  std::vector<int32_t> item_index(config.num_items + 1, 0);
+  for (const Category& cat : cats) {
+    for (int32_t i = 0; i < static_cast<int32_t>(cat.items.size()); ++i) {
+      item_index[cat.items[i]] = i;
+    }
+  }
+
+  // Global popularity across all items (for interruption noise).
+  std::vector<double> global_pop(config.num_items);
+  for (int32_t item = 1; item <= config.num_items; ++item) {
+    const Category& cat = cats[item_to_cat[item]];
+    global_pop[item - 1] = cat.popularity[item_index[item]];
+  }
+
+  SequenceDataset dataset(config.num_items);
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    // User's preferred categories + mixture weights.
+    const int32_t k = static_cast<int32_t>(rng.UniformInt(min_cats, max_cats));
+    std::vector<int64_t> chosen =
+        rng.SampleWithoutReplacement(config.num_categories, k);
+    std::vector<double> mixture(k);
+    for (int32_t i = 0; i < k; ++i) mixture[i] = 0.2 + rng.Uniform();
+
+    const int32_t len = static_cast<int32_t>(
+        rng.UniformInt(config.min_seq_len, config.max_seq_len));
+    std::vector<int32_t> seq;
+    seq.reserve(len);
+
+    int32_t cur_cat = static_cast<int32_t>(chosen[rng.Categorical(mixture)]);
+    int32_t cur_item =
+        cats[cur_cat].items[rng.Categorical(cats[cur_cat].popularity)];
+    seq.push_back(cur_item);
+    for (int32_t t = 1; t < len; ++t) {
+      if (config.noise_prob > 0.0 && rng.Bernoulli(config.noise_prob)) {
+        // Interruption: a globally popular item; chain state unchanged.
+        seq.push_back(
+            static_cast<int32_t>(rng.Categorical(global_pop)) + 1);
+        continue;
+      }
+      const bool stay = rng.Bernoulli(config.category_stay_prob);
+      if (!stay) {
+        cur_cat = static_cast<int32_t>(chosen[rng.Categorical(mixture)]);
+      }
+      const Category& cat = cats[cur_cat];
+      int32_t next_item;
+      if (stay && item_to_cat[cur_item] == cur_cat &&
+          rng.Bernoulli(config.item_chain_prob)) {
+        next_item = cat.items[cat.successor[item_index[cur_item]]];
+      } else {
+        next_item = cat.items[rng.Categorical(cat.popularity)];
+      }
+      seq.push_back(next_item);
+      cur_item = next_item;
+    }
+    dataset.AddUser(std::move(seq));
+  }
+  return dataset;
+}
+
+namespace {
+
+int32_t ScaleCount(int32_t full, double scale, int32_t floor_value) {
+  return std::max(floor_value,
+                  static_cast<int32_t>(std::lround(full * scale)));
+}
+
+}  // namespace
+
+SyntheticConfig BeautyLikeConfig(double scale) {
+  // Table II: 14,993 users / 12,069 items / 130,455 interactions
+  // (mean length 8.7, 99.93% sparse).  Short sequences, many items.
+  SyntheticConfig c;
+  c.num_users = ScaleCount(14993, scale, 300);
+  c.num_items = ScaleCount(12069, scale, 120);
+  c.num_categories =
+      std::clamp<int32_t>(static_cast<int32_t>(std::lround(40 * std::sqrt(scale))),
+                          6, 40);
+  c.min_categories_per_user = 2;
+  c.max_categories_per_user = 4;
+  c.zipf_exponent = 1.05;
+  c.category_stay_prob = 0.8;
+  c.item_chain_prob = 0.6;
+  c.noise_prob = 0.05;
+  c.min_seq_len = 5;
+  c.max_seq_len = 13;
+  c.seed = 2021;
+  return c;
+}
+
+SyntheticConfig ML1MLikeConfig(double scale) {
+  // Table II: 6,031 users / 3,516 items / 571,519 interactions
+  // (mean length 94.8, 97.3% sparse).  Long sequences, fewer items.
+  SyntheticConfig c;
+  c.num_users = ScaleCount(6031, scale, 200);
+  c.num_items = ScaleCount(3516, scale, 80);
+  c.num_categories =
+      std::clamp<int32_t>(static_cast<int32_t>(std::lround(18 * std::sqrt(scale))),
+                          5, 18);
+  c.min_categories_per_user = 2;
+  c.max_categories_per_user = 4;
+  c.zipf_exponent = 1.1;
+  c.category_stay_prob = 0.88;
+  c.item_chain_prob = 0.55;
+  c.noise_prob = 0.08;
+  c.min_seq_len = 20;
+  c.max_seq_len = 170;
+  c.seed = 1997;
+  return c;
+}
+
+}  // namespace data
+}  // namespace vsan

@@ -1,0 +1,53 @@
+#ifndef VSAN_DATA_SYNTHETIC_H_
+#define VSAN_DATA_SYNTHETIC_H_
+
+#include "data/dataset.h"
+
+namespace vsan {
+namespace data {
+
+// Synthetic interaction-sequence generator, the stand-in for the paper's
+// Amazon Beauty and MovieLens-1M dumps (see DESIGN.md, substitution record).
+//
+// Generative process per user:
+//   1. Draw 2-4 preferred categories with random mixture weights -- this is
+//      the multimodal-preference structure of Fig. 1 (a user whose point
+//      estimate falls between modes).
+//   2. Walk a sticky category-level Markov chain: stay in the current
+//      category with `category_stay_prob`, otherwise re-draw from the
+//      user's mixture (long-range dependency: the category set persists).
+//   3. Within a category, either follow a fixed item-successor ring with
+//      `item_chain_prob` (local sequential dependency a next-item model can
+//      exploit) or sample an item by Zipf popularity.
+struct SyntheticConfig {
+  int32_t num_users = 1000;
+  int32_t num_items = 500;
+  int32_t num_categories = 20;
+  int32_t min_categories_per_user = 2;
+  int32_t max_categories_per_user = 4;
+  double zipf_exponent = 1.0;       // within-category popularity skew
+  double category_stay_prob = 0.85;
+  double item_chain_prob = 0.6;
+  // Probability that a step is an "interruption": an item drawn from global
+  // popularity regardless of the user's categories (impulse buys, gifts,
+  // shared accounts).  Interruptions do not advance the chain state --
+  // they are the aleatoric noise that motivates modeling user preferences
+  // as densities (Fig. 1).
+  double noise_prob = 0.0;
+  int32_t min_seq_len = 5;
+  int32_t max_seq_len = 15;
+  uint64_t seed = 13;
+};
+
+SequenceDataset GenerateSynthetic(const SyntheticConfig& config);
+
+// Presets calibrated to Table II's statistics (user/item ratio, sequence
+// lengths, sparsity regime), shrunk by `scale` for single-core budgets.
+// scale=1.0 reproduces the paper's corpus sizes.
+SyntheticConfig BeautyLikeConfig(double scale);
+SyntheticConfig ML1MLikeConfig(double scale);
+
+}  // namespace data
+}  // namespace vsan
+
+#endif  // VSAN_DATA_SYNTHETIC_H_

@@ -1,0 +1,92 @@
+#include "eval/beyond_accuracy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace eval {
+
+BeyondAccuracyResult ComputeBeyondAccuracy(
+    const std::vector<std::vector<int32_t>>& top_lists, int32_t num_items,
+    const std::vector<float>& train_popularity) {
+  VSAN_CHECK_GT(num_items, 0);
+  VSAN_CHECK(!top_lists.empty());
+  VSAN_CHECK_EQ(static_cast<int32_t>(train_popularity.size()), num_items + 1);
+
+  // Recommendation frequency per item.
+  std::vector<int64_t> freq(num_items + 1, 0);
+  int64_t total_recs = 0;
+  for (const auto& list : top_lists) {
+    for (int32_t item : list) {
+      VSAN_CHECK_GE(item, 1);
+      VSAN_CHECK_LE(item, num_items);
+      ++freq[item];
+      ++total_recs;
+    }
+  }
+  VSAN_CHECK_GT(total_recs, 0);
+
+  BeyondAccuracyResult result;
+
+  // Catalogue coverage.
+  int32_t covered = 0;
+  for (int32_t i = 1; i <= num_items; ++i) covered += freq[i] > 0;
+  result.catalogue_coverage = static_cast<double>(covered) / num_items;
+
+  // Gini over the frequency distribution (items with zero exposure count).
+  std::vector<int64_t> sorted(freq.begin() + 1, freq.end());
+  std::sort(sorted.begin(), sorted.end());
+  // G = (2 * sum_i i*x_i) / (n * sum_i x_i) - (n + 1) / n, 1-based ranks of
+  // the ascending-sorted values.
+  double weighted = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  const double n = static_cast<double>(sorted.size());
+  result.gini = (2.0 * weighted) / (n * total_recs) - (n + 1.0) / n;
+
+  // Novelty: mean normalized popularity rank of recommended items.
+  // Rank 1 = most popular; normalized rank -> 1 means maximally novel.
+  std::vector<int32_t> items(num_items);
+  std::iota(items.begin(), items.end(), 1);
+  std::stable_sort(items.begin(), items.end(),
+                   [&](int32_t a, int32_t b) {
+                     return train_popularity[a] > train_popularity[b];
+                   });
+  std::vector<double> norm_rank(num_items + 1, 0.0);
+  for (int32_t r = 0; r < num_items; ++r) {
+    norm_rank[items[r]] = static_cast<double>(r) / num_items;
+  }
+  double novelty_sum = 0.0;
+  for (int32_t i = 1; i <= num_items; ++i) {
+    novelty_sum += norm_rank[i] * freq[i];
+  }
+  result.novelty = novelty_sum / total_recs;
+  return result;
+}
+
+BeyondAccuracyResult EvaluateBeyondAccuracy(
+    const SequentialRecommender& model,
+    const std::vector<data::HeldOutUser>& users, int32_t top_n,
+    int32_t num_items, const std::vector<float>& train_popularity) {
+  VSAN_CHECK_GT(top_n, 0);
+  std::vector<std::vector<int32_t>> lists;
+  lists.reserve(users.size());
+  for (const data::HeldOutUser& user : users) {
+    if (user.fold_in.empty()) continue;
+    const std::vector<float> scores = model.Score(user.fold_in);
+    std::vector<bool> excluded(scores.size(), false);
+    excluded[data::kPaddingItem] = true;
+    for (int32_t item : user.fold_in) {
+      if (item < static_cast<int32_t>(excluded.size())) excluded[item] = true;
+    }
+    lists.push_back(TopNIndices(scores, excluded, top_n));
+  }
+  return ComputeBeyondAccuracy(lists, num_items, train_popularity);
+}
+
+}  // namespace eval
+}  // namespace vsan

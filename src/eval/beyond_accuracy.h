@@ -1,0 +1,47 @@
+#ifndef VSAN_EVAL_BEYOND_ACCURACY_H_
+#define VSAN_EVAL_BEYOND_ACCURACY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/split.h"
+#include "models/recommender.h"
+
+namespace vsan {
+namespace eval {
+
+// Beyond-accuracy quality measures over a set of top-N recommendation
+// lists.  Accuracy metrics alone reward popularity bias; these quantify
+// how broadly and evenly a recommender uses the catalogue -- relevant here
+// because VSAN's motivation (covering multiple preference modes, Fig. 1)
+// predicts broader lists than a point-estimate model.
+struct BeyondAccuracyResult {
+  // Fraction of the catalogue recommended to at least one user
+  // ("aggregate diversity").
+  double catalogue_coverage = 0.0;
+  // Gini coefficient of the recommendation-frequency distribution over
+  // items (0 = perfectly even exposure, 1 = all exposure on one item).
+  double gini = 0.0;
+  // Mean popularity rank (1 = most popular in training) of recommended
+  // items, normalized by the catalogue size to [0, 1]; higher = more novel.
+  double novelty = 0.0;
+};
+
+// Computes the measures from explicit top-N lists (item ids 1..num_items).
+// `train_popularity[i]` is item i's training interaction count (index 0
+// unused).
+BeyondAccuracyResult ComputeBeyondAccuracy(
+    const std::vector<std::vector<int32_t>>& top_lists, int32_t num_items,
+    const std::vector<float>& train_popularity);
+
+// Convenience: scores every held-out user with `model`, takes the top-N
+// (excluding fold-in items), and computes the measures.
+BeyondAccuracyResult EvaluateBeyondAccuracy(
+    const SequentialRecommender& model,
+    const std::vector<data::HeldOutUser>& users, int32_t top_n,
+    int32_t num_items, const std::vector<float>& train_popularity);
+
+}  // namespace eval
+}  // namespace vsan
+
+#endif  // VSAN_EVAL_BEYOND_ACCURACY_H_

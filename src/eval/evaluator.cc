@@ -1,0 +1,106 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace vsan {
+namespace eval {
+
+std::string EvalResult::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [n, v] : ndcg) {
+    parts.push_back(StrCat("NDCG@", n, "=", FormatDouble(v * 100.0, 3)));
+  }
+  for (const auto& [n, v] : recall) {
+    parts.push_back(StrCat("Recall@", n, "=", FormatDouble(v * 100.0, 3)));
+  }
+  for (const auto& [n, v] : precision) {
+    parts.push_back(StrCat("Precision@", n, "=", FormatDouble(v * 100.0, 3)));
+  }
+  return StrJoin(parts, " ");
+}
+
+EvalResult EvaluateRanking(const SequentialRecommender& model,
+                           const std::vector<data::HeldOutUser>& users,
+                           const EvalOptions& options) {
+  VSAN_CHECK(!users.empty());
+  VSAN_CHECK(!options.cutoffs.empty());
+  const int32_t max_cutoff =
+      *std::max_element(options.cutoffs.begin(), options.cutoffs.end());
+
+  EvalResult result;
+  for (int32_t n : options.cutoffs) {
+    result.precision[n] = 0.0;
+    result.recall[n] = 0.0;
+    result.ndcg[n] = 0.0;
+  }
+
+  Rng negative_rng(options.negative_seed);
+  int64_t evaluated = 0;
+  for (const data::HeldOutUser& user : users) {
+    if (user.holdout.empty() || user.fold_in.empty()) continue;
+    std::vector<float> scores = model.Score(user.fold_in);
+    VSAN_CHECK_GE(scores.size(), 2u);
+
+    std::vector<bool> excluded(scores.size(), false);
+    excluded[data::kPaddingItem] = true;
+    if (options.num_sampled_negatives > 0) {
+      // Candidate set = holdout + sampled negatives; everything else is
+      // excluded from the ranking.
+      std::unordered_set<int32_t> seen(user.fold_in.begin(),
+                                       user.fold_in.end());
+      std::unordered_set<int32_t> candidates(user.holdout.begin(),
+                                             user.holdout.end());
+      const int32_t num_items = static_cast<int32_t>(scores.size()) - 1;
+      int32_t guard = 0;
+      while (static_cast<int32_t>(candidates.size()) <
+                 options.num_sampled_negatives +
+                     static_cast<int32_t>(user.holdout.size()) &&
+             guard++ < num_items * 20) {
+        const int32_t neg =
+            static_cast<int32_t>(negative_rng.UniformInt(1, num_items));
+        if (seen.count(neg) == 0) candidates.insert(neg);
+      }
+      for (int32_t item = 1; item <= num_items; ++item) {
+        if (candidates.count(item) == 0) excluded[item] = true;
+      }
+    }
+    if (options.exclude_fold_in) {
+      // Do not exclude items that must still be predictable because they
+      // re-occur in the holdout.
+      std::unordered_set<int32_t> holdout_set(user.holdout.begin(),
+                                              user.holdout.end());
+      for (int32_t item : user.fold_in) {
+        if (item < static_cast<int32_t>(excluded.size()) &&
+            holdout_set.count(item) == 0) {
+          excluded[item] = true;
+        }
+      }
+    }
+
+    const std::vector<int32_t> ranked =
+        TopNIndices(scores, excluded, max_cutoff);
+    for (int32_t n : options.cutoffs) {
+      const TopNMetrics m = ComputeTopN(ranked, user.holdout, n);
+      result.precision[n] += m.precision;
+      result.recall[n] += m.recall;
+      result.ndcg[n] += m.ndcg;
+    }
+    ++evaluated;
+  }
+  VSAN_CHECK_GT(evaluated, 0);
+  for (int32_t n : options.cutoffs) {
+    result.precision[n] /= evaluated;
+    result.recall[n] /= evaluated;
+    result.ndcg[n] /= evaluated;
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace vsan

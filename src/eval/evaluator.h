@@ -1,0 +1,48 @@
+#ifndef VSAN_EVAL_EVALUATOR_H_
+#define VSAN_EVAL_EVALUATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "models/recommender.h"
+
+namespace vsan {
+namespace eval {
+
+// Metrics averaged over held-out users, keyed by cutoff N.
+struct EvalResult {
+  std::map<int32_t, double> precision;
+  std::map<int32_t, double> recall;
+  std::map<int32_t, double> ndcg;
+
+  // "NDCG@10=6.78 Recall@10=9.34 ..." with values in percent.
+  std::string ToString() const;
+};
+
+struct EvalOptions {
+  std::vector<int32_t> cutoffs = {10, 20};
+  // Items already in a user's fold-in history are not recommended again
+  // (the standard protocol; holdout items that repeat fold-in items are
+  // kept scoreable).
+  bool exclude_fold_in = true;
+  // 0 = full ranking over the whole catalogue (the VSAN paper's protocol).
+  // > 0 = rank the holdout items against this many uniformly sampled
+  // negative items only (the SASRec paper's cheaper protocol); useful for
+  // very large catalogues.
+  int32_t num_sampled_negatives = 0;
+  uint64_t negative_seed = 91;
+};
+
+// Full-ranking evaluation under strong generalization: for each held-out
+// user, score all items from the fold-in prefix, rank, and compare the top-N
+// against the holdout set.
+EvalResult EvaluateRanking(const SequentialRecommender& model,
+                           const std::vector<data::HeldOutUser>& users,
+                           const EvalOptions& options);
+
+}  // namespace eval
+}  // namespace vsan
+
+#endif  // VSAN_EVAL_EVALUATOR_H_

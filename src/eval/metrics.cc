@@ -1,0 +1,63 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace eval {
+
+TopNMetrics ComputeTopN(const std::vector<int32_t>& ranked,
+                        const std::vector<int32_t>& holdout, int32_t n) {
+  VSAN_CHECK_GT(n, 0);
+  std::unordered_set<int32_t> relevant(holdout.begin(), holdout.end());
+  VSAN_CHECK(!relevant.empty());
+
+  const int32_t top = std::min<int32_t>(n, static_cast<int32_t>(ranked.size()));
+  int32_t hits = 0;
+  double dcg = 0.0;
+  std::unordered_set<int32_t> seen;  // count each relevant item once
+  for (int32_t i = 0; i < top; ++i) {
+    const int32_t item = ranked[i];
+    if (relevant.count(item) > 0 && seen.insert(item).second) {
+      ++hits;
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  const int32_t ideal =
+      std::min<int32_t>(n, static_cast<int32_t>(relevant.size()));
+  double idcg = 0.0;
+  for (int32_t i = 0; i < ideal; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+
+  TopNMetrics m;
+  m.precision = static_cast<double>(hits) / n;
+  m.recall = static_cast<double>(hits) / relevant.size();
+  m.ndcg = (idcg > 0.0) ? dcg / idcg : 0.0;
+  return m;
+}
+
+std::vector<int32_t> TopNIndices(const std::vector<float>& scores,
+                                 const std::vector<bool>& excluded,
+                                 int32_t n) {
+  VSAN_CHECK_EQ(scores.size(), excluded.size());
+  std::vector<int32_t> candidates;
+  candidates.reserve(scores.size());
+  for (int32_t i = 1; i < static_cast<int32_t>(scores.size()); ++i) {
+    if (!excluded[i]) candidates.push_back(i);
+  }
+  const int32_t top = std::min<int32_t>(n, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + top,
+                    candidates.end(), [&scores](int32_t a, int32_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;  // deterministic tie-break
+                    });
+  candidates.resize(top);
+  return candidates;
+}
+
+}  // namespace eval
+}  // namespace vsan

@@ -1,0 +1,34 @@
+#ifndef VSAN_EVAL_METRICS_H_
+#define VSAN_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vsan {
+namespace eval {
+
+// Top-N ranking metrics for one user (Sec. V-C):
+//   Precision@N = |T n R_N| / N
+//   Recall@N    = |T n R_N| / |T|
+//   NDCG@N      = DCG@N / IDCG@N with binary relevance, as in SVAE.
+struct TopNMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double ndcg = 0.0;
+};
+
+// `ranked` is the recommendation list (best first, at least N items unless
+// fewer exist); `holdout` is the user's test set T.  Duplicate holdout items
+// count once.
+TopNMetrics ComputeTopN(const std::vector<int32_t>& ranked,
+                        const std::vector<int32_t>& holdout, int32_t n);
+
+// Returns the indices of the `n` largest scores (descending), skipping
+// index 0 (the padding item) and any index whose `excluded` flag is set.
+std::vector<int32_t> TopNIndices(const std::vector<float>& scores,
+                                 const std::vector<bool>& excluded, int32_t n);
+
+}  // namespace eval
+}  // namespace vsan
+
+#endif  // VSAN_EVAL_METRICS_H_

@@ -1,0 +1,145 @@
+#include "eval/segmented.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace eval {
+namespace {
+
+enum class Segment { kHead, kTorso, kTail };
+
+// Assigns every item to a segment by popularity rank.
+std::vector<Segment> AssignSegments(const std::vector<float>& popularity,
+                                    const PopularitySegments& segments) {
+  const int32_t num_items = static_cast<int32_t>(popularity.size()) - 1;
+  std::vector<int32_t> items(num_items);
+  std::iota(items.begin(), items.end(), 1);
+  std::stable_sort(items.begin(), items.end(), [&](int32_t a, int32_t b) {
+    return popularity[a] > popularity[b];
+  });
+  const int32_t head_end =
+      static_cast<int32_t>(segments.head_fraction * num_items);
+  const int32_t tail_start = num_items - static_cast<int32_t>(
+                                             segments.tail_fraction * num_items);
+  std::vector<Segment> out(num_items + 1, Segment::kTorso);
+  for (int32_t r = 0; r < num_items; ++r) {
+    if (r < head_end) {
+      out[items[r]] = Segment::kHead;
+    } else if (r >= tail_start) {
+      out[items[r]] = Segment::kTail;
+    }
+  }
+  return out;
+}
+
+struct Accumulator {
+  EvalResult sum;
+  int64_t users = 0;
+
+  void Init(const std::vector<int32_t>& cutoffs) {
+    for (int32_t n : cutoffs) {
+      sum.precision[n] = 0.0;
+      sum.recall[n] = 0.0;
+      sum.ndcg[n] = 0.0;
+    }
+  }
+
+  void Add(const std::vector<int32_t>& ranked,
+           const std::vector<int32_t>& holdout,
+           const std::vector<int32_t>& cutoffs) {
+    for (int32_t n : cutoffs) {
+      const TopNMetrics m = ComputeTopN(ranked, holdout, n);
+      sum.precision[n] += m.precision;
+      sum.recall[n] += m.recall;
+      sum.ndcg[n] += m.ndcg;
+    }
+    ++users;
+  }
+
+  EvalResult Mean(const std::vector<int32_t>& cutoffs) const {
+    EvalResult out = sum;
+    const double denom = std::max<int64_t>(users, 1);
+    for (int32_t n : cutoffs) {
+      out.precision[n] /= denom;
+      out.recall[n] /= denom;
+      out.ndcg[n] /= denom;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+SegmentedEvalResult EvaluateByPopularity(
+    const SequentialRecommender& model,
+    const std::vector<data::HeldOutUser>& users,
+    const std::vector<float>& train_popularity,
+    const PopularitySegments& segments, const EvalOptions& options) {
+  VSAN_CHECK(!users.empty());
+  VSAN_CHECK_GE(segments.head_fraction, 0.0);
+  VSAN_CHECK_GE(segments.tail_fraction, 0.0);
+  VSAN_CHECK_LE(segments.head_fraction + segments.tail_fraction, 1.0);
+  const std::vector<Segment> segment_of =
+      AssignSegments(train_popularity, segments);
+  const int32_t max_cutoff =
+      *std::max_element(options.cutoffs.begin(), options.cutoffs.end());
+
+  Accumulator head, torso, tail;
+  head.Init(options.cutoffs);
+  torso.Init(options.cutoffs);
+  tail.Init(options.cutoffs);
+
+  for (const data::HeldOutUser& user : users) {
+    if (user.holdout.empty() || user.fold_in.empty()) continue;
+    const std::vector<float> scores = model.Score(user.fold_in);
+    std::vector<bool> excluded(scores.size(), false);
+    excluded[data::kPaddingItem] = true;
+    if (options.exclude_fold_in) {
+      std::unordered_set<int32_t> holdout_set(user.holdout.begin(),
+                                              user.holdout.end());
+      for (int32_t item : user.fold_in) {
+        if (item < static_cast<int32_t>(excluded.size()) &&
+            holdout_set.count(item) == 0) {
+          excluded[item] = true;
+        }
+      }
+    }
+    const std::vector<int32_t> ranked =
+        TopNIndices(scores, excluded, max_cutoff);
+
+    std::vector<int32_t> head_items, torso_items, tail_items;
+    for (int32_t item : user.holdout) {
+      switch (segment_of[item]) {
+        case Segment::kHead:
+          head_items.push_back(item);
+          break;
+        case Segment::kTorso:
+          torso_items.push_back(item);
+          break;
+        case Segment::kTail:
+          tail_items.push_back(item);
+          break;
+      }
+    }
+    if (!head_items.empty()) head.Add(ranked, head_items, options.cutoffs);
+    if (!torso_items.empty()) torso.Add(ranked, torso_items, options.cutoffs);
+    if (!tail_items.empty()) tail.Add(ranked, tail_items, options.cutoffs);
+  }
+
+  SegmentedEvalResult result;
+  result.head = head.Mean(options.cutoffs);
+  result.torso = torso.Mean(options.cutoffs);
+  result.tail = tail.Mean(options.cutoffs);
+  result.head_users = head.users;
+  result.torso_users = torso.users;
+  result.tail_users = tail.users;
+  return result;
+}
+
+}  // namespace eval
+}  // namespace vsan

@@ -1,0 +1,48 @@
+#ifndef VSAN_EVAL_SEGMENTED_H_
+#define VSAN_EVAL_SEGMENTED_H_
+
+#include <vector>
+
+#include "eval/evaluator.h"
+
+namespace vsan {
+namespace eval {
+
+// Accuracy metrics split by item popularity: how well does a recommender
+// retrieve head (popular) vs tail (niche) holdout items?  Popularity-biased
+// models look strong on aggregate metrics while failing the tail; the
+// uncertainty-aware model's claimed advantage on sparse signals should
+// surface here.
+//
+// Items are bucketed by training interaction count: `head` = the most
+// popular items covering the top `head_fraction` of ranked items, `tail` =
+// the bottom `tail_fraction`, `torso` = the rest.
+struct PopularitySegments {
+  double head_fraction = 0.1;
+  double tail_fraction = 0.5;
+};
+
+struct SegmentedEvalResult {
+  EvalResult head;
+  EvalResult torso;
+  EvalResult tail;
+  // Users contributing to each segment (those with >= 1 holdout item in
+  // the segment).
+  int64_t head_users = 0;
+  int64_t torso_users = 0;
+  int64_t tail_users = 0;
+};
+
+// `train_popularity[i]` = item i's training count (index 0 unused).
+// Rankings are computed once per user over the full catalogue (the
+// standard protocol); only the *targets* are segmented.
+SegmentedEvalResult EvaluateByPopularity(
+    const SequentialRecommender& model,
+    const std::vector<data::HeldOutUser>& users,
+    const std::vector<float>& train_popularity,
+    const PopularitySegments& segments, const EvalOptions& options);
+
+}  // namespace eval
+}  // namespace vsan
+
+#endif  // VSAN_EVAL_SEGMENTED_H_

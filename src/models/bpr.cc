@@ -1,0 +1,126 @@
+#include "models/bpr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace models {
+namespace {
+
+float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+void Bpr::ComposeUser(const std::vector<int32_t>& items, float* out) const {
+  const int64_t d = config_.d;
+  std::fill(out, out + d, 0.0f);
+  const int64_t take = std::min<int64_t>(
+      static_cast<int64_t>(items.size()), config_.max_context_items);
+  if (take == 0) return;
+  const int64_t start = static_cast<int64_t>(items.size()) - take;
+  for (int64_t i = start; i < static_cast<int64_t>(items.size()); ++i) {
+    const float* c = context_.data() + static_cast<int64_t>(items[i]) * d;
+    for (int64_t j = 0; j < d; ++j) out[j] += c[j];
+  }
+  const float inv = 1.0f / static_cast<float>(take);
+  for (int64_t j = 0; j < d; ++j) out[j] *= inv;
+}
+
+void Bpr::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
+  num_items_ = train.num_items();
+  const int64_t d = config_.d;
+  Rng rng(opts.seed);
+  auto init = [&](std::vector<float>* v, int64_t count) {
+    v->resize(count);
+    for (float& x : *v) x = static_cast<float>(rng.Normal(0.0, 0.05));
+  };
+  init(&context_, static_cast<int64_t>(num_items_ + 1) * d);
+  init(&target_, static_cast<int64_t>(num_items_ + 1) * d);
+  bias_.assign(num_items_ + 1, 0.0f);
+
+  // Users with at least one interaction, and their item sets for negative
+  // sampling.
+  std::vector<int32_t> users;
+  std::vector<std::unordered_set<int32_t>> item_sets(train.num_users());
+  for (int32_t u = 0; u < train.num_users(); ++u) {
+    if (train.sequence(u).empty()) continue;
+    users.push_back(u);
+    item_sets[u].insert(train.sequence(u).begin(), train.sequence(u).end());
+  }
+  VSAN_CHECK(!users.empty());
+
+  const int64_t samples_per_epoch = train.num_interactions();
+  std::vector<float> user_vec(d);
+  std::vector<float> diff(d);
+  const float lr = opts.learning_rate;
+  const float reg = config_.l2_reg;
+
+  for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    for (int64_t s = 0; s < samples_per_epoch; ++s) {
+      const int32_t u = users[rng.UniformInt(users.size())];
+      const std::vector<int32_t>& seq = train.sequence(u);
+      const int32_t pos = seq[rng.UniformInt(seq.size())];
+      int32_t neg = static_cast<int32_t>(rng.UniformInt(1, num_items_));
+      while (item_sets[u].count(neg) > 0) {
+        neg = static_cast<int32_t>(rng.UniformInt(1, num_items_));
+      }
+
+      ComposeUser(seq, user_vec.data());
+      float* vp = target_.data() + static_cast<int64_t>(pos) * d;
+      float* vn = target_.data() + static_cast<int64_t>(neg) * d;
+      float x = bias_[pos] - bias_[neg];
+      for (int64_t j = 0; j < d; ++j) x += user_vec[j] * (vp[j] - vn[j]);
+      const float coeff = SigmoidF(-x);  // d(-log sigma(x))/dx = -sigma(-x)
+      loss_sum += std::log1p(std::exp(-x));
+
+      // SGD updates (user composition treated as fixed per step; context
+      // factors receive the distributed gradient).
+      bias_[pos] += lr * (coeff - reg * bias_[pos]);
+      bias_[neg] += lr * (-coeff - reg * bias_[neg]);
+      const int64_t take = std::min<int64_t>(
+          static_cast<int64_t>(seq.size()), config_.max_context_items);
+      const float ctx_scale = coeff / static_cast<float>(take);
+      const int64_t start = static_cast<int64_t>(seq.size()) - take;
+      // Gradient of the score w.r.t. the composed user vector, captured
+      // before the target factors are updated.
+      for (int64_t j = 0; j < d; ++j) diff[j] = vp[j] - vn[j];
+      for (int64_t j = 0; j < d; ++j) {
+        const float gp = coeff * user_vec[j];
+        vp[j] += lr * (gp - reg * vp[j]);
+        vn[j] += lr * (-gp - reg * vn[j]);
+      }
+      // Distribute the user gradient into the context embeddings.
+      for (int64_t i = start; i < static_cast<int64_t>(seq.size()); ++i) {
+        float* c = context_.data() + static_cast<int64_t>(seq[i]) * d;
+        for (int64_t j = 0; j < d; ++j) {
+          c[j] += lr * (ctx_scale * diff[j] - reg * c[j]);
+        }
+      }
+    }
+    if (opts.epoch_callback) {
+      opts.epoch_callback(epoch, loss_sum / samples_per_epoch);
+    }
+  }
+}
+
+std::vector<float> Bpr::Score(const std::vector<int32_t>& fold_in) const {
+  VSAN_CHECK_GT(num_items_, 0) << "Fit() must be called before Score()";
+  const int64_t d = config_.d;
+  std::vector<float> user_vec(d);
+  ComposeUser(fold_in, user_vec.data());
+  std::vector<float> scores(num_items_ + 1, 0.0f);
+  for (int32_t item = 1; item <= num_items_; ++item) {
+    const float* v = target_.data() + static_cast<int64_t>(item) * d;
+    float s = bias_[item];
+    for (int64_t j = 0; j < d; ++j) s += user_vec[j] * v[j];
+    scores[item] = s;
+  }
+  return scores;
+}
+
+}  // namespace models
+}  // namespace vsan

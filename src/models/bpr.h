@@ -1,0 +1,51 @@
+#ifndef VSAN_MODELS_BPR_H_
+#define VSAN_MODELS_BPR_H_
+
+#include "models/recommender.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace models {
+
+// BPR-MF (Rendle et al. 2009): pairwise ranking over implicit feedback with
+// matrix-factorization scores.
+//
+// Strong generalization twist: held-out users have no trained user factor,
+// so the user vector is composed FISM-style as the mean of a learned
+// item-as-context embedding over the (fold-in) history.  Training uses the
+// same composition so train and eval match.  Scores ignore order entirely --
+// BPR is the non-sequential baseline of Table III.
+class Bpr : public SequentialRecommender {
+ public:
+  struct Config {
+    int64_t d = 32;
+    float l2_reg = 1e-4f;
+    // Per epoch, one (pos, neg) pair is sampled per training interaction.
+    int32_t max_context_items = 10;  // cap on history items composing a user
+  };
+
+  explicit Bpr(const Config& config) : config_(config) {}
+
+  std::string name() const override { return "BPR"; }
+
+  void Fit(const data::SequenceDataset& train,
+           const TrainOptions& options) override;
+
+  std::vector<float> Score(const std::vector<int32_t>& fold_in) const override;
+
+ private:
+  // Mean of context embeddings over (at most the last max_context_items of)
+  // `items`, written to `out` (size d).
+  void ComposeUser(const std::vector<int32_t>& items, float* out) const;
+
+  Config config_;
+  int32_t num_items_ = 0;
+  std::vector<float> context_;  // [num_items+1, d] item-as-context factors
+  std::vector<float> target_;   // [num_items+1, d] item-as-target factors
+  std::vector<float> bias_;     // [num_items+1]
+};
+
+}  // namespace models
+}  // namespace vsan
+
+#endif  // VSAN_MODELS_BPR_H_

@@ -1,0 +1,119 @@
+#include "models/caser.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "data/batcher.h"
+#include "optim/adam.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace models {
+
+Caser::Net::Net(const Config& cfg, int32_t num_items, Rng* rng)
+    : config(cfg),
+      item_emb(num_items + 1, cfg.d, rng),
+      hconv(cfg.window, cfg.d, cfg.heights, cfg.h_filters, rng),
+      vconv(cfg.window, cfg.d, cfg.v_filters, rng),
+      fc(hconv.output_size() + vconv.output_size(), cfg.d, rng),
+      output(cfg.d, num_items + 1, rng) {
+  RegisterSubmodule(&item_emb);
+  RegisterSubmodule(&hconv);
+  RegisterSubmodule(&vconv);
+  RegisterSubmodule(&fc);
+  RegisterSubmodule(&output);
+}
+
+Variable Caser::Net::Forward(const std::vector<int32_t>& windows,
+                             int64_t batch, Rng* rng) const {
+  Variable x = item_emb.Forward(windows, batch, config.window);
+  Variable h = hconv.Forward(x);
+  Variable v = vconv.Forward(x);
+  Variable features = ops::Concat({h, v}, /*axis=*/1);
+  features = ops::Dropout(features, config.dropout, rng, training());
+  Variable hidden = ops::Relu(fc.Forward(features));
+  return output.Forward(hidden);
+}
+
+void Caser::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
+  num_items_ = train.num_items();
+  rng_ = Rng(opts.seed);
+  net_ = std::make_unique<Net>(config_, num_items_, &rng_);
+  net_->SetTraining(true);
+
+  // Training instances: one per (user, position t >= 1); the window is the
+  // (left-padded) L items before t, the targets are the next T items.
+  struct Instance {
+    int32_t user;
+    int32_t t;
+  };
+  std::vector<Instance> instances;
+  for (int32_t u = 0; u < train.num_users(); ++u) {
+    const auto& seq = train.sequence(u);
+    for (int32_t t = 1; t < static_cast<int32_t>(seq.size()); ++t) {
+      instances.push_back({u, t});
+    }
+  }
+  VSAN_CHECK(!instances.empty());
+
+  optim::Adam::Options adam_opts;
+  adam_opts.lr = opts.learning_rate;
+  optim::Adam optimizer(net_->Parameters(), adam_opts);
+
+  Rng shuffle_rng(opts.seed + 1);
+  const int64_t L = config_.window;
+  for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    shuffle_rng.Shuffle(&instances);
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (size_t begin = 0; begin < instances.size();
+         begin += opts.batch_size) {
+      const int64_t rows = std::min<int64_t>(
+          opts.batch_size, instances.size() - begin);
+      std::vector<int32_t> windows(rows * L, data::kPaddingItem);
+      std::vector<std::vector<int32_t>> targets(rows);
+      for (int64_t r = 0; r < rows; ++r) {
+        const auto [u, t] = instances[begin + r];
+        const auto& seq = train.sequence(u);
+        const int64_t take = std::min<int64_t>(t, L);
+        for (int64_t i = 0; i < take; ++i) {
+          windows[r * L + (L - take) + i] = seq[t - take + i];
+        }
+        for (int32_t j = 0;
+             j < config_.target_k &&
+             t + j < static_cast<int32_t>(seq.size());
+             ++j) {
+          targets[r].push_back(seq[t + j]);
+        }
+      }
+      Variable logits = net_->Forward(windows, rows, &rng_);
+      Variable loss = ops::MultiLabelSoftmaxCrossEntropy(logits, targets);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      if (opts.grad_clip_norm > 0.0f) {
+        optimizer.ClipGradNorm(opts.grad_clip_norm);
+      }
+      optimizer.Step();
+      loss_sum += loss.value()[0];
+      ++batches;
+    }
+    if (opts.epoch_callback && batches > 0) {
+      opts.epoch_callback(epoch, loss_sum / batches);
+    }
+  }
+  net_->SetTraining(false);
+}
+
+std::vector<float> Caser::Score(const std::vector<int32_t>& fold_in) const {
+  VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
+  const std::vector<int32_t> window =
+      data::SequenceBatcher::PadSequence(fold_in, config_.window);
+  Variable logits = net_->Forward(window, /*batch=*/1, &rng_);
+  const Tensor& out = logits.value();
+  std::vector<float> scores(num_items_ + 1);
+  for (int32_t i = 0; i <= num_items_; ++i) scores[i] = out[i];
+  return scores;
+}
+
+}  // namespace models
+}  // namespace vsan

@@ -1,0 +1,136 @@
+#include "models/fpmc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace models {
+namespace {
+
+float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+void Fpmc::ComposeUser(const std::vector<int32_t>& items, int64_t end,
+                       float* out) const {
+  const int64_t d = config_.d;
+  std::fill(out, out + d, 0.0f);
+  const int64_t take = std::min<int64_t>(end, config_.max_context_items);
+  if (take <= 0) return;
+  for (int64_t i = end - take; i < end; ++i) {
+    const float* c = context_.data() + static_cast<int64_t>(items[i]) * d;
+    for (int64_t j = 0; j < d; ++j) out[j] += c[j];
+  }
+  const float inv = 1.0f / static_cast<float>(take);
+  for (int64_t j = 0; j < d; ++j) out[j] *= inv;
+}
+
+void Fpmc::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
+  num_items_ = train.num_items();
+  const int64_t d = config_.d;
+  Rng rng(opts.seed);
+  auto init = [&](std::vector<float>* v) {
+    v->resize(static_cast<int64_t>(num_items_ + 1) * d);
+    for (float& x : *v) x = static_cast<float>(rng.Normal(0.0, 0.05));
+  };
+  init(&context_);
+  init(&mf_item_);
+  init(&mc_prev_);
+  init(&mc_next_);
+
+  // Training positions: (user, t) with t >= 1 so a previous item exists.
+  std::vector<std::pair<int32_t, int32_t>> positions;
+  for (int32_t u = 0; u < train.num_users(); ++u) {
+    const auto& seq = train.sequence(u);
+    for (int32_t t = 1; t < static_cast<int32_t>(seq.size()); ++t) {
+      positions.emplace_back(u, t);
+    }
+  }
+  VSAN_CHECK(!positions.empty());
+
+  const float lr = opts.learning_rate;
+  const float reg = config_.l2_reg;
+  std::vector<float> user_vec(d);
+  std::vector<float> u_diff(d);
+
+  for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    for (size_t s = 0; s < positions.size(); ++s) {
+      const auto [u, t] = positions[rng.UniformInt(positions.size())];
+      const auto& seq = train.sequence(u);
+      const int32_t prev = seq[t - 1];
+      const int32_t pos = seq[t];
+      int32_t neg = static_cast<int32_t>(rng.UniformInt(1, num_items_));
+      while (neg == pos) {
+        neg = static_cast<int32_t>(rng.UniformInt(1, num_items_));
+      }
+
+      ComposeUser(seq, t, user_vec.data());
+      float* up = mf_item_.data() + static_cast<int64_t>(pos) * d;
+      float* un = mf_item_.data() + static_cast<int64_t>(neg) * d;
+      float* w = mc_prev_.data() + static_cast<int64_t>(prev) * d;
+      float* zp = mc_next_.data() + static_cast<int64_t>(pos) * d;
+      float* zn = mc_next_.data() + static_cast<int64_t>(neg) * d;
+
+      float x = 0.0f;
+      for (int64_t j = 0; j < d; ++j) {
+        x += user_vec[j] * (up[j] - un[j]) + w[j] * (zp[j] - zn[j]);
+      }
+      const float coeff = SigmoidF(-x);
+      loss_sum += std::log1p(std::exp(-x));
+
+      for (int64_t j = 0; j < d; ++j) u_diff[j] = up[j] - un[j];
+      for (int64_t j = 0; j < d; ++j) {
+        const float gz = coeff * w[j];
+        const float gw = coeff * (zp[j] - zn[j]);
+        const float gu = coeff * user_vec[j];
+        up[j] += lr * (gu - reg * up[j]);
+        un[j] += lr * (-gu - reg * un[j]);
+        zp[j] += lr * (gz - reg * zp[j]);
+        zn[j] += lr * (-gz - reg * zn[j]);
+        w[j] += lr * (gw - reg * w[j]);
+      }
+      // Distribute the user-factor gradient to the context embeddings.
+      const int64_t take = std::min<int64_t>(t, config_.max_context_items);
+      if (take > 0) {
+        const float ctx_scale = coeff / static_cast<float>(take);
+        for (int64_t i = t - take; i < t; ++i) {
+          float* c = context_.data() + static_cast<int64_t>(seq[i]) * d;
+          for (int64_t j = 0; j < d; ++j) {
+            c[j] += lr * (ctx_scale * u_diff[j] - reg * c[j]);
+          }
+        }
+      }
+    }
+    if (opts.epoch_callback) {
+      opts.epoch_callback(epoch, loss_sum / positions.size());
+    }
+  }
+}
+
+std::vector<float> Fpmc::Score(const std::vector<int32_t>& fold_in) const {
+  VSAN_CHECK_GT(num_items_, 0) << "Fit() must be called before Score()";
+  const int64_t d = config_.d;
+  std::vector<float> user_vec(d);
+  ComposeUser(fold_in, static_cast<int64_t>(fold_in.size()), user_vec.data());
+  const int32_t prev = fold_in.empty() ? 0 : fold_in.back();
+  const float* w = mc_prev_.data() + static_cast<int64_t>(prev) * d;
+
+  std::vector<float> scores(num_items_ + 1, 0.0f);
+  for (int32_t item = 1; item <= num_items_; ++item) {
+    const float* u = mf_item_.data() + static_cast<int64_t>(item) * d;
+    const float* z = mc_next_.data() + static_cast<int64_t>(item) * d;
+    float s = 0.0f;
+    for (int64_t j = 0; j < d; ++j) s += user_vec[j] * u[j];
+    if (prev != 0) {
+      for (int64_t j = 0; j < d; ++j) s += w[j] * z[j];
+    }
+    scores[item] = s;
+  }
+  return scores;
+}
+
+}  // namespace models
+}  // namespace vsan

@@ -1,0 +1,50 @@
+#ifndef VSAN_MODELS_FPMC_H_
+#define VSAN_MODELS_FPMC_H_
+
+#include "models/recommender.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace models {
+
+// Factorized Personalized Markov Chains (Rendle et al. 2010): a linear
+// combination of a matrix-factorization term and a first-order Markov term,
+//   score(u, l, j) = <user(u), U_j> + <W_l, Z_j>,
+// trained with the S-BPR pairwise objective over consecutive pairs.
+//
+// As with Bpr, the user factor is composed from a learned item-as-context
+// embedding (mean over the recent history) so unseen held-out users can be
+// scored under strong generalization.
+class Fpmc : public SequentialRecommender {
+ public:
+  struct Config {
+    int64_t d = 32;
+    float l2_reg = 1e-4f;
+    int32_t max_context_items = 10;
+  };
+
+  explicit Fpmc(const Config& config) : config_(config) {}
+
+  std::string name() const override { return "FPMC"; }
+
+  void Fit(const data::SequenceDataset& train,
+           const TrainOptions& options) override;
+
+  std::vector<float> Score(const std::vector<int32_t>& fold_in) const override;
+
+ private:
+  void ComposeUser(const std::vector<int32_t>& items, int64_t end,
+                   float* out) const;
+
+  Config config_;
+  int32_t num_items_ = 0;
+  std::vector<float> context_;   // [N+1, d] items composing the user factor
+  std::vector<float> mf_item_;   // [N+1, d] U: item factors for the MF term
+  std::vector<float> mc_prev_;   // [N+1, d] W: previous-item factors
+  std::vector<float> mc_next_;   // [N+1, d] Z: next-item factors
+};
+
+}  // namespace models
+}  // namespace vsan
+
+#endif  // VSAN_MODELS_FPMC_H_

@@ -1,0 +1,90 @@
+#include "models/itemknn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace models {
+
+void ItemKnn::Fit(const data::SequenceDataset& train, const TrainOptions&) {
+  num_items_ = train.num_items();
+
+  // Co-occurrence counts over user item-sets and per-item user counts.
+  std::vector<float> item_count(num_items_ + 1, 0.0f);
+  // Sparse upper-triangle co-occurrence: co[a][b] for a < b.
+  std::vector<std::unordered_map<int32_t, float>> co(num_items_ + 1);
+  for (int32_t u = 0; u < train.num_users(); ++u) {
+    std::unordered_set<int32_t> item_set(train.sequence(u).begin(),
+                                         train.sequence(u).end());
+    std::vector<int32_t> items(item_set.begin(), item_set.end());
+    std::sort(items.begin(), items.end());
+    for (size_t i = 0; i < items.size(); ++i) {
+      item_count[items[i]] += 1.0f;
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        co[items[i]][items[j]] += 1.0f;
+      }
+    }
+  }
+
+  // Cosine similarity + top-k truncation.
+  neighbors_.assign(num_items_ + 1, {});
+  std::vector<std::vector<Neighbor>> full(num_items_ + 1);
+  for (int32_t a = 1; a <= num_items_; ++a) {
+    for (const auto& [b, count] : co[a]) {
+      const float denom =
+          std::sqrt(item_count[a]) * std::sqrt(item_count[b]);
+      if (denom <= 0.0f) continue;
+      const float sim = count / denom;
+      full[a].push_back({b, sim});
+      full[b].push_back({a, sim});
+    }
+  }
+  for (int32_t a = 1; a <= num_items_; ++a) {
+    auto& list = full[a];
+    std::sort(list.begin(), list.end(), [](const Neighbor& x, const Neighbor& y) {
+      if (x.similarity != y.similarity) return x.similarity > y.similarity;
+      return x.item < y.item;
+    });
+    if (config_.k > 0 && static_cast<int32_t>(list.size()) > config_.k) {
+      list.resize(config_.k);
+    }
+    neighbors_[a] = std::move(list);
+  }
+}
+
+float ItemKnn::Similarity(int32_t a, int32_t b) const {
+  VSAN_CHECK_GE(a, 1);
+  VSAN_CHECK_LE(a, num_items_);
+  for (const Neighbor& n : neighbors_[a]) {
+    if (n.item == b) return n.similarity;
+  }
+  return 0.0f;
+}
+
+std::vector<float> ItemKnn::Score(const std::vector<int32_t>& fold_in) const {
+  VSAN_CHECK_GT(num_items_, 0) << "Fit() must be called before Score()";
+  std::vector<float> scores(num_items_ + 1, 0.0f);
+  const int64_t len = static_cast<int64_t>(fold_in.size());
+  const int64_t take =
+      std::min<int64_t>(len, config_.max_history > 0 ? config_.max_history
+                                                     : len);
+  double weight = 1.0;
+  // Walk history from most recent to oldest with decaying weights.
+  for (int64_t i = len - 1; i >= len - take; --i) {
+    const int32_t item = fold_in[i];
+    if (item >= 1 && item <= num_items_) {
+      for (const Neighbor& n : neighbors_[item]) {
+        scores[n.item] += static_cast<float>(weight) * n.similarity;
+      }
+    }
+    weight *= config_.recency_decay;
+  }
+  return scores;
+}
+
+}  // namespace models
+}  // namespace vsan

@@ -1,0 +1,54 @@
+#ifndef VSAN_MODELS_ITEMKNN_H_
+#define VSAN_MODELS_ITEMKNN_H_
+
+#include "models/recommender.h"
+
+namespace vsan {
+namespace models {
+
+// Item-based k-nearest-neighbour collaborative filtering (extension
+// baseline, not in the paper's Table III): items are similar when many
+// users co-consume them (cosine over the user-item incidence matrix).
+// Scoring sums the similarity of each candidate to the user's recent
+// history, optionally with recency decay -- a strong cheap baseline that
+// needs no training loop.
+class ItemKnn : public SequentialRecommender {
+ public:
+  struct Config {
+    // Keep only the top-k most similar items per item (0 = keep all).
+    int32_t k = 50;
+    // Exponential recency weight: the most recent history item gets weight
+    // 1, the one before decay, then decay^2, ...  1.0 = plain set-based KNN.
+    double recency_decay = 0.8;
+    // Cap on the number of recent history items used at scoring time.
+    int32_t max_history = 20;
+  };
+
+  explicit ItemKnn(const Config& config) : config_(config) {}
+
+  std::string name() const override { return "ItemKNN"; }
+
+  void Fit(const data::SequenceDataset& train,
+           const TrainOptions& options) override;
+
+  std::vector<float> Score(const std::vector<int32_t>& fold_in) const override;
+
+  // Cosine similarity between two items (for tests/analysis).
+  float Similarity(int32_t a, int32_t b) const;
+
+ private:
+  struct Neighbor {
+    int32_t item;
+    float similarity;
+  };
+
+  Config config_;
+  int32_t num_items_ = 0;
+  // Top-k neighbour lists per item, sorted by similarity descending.
+  std::vector<std::vector<Neighbor>> neighbors_;
+};
+
+}  // namespace models
+}  // namespace vsan
+
+#endif  // VSAN_MODELS_ITEMKNN_H_

@@ -1,0 +1,21 @@
+#include "models/pop.h"
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace models {
+
+void Pop::Fit(const data::SequenceDataset& train, const TrainOptions&) {
+  counts_.assign(train.num_items() + 1, 0.0f);
+  for (int32_t u = 0; u < train.num_users(); ++u) {
+    for (int32_t item : train.sequence(u)) counts_[item] += 1.0f;
+  }
+}
+
+std::vector<float> Pop::Score(const std::vector<int32_t>&) const {
+  VSAN_CHECK(!counts_.empty()) << "Fit() must be called before Score()";
+  return counts_;
+}
+
+}  // namespace models
+}  // namespace vsan

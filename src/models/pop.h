@@ -1,0 +1,29 @@
+#ifndef VSAN_MODELS_POP_H_
+#define VSAN_MODELS_POP_H_
+
+#include "models/recommender.h"
+
+namespace vsan {
+namespace models {
+
+// POP baseline: ranks items by global interaction count in the training
+// corpus, identically for every user.
+class Pop : public SequentialRecommender {
+ public:
+  Pop() = default;
+
+  std::string name() const override { return "POP"; }
+
+  void Fit(const data::SequenceDataset& train,
+           const TrainOptions& options) override;
+
+  std::vector<float> Score(const std::vector<int32_t>& fold_in) const override;
+
+ private:
+  std::vector<float> counts_;  // indexed by item id (0 = padding)
+};
+
+}  // namespace models
+}  // namespace vsan
+
+#endif  // VSAN_MODELS_POP_H_

@@ -1,0 +1,58 @@
+#ifndef VSAN_MODELS_RECOMMENDER_H_
+#define VSAN_MODELS_RECOMMENDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace vsan {
+namespace optim {
+class LrSchedule;
+}  // namespace optim
+}  // namespace vsan
+
+namespace vsan {
+
+// Options shared by every trainable recommender.
+struct TrainOptions {
+  int32_t epochs = 10;
+  int64_t batch_size = 128;
+  float learning_rate = 1e-3f;  // paper: Adam, lr 1e-3
+  // Optional per-step schedule (not owned); overrides learning_rate when
+  // set.  See optim/lr_schedule.h.
+  const optim::LrSchedule* lr_schedule = nullptr;
+  float grad_clip_norm = 5.0f;  // 0 disables clipping
+  uint64_t seed = 17;
+  bool verbose = false;
+  // Invoked after each epoch with (epoch index, mean training loss).
+  std::function<void(int32_t, double)> epoch_callback;
+};
+
+// Common interface for the paper's nine models (Table III).
+//
+// Evaluation follows strong generalization: held-out users are unseen at
+// training time, so Score() receives only a fold-in item sequence and must
+// return a preference score for every item.
+class SequentialRecommender {
+ public:
+  virtual ~SequentialRecommender() = default;
+
+  virtual std::string name() const = 0;
+
+  // Trains on full histories of training users.
+  virtual void Fit(const data::SequenceDataset& train,
+                   const TrainOptions& options) = 0;
+
+  // Scores all items for a previously unseen user given their fold-in
+  // history (chronological, item ids in [1, num_items]).  Returns a vector
+  // of size num_items + 1; index 0 (the padding item) is ignored by the
+  // evaluator.  Higher means more likely to be interacted with next.
+  virtual std::vector<float> Score(
+      const std::vector<int32_t>& fold_in) const = 0;
+};
+
+}  // namespace vsan
+
+#endif  // VSAN_MODELS_RECOMMENDER_H_

@@ -1,0 +1,104 @@
+#include "models/registry.h"
+
+#include <algorithm>
+
+#include "core/vsan.h"
+#include "models/bpr.h"
+#include "models/caser.h"
+#include "models/fpmc.h"
+#include "models/gru4rec.h"
+#include "models/itemknn.h"
+#include "models/pop.h"
+#include "models/sasrec.h"
+#include "models/svae.h"
+#include "models/transrec.h"
+
+namespace vsan {
+namespace models {
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+std::unique_ptr<SequentialRecommender> CreateModel(const std::string& name,
+                                                   const ModelSizing& sizing) {
+  const std::string key = Lower(name);
+  if (key == "pop") return std::make_unique<Pop>();
+  if (key == "itemknn") return std::make_unique<ItemKnn>(ItemKnn::Config{});
+  if (key == "bpr") {
+    Bpr::Config cfg;
+    cfg.d = sizing.d;
+    return std::make_unique<Bpr>(cfg);
+  }
+  if (key == "fpmc") {
+    Fpmc::Config cfg;
+    cfg.d = sizing.d;
+    return std::make_unique<Fpmc>(cfg);
+  }
+  if (key == "transrec") {
+    TransRec::Config cfg;
+    cfg.d = sizing.d;
+    return std::make_unique<TransRec>(cfg);
+  }
+  if (key == "gru4rec") {
+    Gru4Rec::Config cfg;
+    cfg.max_len = sizing.max_len;
+    cfg.d = sizing.d;
+    cfg.hidden = sizing.d;
+    cfg.dropout = sizing.dropout;
+    cfg.seed = sizing.seed;
+    return std::make_unique<Gru4Rec>(cfg);
+  }
+  if (key == "caser") {
+    Caser::Config cfg;
+    cfg.d = sizing.d;
+    cfg.dropout = sizing.dropout;
+    cfg.seed = sizing.seed;
+    return std::make_unique<Caser>(cfg);
+  }
+  if (key == "svae") {
+    Svae::Config cfg;
+    cfg.max_len = sizing.max_len;
+    cfg.d = sizing.d;
+    cfg.hidden = sizing.d;
+    cfg.latent = std::max<int64_t>(sizing.d / 2, 2);
+    cfg.next_k = 4;  // the paper's best k for SVAE (Sec. V-G.1)
+    cfg.dropout = sizing.dropout;
+    cfg.seed = sizing.seed;
+    return std::make_unique<Svae>(cfg);
+  }
+  if (key == "sasrec") {
+    SasRec::Config cfg;
+    cfg.max_len = sizing.max_len;
+    cfg.d = sizing.d;
+    cfg.num_blocks = std::max(sizing.blocks, 1);
+    cfg.dropout = sizing.dropout;
+    cfg.seed = sizing.seed;
+    return std::make_unique<SasRec>(cfg);
+  }
+  if (key == "vsan") {
+    core::VsanConfig cfg;
+    cfg.max_len = sizing.max_len;
+    cfg.d = sizing.d;
+    cfg.h1 = std::max(sizing.blocks, 1);
+    cfg.h2 = 1;
+    cfg.dropout = sizing.dropout;
+    cfg.beta_max = 0.002f;
+    cfg.anneal_steps = 400;
+    return std::make_unique<core::Vsan>(cfg);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> RegisteredModelNames() {
+  return {"pop",   "bpr",   "fpmc",   "transrec", "gru4rec",
+          "caser", "svae",  "sasrec", "vsan",     "itemknn"};
+}
+
+}  // namespace models
+}  // namespace vsan

@@ -1,0 +1,37 @@
+#ifndef VSAN_MODELS_REGISTRY_H_
+#define VSAN_MODELS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/recommender.h"
+
+namespace vsan {
+namespace models {
+
+// One place that knows how to construct every recommender by name, shared
+// by the CLI and the experiment harness.  Sizes come from `ModelSizing`;
+// model-specific details (paper-faithful defaults, k, loss variants) are
+// set by the registry itself and can be overridden by the caller through
+// the returned object where the model exposes a config.
+struct ModelSizing {
+  int64_t d = 32;        // embedding / hidden width
+  int64_t max_len = 30;  // modeled sequence length n
+  int32_t blocks = 1;    // attention blocks (SASRec) / h1 (VSAN)
+  float dropout = 0.2f;
+  uint64_t seed = 29;
+};
+
+// Case-insensitive names: pop, itemknn, bpr, fpmc, transrec, gru4rec,
+// caser, svae, sasrec, vsan.  Returns nullptr for unknown names.
+std::unique_ptr<SequentialRecommender> CreateModel(const std::string& name,
+                                                   const ModelSizing& sizing);
+
+// All registered names, in Table III order plus extensions.
+std::vector<std::string> RegisteredModelNames();
+
+}  // namespace models
+}  // namespace vsan
+
+#endif  // VSAN_MODELS_REGISTRY_H_

@@ -1,0 +1,140 @@
+#include "models/svae.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "data/batcher.h"
+#include "optim/adam.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace models {
+
+Svae::Net::Net(const Config& cfg, int32_t num_items, Rng* rng)
+    : config(cfg),
+      item_emb(num_items + 1, cfg.d, rng),
+      gru(cfg.d, cfg.hidden, rng),
+      mu_head(cfg.hidden, cfg.latent, rng),
+      logvar_head(cfg.hidden, cfg.latent, rng),
+      dec1(cfg.latent, cfg.hidden, rng),
+      output(cfg.hidden, num_items + 1, rng) {
+  RegisterSubmodule(&item_emb);
+  RegisterSubmodule(&gru);
+  RegisterSubmodule(&mu_head);
+  RegisterSubmodule(&logvar_head);
+  RegisterSubmodule(&dec1);
+  RegisterSubmodule(&output);
+  // Start the posterior near-deterministic (as in core/vsan.cc).
+  logvar_head.ScaleWeight(0.1f);
+  logvar_head.SetBiasConstant(-3.0f);
+}
+
+Svae::Net::Outputs Svae::Net::Forward(const std::vector<int32_t>& inputs,
+                                      int64_t batch, Rng* rng) const {
+  const int64_t n = config.max_len;
+  Variable x = item_emb.Forward(inputs, batch, n);
+  x = ops::Dropout(x, config.dropout, rng, training());
+  Variable h = gru.Forward(x);  // [B, n, hidden]
+  Variable h_flat = ops::Reshape(h, {batch * n, config.hidden});
+
+  Outputs out;
+  out.mu = mu_head.Forward(h_flat);
+  out.logvar = logvar_head.Forward(h_flat);
+  // Sample during training, use the posterior mean at evaluation.
+  out.z = ops::Reparameterize(out.mu, out.logvar, rng,
+                              /*sample=*/training());
+  return out;
+}
+
+Variable Svae::Net::Decode(const Variable& z_rows, Rng* rng) const {
+  Variable dec = ops::Tanh(dec1.Forward(z_rows));
+  dec = ops::Dropout(dec, config.dropout, rng, training());
+  return output.Forward(dec);
+}
+
+void Svae::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
+  num_items_ = train.num_items();
+  rng_ = Rng(opts.seed);
+  net_ = std::make_unique<Net>(config_, num_items_, &rng_);
+  net_->SetTraining(true);
+
+  data::SequenceBatcher::Options batch_opts;
+  batch_opts.max_len = config_.max_len;
+  batch_opts.batch_size = opts.batch_size;
+  batch_opts.next_k = std::max(config_.next_k, 2);  // always fill sets
+  batch_opts.pad_left = false;
+  batch_opts.seed = opts.seed + 1;
+  data::SequenceBatcher batcher(&train, batch_opts);
+
+  optim::Adam::Options adam_opts;
+  adam_opts.lr = opts.learning_rate;
+  optim::Adam optimizer(net_->Parameters(), adam_opts);
+
+  int64_t step = 0;
+  for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    batcher.NewEpoch();
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    data::TrainBatch batch;
+    while (batcher.NextBatch(&batch)) {
+      Net::Outputs out = net_->Forward(batch.inputs, batch.batch_size, &rng_);
+      // Decode only positions with targets, trimmed to the configured k
+      // (the batcher filled >= k items per set).
+      std::vector<int64_t> rows;
+      std::vector<std::vector<int32_t>> targets;
+      for (int64_t r = 0; r < batch.batch_size * batch.seq_len; ++r) {
+        if (batch.nextk_targets[r].empty()) continue;
+        rows.push_back(r);
+        std::vector<int32_t> set = batch.nextk_targets[r];
+        if (static_cast<int32_t>(set.size()) > config_.next_k) {
+          set.resize(config_.next_k);
+        }
+        targets.push_back(std::move(set));
+      }
+      Variable logits =
+          net_->Decode(ops::GatherRows(out.z, rows), &rng_);
+      Variable recon = ops::MultiLabelSoftmaxCrossEntropy(logits, targets);
+      Variable kl =
+          ops::KlStandardNormal(out.mu, out.logvar, batch.position_mask);
+      const float beta =
+          config_.anneal_steps > 0
+              ? config_.beta_max *
+                    std::min(1.0f, static_cast<float>(step) /
+                                       static_cast<float>(config_.anneal_steps))
+              : config_.beta_max;
+      Variable loss = ops::Add(recon, ops::Scale(kl, beta));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      if (opts.grad_clip_norm > 0.0f) {
+        optimizer.ClipGradNorm(opts.grad_clip_norm);
+      }
+      optimizer.Step();
+      loss_sum += loss.value()[0];
+      ++batches;
+      ++step;
+    }
+    if (opts.epoch_callback && batches > 0) {
+      opts.epoch_callback(epoch, loss_sum / batches);
+    }
+  }
+  net_->SetTraining(false);
+}
+
+std::vector<float> Svae::Score(const std::vector<int32_t>& fold_in) const {
+  VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
+  const std::vector<int32_t> padded = data::SequenceBatcher::PadSequence(
+      fold_in, config_.max_len, /*pad_left=*/false);
+  Net::Outputs out = net_->Forward(padded, /*batch=*/1, &rng_);
+  const int64_t last = std::min<int64_t>(static_cast<int64_t>(fold_in.size()),
+                                         config_.max_len) -
+                       1;
+  VSAN_CHECK_GE(last, 0);
+  Variable row = net_->Decode(ops::GatherRows(out.z, {last}), &rng_);
+  const Tensor& v = row.value();
+  std::vector<float> scores(num_items_ + 1);
+  for (int32_t i = 0; i <= num_items_; ++i) scores[i] = v[i];
+  return scores;
+}
+
+}  // namespace models
+}  // namespace vsan

@@ -1,0 +1,53 @@
+#ifndef VSAN_MODELS_TRAIN_LOOP_H_
+#define VSAN_MODELS_TRAIN_LOOP_H_
+
+#include <functional>
+
+#include "autograd/variable.h"
+#include "data/batcher.h"
+#include "models/recommender.h"
+#include "optim/lr_schedule.h"
+#include "optim/optimizer.h"
+
+namespace vsan {
+namespace models {
+
+// Shared epoch/batch loop for the neural models: for each epoch, iterate the
+// batcher, build the loss with `loss_fn`, backprop, clip, and step the
+// optimizer.  Reports the mean per-batch loss through
+// TrainOptions::epoch_callback.
+inline void RunTrainLoop(
+    data::SequenceBatcher* batcher, optim::Optimizer* optimizer,
+    const TrainOptions& options,
+    const std::function<Variable(const data::TrainBatch&)>& loss_fn) {
+  int64_t step = 0;
+  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    batcher->NewEpoch();
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    data::TrainBatch batch;
+    while (batcher->NextBatch(&batch)) {
+      if (options.lr_schedule != nullptr) {
+        optimizer->set_learning_rate(options.lr_schedule->LearningRate(step));
+      }
+      ++step;
+      Variable loss = loss_fn(batch);
+      optimizer->ZeroGrad();
+      loss.Backward();
+      if (options.grad_clip_norm > 0.0f) {
+        optimizer->ClipGradNorm(options.grad_clip_norm);
+      }
+      optimizer->Step();
+      loss_sum += loss.value()[0];
+      ++batches;
+    }
+    if (options.epoch_callback && batches > 0) {
+      options.epoch_callback(epoch, loss_sum / batches);
+    }
+  }
+}
+
+}  // namespace models
+}  // namespace vsan
+
+#endif  // VSAN_MODELS_TRAIN_LOOP_H_

@@ -1,0 +1,118 @@
+#include "models/transrec.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace models {
+namespace {
+
+float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+void TransRec::Fit(const data::SequenceDataset& train,
+                   const TrainOptions& opts) {
+  num_items_ = train.num_items();
+  const int64_t d = config_.d;
+  Rng rng(opts.seed);
+  gamma_.resize(static_cast<int64_t>(num_items_ + 1) * d);
+  for (float& x : gamma_) x = static_cast<float>(rng.Normal(0.0, 0.05));
+  beta_.assign(num_items_ + 1, 0.0f);
+  global_t_.assign(d, 0.0f);
+  user_t_.assign(static_cast<int64_t>(train.num_users()) * d, 0.0f);
+
+  std::vector<std::pair<int32_t, int32_t>> positions;
+  for (int32_t u = 0; u < train.num_users(); ++u) {
+    const auto& seq = train.sequence(u);
+    for (int32_t t = 1; t < static_cast<int32_t>(seq.size()); ++t) {
+      positions.emplace_back(u, t);
+    }
+  }
+  VSAN_CHECK(!positions.empty());
+
+  const float lr = opts.learning_rate;
+  const float reg = config_.l2_reg;
+  std::vector<float> translated(d);
+
+  // score(j) = beta_j - || translated - gamma_j ||^2,
+  // translated = gamma_prev + t + t_u.
+  auto score_item = [&](int32_t j) {
+    const float* gj = gamma_.data() + static_cast<int64_t>(j) * d;
+    float dist = 0.0f;
+    for (int64_t k = 0; k < d; ++k) {
+      const float diff = translated[k] - gj[k];
+      dist += diff * diff;
+    }
+    return beta_[j] - dist;
+  };
+
+  for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    for (size_t s = 0; s < positions.size(); ++s) {
+      const auto [u, t] = positions[rng.UniformInt(positions.size())];
+      const auto& seq = train.sequence(u);
+      const int32_t prev = seq[t - 1];
+      const int32_t pos = seq[t];
+      int32_t neg = static_cast<int32_t>(rng.UniformInt(1, num_items_));
+      while (neg == pos) {
+        neg = static_cast<int32_t>(rng.UniformInt(1, num_items_));
+      }
+
+      float* gprev = gamma_.data() + static_cast<int64_t>(prev) * d;
+      float* gpos = gamma_.data() + static_cast<int64_t>(pos) * d;
+      float* gneg = gamma_.data() + static_cast<int64_t>(neg) * d;
+      float* tu = user_t_.data() + static_cast<int64_t>(u) * d;
+      for (int64_t k = 0; k < d; ++k) {
+        translated[k] = gprev[k] + global_t_[k] + tu[k];
+      }
+      const float x = score_item(pos) - score_item(neg);
+      const float coeff = SigmoidF(-x);
+      loss_sum += std::log1p(std::exp(-x));
+
+      // d(score_pos - score_neg)/d(translated) = -2(translated - gpos)
+      //                                          +2(translated - gneg).
+      beta_[pos] += lr * (coeff - reg * beta_[pos]);
+      beta_[neg] += lr * (-coeff - reg * beta_[neg]);
+      for (int64_t k = 0; k < d; ++k) {
+        const float dp = translated[k] - gpos[k];
+        const float dn = translated[k] - gneg[k];
+        const float g_translated = coeff * (-2.0f * dp + 2.0f * dn);
+        gpos[k] += lr * (coeff * 2.0f * dp - reg * gpos[k]);
+        gneg[k] += lr * (-coeff * 2.0f * dn - reg * gneg[k]);
+        gprev[k] += lr * (g_translated - reg * gprev[k]);
+        global_t_[k] += lr * (g_translated - reg * global_t_[k]);
+        tu[k] += lr * (g_translated - reg * tu[k]);
+      }
+    }
+    if (opts.epoch_callback) {
+      opts.epoch_callback(epoch, loss_sum / positions.size());
+    }
+  }
+}
+
+std::vector<float> TransRec::Score(const std::vector<int32_t>& fold_in) const {
+  VSAN_CHECK_GT(num_items_, 0) << "Fit() must be called before Score()";
+  const int64_t d = config_.d;
+  const int32_t prev = fold_in.empty() ? 0 : fold_in.back();
+  std::vector<float> translated(d, 0.0f);
+  if (prev != 0) {
+    const float* gprev = gamma_.data() + static_cast<int64_t>(prev) * d;
+    for (int64_t k = 0; k < d; ++k) translated[k] = gprev[k] + global_t_[k];
+  }
+  std::vector<float> scores(num_items_ + 1, 0.0f);
+  for (int32_t item = 1; item <= num_items_; ++item) {
+    const float* gj = gamma_.data() + static_cast<int64_t>(item) * d;
+    float dist = 0.0f;
+    for (int64_t k = 0; k < d; ++k) {
+      const float diff = translated[k] - gj[k];
+      dist += diff * diff;
+    }
+    scores[item] = beta_[item] - dist;
+  }
+  return scores;
+}
+
+}  // namespace models
+}  // namespace vsan

@@ -1,0 +1,46 @@
+#ifndef VSAN_MODELS_TRANSREC_H_
+#define VSAN_MODELS_TRANSREC_H_
+
+#include "models/recommender.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace models {
+
+// TransRec (He et al. 2017): items are points in a translation space and a
+// user is a translation vector acting on their last consumed item:
+//   score(u, l, j) = beta_j - || gamma_l + t + t_u - gamma_j ||^2.
+//
+// Held-out users are unseen, so scoring uses only the global translation
+// vector t (their personal offset t_u is unknown and zero-initialized mass
+// dominates anyway); training learns t_u for training users as in the
+// original model.
+class TransRec : public SequentialRecommender {
+ public:
+  struct Config {
+    int64_t d = 32;
+    float l2_reg = 1e-4f;
+  };
+
+  explicit TransRec(const Config& config) : config_(config) {}
+
+  std::string name() const override { return "TransRec"; }
+
+  void Fit(const data::SequenceDataset& train,
+           const TrainOptions& options) override;
+
+  std::vector<float> Score(const std::vector<int32_t>& fold_in) const override;
+
+ private:
+  Config config_;
+  int32_t num_items_ = 0;
+  std::vector<float> gamma_;        // [N+1, d] item points
+  std::vector<float> beta_;         // [N+1] item biases
+  std::vector<float> global_t_;     // [d] shared translation
+  std::vector<float> user_t_;       // [num_train_users, d] personal offsets
+};
+
+}  // namespace models
+}  // namespace vsan
+
+#endif  // VSAN_MODELS_TRANSREC_H_

@@ -1,0 +1,105 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace nn {
+
+Tensor MakeCausalMask(int64_t n) {
+  Tensor mask({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) mask.at(i, j) = -1e9f;
+  }
+  return mask;
+}
+
+SelfAttentionBlock::SelfAttentionBlock(const SelfAttentionBlockConfig& config,
+                                       Rng* rng)
+    : config_(config),
+      wq_(config.d, config.d, rng, /*use_bias=*/false),
+      wk_(config.d, config.d, rng, /*use_bias=*/false),
+      wv_(config.d, config.d, rng, /*use_bias=*/false),
+      ffn1_(config.d, config.d, rng),
+      ffn2_(config.d, config.d, rng),
+      norm1_(config.d),
+      norm2_(config.d) {
+  VSAN_CHECK_GT(config_.num_heads, 0);
+  VSAN_CHECK_EQ(config_.d % config_.num_heads, 0)
+      << "num_heads must divide d";
+  RegisterSubmodule(&wq_);
+  RegisterSubmodule(&wk_);
+  RegisterSubmodule(&wv_);
+  if (config_.use_ffn) {
+    RegisterSubmodule(&ffn1_);
+    RegisterSubmodule(&ffn2_);
+  }
+  RegisterSubmodule(&norm1_);
+  if (config_.use_ffn) RegisterSubmodule(&norm2_);
+}
+
+Variable SelfAttentionBlock::Forward(const Variable& x,
+                                     const Tensor& causal_mask, Rng* rng,
+                                     Tensor* attention_out) const {
+  VSAN_CHECK_EQ(x.value().ndim(), 3);
+  VSAN_CHECK_EQ(x.value().dim(2), config_.d);
+
+  // Eq. 5-6: scaled dot-product attention with the causal mask.  With
+  // num_heads > 1 the projections are split along the feature axis and each
+  // head attends independently (Transformer-style; the paper uses one head).
+  Variable q = wq_.Forward(x);
+  Variable k = wk_.Forward(x);
+  Variable v = wv_.Forward(x);
+  const int64_t head_dim = config_.d / config_.num_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  Variable d_out;
+  if (config_.num_heads == 1) {
+    Variable scores =
+        ops::Scale(ops::MatMul(q, ops::TransposeLast2(k)), scale);
+    Variable attn =
+        ops::Softmax(ops::AddBroadcastMatrix(scores, causal_mask));
+    if (attention_out != nullptr) *attention_out = attn.value();
+    d_out = ops::MatMul(attn, v);
+  } else {
+    std::vector<Variable> heads;
+    heads.reserve(config_.num_heads);
+    for (int32_t h = 0; h < config_.num_heads; ++h) {
+      Variable qh = ops::Slice(q, /*axis=*/2, h * head_dim, head_dim);
+      Variable kh = ops::Slice(k, /*axis=*/2, h * head_dim, head_dim);
+      Variable vh = ops::Slice(v, /*axis=*/2, h * head_dim, head_dim);
+      Variable scores =
+          ops::Scale(ops::MatMul(qh, ops::TransposeLast2(kh)), scale);
+      Variable attn =
+          ops::Softmax(ops::AddBroadcastMatrix(scores, causal_mask));
+      if (attention_out != nullptr) {
+        if (h == 0) {
+          *attention_out = attn.value();
+        } else {
+          Axpy(1.0f, attn.value(), attention_out);
+        }
+      }
+      heads.push_back(ops::MatMul(attn, vh));
+    }
+    if (attention_out != nullptr) {
+      for (int64_t i = 0; i < attention_out->numel(); ++i) {
+        (*attention_out)[i] /= static_cast<float>(config_.num_heads);
+      }
+    }
+    d_out = ops::Concat(heads, /*axis=*/2);
+  }
+
+  // Eq. 7: residual connection + layer normalization.
+  d_out = ops::Dropout(d_out, config_.dropout, rng, training());
+  Variable e = norm1_.Forward(ops::Add(d_out, x));
+  if (!config_.use_ffn) return e;
+
+  // Eq. 8-9: point-wise feed-forward with second residual + norm.
+  Variable f = ffn2_.Forward(ops::Relu(ffn1_.Forward(e)));
+  f = ops::Dropout(f, config_.dropout, rng, training());
+  return norm2_.Forward(ops::Add(f, e));
+}
+
+}  // namespace nn
+}  // namespace vsan

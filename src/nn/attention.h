@@ -1,0 +1,58 @@
+#ifndef VSAN_NN_ATTENTION_H_
+#define VSAN_NN_ATTENTION_H_
+
+#include <memory>
+
+#include "autograd/ops.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace nn {
+
+// Lower-triangular additive attention mask: 0 on and below the diagonal,
+// -1e9 above (blocks links from query i to key j for j > i, Sec. IV-B.1).
+Tensor MakeCausalMask(int64_t n);
+
+// One self-attention block of the paper (Eq. 5-10):
+//   D = softmax(QK^T / sqrt(d) + causal mask) V       (dot-product attention)
+//   E = LayerNorm(Dropout(D) + x)                     (residual + layer norm)
+//   F = ReLU(E W1 + b1) W2 + b2                       (point-wise FFN)
+//   G = LayerNorm(Dropout(F) + E)                     (residual + layer norm)
+// With use_ffn=false the block returns E directly (the VSAN-*-feed
+// ablations of Table VI).
+struct SelfAttentionBlockConfig {
+  int64_t d = 64;          // model width
+  int32_t num_heads = 1;   // attention heads (paper: 1; must divide d)
+  float dropout = 0.2f;    // rate applied to attention output and FFN output
+  bool use_ffn = true;     // point-wise feed-forward sub-layer on/off
+};
+
+class SelfAttentionBlock : public Module {
+ public:
+  SelfAttentionBlock(const SelfAttentionBlockConfig& config, Rng* rng);
+
+  // x: [B, n, d]; causal_mask: [n, n] from MakeCausalMask.  `rng` drives
+  // dropout; pass the model's Rng.  Dropout is active only in training mode.
+  // When `attention_out` is non-null it receives the post-softmax attention
+  // weights [B, n, n] (averaged over heads) for introspection.
+  Variable Forward(const Variable& x, const Tensor& causal_mask, Rng* rng,
+                   Tensor* attention_out = nullptr) const;
+
+ private:
+  SelfAttentionBlockConfig config_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear ffn1_;
+  Linear ffn2_;
+  LayerNorm norm1_;
+  LayerNorm norm2_;
+};
+
+}  // namespace nn
+}  // namespace vsan
+
+#endif  // VSAN_NN_ATTENTION_H_

@@ -1,0 +1,66 @@
+#include "nn/caser_conv.h"
+
+#include "nn/init.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vsan {
+namespace nn {
+
+HorizontalConv::HorizontalConv(int64_t seq_len, int64_t d,
+                               const std::vector<int64_t>& heights,
+                               int64_t num_filters, Rng* rng)
+    : seq_len_(seq_len), d_(d), heights_(heights), num_filters_(num_filters) {
+  for (int64_t h : heights_) {
+    VSAN_CHECK_LE(h, seq_len_);
+    weights_.push_back(RegisterParameter(StrCat("w_h", h),
+                                         XavierUniform(h * d, num_filters, rng)));
+    biases_.push_back(
+        RegisterParameter(StrCat("b_h", h), Tensor::Zeros({num_filters})));
+  }
+}
+
+Variable HorizontalConv::Forward(const Variable& x) const {
+  VSAN_CHECK_EQ(x.value().ndim(), 3);
+  const int64_t batch = x.value().dim(0);
+  VSAN_CHECK_EQ(x.value().dim(1), seq_len_);
+  VSAN_CHECK_EQ(x.value().dim(2), d_);
+
+  std::vector<Variable> pooled;
+  for (size_t hi = 0; hi < heights_.size(); ++hi) {
+    const int64_t h = heights_[hi];
+    const int64_t windows = seq_len_ - h + 1;
+    // im2row: each window of h consecutive steps becomes one row of h*d.
+    std::vector<Variable> rows;
+    rows.reserve(windows);
+    for (int64_t w = 0; w < windows; ++w) {
+      rows.push_back(ops::Reshape(ops::Slice(x, /*axis=*/1, w, h),
+                                  {batch, 1, h * d_}));
+    }
+    Variable im2row = ops::Concat(rows, /*axis=*/1);  // [B, windows, h*d]
+    Variable conv = ops::Relu(
+        ops::AddBias(ops::MatMul(im2row, weights_[hi]), biases_[hi]));
+    pooled.push_back(ops::MaxOverAxis1(conv));  // [B, num_filters]
+  }
+  return ops::Concat(pooled, /*axis=*/1);
+}
+
+VerticalConv::VerticalConv(int64_t seq_len, int64_t d, int64_t num_filters,
+                           Rng* rng)
+    : seq_len_(seq_len), d_(d), num_filters_(num_filters) {
+  weight_ = RegisterParameter("w_v", XavierUniform(seq_len, num_filters, rng));
+}
+
+Variable VerticalConv::Forward(const Variable& x) const {
+  VSAN_CHECK_EQ(x.value().ndim(), 3);
+  const int64_t batch = x.value().dim(0);
+  VSAN_CHECK_EQ(x.value().dim(1), seq_len_);
+  VSAN_CHECK_EQ(x.value().dim(2), d_);
+  // [B, d, L] x [L, F] -> [B, d, F], flattened to [B, d*F].
+  Variable xt = ops::TransposeLast2(x);
+  Variable out = ops::MatMul(xt, weight_);
+  return ops::Reshape(out, {batch, d_ * num_filters_});
+}
+
+}  // namespace nn
+}  // namespace vsan

@@ -1,0 +1,61 @@
+#ifndef VSAN_NN_CASER_CONV_H_
+#define VSAN_NN_CASER_CONV_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace nn {
+
+// Caser's horizontal convolution (Tang & Wang 2018): filters of height h
+// slide over the time axis of the embedding "image" [L, d]; each filter
+// produces a (L-h+1)-length signal that is ReLU'd and max-pooled over time.
+// Output: [B, num_filters * heights.size()].
+class HorizontalConv : public Module {
+ public:
+  HorizontalConv(int64_t seq_len, int64_t d,
+                 const std::vector<int64_t>& heights, int64_t num_filters,
+                 Rng* rng);
+
+  // x: [B, seq_len, d].
+  Variable Forward(const Variable& x) const;
+
+  int64_t output_size() const {
+    return num_filters_ * static_cast<int64_t>(heights_.size());
+  }
+
+ private:
+  int64_t seq_len_;
+  int64_t d_;
+  std::vector<int64_t> heights_;
+  int64_t num_filters_;
+  std::vector<Variable> weights_;  // per height: [h*d, num_filters]
+  std::vector<Variable> biases_;   // per height: [num_filters]
+};
+
+// Caser's vertical convolution: num_filters weighted sums over the time
+// axis, one weight per time step, applied to every embedding dimension.
+// Output: [B, d * num_filters].
+class VerticalConv : public Module {
+ public:
+  VerticalConv(int64_t seq_len, int64_t d, int64_t num_filters, Rng* rng);
+
+  // x: [B, seq_len, d].
+  Variable Forward(const Variable& x) const;
+
+  int64_t output_size() const { return d_ * num_filters_; }
+
+ private:
+  int64_t seq_len_;
+  int64_t d_;
+  int64_t num_filters_;
+  Variable weight_;  // [seq_len, num_filters]
+};
+
+}  // namespace nn
+}  // namespace vsan
+
+#endif  // VSAN_NN_CASER_CONV_H_

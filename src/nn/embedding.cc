@@ -1,0 +1,19 @@
+#include "nn/embedding.h"
+
+#include "nn/init.h"
+
+namespace vsan {
+namespace nn {
+
+Embedding::Embedding(int64_t vocab, int64_t d, Rng* rng, bool mask_zero)
+    : vocab_(vocab), d_(d), mask_zero_(mask_zero) {
+  table_ = RegisterParameter("table", EmbeddingInit(vocab, d, rng));
+}
+
+Variable Embedding::Forward(const std::vector<int32_t>& indices, int64_t batch,
+                            int64_t steps) const {
+  return ops::EmbeddingLookup(table_, indices, batch, steps, mask_zero_);
+}
+
+}  // namespace nn
+}  // namespace vsan

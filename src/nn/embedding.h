@@ -1,0 +1,40 @@
+#ifndef VSAN_NN_EMBEDDING_H_
+#define VSAN_NN_EMBEDDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace nn {
+
+// Learnable lookup table [vocab, d].  Index 0 is the padding item: with
+// mask_zero (the default) it embeds to a zero row and receives no gradient.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab, int64_t d, Rng* rng, bool mask_zero = true);
+
+  // indices.size() must equal batch*steps; returns [batch, steps, d].
+  Variable Forward(const std::vector<int32_t>& indices, int64_t batch,
+                   int64_t steps) const;
+
+  // The raw table as a Variable (used for tied output projections).
+  const Variable& table() const { return table_; }
+
+  int64_t vocab() const { return vocab_; }
+  int64_t d() const { return d_; }
+
+ private:
+  int64_t vocab_;
+  int64_t d_;
+  bool mask_zero_;
+  Variable table_;
+};
+
+}  // namespace nn
+}  // namespace vsan
+
+#endif  // VSAN_NN_EMBEDDING_H_

@@ -1,0 +1,56 @@
+#include "nn/gru.h"
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace nn {
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : hidden_size_(hidden_size),
+      wz_(input_size, hidden_size, rng),
+      uz_(hidden_size, hidden_size, rng, /*use_bias=*/false),
+      wr_(input_size, hidden_size, rng),
+      ur_(hidden_size, hidden_size, rng, /*use_bias=*/false),
+      wc_(input_size, hidden_size, rng),
+      uc_(hidden_size, hidden_size, rng, /*use_bias=*/false) {
+  RegisterSubmodule(&wz_);
+  RegisterSubmodule(&uz_);
+  RegisterSubmodule(&wr_);
+  RegisterSubmodule(&ur_);
+  RegisterSubmodule(&wc_);
+  RegisterSubmodule(&uc_);
+}
+
+Variable GruCell::Forward(const Variable& x_t, const Variable& h_prev) const {
+  Variable z = ops::Sigmoid(ops::Add(wz_.Forward(x_t), uz_.Forward(h_prev)));
+  Variable r = ops::Sigmoid(ops::Add(wr_.Forward(x_t), ur_.Forward(h_prev)));
+  Variable c = ops::Tanh(
+      ops::Add(wc_.Forward(x_t), uc_.Forward(ops::Mul(r, h_prev))));
+  // h = (1-z)*h_prev + z*c  =  h_prev + z*(c - h_prev)
+  return ops::Add(h_prev, ops::Mul(z, ops::Sub(c, h_prev)));
+}
+
+Gru::Gru(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : cell_(input_size, hidden_size, rng) {
+  RegisterSubmodule(&cell_);
+}
+
+Variable Gru::Forward(const Variable& x) const {
+  VSAN_CHECK_EQ(x.value().ndim(), 3);
+  const int64_t batch = x.value().dim(0);
+  const int64_t steps = x.value().dim(1);
+  const int64_t input = x.value().dim(2);
+  Variable h = Variable::Constant(Tensor::Zeros({batch, hidden_size()}));
+  std::vector<Variable> outputs;
+  outputs.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    Variable x_t = ops::Reshape(ops::Slice(x, /*axis=*/1, t, 1),
+                                {batch, input});
+    h = cell_.Forward(x_t, h);
+    outputs.push_back(ops::Reshape(h, {batch, 1, hidden_size()}));
+  }
+  return ops::Concat(outputs, /*axis=*/1);
+}
+
+}  // namespace nn
+}  // namespace vsan

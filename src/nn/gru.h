@@ -1,0 +1,50 @@
+#ifndef VSAN_NN_GRU_H_
+#define VSAN_NN_GRU_H_
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace nn {
+
+// Gated recurrent unit cell (Cho et al. 2014):
+//   z_t = sigmoid(x W_z + h U_z + b_z)
+//   r_t = sigmoid(x W_r + h U_r + b_r)
+//   c_t = tanh(x W_c + (r_t * h) U_c + b_c)
+//   h_t = (1 - z_t) * h + z_t * c_t
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  // x_t: [B, input], h_prev: [B, hidden] -> h_t: [B, hidden].
+  Variable Forward(const Variable& x_t, const Variable& h_prev) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  Linear wz_, uz_;
+  Linear wr_, ur_;
+  Linear wc_, uc_;
+};
+
+// Unrolled GRU over a [B, n, input] sequence.  Returns all hidden states
+// stacked as [B, n, hidden]; the initial state is zero.
+class Gru : public Module {
+ public:
+  Gru(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  Variable Forward(const Variable& x) const;
+
+  int64_t hidden_size() const { return cell_.hidden_size(); }
+
+ private:
+  GruCell cell_;
+};
+
+}  // namespace nn
+}  // namespace vsan
+
+#endif  // VSAN_NN_GRU_H_

@@ -1,0 +1,29 @@
+#ifndef VSAN_NN_INIT_H_
+#define VSAN_NN_INIT_H_
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace nn {
+
+// Xavier/Glorot uniform initialization for a [fan_in, fan_out] weight.
+inline Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandomUniform({fan_in, fan_out}, rng, -limit, limit);
+}
+
+// Small-stddev normal init for embedding tables.
+inline Tensor EmbeddingInit(int64_t vocab, int64_t d, Rng* rng,
+                            float stddev = 0.02f) {
+  return Tensor::RandomNormal({vocab, d}, rng, stddev);
+}
+
+}  // namespace nn
+}  // namespace vsan
+
+#endif  // VSAN_NN_INIT_H_

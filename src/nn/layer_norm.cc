@@ -1,0 +1,16 @@
+#include "nn/layer_norm.h"
+
+namespace vsan {
+namespace nn {
+
+LayerNorm::LayerNorm(int64_t d, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({d}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({d}));
+}
+
+Variable LayerNorm::Forward(const Variable& x) const {
+  return ops::LayerNorm(x, gamma_, beta_, eps_);
+}
+
+}  // namespace nn
+}  // namespace vsan

@@ -1,0 +1,27 @@
+#ifndef VSAN_NN_LAYER_NORM_H_
+#define VSAN_NN_LAYER_NORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace vsan {
+namespace nn {
+
+// Layer normalization over the last dimension with learned gain and bias
+// (Ba et al. 2016), as used after every attention and FFN sub-layer.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t d, float eps = 1e-5f);
+
+  Variable Forward(const Variable& x) const;
+
+ private:
+  float eps_;
+  Variable gamma_;  // init 1
+  Variable beta_;   // init 0
+};
+
+}  // namespace nn
+}  // namespace vsan
+
+#endif  // VSAN_NN_LAYER_NORM_H_

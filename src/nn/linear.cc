@@ -1,0 +1,44 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool use_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      use_bias_(use_bias) {
+  weight_ =
+      RegisterParameter("weight", XavierUniform(in_features, out_features, rng));
+  if (use_bias_) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+void Linear::ScaleWeight(float s) {
+  Tensor& w = weight_.mutable_value();
+  for (int64_t i = 0; i < w.numel(); ++i) w[i] *= s;
+}
+
+void Linear::SetBiasConstant(float c) {
+  if (!use_bias_) return;
+  bias_.mutable_value().Fill(c);
+}
+
+void Linear::AddIdentityToWeight() {
+  VSAN_CHECK_EQ(in_features_, out_features_);
+  Tensor& w = weight_.mutable_value();
+  for (int64_t i = 0; i < in_features_; ++i) w.at(i, i) += 1.0f;
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  Variable y = ops::MatMul(x, weight_);
+  if (use_bias_) y = ops::AddBias(y, bias_);
+  return y;
+}
+
+}  // namespace nn
+}  // namespace vsan

@@ -1,0 +1,42 @@
+#ifndef VSAN_NN_LINEAR_H_
+#define VSAN_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace nn {
+
+// Fully connected layer y = x W + b.  Accepts [R, in] or [B, n, in] inputs
+// (the weight broadcasts over the batch dimension).
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool use_bias = true);
+
+  Variable Forward(const Variable& x) const;
+
+  // Post-construction init tweaks (e.g. near-zero log-variance heads so the
+  // latent layer starts with small posterior noise).
+  void ScaleWeight(float s);
+  void SetBiasConstant(float c);
+  // Adds the identity to a square weight matrix (near-identity init for
+  // residual-style heads).
+  void AddIdentityToWeight();
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool use_bias_;
+  Variable weight_;  // [in, out]
+  Variable bias_;    // [out]
+};
+
+}  // namespace nn
+}  // namespace vsan
+
+#endif  // VSAN_NN_LINEAR_H_

@@ -1,0 +1,41 @@
+#include "nn/module.h"
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace nn {
+
+std::vector<Variable> Module::Parameters() const {
+  std::vector<Variable> all = params_;
+  for (const Module* sub : submodules_) {
+    std::vector<Variable> child = sub->Parameters();
+    all.insert(all.end(), child.begin(), child.end());
+  }
+  return all;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const Variable& p : Parameters()) total += p.value().numel();
+  return total;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (Module* sub : submodules_) sub->SetTraining(training);
+}
+
+Variable Module::RegisterParameter(std::string name, Tensor init) {
+  Variable param(std::move(init), /*requires_grad=*/true);
+  params_.push_back(param);
+  param_names_.push_back(std::move(name));
+  return param;
+}
+
+void Module::RegisterSubmodule(Module* submodule) {
+  VSAN_CHECK(submodule != nullptr);
+  submodules_.push_back(submodule);
+}
+
+}  // namespace nn
+}  // namespace vsan

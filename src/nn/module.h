@@ -1,0 +1,57 @@
+#ifndef VSAN_NN_MODULE_H_
+#define VSAN_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace vsan {
+namespace nn {
+
+// Base class for neural-network layers and models.
+//
+// A Module owns trainable parameters (registered in the constructor of the
+// derived class) and may reference submodules; Parameters() flattens the
+// whole tree for the optimizer.  Submodules are referenced by raw pointer
+// and must outlive the parent (the usual pattern is member submodules
+// registered in the parent's constructor).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All trainable parameters of this module and its submodules, in
+  // registration order.
+  std::vector<Variable> Parameters() const;
+
+  // Total number of trainable scalars.
+  int64_t NumParameters() const;
+
+  // Toggles training-time behaviour (dropout, latent sampling) for this
+  // module and all submodules.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  Module() = default;
+
+  // Registers a trainable parameter initialized with `init`.
+  Variable RegisterParameter(std::string name, Tensor init);
+
+  // Registers a child whose parameters are included in Parameters().
+  void RegisterSubmodule(Module* submodule);
+
+ private:
+  std::vector<Variable> params_;
+  std::vector<std::string> param_names_;
+  std::vector<Module*> submodules_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace vsan
+
+#endif  // VSAN_NN_MODULE_H_

@@ -1,0 +1,96 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace vsan {
+namespace nn {
+namespace {
+
+constexpr char kMagic[8] = {'V', 'S', 'A', 'N', 'P', 'A', 'R', '1'};
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveParameters(const Module& module, std::ostream& out) {
+  const std::vector<Variable> params = module.Parameters();
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<int64_t>(out, static_cast<int64_t>(params.size()));
+  for (const Variable& p : params) {
+    const Tensor& t = p.value();
+    WritePod<int32_t>(out, t.ndim());
+    for (int i = 0; i < t.ndim(); ++i) WritePod<int64_t>(out, t.dim(i));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  }
+  if (!out.good()) return Status::Internal("write failed");
+  return Status::Ok();
+}
+
+Status LoadParameters(Module* module, std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic: not a VSAN parameter blob");
+  }
+  int64_t count = 0;
+  if (!ReadPod(in, &count)) return Status::InvalidArgument("truncated header");
+
+  std::vector<Variable> params = module->Parameters();
+  if (count != static_cast<int64_t>(params.size())) {
+    return Status::InvalidArgument(
+        StrCat("parameter count mismatch: blob has ", count, ", module has ",
+               params.size()));
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    int32_t ndim = 0;
+    if (!ReadPod(in, &ndim) || ndim < 0 || ndim > 4) {
+      return Status::InvalidArgument(StrCat("parameter ", i, ": bad rank"));
+    }
+    std::vector<int64_t> shape(ndim);
+    for (int32_t d = 0; d < ndim; ++d) {
+      if (!ReadPod(in, &shape[d])) {
+        return Status::InvalidArgument(
+            StrCat("parameter ", i, ": truncated shape"));
+      }
+    }
+    Tensor& dst = params[i].mutable_value();
+    if (shape != dst.shape()) {
+      return Status::InvalidArgument(
+          StrCat("parameter ", i, ": shape mismatch"));
+    }
+    in.read(reinterpret_cast<char*>(dst.data()),
+            static_cast<std::streamsize>(sizeof(float) * dst.numel()));
+    if (!in.good()) {
+      return Status::InvalidArgument(StrCat("parameter ", i, ": truncated"));
+    }
+  }
+  return Status::Ok();
+}
+
+Status SaveParametersToFile(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return Status::NotFound(StrCat("cannot open ", path));
+  return SaveParameters(module, out);
+}
+
+Status LoadParametersFromFile(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound(StrCat("cannot open ", path));
+  return LoadParameters(module, in);
+}
+
+}  // namespace nn
+}  // namespace vsan

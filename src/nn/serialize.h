@@ -1,0 +1,31 @@
+#ifndef VSAN_NN_SERIALIZE_H_
+#define VSAN_NN_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace vsan {
+namespace nn {
+
+// Order-based parameter (de)serialization: parameters are written in
+// registration order, which is stable for a module tree constructed from
+// the same configuration.  Loading checks count and shapes and fails with a
+// descriptive Status on any mismatch.
+//
+// Binary layout: magic "VSANPAR1", i64 parameter count, then per parameter
+// i32 ndim, i64 dims..., raw float32 data.
+
+Status SaveParameters(const Module& module, std::ostream& out);
+Status LoadParameters(Module* module, std::istream& in);
+
+Status SaveParametersToFile(const Module& module, const std::string& path);
+Status LoadParametersFromFile(Module* module, const std::string& path);
+
+}  // namespace nn
+}  // namespace vsan
+
+#endif  // VSAN_NN_SERIALIZE_H_

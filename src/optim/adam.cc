@@ -1,0 +1,43 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+namespace vsan {
+namespace optim {
+
+Adam::Adam(std::vector<Variable> params, const Options& options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    Tensor& w = p.mutable_value();
+    if (m_[i].numel() == 0) {
+      m_[i] = Tensor(w.shape());
+      v_[i] = Tensor(w.shape());
+    }
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      const float grad = g[j] + options_.weight_decay * w[j];
+      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * grad;
+      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * grad * grad;
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      w[j] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace vsan

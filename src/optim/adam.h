@@ -1,0 +1,40 @@
+#ifndef VSAN_OPTIM_ADAM_H_
+#define VSAN_OPTIM_ADAM_H_
+
+#include "optim/optimizer.h"
+
+namespace vsan {
+namespace optim {
+
+// Adam (Kingma & Ba 2015) with bias correction; the paper trains all models
+// with Adam at lr = 1e-3 (Sec. V-D).
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  Adam(std::vector<Variable> params, const Options& options);
+
+  void Step() override;
+
+  void set_learning_rate(float lr) override { options_.lr = lr; }
+  float learning_rate() const override { return options_.lr; }
+
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  Options options_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> m_;  // first-moment estimates, lazily allocated
+  std::vector<Tensor> v_;  // second-moment estimates
+};
+
+}  // namespace optim
+}  // namespace vsan
+
+#endif  // VSAN_OPTIM_ADAM_H_

@@ -1,0 +1,87 @@
+#ifndef VSAN_OPTIM_LR_SCHEDULE_H_
+#define VSAN_OPTIM_LR_SCHEDULE_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace optim {
+
+// Learning-rate schedules.  The paper trains with a constant Adam lr of
+// 1e-3; the schedules below are standard practice for squeezing extra
+// quality out of longer runs and are exercised by the extension benches.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  // Learning rate to use at optimization step `step` (0-based).
+  virtual float LearningRate(int64_t step) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) { VSAN_CHECK_GT(lr, 0.0f); }
+  float LearningRate(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+// Multiplies the rate by `factor` every `steps_per_decay` steps.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float initial, float factor, int64_t steps_per_decay)
+      : initial_(initial), factor_(factor), steps_per_decay_(steps_per_decay) {
+    VSAN_CHECK_GT(initial, 0.0f);
+    VSAN_CHECK_GT(factor, 0.0f);
+    VSAN_CHECK_LE(factor, 1.0f);
+    VSAN_CHECK_GT(steps_per_decay, 0);
+  }
+
+  float LearningRate(int64_t step) const override {
+    float lr = initial_;
+    for (int64_t s = steps_per_decay_; s <= step; s += steps_per_decay_) {
+      lr *= factor_;
+    }
+    return lr;
+  }
+
+ private:
+  float initial_;
+  float factor_;
+  int64_t steps_per_decay_;
+};
+
+// Linear warmup to `peak` over `warmup_steps`, then linear decay to zero at
+// `total_steps` (the Transformer-style trapezoid, simplified).
+class WarmupLinearLr : public LrSchedule {
+ public:
+  WarmupLinearLr(float peak, int64_t warmup_steps, int64_t total_steps)
+      : peak_(peak), warmup_steps_(warmup_steps), total_steps_(total_steps) {
+    VSAN_CHECK_GT(peak, 0.0f);
+    VSAN_CHECK_GE(warmup_steps, 0);
+    VSAN_CHECK_GT(total_steps, warmup_steps);
+  }
+
+  float LearningRate(int64_t step) const override {
+    if (step < warmup_steps_) {
+      return peak_ * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_steps_ + 1);
+    }
+    const float remaining =
+        static_cast<float>(total_steps_ - std::min(step, total_steps_));
+    const float span = static_cast<float>(total_steps_ - warmup_steps_);
+    return peak_ * std::max(remaining / span, 0.0f);
+  }
+
+ private:
+  float peak_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+};
+
+}  // namespace optim
+}  // namespace vsan
+
+#endif  // VSAN_OPTIM_LR_SCHEDULE_H_

@@ -1,0 +1,37 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+namespace vsan {
+namespace optim {
+
+Optimizer::Optimizer(std::vector<Variable> params)
+    : params_(std::move(params)) {}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double sq = 0.0;
+  for (const Variable& p : params_) {
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Variable& p : params_) {
+      if (!p.has_grad()) continue;
+      Tensor& g = p.mutable_grad();
+      for (int64_t i = 0; i < g.numel(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace optim
+}  // namespace vsan

@@ -1,0 +1,43 @@
+#ifndef VSAN_OPTIM_OPTIMIZER_H_
+#define VSAN_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace vsan {
+namespace optim {
+
+// Base class for gradient-descent optimizers over a fixed parameter list.
+// Parameters without an accumulated gradient are skipped by Step() (this
+// happens legitimately, e.g. ablated sub-layers excluded from the graph).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  // Adjusts the learning rate (for LR schedules; see optim/lr_schedule.h).
+  virtual void set_learning_rate(float lr) = 0;
+  virtual float learning_rate() const = 0;
+
+  // Clears accumulated gradients on all parameters.
+  void ZeroGrad();
+
+  // Scales all gradients so their global L2 norm is at most `max_norm`.
+  // Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+}  // namespace optim
+}  // namespace vsan
+
+#endif  // VSAN_OPTIM_OPTIMIZER_H_

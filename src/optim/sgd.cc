@@ -1,0 +1,35 @@
+#include "optim/sgd.h"
+
+namespace vsan {
+namespace optim {
+
+Sgd::Sgd(std::vector<Variable> params, const Options& options)
+    : Optimizer(std::move(params)), options_(options) {
+  velocity_.resize(params_.size());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    Tensor& w = p.mutable_value();
+    if (options_.momentum > 0.0f) {
+      if (velocity_[i].numel() == 0) velocity_[i] = Tensor(w.shape());
+      Tensor& v = velocity_[i];
+      for (int64_t j = 0; j < w.numel(); ++j) {
+        const float grad = g[j] + options_.weight_decay * w[j];
+        v[j] = options_.momentum * v[j] + grad;
+        w[j] -= options_.lr * v[j];
+      }
+    } else {
+      for (int64_t j = 0; j < w.numel(); ++j) {
+        const float grad = g[j] + options_.weight_decay * w[j];
+        w[j] -= options_.lr * grad;
+      }
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace vsan

@@ -1,0 +1,33 @@
+#ifndef VSAN_OPTIM_SGD_H_
+#define VSAN_OPTIM_SGD_H_
+
+#include "optim/optimizer.h"
+
+namespace vsan {
+namespace optim {
+
+// Stochastic gradient descent with optional momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  struct Options {
+    float lr = 0.01f;
+    float momentum = 0.0f;
+    float weight_decay = 0.0f;
+  };
+
+  Sgd(std::vector<Variable> params, const Options& options);
+
+  void Step() override;
+
+  void set_learning_rate(float lr) override { options_.lr = lr; }
+  float learning_rate() const override { return options_.lr; }
+
+ private:
+  Options options_;
+  std::vector<Tensor> velocity_;  // allocated lazily, one per parameter
+};
+
+}  // namespace optim
+}  // namespace vsan
+
+#endif  // VSAN_OPTIM_SGD_H_

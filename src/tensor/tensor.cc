@@ -1,0 +1,189 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace {
+
+int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    VSAN_CHECK_GT(d, 0) << "tensor dims must be positive";
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  VSAN_CHECK_LE(shape_.size(), 4u);
+  data_.assign(ShapeNumel(shape_), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  VSAN_CHECK_LE(t.shape_.size(), 4u);
+  VSAN_CHECK_EQ(ShapeNumel(t.shape_), static_cast<int64_t>(values.size()));
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return FromVector({1}, {value}); }
+
+Tensor Tensor::RandomNormal(std::vector<int64_t> shape, Rng* rng,
+                            float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data_[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomUniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                             float hi) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data_[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+int64_t Tensor::dim(int i) const {
+  VSAN_CHECK_GE(i, 0);
+  VSAN_CHECK_LT(i, ndim());
+  return shape_[i];
+}
+
+Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
+  VSAN_CHECK_EQ(ShapeNumel(new_shape), numel());
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+float& Tensor::operator[](int64_t flat_index) {
+  VSAN_DCHECK(flat_index >= 0 && flat_index < numel());
+  return data_[flat_index];
+}
+
+float Tensor::operator[](int64_t flat_index) const {
+  VSAN_DCHECK(flat_index >= 0 && flat_index < numel());
+  return data_[flat_index];
+}
+
+float& Tensor::at(int64_t i) {
+  VSAN_DCHECK(ndim() == 1);
+  return (*this)[i];
+}
+float Tensor::at(int64_t i) const {
+  VSAN_DCHECK(ndim() == 1);
+  return (*this)[i];
+}
+
+int64_t Tensor::FlatIndex(int64_t i, int64_t j) const {
+  VSAN_DCHECK(ndim() == 2);
+  VSAN_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+  return i * shape_[1] + j;
+}
+float& Tensor::at(int64_t i, int64_t j) { return data_[FlatIndex(i, j)]; }
+float Tensor::at(int64_t i, int64_t j) const { return data_[FlatIndex(i, j)]; }
+
+int64_t Tensor::FlatIndex(int64_t i, int64_t j, int64_t k) const {
+  VSAN_DCHECK(ndim() == 3);
+  VSAN_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+              k < shape_[2]);
+  return (i * shape_[1] + j) * shape_[2] + k;
+}
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  return data_[FlatIndex(i, j, k)];
+}
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  return data_[FlatIndex(i, j, k)];
+}
+
+int64_t Tensor::FlatIndex(int64_t i, int64_t j, int64_t k, int64_t l) const {
+  VSAN_DCHECK(ndim() == 4);
+  VSAN_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+              k < shape_[2] && l >= 0 && l < shape_[3]);
+  return ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l;
+}
+float& Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) {
+  return data_[FlatIndex(i, j, k, l)];
+}
+float Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) const {
+  return data_[FlatIndex(i, j, k, l)];
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+float Tensor::Sum() const {
+  // Accumulate in double so large reductions stay accurate in float32 data.
+  double sum = 0.0;
+  for (float v : data_) sum += v;
+  return static_cast<float>(sum);
+}
+
+float Tensor::Mean() const {
+  if (numel() == 0) return 0.0f;
+  return Sum() / static_cast<float>(numel());
+}
+
+float Tensor::Min() const {
+  VSAN_CHECK_GT(numel(), 0);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Max() const {
+  VSAN_CHECK_GT(numel(), 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+bool Tensor::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString(int64_t max_values) const {
+  std::ostringstream oss;
+  oss << "Tensor[";
+  for (int i = 0; i < ndim(); ++i) {
+    if (i > 0) oss << "x";
+    oss << shape_[i];
+  }
+  oss << "] {";
+  const int64_t shown = std::min<int64_t>(max_values, numel());
+  for (int64_t i = 0; i < shown; ++i) {
+    if (i > 0) oss << ", ";
+    oss << data_[i];
+  }
+  if (shown < numel()) oss << ", ...";
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace vsan

@@ -1,0 +1,98 @@
+#ifndef VSAN_TENSOR_TENSOR_H_
+#define VSAN_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vsan {
+
+// Dense row-major float32 tensor with 0 to 4 dimensions.  This is the value
+// type everything in the library computes on; it is a plain container with
+// no gradient tracking (see autograd/variable.h for that).
+//
+// Copyable and movable.  All indexing is bounds-checked in debug builds.
+class Tensor {
+ public:
+  // Empty 0-element tensor (ndim() == 0, numel() == 0).
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape.  All dims must be positive.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  // --- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  // Shape plus explicit contents; `values.size()` must equal the shape's
+  // element count.
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           std::vector<float> values);
+  // Scalar (shape {1}) tensor.
+  static Tensor Scalar(float value);
+  // I.i.d. N(0, stddev^2) entries.
+  static Tensor RandomNormal(std::vector<int64_t> shape, Rng* rng,
+                             float stddev = 1.0f);
+  // I.i.d. Uniform[lo, hi) entries.
+  static Tensor RandomUniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                              float hi);
+
+  // --- Shape ---------------------------------------------------------------
+
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t dim(int i) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // Returns a copy with a new shape of equal element count.
+  Tensor Reshaped(std::vector<int64_t> new_shape) const;
+
+  // --- Element access ------------------------------------------------------
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t flat_index);
+  float operator[](int64_t flat_index) const;
+
+  float& at(int64_t i);
+  float at(int64_t i) const;
+  float& at(int64_t i, int64_t j);
+  float at(int64_t i, int64_t j) const;
+  float& at(int64_t i, int64_t j, int64_t k);
+  float at(int64_t i, int64_t j, int64_t k) const;
+  float& at(int64_t i, int64_t j, int64_t k, int64_t l);
+  float at(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+  // --- Whole-tensor helpers --------------------------------------------------
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+  // Sum / mean / min / max over all elements (0 for empty tensors; min/max
+  // CHECK on empty).
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+  // True if every element is finite.
+  bool AllFinite() const;
+
+  // Human-readable summary, e.g. "Tensor[2x3] {1, 2, 3, ...}".
+  std::string ToString(int64_t max_values = 12) const;
+
+ private:
+  int64_t FlatIndex(int64_t i, int64_t j) const;
+  int64_t FlatIndex(int64_t i, int64_t j, int64_t k) const;
+  int64_t FlatIndex(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace vsan
+
+#endif  // VSAN_TENSOR_TENSOR_H_

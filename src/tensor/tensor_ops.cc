@@ -1,0 +1,258 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace {
+
+// Accumulates C += op(A) * op(B) on raw row-major buffers.
+//   op(A) is [m, k]: A is [m, k] when !trans_a, [k, m] when trans_a.
+//   op(B) is [k, n]: B is [k, n] when !trans_b, [n, k] when trans_b.
+// The loop orders are chosen so the innermost loop is contiguous in memory
+// for the NN, NT and TN cases (the ones training actually hits).
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
+          int64_t k, bool trans_a, bool trans_b) {
+  if (!trans_a && !trans_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* c_row = c + i * n;
+      const float* a_row = a + i * k;
+      for (int64_t p = 0; p < k; ++p) {
+        const float a_ip = a_row[p];
+        const float* b_row = b + p * n;
+        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* b_row = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        c_row[j] += acc;
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float* a_row = a + p * m;
+      const float* b_row = b + p * n;
+      for (int64_t i = 0; i < m; ++i) {
+        const float a_pi = a_row[i];
+        float* c_row = c + i * n;
+        for (int64_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
+      }
+    }
+  } else {
+    for (int64_t i = 0; i < m; ++i) {
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * b[j * k + p];
+        c_row[j] += acc;
+      }
+    }
+  }
+}
+
+struct GemmDims {
+  int64_t m, n, k;
+};
+
+GemmDims CheckGemmDims(int64_t a0, int64_t a1, int64_t b0, int64_t b1,
+                       bool trans_a, bool trans_b) {
+  const int64_t m = trans_a ? a1 : a0;
+  const int64_t ka = trans_a ? a0 : a1;
+  const int64_t kb = trans_b ? b1 : b0;
+  const int64_t n = trans_b ? b0 : b1;
+  VSAN_CHECK_EQ(ka, kb) << "matmul inner dims mismatch";
+  return {m, n, ka};
+}
+
+}  // namespace
+
+Tensor MatMul2D(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  VSAN_CHECK_EQ(a.ndim(), 2);
+  VSAN_CHECK_EQ(b.ndim(), 2);
+  const GemmDims d =
+      CheckGemmDims(a.dim(0), a.dim(1), b.dim(0), b.dim(1), trans_a, trans_b);
+  Tensor c({d.m, d.n});
+  Gemm(a.data(), b.data(), c.data(), d.m, d.n, d.k, trans_a, trans_b);
+  return c;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a,
+                     bool trans_b) {
+  VSAN_CHECK_EQ(a.ndim(), 3);
+  VSAN_CHECK_EQ(b.ndim(), 3);
+  VSAN_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t batch = a.dim(0);
+  const GemmDims d =
+      CheckGemmDims(a.dim(1), a.dim(2), b.dim(1), b.dim(2), trans_a, trans_b);
+  Tensor c({batch, d.m, d.n});
+  const int64_t a_stride = a.dim(1) * a.dim(2);
+  const int64_t b_stride = b.dim(1) * b.dim(2);
+  const int64_t c_stride = d.m * d.n;
+  for (int64_t i = 0; i < batch; ++i) {
+    Gemm(a.data() + i * a_stride, b.data() + i * b_stride,
+         c.data() + i * c_stride, d.m, d.n, d.k, trans_a, trans_b);
+  }
+  return c;
+}
+
+Tensor BatchedMatMulBroadcast(const Tensor& a, const Tensor& w, bool trans_w) {
+  VSAN_CHECK_EQ(a.ndim(), 3);
+  VSAN_CHECK_EQ(w.ndim(), 2);
+  const GemmDims d = CheckGemmDims(a.dim(1), a.dim(2), w.dim(0), w.dim(1),
+                                   /*trans_a=*/false, trans_w);
+  // [B, m, k] x [k, n] is the same as one [B*m, k] x [k, n] GEMM.
+  Tensor c({a.dim(0), d.m, d.n});
+  Gemm(a.data(), w.data(), c.data(), a.dim(0) * d.m, d.n, d.k,
+       /*trans_a=*/false, trans_w);
+  return c;
+}
+
+void AccumulateMatMul2D(const Tensor& a, const Tensor& g, bool trans_a,
+                        bool trans_b, Tensor* out) {
+  VSAN_CHECK_EQ(a.ndim(), 2);
+  VSAN_CHECK_EQ(g.ndim(), 2);
+  VSAN_CHECK_EQ(out->ndim(), 2);
+  const GemmDims d =
+      CheckGemmDims(a.dim(0), a.dim(1), g.dim(0), g.dim(1), trans_a, trans_b);
+  VSAN_CHECK_EQ(out->dim(0), d.m);
+  VSAN_CHECK_EQ(out->dim(1), d.n);
+  Gemm(a.data(), g.data(), out->data(), d.m, d.n, d.k, trans_a, trans_b);
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  VSAN_CHECK(a.SameShape(b));
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) po[i] += pb[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  VSAN_CHECK(a.SameShape(b));
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) po[i] -= pb[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  VSAN_CHECK(a.SameShape(b));
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) po[i] *= pb[i];
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out = a;
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) po[i] += s;
+  return out;
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  Tensor out = a;
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) po[i] *= s;
+  return out;
+}
+
+Tensor AddBiasLastDim(const Tensor& x, const Tensor& bias) {
+  VSAN_CHECK_GE(x.ndim(), 1);
+  VSAN_CHECK_EQ(bias.ndim(), 1);
+  const int64_t n = x.dim(x.ndim() - 1);
+  VSAN_CHECK_EQ(bias.dim(0), n);
+  Tensor out = x;
+  float* po = out.data();
+  const float* pb = bias.data();
+  const int64_t rows = x.numel() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = po + r * n;
+    for (int64_t j = 0; j < n; ++j) row[j] += pb[j];
+  }
+  return out;
+}
+
+void Axpy(float scale, const Tensor& x, Tensor* out) {
+  VSAN_CHECK(x.SameShape(*out));
+  const float* px = x.data();
+  float* po = out->data();
+  for (int64_t i = 0; i < x.numel(); ++i) po[i] += scale * px[i];
+}
+
+Tensor Apply(const Tensor& x, const std::function<float(float)>& f) {
+  Tensor out = x;
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) po[i] = f(po[i]);
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& x) {
+  VSAN_CHECK_EQ(x.ndim(), 2);
+  Tensor out({x.dim(1), x.dim(0)});
+  for (int64_t i = 0; i < x.dim(0); ++i) {
+    for (int64_t j = 0; j < x.dim(1); ++j) out.at(j, i) = x.at(i, j);
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& x) {
+  VSAN_CHECK_EQ(x.ndim(), 3);
+  Tensor out({x.dim(0), x.dim(2), x.dim(1)});
+  for (int64_t b = 0; b < x.dim(0); ++b) {
+    for (int64_t i = 0; i < x.dim(1); ++i) {
+      for (int64_t j = 0; j < x.dim(2); ++j) out.at(b, j, i) = x.at(b, i, j);
+    }
+  }
+  return out;
+}
+
+Tensor SoftmaxLastDim(const Tensor& x) {
+  VSAN_CHECK_GE(x.ndim(), 1);
+  const int64_t n = x.dim(x.ndim() - 1);
+  const int64_t rows = x.numel() / n;
+  Tensor out = x;
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = po + r * n;
+    float max_v = row[0];
+    for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      row[j] = std::exp(row[j] - max_v);
+      sum += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t j = 0; j < n; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+Tensor SumLastDim(const Tensor& x) {
+  VSAN_CHECK_GE(x.ndim(), 2);
+  const int64_t n = x.dim(x.ndim() - 1);
+  const int64_t rows = x.numel() / n;
+  std::vector<int64_t> out_shape(x.shape().begin(), x.shape().end() - 1);
+  Tensor out(out_shape);
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    const float* row = px + r * n;
+    for (int64_t j = 0; j < n; ++j) acc += row[j];
+    po[r] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+}  // namespace vsan

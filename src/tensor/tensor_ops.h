@@ -1,0 +1,62 @@
+#ifndef VSAN_TENSOR_TENSOR_OPS_H_
+#define VSAN_TENSOR_TENSOR_OPS_H_
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+// Raw (non-differentiable) kernels on Tensor.  The autograd ops build their
+// forward and backward passes out of these; they are also benchmarked
+// directly in bench_micro_ops.
+
+namespace vsan {
+
+// --- GEMM ------------------------------------------------------------------
+
+// C = op(A) * op(B) for 2-D tensors, where op transposes when the flag is
+// set.  Shapes must be conformable after transposition.
+Tensor MatMul2D(const Tensor& a, const Tensor& b, bool trans_a = false,
+                bool trans_b = false);
+
+// C[b] = op(A[b]) * op(B[b]) for 3-D tensors with equal batch dims.
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+                     bool trans_b = false);
+
+// C[b] = A[b] * op(W) where A is [B, m, k] and W is 2-D (broadcast over the
+// batch).  Returns [B, m, n].
+Tensor BatchedMatMulBroadcast(const Tensor& a, const Tensor& w,
+                              bool trans_w = false);
+
+// Accumulates A^T * G into `out` ([k, n] += [m, k]^T * [m, n]).  Used by
+// backward passes that sum weight gradients over a batch.
+void AccumulateMatMul2D(const Tensor& a, const Tensor& g, bool trans_a,
+                        bool trans_b, Tensor* out);
+
+// --- Elementwise -----------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);        // same shape
+Tensor Sub(const Tensor& a, const Tensor& b);        // same shape
+Tensor Mul(const Tensor& a, const Tensor& b);        // same shape
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+// x + bias where bias has the size of x's last dimension.
+Tensor AddBiasLastDim(const Tensor& x, const Tensor& bias);
+// out += scale * x (same shapes).
+void Axpy(float scale, const Tensor& x, Tensor* out);
+// Applies `f` to every element.
+Tensor Apply(const Tensor& x, const std::function<float(float)>& f);
+
+// --- Structured ------------------------------------------------------------
+
+// Transposes a 2-D tensor.
+Tensor Transpose2D(const Tensor& x);
+// Swaps the last two dims of a 3-D tensor ([B, m, n] -> [B, n, m]).
+Tensor TransposeLast2(const Tensor& x);
+// Numerically stable softmax over the last dimension (any ndim >= 1).
+Tensor SoftmaxLastDim(const Tensor& x);
+// Sum over the last dimension: [.., n] -> [..].
+Tensor SumLastDim(const Tensor& x);
+
+}  // namespace vsan
+
+#endif  // VSAN_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,29 @@
+#ifndef VSAN_UTIL_CSV_WRITER_H_
+#define VSAN_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vsan {
+
+// Writes rows of cells as RFC-4180-ish CSV.  Used by the experiment binaries
+// to dump machine-readable copies of every reproduced table/figure.
+class CsvWriter {
+ public:
+  // Opens (truncates) `path`.  ok() reports whether the file opened.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::ofstream out_;
+};
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_CSV_WRITER_H_

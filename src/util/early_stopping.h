@@ -1,0 +1,55 @@
+#ifndef VSAN_UTIL_EARLY_STOPPING_H_
+#define VSAN_UTIL_EARLY_STOPPING_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace vsan {
+
+// Tracks a to-be-maximized validation metric (e.g. Recall@20) and signals
+// when training should stop: after `patience` consecutive evaluations
+// without an improvement of at least `min_delta`.
+//
+//   EarlyStopper stopper(/*patience=*/3);
+//   for each epoch: if (stopper.Update(validation_recall)) break;
+class EarlyStopper {
+ public:
+  explicit EarlyStopper(int32_t patience, double min_delta = 0.0)
+      : patience_(patience), min_delta_(min_delta) {
+    VSAN_CHECK_GT(patience, 0);
+    VSAN_CHECK_GE(min_delta, 0.0);
+  }
+
+  // Records one evaluation; returns true when training should stop.
+  bool Update(double metric) {
+    ++round_;
+    if (metric > best_ + min_delta_) {
+      best_ = metric;
+      best_round_ = round_;
+      bad_rounds_ = 0;
+    } else {
+      ++bad_rounds_;
+    }
+    return bad_rounds_ >= patience_;
+  }
+
+  double best() const { return best_; }
+  // 1-based index of the evaluation that produced the best metric (0 if
+  // none yet).
+  int32_t best_round() const { return best_round_; }
+  int32_t rounds() const { return round_; }
+
+ private:
+  int32_t patience_;
+  double min_delta_;
+  double best_ = -std::numeric_limits<double>::infinity();
+  int32_t best_round_ = 0;
+  int32_t bad_rounds_ = 0;
+  int32_t round_ = 0;
+};
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_EARLY_STOPPING_H_

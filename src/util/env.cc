@@ -1,0 +1,28 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace vsan {
+
+double GetEnvDouble(const std::string& name, double def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end == v) ? def : parsed;
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end == v) ? def : static_cast<int64_t>(parsed);
+}
+
+std::string GetEnvString(const std::string& name, const std::string& def) {
+  const char* v = std::getenv(name.c_str());
+  return (v == nullptr) ? def : std::string(v);
+}
+
+}  // namespace vsan

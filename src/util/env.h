@@ -1,0 +1,19 @@
+#ifndef VSAN_UTIL_ENV_H_
+#define VSAN_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vsan {
+
+// Environment-variable overrides for the experiment harness
+// (e.g. VSAN_BENCH_SCALE, VSAN_BENCH_EPOCHS).  Each returns `def` when the
+// variable is unset or unparsable.
+
+double GetEnvDouble(const std::string& name, double def);
+int64_t GetEnvInt(const std::string& name, int64_t def);
+std::string GetEnvString(const std::string& name, const std::string& def);
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_ENV_H_

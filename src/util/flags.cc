@@ -1,0 +1,71 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace vsan {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& def) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t def) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  return end == it->second.c_str() ? def : static_cast<int64_t>(parsed);
+}
+
+double FlagParser::GetDouble(const std::string& name, double def) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? def : parsed;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool def) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> FlagParser::UnqueriedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (queried_.find(name) == queried_.end()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace vsan

@@ -1,0 +1,41 @@
+#ifndef VSAN_UTIL_FLAGS_H_
+#define VSAN_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vsan {
+
+// Minimal command-line flag parser for the CLI tools.
+//
+// Accepted forms: --key=value, --key value, and bare --key (boolean true).
+// Everything that does not start with "--" is a positional argument.
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Flags that were passed but never queried through the getters above;
+  // lets a CLI reject typos ("--epocs").
+  std::vector<std::string> UnqueriedFlags() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_FLAGS_H_

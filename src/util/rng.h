@@ -1,0 +1,65 @@
+#ifndef VSAN_UTIL_RNG_H_
+#define VSAN_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vsan {
+
+// Deterministic pseudo-random number generator (xoshiro256**) with the
+// distributions the library needs.  A hand-rolled generator keeps results
+// reproducible across standard-library implementations, which matters for
+// the experiment harness (seeds are recorded in EXPERIMENTS.md).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Core 64-bit output.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n).  Requires n > 0.
+  int64_t UniformInt(int64_t n);
+
+  // Uniform integer in [lo, hi].  Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (cached second deviate).
+  double Normal();
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Index in [0, weights.size()) drawn proportionally to `weights`.
+  // Weights must be non-negative with a positive sum.
+  int64_t Categorical(const std::vector<double>& weights);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (int64_t i = static_cast<int64_t>(v->size()) - 1; i > 0; --i) {
+      int64_t j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // `k` distinct values sampled uniformly from [0, n) (k <= n).
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_RNG_H_

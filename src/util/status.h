@@ -1,0 +1,104 @@
+#ifndef VSAN_UTIL_STATUS_H_
+#define VSAN_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace vsan {
+
+// Error codes for recoverable failures (data loading, configuration).
+// Programmer errors go through VSAN_CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+};
+
+// Minimal absl::Status-alike: an error code plus a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return message_.empty() ? CodeName() : CodeName() + ": " + message_;
+  }
+
+ private:
+  std::string CodeName() const {
+    switch (code_) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound:
+        return "NOT_FOUND";
+      case StatusCode::kOutOfRange:
+        return "OUT_OF_RANGE";
+      case StatusCode::kInternal:
+        return "INTERNAL";
+    }
+    return "UNKNOWN";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Value-or-error result.  `value()` CHECK-fails on error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    VSAN_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    VSAN_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    VSAN_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    VSAN_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_STATUS_H_

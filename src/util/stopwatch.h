@@ -1,0 +1,28 @@
+#ifndef VSAN_UTIL_STOPWATCH_H_
+#define VSAN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vsan {
+
+// Wall-clock stopwatch for coarse experiment timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_STOPWATCH_H_

@@ -1,0 +1,31 @@
+#ifndef VSAN_UTIL_STRING_UTIL_H_
+#define VSAN_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vsan {
+
+// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_STRING_UTIL_H_

@@ -1,0 +1,68 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace vsan {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VSAN_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  VSAN_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(Row{/*separator=*/false, std::move(cells)});
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back(Row{/*separator=*/true, {}});
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_separator = [&](std::ostringstream& oss) {
+    oss << "+";
+    for (size_t w : widths) {
+      oss << std::string(w + 2, '-') << "+";
+    }
+    oss << "\n";
+  };
+  auto render_row = [&](std::ostringstream& oss,
+                        const std::vector<std::string>& cells) {
+    oss << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      oss << " " << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+          << " |";
+    }
+    oss << "\n";
+  };
+
+  std::ostringstream oss;
+  render_separator(oss);
+  render_row(oss, header_);
+  render_separator(oss);
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      render_separator(oss);
+    } else {
+      render_row(oss, row.cells);
+    }
+  }
+  render_separator(oss);
+  return oss.str();
+}
+
+}  // namespace vsan

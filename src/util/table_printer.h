@@ -1,0 +1,44 @@
+#ifndef VSAN_UTIL_TABLE_PRINTER_H_
+#define VSAN_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vsan {
+
+// Builds and prints fixed-width ASCII tables for the experiment binaries,
+// mirroring the row/column layout of the paper's tables.
+//
+//   TablePrinter t({"Model", "NDCG@10", "Recall@10"});
+//   t.AddRow({"SASRec", "5.105", "7.796"});
+//   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  // Renders the table.
+  void Print(std::ostream& os) const;
+
+  // Renders the table to a string.
+  std::string ToString() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,179 @@
+// Tests for the analysis/introspection features: leave-one-out splits,
+// beyond-accuracy metrics, and attention-map inspection.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/vsan.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/beyond_accuracy.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace {
+
+TEST(LeaveOneOutSplitTest, LastTwoItemsBecomeValAndTest) {
+  data::SequenceDataset ds(10);
+  ds.AddUser({1, 2, 3, 4, 5});
+  data::StrongSplit split = data::MakeLeaveOneOutSplit(ds);
+  ASSERT_EQ(split.train.num_users(), 1);
+  EXPECT_EQ(split.train.sequence(0), (std::vector<int32_t>{1, 2, 3}));
+  ASSERT_EQ(split.validation.size(), 1u);
+  EXPECT_EQ(split.validation[0].fold_in, (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_EQ(split.validation[0].holdout, (std::vector<int32_t>{4}));
+  ASSERT_EQ(split.test.size(), 1u);
+  EXPECT_EQ(split.test[0].fold_in, (std::vector<int32_t>{1, 2, 3, 4}));
+  EXPECT_EQ(split.test[0].holdout, (std::vector<int32_t>{5}));
+}
+
+TEST(LeaveOneOutSplitTest, ShortUsersStayInTraining) {
+  data::SequenceDataset ds(10);
+  ds.AddUser({1, 2});           // too short: train only
+  ds.AddUser({3, 4, 5, 6});
+  data::StrongSplit split = data::MakeLeaveOneOutSplit(ds);
+  EXPECT_EQ(split.train.num_users(), 2);
+  EXPECT_EQ(split.train.sequence(0), (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(split.test.size(), 1u);
+}
+
+TEST(LeaveOneOutSplitTest, InteractionConservation) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 30;
+  cfg.num_categories = 3;
+  data::SequenceDataset ds = data::GenerateSynthetic(cfg);
+  data::StrongSplit split = data::MakeLeaveOneOutSplit(ds);
+  // Every eligible user loses exactly 2 items from the training corpus.
+  EXPECT_EQ(split.train.num_interactions() +
+                2 * static_cast<int64_t>(split.test.size()),
+            ds.num_interactions());
+}
+
+TEST(BeyondAccuracyTest, PerfectlyEvenListsHaveZeroGini) {
+  // 4 items, each recommended exactly once.
+  const std::vector<std::vector<int32_t>> lists = {{1, 2}, {3, 4}};
+  const std::vector<float> pop = {0, 4, 3, 2, 1};
+  const auto r = eval::ComputeBeyondAccuracy(lists, 4, pop);
+  EXPECT_DOUBLE_EQ(r.catalogue_coverage, 1.0);
+  EXPECT_NEAR(r.gini, 0.0, 1e-12);
+}
+
+TEST(BeyondAccuracyTest, SingleItemConcentrationHasHighGini) {
+  const std::vector<std::vector<int32_t>> lists = {{1}, {1}, {1}, {1}};
+  const std::vector<float> pop = {0, 4, 3, 2, 1};
+  const auto r = eval::ComputeBeyondAccuracy(lists, 4, pop);
+  EXPECT_DOUBLE_EQ(r.catalogue_coverage, 0.25);
+  EXPECT_NEAR(r.gini, 0.75, 1e-12);  // (n-1)/n for all mass on one of n
+}
+
+TEST(BeyondAccuracyTest, NoveltyReflectsPopularityRank) {
+  // Item 1 is the most popular (rank 0 -> novelty 0); item 4 is the least
+  // popular (rank 3/4 = 0.75).
+  const std::vector<float> pop = {0, 100, 50, 20, 5};
+  const auto popular = eval::ComputeBeyondAccuracy({{1}}, 4, pop);
+  const auto niche = eval::ComputeBeyondAccuracy({{4}}, 4, pop);
+  EXPECT_DOUBLE_EQ(popular.novelty, 0.0);
+  EXPECT_DOUBLE_EQ(niche.novelty, 0.75);
+  EXPECT_GT(niche.novelty, popular.novelty);
+}
+
+TEST(BeyondAccuracyTest, EndToEndWithModel) {
+  struct Identity : SequentialRecommender {
+    std::string name() const override { return "id"; }
+    void Fit(const data::SequenceDataset&, const TrainOptions&) override {}
+    std::vector<float> Score(const std::vector<int32_t>&) const override {
+      std::vector<float> s(11);
+      for (int i = 0; i <= 10; ++i) s[i] = static_cast<float>(i);
+      return s;
+    }
+  };
+  Identity model;
+  std::vector<data::HeldOutUser> users(2);
+  users[0].fold_in = {10};  // excluded, so top-3 = 9, 8, 7
+  users[1].fold_in = {1};   // top-3 = 10, 9, 8
+  std::vector<float> pop(11, 1.0f);
+  const auto r = eval::EvaluateBeyondAccuracy(model, users, 3, 10, pop);
+  // Items recommended: {9, 8, 7, 10} -> coverage 4/10.
+  EXPECT_DOUBLE_EQ(r.catalogue_coverage, 0.4);
+}
+
+data::SequenceDataset CycleDataset(int32_t num_items, int32_t num_users,
+                                   int32_t seq_len) {
+  Rng rng(3);
+  data::SequenceDataset ds(num_items);
+  for (int32_t u = 0; u < num_users; ++u) {
+    int32_t cur = static_cast<int32_t>(rng.UniformInt(1, num_items));
+    std::vector<int32_t> seq;
+    for (int32_t t = 0; t < seq_len; ++t) {
+      seq.push_back(cur);
+      cur = cur % num_items + 1;
+    }
+    ds.AddUser(std::move(seq));
+  }
+  return ds;
+}
+
+TEST(AttentionInspectionTest, RowsAreStochasticAndCausal) {
+  core::VsanConfig cfg;
+  cfg.max_len = 8;
+  cfg.d = 16;
+  cfg.dropout = 0.0f;
+  core::Vsan model(cfg);
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 16;
+  model.Fit(CycleDataset(12, 40, 8), opts);
+
+  const Tensor attn = model.InspectAttention({3, 4, 5, 6, 7, 8, 9, 10});
+  ASSERT_EQ(attn.ndim(), 2);
+  ASSERT_EQ(attn.dim(0), 8);
+  ASSERT_EQ(attn.dim(1), 8);
+  for (int64_t i = 0; i < 8; ++i) {
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_GE(attn.at(i, j), 0.0f);
+      if (j > i) {
+        EXPECT_NEAR(attn.at(i, j), 0.0f, 1e-6f);  // causal: no future mass
+      }
+      row_sum += attn.at(i, j);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-4);
+  }
+}
+
+TEST(AttentionInspectionTest, MultiHeadAverageIsStillStochastic) {
+  core::VsanConfig cfg;
+  cfg.max_len = 6;
+  cfg.d = 16;
+  cfg.num_heads = 4;
+  cfg.dropout = 0.0f;
+  core::Vsan model(cfg);
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 16;
+  model.Fit(CycleDataset(10, 30, 6), opts);
+  const Tensor attn = model.InspectAttention({1, 2, 3, 4, 5, 6});
+  for (int64_t i = 0; i < 6; ++i) {
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < 6; ++j) row_sum += attn.at(i, j);
+    EXPECT_NEAR(row_sum, 1.0, 1e-4);
+  }
+}
+
+TEST(AttentionInspectionTest, RequiresInferenceBlocks) {
+  core::VsanConfig cfg;
+  cfg.max_len = 6;
+  cfg.d = 8;
+  cfg.h1 = 0;
+  core::Vsan model(cfg);
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 16;
+  model.Fit(CycleDataset(10, 30, 6), opts);
+  EXPECT_DEATH(model.InspectAttention({1, 2}), "h1");
+}
+
+}  // namespace
+}  // namespace vsan

@@ -1,0 +1,151 @@
+#include "autograd/variable.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace {
+
+TEST(VariableTest, LeafProperties) {
+  Variable v(Tensor::FromVector({2}, {1, 2}), /*requires_grad=*/true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FALSE(v.has_grad());
+  EXPECT_EQ(v.value().numel(), 2);
+}
+
+TEST(VariableTest, ConstantDoesNotRequireGrad) {
+  Variable c = Variable::Constant(Tensor::Ones({3}));
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(VariableTest, BackwardOnSumGivesOnes) {
+  Variable x(Tensor::FromVector({3}, {1, 2, 3}), true);
+  Variable loss = ops::Sum(x);
+  loss.Backward();
+  ASSERT_TRUE(x.has_grad());
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 1.0f);
+}
+
+TEST(VariableTest, BackwardOnMeanDividesByCount) {
+  Variable x(Tensor::FromVector({4}, {1, 2, 3, 4}), true);
+  ops::Mean(x).Backward();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 0.25f);
+}
+
+TEST(VariableTest, GradAccumulatesThroughSharedSubexpression) {
+  // loss = sum(x + x) => dloss/dx = 2.
+  Variable x(Tensor::FromVector({2}, {1, 2}), true);
+  Variable y = ops::Add(x, x);
+  ops::Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 2.0f);
+}
+
+TEST(VariableTest, DiamondGraphAccumulatesOnce) {
+  // y = x*x reused twice: loss = sum(y + y) => d/dx = 4x.
+  Variable x(Tensor::FromVector({2}, {3, -1}), true);
+  Variable y = ops::Mul(x, x);
+  ops::Sum(ops::Add(y, y)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], -4.0f);
+}
+
+TEST(VariableTest, NoGradFlowsToConstants) {
+  Variable x(Tensor::FromVector({2}, {1, 2}), true);
+  Variable c = Variable::Constant(Tensor::FromVector({2}, {5, 5}));
+  ops::Sum(ops::Mul(x, c)).Backward();
+  EXPECT_TRUE(x.has_grad());
+  EXPECT_FALSE(c.has_grad());
+  EXPECT_FLOAT_EQ(x.grad()[0], 5.0f);
+}
+
+TEST(VariableTest, ZeroGradClears) {
+  Variable x(Tensor::FromVector({1}, {2}), true);
+  ops::Sum(x).Backward();
+  ASSERT_TRUE(x.has_grad());
+  x.ZeroGrad();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(VariableTest, RepeatedBackwardAccumulates) {
+  Variable x(Tensor::FromVector({1}, {3}), true);
+  ops::Sum(x).Backward();
+  ops::Sum(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(VariableTest, ChainRuleThroughScale) {
+  // loss = mean(2 * x), d/dx = 2/n.
+  Variable x(Tensor::FromVector({2}, {1, 1}), true);
+  ops::Mean(ops::Scale(x, 2.0f)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+TEST(VariableTest, GraphWithoutParametersDies) {
+  Variable c = Variable::Constant(Tensor::Scalar(1.0f));
+  EXPECT_DEATH(c.Backward(), "no trainable parameters");
+}
+
+TEST(VariableTest, NonScalarBackwardDies) {
+  Variable x(Tensor::Ones({2}), true);
+  EXPECT_DEATH(x.Backward(), "scalar");
+}
+
+TEST(VariableTest, DeepChainBackward) {
+  // 600 chained adds: exercises the iterative topological sort.
+  Variable x(Tensor::Scalar(1.0f), true);
+  Variable y = x;
+  for (int i = 0; i < 600; ++i) y = ops::AddConst(y, 0.0f);
+  ops::Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+TEST(VariableTest, MatMulHandComputedGradient) {
+  // loss = sum(A @ B); dA = ones @ B^T, dB = A^T @ ones.
+  Variable a(Tensor::FromVector({2, 2}, {1, 2, 3, 4}), true);
+  Variable b(Tensor::FromVector({2, 2}, {5, 6, 7, 8}), true);
+  ops::Sum(ops::MatMul(a, b)).Backward();
+  EXPECT_FLOAT_EQ(a.grad().at(0, 0), 11.0f);  // 5+6
+  EXPECT_FLOAT_EQ(a.grad().at(0, 1), 15.0f);  // 7+8
+  EXPECT_FLOAT_EQ(b.grad().at(0, 0), 4.0f);   // 1+3
+  EXPECT_FLOAT_EQ(b.grad().at(1, 1), 6.0f);   // 2+4
+}
+
+TEST(VariableTest, ReluBlocksGradientAtNegativeInputs) {
+  Variable x(Tensor::FromVector({3}, {-1, 0, 2}), true);
+  ops::Sum(ops::Relu(x)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 1.0f);
+}
+
+TEST(VariableTest, DropoutEvalModeIsIdentity) {
+  Rng rng(3);
+  Variable x(Tensor::Ones({100}), true);
+  Variable y = ops::Dropout(x, 0.5f, &rng, /*training=*/false);
+  EXPECT_EQ(y.node_ptr(), x.node_ptr());
+}
+
+TEST(VariableTest, DropoutTrainingScalesKeptUnits) {
+  Rng rng(4);
+  Variable x(Tensor::Ones({4000}), true);
+  Variable y = ops::Dropout(x, 0.25f, &rng, /*training=*/true);
+  int zeros = 0;
+  for (int64_t i = 0; i < y.value().numel(); ++i) {
+    const float v = y.value()[i];
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.75f, 1e-5f);
+    }
+  }
+  EXPECT_NEAR(zeros, 1000, 150);
+  // E[y] stays ~= E[x].
+  EXPECT_NEAR(y.value().Mean(), 1.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace vsan

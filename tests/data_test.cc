@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace vsan {
+namespace data {
+namespace {
+
+SequenceDataset TinyDataset() {
+  SequenceDataset ds(10);
+  ds.AddUser({1, 2, 3, 4, 5});
+  ds.AddUser({6, 7});
+  ds.AddUser({8, 9, 10, 1});
+  return ds;
+}
+
+TEST(DatasetTest, BasicStats) {
+  SequenceDataset ds = TinyDataset();
+  EXPECT_EQ(ds.num_users(), 3);
+  EXPECT_EQ(ds.num_items(), 10);
+  EXPECT_EQ(ds.num_interactions(), 11);
+  EXPECT_NEAR(ds.MeanSequenceLength(), 11.0 / 3.0, 1e-9);
+  EXPECT_NEAR(ds.Sparsity(), 1.0 - 11.0 / 30.0, 1e-9);
+}
+
+TEST(DatasetTest, SummaryMentionsCounts) {
+  const std::string s = TinyDataset().Summary("tiny");
+  EXPECT_NE(s.find("3 users"), std::string::npos);
+  EXPECT_NE(s.find("10 items"), std::string::npos);
+  EXPECT_NE(s.find("11 interactions"), std::string::npos);
+}
+
+TEST(DatasetDeathTest, RejectsOutOfRangeItems) {
+  SequenceDataset ds(5);
+  EXPECT_DEATH(ds.AddUser({1, 6}), "Check failed");
+  EXPECT_DEATH(ds.AddUser({0}), "Check failed");
+}
+
+TEST(SplitTest, PartitionsUsersDisjointly) {
+  SyntheticConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_items = 50;
+  cfg.num_categories = 5;
+  SequenceDataset ds = GenerateSynthetic(cfg);
+  SplitOptions opts;
+  opts.num_validation_users = 10;
+  opts.num_test_users = 15;
+  StrongSplit split = MakeStrongSplit(ds, opts);
+  EXPECT_EQ(split.train.num_users(), 75);
+  EXPECT_EQ(split.validation.size(), 10u);
+  EXPECT_EQ(split.test.size(), 15u);
+  EXPECT_EQ(split.train.num_items(), ds.num_items());
+  // Interactions are conserved.
+  int64_t held = 0;
+  for (const auto& u : split.validation) {
+    held += u.fold_in.size() + u.holdout.size();
+  }
+  for (const auto& u : split.test) {
+    held += u.fold_in.size() + u.holdout.size();
+  }
+  EXPECT_EQ(split.train.num_interactions() + held, ds.num_interactions());
+}
+
+TEST(SplitTest, FoldInFractionRespected) {
+  SequenceDataset ds(20);
+  for (int u = 0; u < 10; ++u) {
+    std::vector<int32_t> seq;
+    for (int i = 1; i <= 10; ++i) seq.push_back(i);
+    ds.AddUser(seq);
+  }
+  SplitOptions opts;
+  opts.num_test_users = 5;
+  opts.fold_in_fraction = 0.8;
+  StrongSplit split = MakeStrongSplit(ds, opts);
+  for (const auto& u : split.test) {
+    EXPECT_EQ(u.fold_in.size(), 8u);
+    EXPECT_EQ(u.holdout.size(), 2u);
+  }
+}
+
+TEST(SplitTest, EveryHeldOutUserHasBothParts) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 40;
+  cfg.num_categories = 4;
+  cfg.min_seq_len = 3;
+  cfg.max_seq_len = 6;
+  StrongSplit split = MakeStrongSplit(GenerateSynthetic(cfg),
+                                      {.num_validation_users = 10,
+                                       .num_test_users = 10,
+                                       .fold_in_fraction = 0.8,
+                                       .min_heldout_length = 3,
+                                       .seed = 3});
+  for (const auto& u : split.test) {
+    EXPECT_GE(u.fold_in.size(), 1u);
+    EXPECT_GE(u.holdout.size(), 1u);
+  }
+}
+
+TEST(BatcherTest, PadSequenceLeftAndRight) {
+  const std::vector<int32_t> seq = {1, 2, 3};
+  auto left = SequenceBatcher::PadSequence(seq, 5);
+  EXPECT_EQ(left, (std::vector<int32_t>{0, 0, 1, 2, 3}));
+  auto right = SequenceBatcher::PadSequence(seq, 5, /*pad_left=*/false);
+  EXPECT_EQ(right, (std::vector<int32_t>{1, 2, 3, 0, 0}));
+}
+
+TEST(BatcherTest, PadSequenceTruncatesToMostRecent) {
+  const std::vector<int32_t> seq = {1, 2, 3, 4, 5, 6};
+  auto padded = SequenceBatcher::PadSequence(seq, 4);
+  EXPECT_EQ(padded, (std::vector<int32_t>{3, 4, 5, 6}));
+}
+
+TEST(BatcherTest, NextItemTargetsAreShiftedInputs) {
+  SequenceDataset ds(9);
+  ds.AddUser({1, 2, 3, 4});
+  SequenceBatcher::Options opts;
+  opts.max_len = 5;
+  opts.batch_size = 1;
+  SequenceBatcher batcher(&ds, opts);
+  TrainBatch batch;
+  ASSERT_TRUE(batcher.NextBatch(&batch));
+  // Inputs: items [0..len-2] left-padded; targets: the following item.
+  EXPECT_EQ(batch.inputs, (std::vector<int32_t>{0, 0, 1, 2, 3}));
+  EXPECT_EQ(batch.next_targets, (std::vector<int32_t>{-1, -1, 2, 3, 4}));
+  EXPECT_EQ(batch.position_mask,
+            (std::vector<float>{0, 0, 1, 1, 1}));
+  EXPECT_FALSE(batcher.NextBatch(&batch));
+}
+
+TEST(BatcherTest, LongSequenceKeepsMostRecentWindow) {
+  SequenceDataset ds(9);
+  ds.AddUser({1, 2, 3, 4, 5, 6, 7});
+  SequenceBatcher::Options opts;
+  opts.max_len = 3;
+  opts.batch_size = 1;
+  SequenceBatcher batcher(&ds, opts);
+  TrainBatch batch;
+  ASSERT_TRUE(batcher.NextBatch(&batch));
+  EXPECT_EQ(batch.inputs, (std::vector<int32_t>{4, 5, 6}));
+  EXPECT_EQ(batch.next_targets, (std::vector<int32_t>{5, 6, 7}));
+}
+
+TEST(BatcherTest, NextKTargetSetsStopAtSequenceEnd) {
+  SequenceDataset ds(9);
+  ds.AddUser({1, 2, 3, 4});
+  SequenceBatcher::Options opts;
+  opts.max_len = 4;
+  opts.batch_size = 1;
+  opts.next_k = 2;
+  SequenceBatcher batcher(&ds, opts);
+  TrainBatch batch;
+  ASSERT_TRUE(batcher.NextBatch(&batch));
+  ASSERT_EQ(batch.nextk_targets.size(), 4u);
+  EXPECT_TRUE(batch.nextk_targets[0].empty());  // padding position
+  EXPECT_EQ(batch.nextk_targets[1], (std::vector<int32_t>{2, 3}));
+  EXPECT_EQ(batch.nextk_targets[2], (std::vector<int32_t>{3, 4}));
+  EXPECT_EQ(batch.nextk_targets[3], (std::vector<int32_t>{4}));  // truncated
+}
+
+TEST(BatcherTest, SkipsUsersWithoutTargets) {
+  SequenceDataset ds(9);
+  ds.AddUser({1});        // too short to train on
+  ds.AddUser({1, 2});
+  SequenceBatcher::Options opts;
+  opts.max_len = 3;
+  opts.batch_size = 8;
+  SequenceBatcher batcher(&ds, opts);
+  EXPECT_EQ(batcher.num_training_users(), 1);
+}
+
+TEST(BatcherTest, CoversAllUsersOncePerEpoch) {
+  SequenceDataset ds(9);
+  for (int u = 0; u < 10; ++u) ds.AddUser({1, 2, 3});
+  SequenceBatcher::Options opts;
+  opts.max_len = 3;
+  opts.batch_size = 4;
+  SequenceBatcher batcher(&ds, opts);
+  EXPECT_EQ(batcher.num_batches(), 3);
+  TrainBatch batch;
+  int64_t rows = 0;
+  while (batcher.NextBatch(&batch)) rows += batch.batch_size;
+  EXPECT_EQ(rows, 10);
+}
+
+TEST(SyntheticTest, RespectsConfiguredSizes) {
+  SyntheticConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_items = 30;
+  cfg.num_categories = 3;
+  cfg.min_seq_len = 4;
+  cfg.max_seq_len = 8;
+  SequenceDataset ds = GenerateSynthetic(cfg);
+  EXPECT_EQ(ds.num_users(), 50);
+  EXPECT_EQ(ds.num_items(), 30);
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    EXPECT_GE(ds.sequence(u).size(), 4u);
+    EXPECT_LE(ds.sequence(u).size(), 8u);
+    for (int32_t item : ds.sequence(u)) {
+      EXPECT_GE(item, 1);
+      EXPECT_LE(item, 30);
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 20;
+  cfg.num_items = 15;
+  cfg.num_categories = 3;
+  SequenceDataset a = GenerateSynthetic(cfg);
+  SequenceDataset b = GenerateSynthetic(cfg);
+  ASSERT_EQ(a.num_users(), b.num_users());
+  for (int32_t u = 0; u < a.num_users(); ++u) {
+    EXPECT_EQ(a.sequence(u), b.sequence(u));
+  }
+}
+
+TEST(SyntheticTest, UsersConcentrateOnFewCategories) {
+  // With contiguous category blocks, a user's items should span at most
+  // max_categories_per_user categories (plus chain successors inside them).
+  SyntheticConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_items = 100;
+  cfg.num_categories = 10;
+  cfg.min_categories_per_user = 2;
+  cfg.max_categories_per_user = 3;
+  cfg.min_seq_len = 20;
+  cfg.max_seq_len = 30;
+  SequenceDataset ds = GenerateSynthetic(cfg);
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    std::unordered_set<int32_t> cats;
+    for (int32_t item : ds.sequence(u)) {
+      cats.insert((item - 1) * cfg.num_categories / cfg.num_items);
+    }
+    EXPECT_LE(cats.size(), 3u) << "user " << u;
+    EXPECT_GE(cats.size(), 1u);
+  }
+}
+
+TEST(SyntheticTest, BeautyPresetMatchesTableIIShape) {
+  data::SyntheticConfig cfg = BeautyLikeConfig(0.05);
+  SequenceDataset ds = GenerateSynthetic(cfg);
+  // Sparse regime: short sequences, items comparable to users.
+  EXPECT_GT(ds.Sparsity(), 0.95);
+  EXPECT_LT(ds.MeanSequenceLength(), 15.0);
+  EXPECT_GT(ds.MeanSequenceLength(), 4.0);
+}
+
+TEST(SyntheticTest, ML1MPresetIsDenserWithLongSequences) {
+  SequenceDataset beauty = GenerateSynthetic(BeautyLikeConfig(0.05));
+  SequenceDataset ml = GenerateSynthetic(ML1MLikeConfig(0.05));
+  EXPECT_GT(ml.MeanSequenceLength(), 4.0 * beauty.MeanSequenceLength());
+  EXPECT_LT(ml.Sparsity(), beauty.Sparsity());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace vsan

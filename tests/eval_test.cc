@@ -1,0 +1,133 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+
+namespace vsan {
+namespace eval {
+namespace {
+
+TEST(MetricsTest, PerfectRankingScoresOne) {
+  const std::vector<int32_t> ranked = {3, 7, 9};
+  const std::vector<int32_t> holdout = {3, 7, 9};
+  TopNMetrics m = ComputeTopN(ranked, holdout, 3);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+}
+
+TEST(MetricsTest, NoHitsScoreZero) {
+  TopNMetrics m = ComputeTopN({1, 2, 3}, {9}, 3);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+}
+
+TEST(MetricsTest, HandComputedPartialHit) {
+  // N=4, ranked = [5, 1, 7, 2], holdout = {1, 2, 9}.
+  // hits at ranks 2 and 4 -> precision 2/4, recall 2/3.
+  // DCG = 1/log2(3) + 1/log2(5); IDCG = 1/log2(2)+1/log2(3)+1/log2(4).
+  TopNMetrics m = ComputeTopN({5, 1, 7, 2}, {1, 2, 9}, 4);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-12);
+  const double dcg = 1.0 / std::log2(3.0) + 1.0 / std::log2(5.0);
+  const double idcg =
+      1.0 / std::log2(2.0) + 1.0 / std::log2(3.0) + 1.0 / std::log2(4.0);
+  EXPECT_NEAR(m.ndcg, dcg / idcg, 1e-12);
+}
+
+TEST(MetricsTest, RanksBeyondNIgnored) {
+  TopNMetrics at2 = ComputeTopN({4, 5, 1}, {1}, 2);
+  EXPECT_DOUBLE_EQ(at2.recall, 0.0);
+  TopNMetrics at3 = ComputeTopN({4, 5, 1}, {1}, 3);
+  EXPECT_DOUBLE_EQ(at3.recall, 1.0);
+}
+
+TEST(MetricsTest, DuplicateHoldoutCountsOnce) {
+  TopNMetrics m = ComputeTopN({1, 2}, {1, 1}, 2);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);      // |T| = 1 distinct
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+}
+
+TEST(MetricsTest, IdcgCapsAtHoldoutSize) {
+  // One relevant item ranked first out of N=10: NDCG must be exactly 1.
+  TopNMetrics m = ComputeTopN({3, 1, 2, 4, 5, 6, 7, 8, 9, 10}, {3}, 10);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+}
+
+TEST(TopNIndicesTest, SortsByScoreSkippingExcluded) {
+  const std::vector<float> scores = {99.0f, 0.1f, 0.9f, 0.5f, 0.7f};
+  std::vector<bool> excluded(5, false);
+  excluded[0] = true;  // padding
+  excluded[4] = true;  // fold-in item
+  const auto top = TopNIndices(scores, excluded, 2);
+  EXPECT_EQ(top, (std::vector<int32_t>{2, 3}));
+}
+
+TEST(TopNIndicesTest, DeterministicTieBreakByIndex) {
+  const std::vector<float> scores = {0.0f, 1.0f, 1.0f, 1.0f};
+  const std::vector<bool> excluded(4, false);
+  const auto top = TopNIndices(scores, excluded, 3);
+  EXPECT_EQ(top, (std::vector<int32_t>{1, 2, 3}));
+}
+
+// Oracle that always ranks the next item in a fixed cycle highest.
+class OracleModel : public SequentialRecommender {
+ public:
+  explicit OracleModel(int32_t num_items) : num_items_(num_items) {}
+  std::string name() const override { return "Oracle"; }
+  void Fit(const data::SequenceDataset&, const TrainOptions&) override {}
+  std::vector<float> Score(const std::vector<int32_t>& fold_in) const override {
+    std::vector<float> scores(num_items_ + 1, 0.0f);
+    const int32_t last = fold_in.back();
+    // Next in cycle gets the highest score, then the one after, etc.
+    for (int32_t offset = 1; offset <= num_items_; ++offset) {
+      const int32_t item = (last - 1 + offset) % num_items_ + 1;
+      scores[item] = static_cast<float>(num_items_ - offset);
+    }
+    return scores;
+  }
+
+ private:
+  int32_t num_items_;
+};
+
+TEST(EvaluatorTest, OracleGetsPerfectRecallOnCycleData) {
+  const int32_t num_items = 20;
+  std::vector<data::HeldOutUser> users;
+  for (int32_t start = 1; start <= 5; ++start) {
+    data::HeldOutUser u;
+    for (int32_t i = 0; i < 8; ++i) {
+      u.fold_in.push_back((start - 1 + i) % num_items + 1);
+    }
+    for (int32_t i = 8; i < 10; ++i) {
+      u.holdout.push_back((start - 1 + i) % num_items + 1);
+    }
+    users.push_back(u);
+  }
+  OracleModel oracle(num_items);
+  EvalOptions opts;
+  opts.cutoffs = {2, 10};
+  EvalResult r = EvaluateRanking(oracle, users, opts);
+  EXPECT_DOUBLE_EQ(r.recall[2], 1.0);   // the 2 holdout items rank 1-2
+  EXPECT_DOUBLE_EQ(r.ndcg[2], 1.0);
+  EXPECT_DOUBLE_EQ(r.precision[2], 1.0);
+  EXPECT_DOUBLE_EQ(r.recall[10], 1.0);
+  EXPECT_DOUBLE_EQ(r.precision[10], 0.2);  // 2 of 10 slots relevant
+}
+
+TEST(EvaluatorTest, ResultToStringIsPercentages) {
+  EvalResult r;
+  r.ndcg[10] = 0.0678;
+  r.recall[10] = 0.0934;
+  r.precision[10] = 0.0229;
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("NDCG@10=6.780"), std::string::npos);
+  EXPECT_NE(s.find("Recall@10=9.340"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace vsan

@@ -1,0 +1,76 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace vsan {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  FlagParser f = Parse({"--epochs=20", "--lr=0.01"});
+  EXPECT_EQ(f.GetInt("epochs", 0), 20);
+  EXPECT_DOUBLE_EQ(f.GetDouble("lr", 0), 0.01);
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  FlagParser f = Parse({"--model", "vsan", "--d", "64"});
+  EXPECT_EQ(f.GetString("model"), "vsan");
+  EXPECT_EQ(f.GetInt("d", 0), 64);
+}
+
+TEST(FlagParserTest, BareFlagIsTrue) {
+  FlagParser f = Parse({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_FALSE(f.GetBool("quiet"));
+}
+
+TEST(FlagParserTest, ExplicitFalse) {
+  FlagParser f = Parse({"--tie=false", "--mask=0"});
+  EXPECT_FALSE(f.GetBool("tie", true));
+  EXPECT_FALSE(f.GetBool("mask", true));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser f = Parse({"train", "--epochs=5", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "train");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(FlagParserTest, DefaultsWhenMissing) {
+  FlagParser f = Parse({});
+  EXPECT_EQ(f.GetString("x", "def"), "def");
+  EXPECT_EQ(f.GetInt("x", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 2.5), 2.5);
+}
+
+TEST(FlagParserTest, UnparsableNumbersFallBackToDefault) {
+  FlagParser f = Parse({"--epochs=abc"});
+  EXPECT_EQ(f.GetInt("epochs", 9), 9);
+}
+
+TEST(FlagParserTest, HasDetectsPresence) {
+  FlagParser f = Parse({"--save=x.ckpt"});
+  EXPECT_TRUE(f.Has("save"));
+  EXPECT_FALSE(f.Has("load"));
+}
+
+TEST(FlagParserTest, UnqueriedFlagsReportTypos) {
+  FlagParser f = Parse({"--epocs=3", "--model=vsan"});
+  (void)f.GetString("model");
+  const auto unqueried = f.UnqueriedFlags();
+  ASSERT_EQ(unqueried.size(), 1u);
+  EXPECT_EQ(unqueried[0], "epocs");
+}
+
+TEST(FlagParserTest, NegativeNumberAsValue) {
+  FlagParser f = Parse({"--beta=-1.0"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("beta", 0), -1.0);
+}
+
+}  // namespace
+}  // namespace vsan

@@ -1,0 +1,168 @@
+// Coverage for corners not exercised elsewhere: logging/CHECK macros,
+// stopwatch, right-padded batching, axis-0/axis-2 shape ops, and a
+// composed multi-head attention gradient check.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "data/batcher.h"
+#include "testing/gradcheck.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace vsan {
+namespace {
+
+TEST(LoggingTest, CheckMacrosPassOnTrueConditions) {
+  VSAN_CHECK(true) << "never printed";
+  VSAN_CHECK_EQ(1, 1);
+  VSAN_CHECK_NE(1, 2);
+  VSAN_CHECK_LT(1, 2);
+  VSAN_CHECK_LE(2, 2);
+  VSAN_CHECK_GT(3, 2);
+  VSAN_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckFailureIncludesExpressionAndValues) {
+  const int a = 3, b = 4;
+  EXPECT_DEATH(VSAN_CHECK_EQ(a, b), "Check failed: .*3 vs 4");
+  EXPECT_DEATH(VSAN_CHECK(a > b) << "custom context", "custom context");
+}
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotonic) {
+  Stopwatch sw;
+  const double t1 = sw.ElapsedSeconds();
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  // Keep the loop from being optimized away.
+  ASSERT_GT(sink, 0.0);
+  const double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3,
+              sw.ElapsedSeconds() * 1e3 * 0.5 + 1.0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), t2 + 1.0);
+}
+
+TEST(BatcherTest, RightPaddedBatchesAlignFromPositionZero) {
+  data::SequenceDataset ds(9);
+  ds.AddUser({1, 2, 3, 4});
+  data::SequenceBatcher::Options opts;
+  opts.max_len = 6;
+  opts.batch_size = 1;
+  opts.pad_left = false;
+  data::SequenceBatcher batcher(&ds, opts);
+  data::TrainBatch batch;
+  ASSERT_TRUE(batcher.NextBatch(&batch));
+  EXPECT_EQ(batch.inputs, (std::vector<int32_t>{1, 2, 3, 0, 0, 0}));
+  EXPECT_EQ(batch.next_targets, (std::vector<int32_t>{2, 3, 4, -1, -1, -1}));
+}
+
+TEST(BatcherTest, RightPaddedLongSequenceStillKeepsMostRecent) {
+  data::SequenceDataset ds(9);
+  ds.AddUser({1, 2, 3, 4, 5, 6, 7});
+  data::SequenceBatcher::Options opts;
+  opts.max_len = 3;
+  opts.batch_size = 1;
+  opts.pad_left = false;
+  data::SequenceBatcher batcher(&ds, opts);
+  data::TrainBatch batch;
+  ASSERT_TRUE(batcher.NextBatch(&batch));
+  EXPECT_EQ(batch.inputs, (std::vector<int32_t>{4, 5, 6}));
+  EXPECT_EQ(batch.next_targets, (std::vector<int32_t>{5, 6, 7}));
+}
+
+Tensor Rand(std::vector<int64_t> shape, uint64_t seed, float stddev = 1.0f) {
+  Rng rng(seed);
+  return Tensor::RandomNormal(std::move(shape), &rng, stddev);
+}
+
+TEST(GradCheckMore, ConcatAxis0) {
+  testing::ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        Variable c = ops::Concat({v[0], v[1]}, /*axis=*/0);
+        return ops::Mean(ops::Mul(c, c));
+      },
+      {Rand({2, 3}, 200), Rand({4, 3}, 201)});
+}
+
+TEST(GradCheckMore, SliceLastAxisOf3D) {
+  testing::ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        Variable s = ops::Slice(v[0], /*axis=*/2, /*start=*/1, /*len=*/2);
+        return ops::Mean(ops::Mul(s, s));
+      },
+      {Rand({2, 3, 4}, 202)});
+}
+
+TEST(GradCheckMore, SliceFirstAxis) {
+  testing::ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        Variable s = ops::Slice(v[0], /*axis=*/0, /*start=*/1, /*len=*/1);
+        return ops::Mean(ops::Mul(s, s));
+      },
+      {Rand({3, 4}, 203)});
+}
+
+TEST(GradCheckMore, ComposedMultiHeadAttention) {
+  // Exact multi-head composition used by SelfAttentionBlock: slice the
+  // feature axis per head, attend, concat.
+  Tensor mask = Tensor::Zeros({3, 3});
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = i + 1; j < 3; ++j) mask.at(i, j) = -1e9f;
+  }
+  testing::ExpectGradientsClose(
+      [mask](const std::vector<Variable>& v) {
+        const Variable& x = v[0];
+        Variable q = ops::MatMul(x, v[1]);
+        Variable k = ops::MatMul(x, v[2]);
+        Variable val = ops::MatMul(x, v[3]);
+        std::vector<Variable> heads;
+        for (int h = 0; h < 2; ++h) {
+          Variable qh = ops::Slice(q, 2, h * 2, 2);
+          Variable kh = ops::Slice(k, 2, h * 2, 2);
+          Variable vh = ops::Slice(val, 2, h * 2, 2);
+          Variable scores =
+              ops::Scale(ops::MatMul(qh, ops::TransposeLast2(kh)), 0.7f);
+          Variable attn =
+              ops::Softmax(ops::AddBroadcastMatrix(scores, mask));
+          heads.push_back(ops::MatMul(attn, vh));
+        }
+        Variable out = ops::Concat(heads, 2);
+        return ops::Mean(ops::Mul(out, out));
+      },
+      {Rand({1, 3, 4}, 204), Rand({4, 4}, 205, 0.5f), Rand({4, 4}, 206, 0.5f),
+       Rand({4, 4}, 207, 0.5f)},
+      /*eps=*/1e-2, /*rel_tol=*/6e-2, /*abs_tol=*/1.5e-2);
+}
+
+TEST(Tensor4DTest, ElementwiseOpsWorkOn4D) {
+  Rng rng(208);
+  Tensor a = Tensor::RandomNormal({2, 2, 2, 2}, &rng);
+  Tensor b = Tensor::RandomNormal({2, 2, 2, 2}, &rng);
+  Tensor sum = vsan::Add(a, b);
+  for (int64_t i = 0; i < sum.numel(); ++i) {
+    EXPECT_FLOAT_EQ(sum[i], a[i] + b[i]);
+  }
+  Tensor soft = vsan::SoftmaxLastDim(a);
+  for (int64_t r = 0; r < 8; ++r) {
+    EXPECT_NEAR(soft[2 * r] + soft[2 * r + 1], 1.0f, 1e-5f);
+  }
+}
+
+TEST(VariableMiscTest, ReshapeRoundTripPreservesGradient) {
+  Variable x(Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6}), true);
+  Variable r = ops::Reshape(ops::Reshape(x, {3, 2}), {6});
+  ops::Sum(ops::Mul(r, r)).Backward();
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(x.grad()[i], 2.0f * x.value()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace vsan

@@ -1,0 +1,251 @@
+// Behaviour tests for the eight baseline models: every model must train
+// without numerical failures, produce well-formed scores for unseen users,
+// decrease its training loss, and (for the sequential ones) learn a
+// deterministic successor structure.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "models/bpr.h"
+#include "models/caser.h"
+#include "models/fpmc.h"
+#include "models/gru4rec.h"
+#include "models/pop.h"
+#include "models/sasrec.h"
+#include "models/svae.h"
+#include "models/transrec.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace {
+
+// Ring dataset: every sequence walks the cycle 1 -> 2 -> ... -> M -> 1.
+// The optimal next-item predictor is the successor function.
+data::SequenceDataset CycleDataset(int32_t num_items, int32_t num_users,
+                                   int32_t seq_len, uint64_t seed = 3) {
+  Rng rng(seed);
+  data::SequenceDataset ds(num_items);
+  for (int32_t u = 0; u < num_users; ++u) {
+    int32_t cur = static_cast<int32_t>(rng.UniformInt(1, num_items));
+    std::vector<int32_t> seq;
+    for (int32_t t = 0; t < seq_len; ++t) {
+      seq.push_back(cur);
+      cur = cur % num_items + 1;
+    }
+    ds.AddUser(std::move(seq));
+  }
+  return ds;
+}
+
+TrainOptions FastOptions(int32_t epochs) {
+  TrainOptions opts;
+  opts.epochs = epochs;
+  opts.batch_size = 16;
+  opts.learning_rate = 5e-3f;
+  opts.seed = 11;
+  return opts;
+}
+
+// Rank of `target` within `scores` (1 = best), ignoring index 0.
+int32_t RankOf(const std::vector<float>& scores, int32_t target) {
+  int32_t rank = 1;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (static_cast<int32_t>(i) != target && scores[i] > scores[target]) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+void ExpectWellFormedScores(const SequentialRecommender& model,
+                            int32_t num_items) {
+  const std::vector<float> scores = model.Score({1, 2, 3});
+  ASSERT_EQ(scores.size(), static_cast<size_t>(num_items + 1));
+  for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(PopTest, RanksByFrequency) {
+  data::SequenceDataset ds(4);
+  ds.AddUser({1, 2, 2, 3});
+  ds.AddUser({2, 3});
+  models::Pop pop;
+  pop.Fit(ds, {});
+  const auto scores = pop.Score({1});
+  EXPECT_GT(scores[2], scores[3]);
+  EXPECT_GT(scores[3], scores[1]);
+  EXPECT_FLOAT_EQ(scores[4], 0.0f);
+  EXPECT_EQ(RankOf(scores, 2), 1);
+}
+
+TEST(PopTest, ScoresIndependentOfHistory) {
+  data::SequenceDataset ds(4);
+  ds.AddUser({1, 2, 3});
+  models::Pop pop;
+  pop.Fit(ds, {});
+  EXPECT_EQ(pop.Score({1}), pop.Score({3, 2}));
+}
+
+TEST(BprTest, TrainsAndScoresUnseenUsers) {
+  data::SequenceDataset ds = CycleDataset(20, 60, 8);
+  models::Bpr model({.d = 16});
+  double first_loss = 0, last_loss = 0;
+  TrainOptions opts = FastOptions(5);
+  opts.learning_rate = 0.05f;
+  opts.epoch_callback = [&](int32_t e, double loss) {
+    if (e == 0) first_loss = loss;
+    last_loss = loss;
+  };
+  model.Fit(ds, opts);
+  EXPECT_LT(last_loss, first_loss);
+  ExpectWellFormedScores(model, 20);
+}
+
+TEST(BprTest, PositiveItemsOutscoreRandomNegatives) {
+  // Users interact only with items 1..5; after training those must outrank
+  // the never-seen items 6..20 for a user composed of items 1..5.
+  data::SequenceDataset ds(20);
+  Rng rng(5);
+  for (int u = 0; u < 50; ++u) {
+    std::vector<int32_t> seq;
+    for (int t = 0; t < 6; ++t) {
+      seq.push_back(static_cast<int32_t>(rng.UniformInt(1, 5)));
+    }
+    ds.AddUser(seq);
+  }
+  models::Bpr model({.d = 8});
+  TrainOptions opts = FastOptions(8);
+  opts.learning_rate = 0.05f;
+  model.Fit(ds, opts);
+  const auto scores = model.Score({1, 2, 3});
+  float min_pos = 1e30f, max_neg = -1e30f;
+  for (int32_t i = 1; i <= 5; ++i) min_pos = std::min(min_pos, scores[i]);
+  for (int32_t i = 6; i <= 20; ++i) max_neg = std::max(max_neg, scores[i]);
+  EXPECT_GT(min_pos, max_neg);
+}
+
+TEST(FpmcTest, LearnsFirstOrderTransitions) {
+  data::SequenceDataset ds = CycleDataset(15, 80, 10);
+  models::Fpmc model({.d = 16});
+  TrainOptions opts = FastOptions(10);
+  opts.learning_rate = 0.05f;
+  model.Fit(ds, opts);
+  // After item 7 the successor 8 should rank near the top.
+  const auto scores = model.Score({5, 6, 7});
+  EXPECT_LE(RankOf(scores, 8), 3);
+  ExpectWellFormedScores(model, 15);
+}
+
+TEST(TransRecTest, LearnsTranslationStructure) {
+  data::SequenceDataset ds = CycleDataset(15, 80, 10);
+  models::TransRec model({.d = 16});
+  TrainOptions opts = FastOptions(10);
+  opts.learning_rate = 0.05f;
+  model.Fit(ds, opts);
+  const auto scores = model.Score({3, 4, 5});
+  EXPECT_LE(RankOf(scores, 6), 3);
+  ExpectWellFormedScores(model, 15);
+}
+
+TEST(Gru4RecTest, LearnsCycleSuccessor) {
+  data::SequenceDataset ds = CycleDataset(12, 60, 8);
+  models::Gru4Rec model({.max_len = 8, .d = 16, .hidden = 16, .dropout = 0.0f});
+  double first_loss = 0, last_loss = 0;
+  TrainOptions opts = FastOptions(15);
+  opts.epoch_callback = [&](int32_t e, double loss) {
+    if (e == 0) first_loss = loss;
+    last_loss = loss;
+  };
+  model.Fit(ds, opts);
+  EXPECT_LT(last_loss, first_loss);
+  const auto scores = model.Score({9, 10, 11});
+  EXPECT_LE(RankOf(scores, 12), 2);
+}
+
+TEST(CaserTest, LearnsCycleSuccessor) {
+  data::SequenceDataset ds = CycleDataset(12, 60, 8);
+  models::Caser::Config cfg;
+  cfg.window = 4;
+  cfg.d = 16;
+  cfg.heights = {2, 3};
+  cfg.h_filters = 8;
+  cfg.v_filters = 2;
+  cfg.dropout = 0.0f;
+  models::Caser model(cfg);
+  TrainOptions opts = FastOptions(10);
+  model.Fit(ds, opts);
+  const auto scores = model.Score({5, 6, 7});
+  EXPECT_LE(RankOf(scores, 8), 3);
+  ExpectWellFormedScores(model, 12);
+}
+
+TEST(SvaeTest, TrainsWithElboAndScores) {
+  data::SequenceDataset ds = CycleDataset(12, 60, 8);
+  models::Svae::Config cfg;
+  cfg.max_len = 8;
+  cfg.d = 16;
+  cfg.hidden = 16;
+  cfg.latent = 8;
+  cfg.dropout = 0.0f;
+  models::Svae model(cfg);
+  double first_loss = 0, last_loss = 0;
+  TrainOptions opts = FastOptions(15);
+  opts.epoch_callback = [&](int32_t e, double loss) {
+    if (e == 0) first_loss = loss;
+    last_loss = loss;
+  };
+  model.Fit(ds, opts);
+  EXPECT_LT(last_loss, first_loss);
+  const auto scores = model.Score({9, 10, 11});
+  EXPECT_LE(RankOf(scores, 12), 3);
+}
+
+TEST(SasRecTest, LearnsCycleSuccessor) {
+  data::SequenceDataset ds = CycleDataset(12, 60, 8);
+  models::SasRec::Config cfg;
+  cfg.max_len = 8;
+  cfg.d = 16;
+  cfg.num_blocks = 1;
+  cfg.dropout = 0.0f;
+  models::SasRec model(cfg);
+  double first_loss = 0, last_loss = 0;
+  TrainOptions opts = FastOptions(15);
+  opts.epoch_callback = [&](int32_t e, double loss) {
+    if (e == 0) first_loss = loss;
+    last_loss = loss;
+  };
+  model.Fit(ds, opts);
+  EXPECT_LT(last_loss, first_loss);
+  const auto scores = model.Score({9, 10, 11});
+  EXPECT_LE(RankOf(scores, 12), 2);
+  EXPECT_GT(model.NumParameters(), 0);
+}
+
+TEST(SasRecTest, EvalScoresAreDeterministic) {
+  data::SequenceDataset ds = CycleDataset(10, 30, 6);
+  models::SasRec model({.max_len = 6, .d = 8, .num_blocks = 1});
+  model.Fit(ds, FastOptions(2));
+  EXPECT_EQ(model.Score({1, 2, 3}), model.Score({1, 2, 3}));
+}
+
+TEST(SasRecTest, ScoreBeforeFitDies) {
+  models::SasRec model({});
+  EXPECT_DEATH(model.Score({1}), "Fit");
+}
+
+TEST(ModelNamesMatchPaper, AllEight) {
+  EXPECT_EQ(models::Pop().name(), "POP");
+  EXPECT_EQ(models::Bpr({}).name(), "BPR");
+  EXPECT_EQ(models::Fpmc({}).name(), "FPMC");
+  EXPECT_EQ(models::TransRec({}).name(), "TransRec");
+  EXPECT_EQ(models::Gru4Rec({}).name(), "GRU4Rec");
+  EXPECT_EQ(models::Caser({}).name(), "Caser");
+  EXPECT_EQ(models::Svae({}).name(), "SVAE");
+  EXPECT_EQ(models::SasRec({}).name(), "SASRec");
+}
+
+}  // namespace
+}  // namespace vsan

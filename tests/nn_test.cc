@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "nn/attention.h"
+#include "nn/caser_conv.h"
+#include "nn/embedding.h"
+#include "nn/gru.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear lin(4, 3, &rng);
+  Variable x = Variable::Constant(Tensor::Ones({2, 4}));
+  Variable y = lin.Forward(x);
+  EXPECT_EQ(y.value().dim(0), 2);
+  EXPECT_EQ(y.value().dim(1), 3);
+}
+
+TEST(LinearTest, BroadcastsOverBatchDim) {
+  Rng rng(2);
+  Linear lin(4, 5, &rng);
+  Variable x = Variable::Constant(Tensor::Ones({3, 7, 4}));
+  Variable y = lin.Forward(x);
+  ASSERT_EQ(y.value().ndim(), 3);
+  EXPECT_EQ(y.value().dim(0), 3);
+  EXPECT_EQ(y.value().dim(1), 7);
+  EXPECT_EQ(y.value().dim(2), 5);
+  // Every row is the same input, so every output row must match.
+  for (int64_t b = 0; b < 3; ++b) {
+    for (int64_t i = 0; i < 7; ++i) {
+      for (int64_t j = 0; j < 5; ++j) {
+        EXPECT_FLOAT_EQ(y.value().at(b, i, j), y.value().at(0, 0, j));
+      }
+    }
+  }
+}
+
+TEST(LinearTest, NoBiasOption) {
+  Rng rng(3);
+  Linear lin(2, 2, &rng, /*use_bias=*/false);
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+  Variable zero = Variable::Constant(Tensor::Zeros({1, 2}));
+  Variable y = lin.Forward(zero);
+  EXPECT_FLOAT_EQ(y.value()[0], 0.0f);
+  EXPECT_FLOAT_EQ(y.value()[1], 0.0f);
+}
+
+TEST(LinearTest, GradientsReachParameters) {
+  Rng rng(4);
+  Linear lin(3, 2, &rng);
+  Variable x = Variable::Constant(Tensor::Ones({2, 3}));
+  ops::Sum(lin.Forward(x)).Backward();
+  for (const Variable& p : lin.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+  }
+}
+
+TEST(EmbeddingTest, PaddingRowIsZeroAndGetsNoGradient) {
+  Rng rng(5);
+  Embedding emb(6, 4, &rng);
+  Variable out = emb.Forward({0, 2, 0, 3}, /*batch=*/2, /*steps=*/2);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out.value().at(0, 0, j), 0.0f);
+    EXPECT_FLOAT_EQ(out.value().at(1, 0, j), 0.0f);
+  }
+  ops::Sum(out).Backward();
+  const Tensor& g = emb.table().grad();
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(g.at(0, j), 0.0f);   // padding row
+    EXPECT_FLOAT_EQ(g.at(2, j), 1.0f);   // looked-up rows
+    EXPECT_FLOAT_EQ(g.at(3, j), 1.0f);
+    EXPECT_FLOAT_EQ(g.at(1, j), 0.0f);   // untouched rows
+  }
+}
+
+TEST(EmbeddingTest, RepeatedIndexAccumulatesGradient) {
+  Rng rng(6);
+  Embedding emb(4, 2, &rng);
+  Variable out = emb.Forward({1, 1, 1}, 1, 3);
+  ops::Sum(out).Backward();
+  EXPECT_FLOAT_EQ(emb.table().grad().at(1, 0), 3.0f);
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm norm(8);
+  Rng rng(7);
+  Variable x(Tensor::RandomNormal({3, 8}, &rng, 5.0f), false);
+  Variable y = norm.Forward(x);
+  for (int64_t r = 0; r < 3; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t j = 0; j < 8; ++j) mean += y.value().at(r, j);
+    mean /= 8;
+    for (int64_t j = 0; j < 8; ++j) {
+      const double d = y.value().at(r, j) - mean;
+      var += d * d;
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(CausalMaskTest, UpperTriangleBlocked) {
+  Tensor m = MakeCausalMask(4);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      if (j > i) {
+        EXPECT_LT(m.at(i, j), -1e8f);
+      } else {
+        EXPECT_FLOAT_EQ(m.at(i, j), 0.0f);
+      }
+    }
+  }
+}
+
+// Property: causality.  Perturbing the input at a future position must not
+// change the block's output at earlier positions.
+TEST(SelfAttentionBlockTest, NoFuturePositionLeakage) {
+  Rng rng(8);
+  SelfAttentionBlockConfig cfg;
+  cfg.d = 8;
+  cfg.dropout = 0.0f;
+  SelfAttentionBlock block(cfg, &rng);
+  block.SetTraining(false);
+  const Tensor mask = MakeCausalMask(5);
+
+  Rng data_rng(9);
+  Tensor base = Tensor::RandomNormal({1, 5, 8}, &data_rng);
+  Tensor perturbed = base;
+  for (int64_t j = 0; j < 8; ++j) perturbed.at(0, 4, j) += 3.0f;
+
+  Rng d1(1), d2(1);
+  Variable out_a = block.Forward(Variable::Constant(base), mask, &d1);
+  Variable out_b = block.Forward(Variable::Constant(perturbed), mask, &d2);
+  for (int64_t t = 0; t < 4; ++t) {  // all positions before the perturbation
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_FLOAT_EQ(out_a.value().at(0, t, j), out_b.value().at(0, t, j))
+          << "leak at position " << t;
+    }
+  }
+  // And the perturbed position itself must change.
+  bool changed = false;
+  for (int64_t j = 0; j < 8; ++j) {
+    changed |= out_a.value().at(0, 4, j) != out_b.value().at(0, 4, j);
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(SelfAttentionBlockTest, FfnToggleChangesParameterCount) {
+  Rng rng(10);
+  SelfAttentionBlockConfig with;
+  with.d = 8;
+  SelfAttentionBlockConfig without = with;
+  without.use_ffn = false;
+  SelfAttentionBlock a(with, &rng), b(without, &rng);
+  EXPECT_GT(a.NumParameters(), b.NumParameters());
+}
+
+TEST(SelfAttentionBlockTest, OutputShapeMatchesInput) {
+  Rng rng(11);
+  SelfAttentionBlockConfig cfg;
+  cfg.d = 6;
+  SelfAttentionBlock block(cfg, &rng);
+  block.SetTraining(false);
+  Rng drop(1);
+  Variable x = Variable::Constant(Tensor::Ones({2, 3, 6}));
+  Variable y = block.Forward(x, MakeCausalMask(3), &drop);
+  EXPECT_TRUE(y.value().SameShape(x.value()));
+  EXPECT_TRUE(y.value().AllFinite());
+}
+
+TEST(SelfAttentionBlockTest, MultiHeadPreservesShapeAndCausality) {
+  Rng rng(30);
+  SelfAttentionBlockConfig cfg;
+  cfg.d = 8;
+  cfg.num_heads = 4;
+  cfg.dropout = 0.0f;
+  SelfAttentionBlock block(cfg, &rng);
+  block.SetTraining(false);
+  const Tensor mask = MakeCausalMask(5);
+  Rng data_rng(31);
+  Tensor base = Tensor::RandomNormal({2, 5, 8}, &data_rng);
+  Tensor perturbed = base;
+  perturbed.at(0, 4, 0) += 2.0f;
+  Rng d1(1), d2(1);
+  Variable a = block.Forward(Variable::Constant(base), mask, &d1);
+  Variable b = block.Forward(Variable::Constant(perturbed), mask, &d2);
+  EXPECT_TRUE(a.value().SameShape(base));
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_FLOAT_EQ(a.value().at(0, t, j), b.value().at(0, t, j));
+    }
+  }
+}
+
+TEST(SelfAttentionBlockTest, HeadCountDoesNotChangeParameterCount) {
+  Rng rng(32);
+  SelfAttentionBlockConfig one;
+  one.d = 8;
+  SelfAttentionBlockConfig four = one;
+  four.num_heads = 4;
+  SelfAttentionBlock a(one, &rng), b(four, &rng);
+  EXPECT_EQ(a.NumParameters(), b.NumParameters());
+}
+
+TEST(SelfAttentionBlockDeathTest, HeadsMustDivideWidth) {
+  Rng rng(33);
+  SelfAttentionBlockConfig cfg;
+  cfg.d = 8;
+  cfg.num_heads = 3;
+  EXPECT_DEATH(SelfAttentionBlock(cfg, &rng), "num_heads");
+}
+
+TEST(GruTest, OutputShape) {
+  Rng rng(12);
+  Gru gru(4, 6, &rng);
+  Variable x = Variable::Constant(Tensor::Ones({2, 5, 4}));
+  Variable h = gru.Forward(x);
+  EXPECT_EQ(h.value().dim(0), 2);
+  EXPECT_EQ(h.value().dim(1), 5);
+  EXPECT_EQ(h.value().dim(2), 6);
+}
+
+TEST(GruTest, StateEvolvesOverTime) {
+  Rng rng(13);
+  Gru gru(3, 4, &rng);
+  Rng data_rng(14);
+  Variable x = Variable::Constant(Tensor::RandomNormal({1, 4, 3}, &data_rng));
+  Variable h = gru.Forward(x);
+  // Consecutive states should differ (non-degenerate recurrence).
+  bool differs = false;
+  for (int64_t j = 0; j < 4; ++j) {
+    differs |= h.value().at(0, 1, j) != h.value().at(0, 2, j);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GruTest, CausalByConstruction) {
+  // Changing x at t=3 must not affect h at t<=2.
+  Rng rng(15);
+  Gru gru(3, 4, &rng);
+  Rng data_rng(16);
+  Tensor base = Tensor::RandomNormal({1, 4, 3}, &data_rng);
+  Tensor perturbed = base;
+  perturbed.at(0, 3, 0) += 2.0f;
+  Variable ha = gru.Forward(Variable::Constant(base));
+  Variable hb = gru.Forward(Variable::Constant(perturbed));
+  for (int64_t t = 0; t < 3; ++t) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(ha.value().at(0, t, j), hb.value().at(0, t, j));
+    }
+  }
+}
+
+TEST(GruTest, GradientsFlowThroughTime) {
+  Rng rng(17);
+  Gru gru(2, 3, &rng);
+  Variable x(Tensor::Ones({1, 6, 2}), /*requires_grad=*/true);
+  ops::Sum(gru.Forward(x)).Backward();
+  ASSERT_TRUE(x.has_grad());
+  // The earliest timestep must receive gradient through the recurrence.
+  bool nonzero = false;
+  for (int64_t j = 0; j < 2; ++j) nonzero |= x.grad().at(0, 0, j) != 0.0f;
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(HorizontalConvTest, OutputSizeAndFinite) {
+  Rng rng(18);
+  HorizontalConv conv(6, 4, {2, 3}, 5, &rng);
+  EXPECT_EQ(conv.output_size(), 10);
+  Rng data_rng(19);
+  Variable x = Variable::Constant(Tensor::RandomNormal({3, 6, 4}, &data_rng));
+  Variable y = conv.Forward(x);
+  EXPECT_EQ(y.value().dim(0), 3);
+  EXPECT_EQ(y.value().dim(1), 10);
+  EXPECT_TRUE(y.value().AllFinite());
+}
+
+TEST(VerticalConvTest, ComputesWeightedTimeSums) {
+  Rng rng(20);
+  VerticalConv conv(3, 2, 1, &rng);
+  EXPECT_EQ(conv.output_size(), 2);
+  Variable x = Variable::Constant(
+      Tensor::FromVector({1, 3, 2}, {1, 2, 3, 4, 5, 6}));
+  Variable y = conv.Forward(x);
+  // Output dim j = sum_t w[t] * x[t, j]; verify against the parameter.
+  const Tensor& w = conv.Parameters()[0].value();
+  const float expect0 = w.at(0, 0) * 1 + w.at(1, 0) * 3 + w.at(2, 0) * 5;
+  const float expect1 = w.at(0, 0) * 2 + w.at(1, 0) * 4 + w.at(2, 0) * 6;
+  EXPECT_NEAR(y.value()[0], expect0, 1e-5f);
+  EXPECT_NEAR(y.value()[1], expect1, 1e-5f);
+}
+
+TEST(ModuleTest, ParameterAggregationAndTrainingFlag) {
+  Rng rng(21);
+  SelfAttentionBlockConfig cfg;
+  cfg.d = 4;
+  SelfAttentionBlock block(cfg, &rng);
+  // wq/wk/wv (1 param each, no bias) + ffn1/ffn2 (2 each) + 2 norms (2 each).
+  EXPECT_EQ(block.Parameters().size(), 3u + 4u + 4u);
+  EXPECT_GT(block.NumParameters(), 0);
+  EXPECT_TRUE(block.training());
+  block.SetTraining(false);
+  EXPECT_FALSE(block.training());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace vsan

@@ -1,0 +1,140 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "optim/adam.h"
+#include "optim/sgd.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace optim {
+namespace {
+
+// Minimizes ||x - target||^2 with the given optimizer; returns final x.
+template <typename Opt>
+Tensor MinimizeQuadratic(Opt* opt, Variable* x, const Tensor& target,
+                         int steps) {
+  Variable t = Variable::Constant(target);
+  for (int i = 0; i < steps; ++i) {
+    Variable diff = ops::Sub(*x, t);
+    Variable loss = ops::Sum(ops::Mul(diff, diff));
+    opt->ZeroGrad();
+    loss.Backward();
+    opt->Step();
+  }
+  return x->value();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Variable x(Tensor::FromVector({3}, {5, -4, 2}), true);
+  Sgd::Options o;
+  o.lr = 0.1f;
+  Sgd sgd({x}, o);
+  Tensor target = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor result = MinimizeQuadratic(&sgd, &x, target, 100);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_NEAR(result[i], target[i], 1e-3f);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Variable a(Tensor::FromVector({1}, {10}), true);
+  Variable b(Tensor::FromVector({1}, {10}), true);
+  Sgd::Options plain;
+  plain.lr = 0.01f;
+  Sgd opt_plain({a}, plain);
+  Sgd::Options mom = plain;
+  mom.momentum = 0.9f;
+  Sgd opt_mom({b}, mom);
+  Tensor target = Tensor::FromVector({1}, {0});
+  Tensor ra = MinimizeQuadratic(&opt_plain, &a, target, 30);
+  Tensor rb = MinimizeQuadratic(&opt_mom, &b, target, 30);
+  EXPECT_LT(std::abs(rb[0]), std::abs(ra[0]));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Variable x(Tensor::FromVector({2}, {8, -7}), true);
+  Adam::Options o;
+  o.lr = 0.2f;
+  Adam adam({x}, o);
+  Tensor target = Tensor::FromVector({2}, {-1, 4});
+  Tensor result = MinimizeQuadratic(&adam, &x, target, 200);
+  for (int64_t i = 0; i < 2; ++i) EXPECT_NEAR(result[i], target[i], 1e-2f);
+}
+
+TEST(AdamTest, SolvesLinearRegression) {
+  // y = 2a - 3b fit from 64 random points.
+  Rng rng(5);
+  Tensor inputs = Tensor::RandomNormal({64, 2}, &rng);
+  Tensor targets({64, 1});
+  for (int64_t i = 0; i < 64; ++i) {
+    targets.at(i, 0) = 2.0f * inputs.at(i, 0) - 3.0f * inputs.at(i, 1);
+  }
+  Variable w(Tensor::Zeros({2, 1}), true);
+  Adam::Options o;
+  o.lr = 0.1f;
+  Adam adam({w}, o);
+  Variable x = Variable::Constant(inputs);
+  Variable y = Variable::Constant(targets);
+  for (int step = 0; step < 300; ++step) {
+    Variable diff = ops::Sub(ops::MatMul(x, w), y);
+    Variable loss = ops::Mean(ops::Mul(diff, diff));
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(w.value().at(0, 0), 2.0f, 0.05f);
+  EXPECT_NEAR(w.value().at(1, 0), -3.0f, 0.05f);
+}
+
+TEST(AdamTest, SkipsParametersWithoutGradients) {
+  Variable used(Tensor::FromVector({1}, {1}), true);
+  Variable unused(Tensor::FromVector({1}, {7}), true);
+  Adam::Options o;
+  Adam adam({used, unused}, o);
+  Variable loss = ops::Sum(ops::Mul(used, used));
+  adam.ZeroGrad();
+  loss.Backward();
+  adam.Step();
+  EXPECT_FLOAT_EQ(unused.value()[0], 7.0f);  // untouched
+  EXPECT_NE(used.value()[0], 1.0f);          // updated
+}
+
+TEST(OptimizerTest, ClipGradNormScalesLargeGradients) {
+  Variable x(Tensor::FromVector({2}, {0, 0}), true);
+  // loss = 300*x0 + 400*x1 -> grad (300, 400), norm 500.
+  Variable coef = Variable::Constant(Tensor::FromVector({2}, {300, 400}));
+  Adam::Options o;
+  Adam adam({x}, o);
+  adam.ZeroGrad();
+  ops::Sum(ops::Mul(x, coef)).Backward();
+  const float pre = adam.ClipGradNorm(5.0f);
+  EXPECT_NEAR(pre, 500.0f, 0.5f);
+  const Tensor& g = x.grad();
+  EXPECT_NEAR(std::sqrt(g[0] * g[0] + g[1] * g[1]), 5.0f, 1e-3f);
+  // Direction preserved.
+  EXPECT_NEAR(g[1] / g[0], 400.0f / 300.0f, 1e-3f);
+}
+
+TEST(OptimizerTest, ClipLeavesSmallGradientsAlone) {
+  Variable x(Tensor::FromVector({1}, {0}), true);
+  Adam::Options o;
+  Adam adam({x}, o);
+  adam.ZeroGrad();
+  ops::Sum(x).Backward();
+  adam.ClipGradNorm(10.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Variable x(Tensor::FromVector({1}, {1}), true);
+  Adam::Options o;
+  Adam adam({x}, o);
+  ops::Sum(x).Backward();
+  ASSERT_TRUE(x.has_grad());
+  adam.ZeroGrad();
+  EXPECT_FALSE(x.has_grad());
+}
+
+}  // namespace
+}  // namespace optim
+}  // namespace vsan

@@ -1,0 +1,179 @@
+// Tests for the model registry, popularity-segmented evaluation, and a
+// configuration-fuzz robustness sweep over VSAN.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/vsan.h"
+#include "data/dataset.h"
+#include "eval/segmented.h"
+#include "models/registry.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace {
+
+data::SequenceDataset CycleDataset(int32_t num_items, int32_t num_users,
+                                   int32_t seq_len) {
+  Rng rng(3);
+  data::SequenceDataset ds(num_items);
+  for (int32_t u = 0; u < num_users; ++u) {
+    int32_t cur = static_cast<int32_t>(rng.UniformInt(1, num_items));
+    std::vector<int32_t> seq;
+    for (int32_t t = 0; t < seq_len; ++t) {
+      seq.push_back(cur);
+      cur = cur % num_items + 1;
+    }
+    ds.AddUser(std::move(seq));
+  }
+  return ds;
+}
+
+TEST(RegistryTest, CreatesEveryRegisteredModel) {
+  models::ModelSizing sizing;
+  sizing.d = 8;
+  sizing.max_len = 6;
+  for (const std::string& name : models::RegisteredModelNames()) {
+    auto model = models::CreateModel(name, sizing);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_FALSE(model->name().empty());
+  }
+}
+
+TEST(RegistryTest, NamesAreCaseInsensitive) {
+  models::ModelSizing sizing;
+  auto a = models::CreateModel("VSAN", sizing);
+  auto b = models::CreateModel("vsan", sizing);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->name(), b->name());
+}
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(models::CreateModel("netflix-prize-winner", {}), nullptr);
+}
+
+// As a class, every registered model must train and produce well-formed
+// scores on a tiny corpus (parameterized smoke sweep).
+class RegistryTrainSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryTrainSweep, FitAndScoreSmoke) {
+  models::ModelSizing sizing;
+  sizing.d = 8;
+  sizing.max_len = 6;
+  sizing.dropout = 0.1f;
+  auto model = models::CreateModel(GetParam(), sizing);
+  ASSERT_NE(model, nullptr);
+  data::SequenceDataset ds = CycleDataset(10, 30, 6);
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 16;
+  model->Fit(ds, opts);
+  const auto scores = model->Score({1, 2, 3});
+  ASSERT_EQ(scores.size(), 11u);
+  for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, RegistryTrainSweep,
+    ::testing::ValuesIn(vsan::models::RegisteredModelNames()));
+
+// Oracle that perfectly retrieves the holdout regardless of popularity.
+struct Oracle : SequentialRecommender {
+  explicit Oracle(std::vector<int32_t> targets)
+      : targets_(std::move(targets)) {}
+  std::string name() const override { return "oracle"; }
+  void Fit(const data::SequenceDataset&, const TrainOptions&) override {}
+  std::vector<float> Score(const std::vector<int32_t>&) const override {
+    std::vector<float> s(21, 0.0f);
+    for (int32_t t : targets_) s[t] = 10.0f;
+    return s;
+  }
+  std::vector<int32_t> targets_;
+};
+
+TEST(SegmentedEvalTest, SegmentsTargetsByTrainingPopularity) {
+  // 20 items; popularity descending in item id: item 1 most popular.
+  std::vector<float> popularity(21);
+  for (int32_t i = 1; i <= 20; ++i) popularity[i] = 21.0f - i;
+  // head 10% = {1, 2}; tail 50% = {11..20}; torso = {3..10}.
+  eval::PopularitySegments segments;
+  segments.head_fraction = 0.1;
+  segments.tail_fraction = 0.5;
+
+  // One user whose holdout has one head item and one tail item; oracle
+  // retrieves both.
+  std::vector<data::HeldOutUser> users(1);
+  users[0].fold_in = {5};
+  users[0].holdout = {1, 15};
+  Oracle oracle({1, 15});
+  eval::EvalOptions opts;
+  opts.cutoffs = {5};
+  const auto r = eval::EvaluateByPopularity(oracle, users, popularity,
+                                            segments, opts);
+  EXPECT_EQ(r.head_users, 1);
+  EXPECT_EQ(r.tail_users, 1);
+  EXPECT_EQ(r.torso_users, 0);
+  EXPECT_DOUBLE_EQ(r.head.recall.at(5), 1.0);
+  EXPECT_DOUBLE_EQ(r.tail.recall.at(5), 1.0);
+}
+
+TEST(SegmentedEvalTest, MissingTailShowsUpOnlyInTail) {
+  std::vector<float> popularity(21);
+  for (int32_t i = 1; i <= 20; ++i) popularity[i] = 21.0f - i;
+  eval::PopularitySegments segments;
+  segments.head_fraction = 0.1;
+  segments.tail_fraction = 0.5;
+  std::vector<data::HeldOutUser> users(1);
+  users[0].fold_in = {5};
+  users[0].holdout = {1, 15};
+  // Retrieves the head item only.
+  Oracle head_only({1});
+  eval::EvalOptions opts;
+  opts.cutoffs = {5};
+  const auto r = eval::EvaluateByPopularity(head_only, users, popularity,
+                                            segments, opts);
+  EXPECT_DOUBLE_EQ(r.head.recall.at(5), 1.0);
+  EXPECT_DOUBLE_EQ(r.tail.recall.at(5), 0.0);
+}
+
+// Config fuzz: random-but-valid VSAN configurations must train one epoch
+// and produce finite scores -- no crashes, NaNs, or CHECK failures across
+// the config space the benches and users can reach.
+TEST(VsanConfigFuzzTest, RandomValidConfigsTrainWithoutFailure) {
+  Rng rng(2024);
+  data::SequenceDataset ds = CycleDataset(10, 30, 6);
+  for (int trial = 0; trial < 12; ++trial) {
+    core::VsanConfig cfg;
+    cfg.max_len = 4 + rng.UniformInt(5);             // 4..8
+    const int64_t heads = 1 + rng.UniformInt(2);     // 1..2
+    cfg.num_heads = static_cast<int32_t>(heads);
+    cfg.d = heads * (4 + 2 * rng.UniformInt(3));     // divisible by heads
+    cfg.h1 = static_cast<int32_t>(rng.UniformInt(3));
+    cfg.h2 = static_cast<int32_t>(rng.UniformInt(3));
+    cfg.next_k = 1 + static_cast<int32_t>(rng.UniformInt(3));
+    cfg.dropout = static_cast<float>(rng.Uniform(0.0, 0.6));
+    cfg.beta_max = static_cast<float>(rng.Uniform(0.0, 0.1));
+    cfg.tie_output = rng.Bernoulli(0.5);
+    cfg.use_latent = rng.Bernoulli(0.8);
+    cfg.infer_ffn = rng.Bernoulli(0.8);
+    cfg.gen_ffn = rng.Bernoulli(0.8);
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << " d=" << cfg.d << " heads="
+                 << cfg.num_heads << " h1=" << cfg.h1 << " h2=" << cfg.h2
+                 << " k=" << cfg.next_k);
+    core::Vsan model(cfg);
+    TrainOptions opts;
+    opts.epochs = 1;
+    opts.batch_size = 16;
+    opts.seed = 100 + trial;
+    model.Fit(ds, opts);
+    for (float s : model.Score({1, 2, 3})) {
+      ASSERT_TRUE(std::isfinite(s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsan

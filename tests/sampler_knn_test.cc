@@ -1,0 +1,147 @@
+// Tests for the NegativeSampler utility and the ItemKNN extension baseline.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "data/negative_sampler.h"
+#include "models/itemknn.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace {
+
+data::SequenceDataset SkewedDataset() {
+  // Item 1 appears in every sequence (very popular); items 2..10 rare.
+  data::SequenceDataset ds(10);
+  for (int u = 0; u < 20; ++u) {
+    ds.AddUser({1, static_cast<int32_t>(u % 9 + 2)});
+  }
+  return ds;
+}
+
+TEST(NegativeSamplerTest, UniformCoversRangeAndRespectsExclusion) {
+  data::SequenceDataset ds = SkewedDataset();
+  data::NegativeSampler sampler(ds, data::NegativeSampler::Strategy::kUniform,
+                                7);
+  const std::unordered_set<int32_t> exclude = {1, 2, 3};
+  std::unordered_set<int32_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int32_t s = sampler.Sample(exclude);
+    EXPECT_GE(s, 4);
+    EXPECT_LE(s, 10);
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all of 4..10 hit
+}
+
+TEST(NegativeSamplerTest, PopularityFavoursFrequentItems) {
+  data::SequenceDataset ds = SkewedDataset();
+  data::NegativeSampler sampler(
+      ds, data::NegativeSampler::Strategy::kPopularity, 8);
+  int32_t item1_hits = 0;
+  const std::unordered_set<int32_t> exclude;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) item1_hits += sampler.Sample(exclude) == 1;
+  // Item 1 holds 20 of 40 interactions (plus smoothing): expect far above
+  // the uniform 10%.
+  EXPECT_GT(item1_hits, n / 4);
+}
+
+TEST(NegativeSamplerTest, SampleKReturnsDistinctItems) {
+  data::SequenceDataset ds = SkewedDataset();
+  data::NegativeSampler sampler(ds, data::NegativeSampler::Strategy::kUniform,
+                                9);
+  const std::unordered_set<int32_t> exclude = {5};
+  const auto batch = sampler.SampleK(exclude, 9);  // all items except 5
+  std::unordered_set<int32_t> unique(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), 9u);
+  EXPECT_EQ(unique.count(5), 0u);
+}
+
+TEST(NegativeSamplerDeathTest, ImpossibleRequestsDie) {
+  data::SequenceDataset ds = SkewedDataset();
+  data::NegativeSampler sampler(ds, data::NegativeSampler::Strategy::kUniform,
+                                10);
+  std::unordered_set<int32_t> everything;
+  for (int32_t i = 1; i <= 10; ++i) everything.insert(i);
+  EXPECT_DEATH(sampler.Sample(everything), "nothing left");
+  EXPECT_DEATH(sampler.SampleK({}, 11), "not enough");
+}
+
+TEST(ItemKnnTest, CoConsumedItemsAreSimilar) {
+  data::SequenceDataset ds(6);
+  // Items 1 and 2 always co-occur; 5 and 6 never co-occur with 1.
+  for (int u = 0; u < 10; ++u) ds.AddUser({1, 2});
+  for (int u = 0; u < 10; ++u) ds.AddUser({5, 6});
+  models::ItemKnn knn({});
+  knn.Fit(ds, {});
+  EXPECT_NEAR(knn.Similarity(1, 2), 1.0f, 1e-5f);
+  EXPECT_FLOAT_EQ(knn.Similarity(1, 5), 0.0f);
+  EXPECT_NEAR(knn.Similarity(5, 6), 1.0f, 1e-5f);
+}
+
+TEST(ItemKnnTest, ScoresNeighborsOfHistory) {
+  data::SequenceDataset ds(6);
+  for (int u = 0; u < 10; ++u) ds.AddUser({1, 2});
+  for (int u = 0; u < 10; ++u) ds.AddUser({5, 6});
+  models::ItemKnn knn({});
+  knn.Fit(ds, {});
+  const auto scores = knn.Score({1});
+  EXPECT_GT(scores[2], scores[5]);
+  EXPECT_GT(scores[2], scores[6]);
+  EXPECT_FLOAT_EQ(scores[5], 0.0f);
+}
+
+TEST(ItemKnnTest, RecencyDecayPrefersRecentContext) {
+  data::SequenceDataset ds(9);
+  // 1 co-occurs with 2; 8 co-occurs with 9.
+  for (int u = 0; u < 10; ++u) ds.AddUser({1, 2});
+  for (int u = 0; u < 10; ++u) ds.AddUser({8, 9});
+  models::ItemKnn::Config cfg;
+  cfg.recency_decay = 0.3;
+  models::ItemKnn knn(cfg);
+  knn.Fit(ds, {});
+  // History ends with 8: neighbour 9 should outrank neighbour 2 of the
+  // older item 1.
+  const auto scores = knn.Score({1, 8});
+  EXPECT_GT(scores[9], scores[2]);
+  // Reversed history flips the preference.
+  const auto flipped = knn.Score({8, 1});
+  EXPECT_GT(flipped[2], flipped[9]);
+}
+
+TEST(ItemKnnTest, TopKTruncationKeepsStrongestNeighbors) {
+  data::SequenceDataset ds(5);
+  // Item 1 co-occurs with 2 often, with 3 rarely.
+  for (int u = 0; u < 9; ++u) ds.AddUser({1, 2});
+  ds.AddUser({1, 3});
+  models::ItemKnn::Config cfg;
+  cfg.k = 1;  // keep only the single best neighbour
+  models::ItemKnn knn(cfg);
+  knn.Fit(ds, {});
+  EXPECT_GT(knn.Similarity(1, 2), 0.0f);
+  EXPECT_FLOAT_EQ(knn.Similarity(1, 3), 0.0f);  // truncated away
+}
+
+TEST(ItemKnnTest, LearnsCycleNeighborhoods) {
+  Rng rng(3);
+  data::SequenceDataset ds(12);
+  for (int32_t u = 0; u < 60; ++u) {
+    int32_t cur = static_cast<int32_t>(rng.UniformInt(1, 12));
+    std::vector<int32_t> seq;
+    for (int32_t t = 0; t < 4; ++t) {
+      seq.push_back(cur);
+      cur = cur % 12 + 1;
+    }
+    ds.AddUser(std::move(seq));
+  }
+  models::ItemKnn knn({});
+  knn.Fit(ds, {});
+  // Ring neighbours of the last item should rank above distant items.
+  const auto scores = knn.Score({5, 6, 7});
+  EXPECT_GT(scores[8], scores[1]);
+}
+
+}  // namespace
+}  // namespace vsan

@@ -1,0 +1,173 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/vsan.h"
+#include "data/dataset.h"
+#include "nn/linear.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace {
+
+// Two stacked layers to exercise the submodule tree.
+struct TwoLayer : nn::Module {
+  TwoLayer(Rng* rng) : a(4, 6, rng), b(6, 2, rng) {
+    RegisterSubmodule(&a);
+    RegisterSubmodule(&b);
+  }
+  nn::Linear a;
+  nn::Linear b;
+};
+
+TEST(SerializeTest, RoundTripRestoresExactValues) {
+  Rng rng(3);
+  TwoLayer src(&rng);
+  std::ostringstream out;
+  ASSERT_TRUE(nn::SaveParameters(src, out).ok());
+
+  Rng rng2(999);  // different init, must be overwritten
+  TwoLayer dst(&rng2);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(nn::LoadParameters(&dst, in).ok());
+
+  const auto ps = src.Parameters();
+  const auto pd = dst.Parameters();
+  ASSERT_EQ(ps.size(), pd.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    ASSERT_TRUE(ps[i].value().SameShape(pd[i].value()));
+    for (int64_t j = 0; j < ps[i].value().numel(); ++j) {
+      EXPECT_EQ(ps[i].value()[j], pd[i].value()[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  Rng rng(4);
+  TwoLayer m(&rng);
+  std::istringstream in("definitely-not-a-parameter-blob");
+  EXPECT_FALSE(nn::LoadParameters(&m, in).ok());
+}
+
+TEST(SerializeTest, RejectsParameterCountMismatch) {
+  Rng rng(5);
+  nn::Linear small(2, 2, &rng);
+  std::ostringstream out;
+  ASSERT_TRUE(nn::SaveParameters(small, out).ok());
+  TwoLayer big(&rng);
+  std::istringstream in(out.str());
+  auto status = nn::LoadParameters(&big, in);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("count mismatch"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Rng rng(6);
+  nn::Linear a(2, 3, &rng);
+  nn::Linear b(3, 2, &rng);
+  std::ostringstream out;
+  ASSERT_TRUE(nn::SaveParameters(a, out).ok());
+  std::istringstream in(out.str());
+  EXPECT_FALSE(nn::LoadParameters(&b, in).ok());
+}
+
+TEST(SerializeTest, RejectsTruncatedBlob) {
+  Rng rng(7);
+  TwoLayer m(&rng);
+  std::ostringstream out;
+  ASSERT_TRUE(nn::SaveParameters(m, out).ok());
+  const std::string full = out.str();
+  std::istringstream in(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(nn::LoadParameters(&m, in).ok());
+}
+
+TEST(SerializeTest, FileHelpersReportMissingPath) {
+  Rng rng(8);
+  TwoLayer m(&rng);
+  EXPECT_FALSE(nn::LoadParametersFromFile(&m, "/no/such/file.bin").ok());
+  EXPECT_FALSE(
+      nn::SaveParametersToFile(m, "/no/such/dir/file.bin").ok());
+}
+
+data::SequenceDataset CycleDataset(int32_t num_items, int32_t num_users,
+                                   int32_t seq_len) {
+  Rng rng(3);
+  data::SequenceDataset ds(num_items);
+  for (int32_t u = 0; u < num_users; ++u) {
+    int32_t cur = static_cast<int32_t>(rng.UniformInt(1, num_items));
+    std::vector<int32_t> seq;
+    for (int32_t t = 0; t < seq_len; ++t) {
+      seq.push_back(cur);
+      cur = cur % num_items + 1;
+    }
+    ds.AddUser(std::move(seq));
+  }
+  return ds;
+}
+
+TEST(VsanCheckpointTest, SaveLoadReproducesScoresExactly) {
+  core::VsanConfig cfg;
+  cfg.max_len = 8;
+  cfg.d = 16;
+  cfg.dropout = 0.0f;
+  core::Vsan model(cfg);
+  TrainOptions opts;
+  opts.epochs = 5;
+  opts.batch_size = 16;
+  model.Fit(CycleDataset(12, 40, 8), opts);
+
+  const std::string path = ::testing::TempDir() + "/vsan_ckpt.bin";
+  ASSERT_TRUE(model.Save(path).ok());
+
+  auto loaded = core::Vsan::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->config().d, cfg.d);
+  EXPECT_EQ(loaded.value()->NumParameters(), model.NumParameters());
+  EXPECT_EQ(loaded.value()->Score({3, 4, 5}), model.Score({3, 4, 5}));
+  EXPECT_EQ(loaded.value()->Score({9, 1}), model.Score({9, 1}));
+  std::remove(path.c_str());
+}
+
+TEST(VsanCheckpointTest, LoadPreservesAblationFlags) {
+  core::VsanConfig cfg;
+  cfg.max_len = 6;
+  cfg.d = 8;
+  cfg.use_latent = false;
+  cfg.infer_ffn = false;
+  core::Vsan model(cfg);
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 16;
+  model.Fit(CycleDataset(10, 30, 6), opts);
+
+  const std::string path = ::testing::TempDir() + "/vsan_ckpt2.bin";
+  ASSERT_TRUE(model.Save(path).ok());
+  auto loaded = core::Vsan::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->name(), "VSAN-z");
+  EXPECT_FALSE(loaded.value()->config().infer_ffn);
+  EXPECT_EQ(loaded.value()->Score({1, 2}), model.Score({1, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(VsanCheckpointTest, SaveBeforeFitFails) {
+  core::Vsan model({});
+  EXPECT_FALSE(model.Save("/tmp/never.bin").ok());
+}
+
+TEST(VsanCheckpointTest, LoadRejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/vsan_garbage.bin";
+  {
+    std::ofstream out(path);
+    out << "hello world\n";
+  }
+  EXPECT_FALSE(core::Vsan::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vsan

@@ -1,0 +1,242 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vsan {
+namespace {
+
+// Reference triple-loop matmul used to validate the optimized kernels.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b, bool trans_a,
+                   bool trans_b) {
+  const int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const int64_t k = trans_a ? a.dim(0) : a.dim(1);
+  const int64_t n = trans_b ? b.dim(0) : b.dim(1);
+  Tensor c({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a.at(p, i) : a.at(i, p);
+        const float bv = trans_b ? b.at(j, p) : b.at(p, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void ExpectTensorNear(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.SameShape(b));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a[i], b[i], tol) << "element " << i;
+  }
+}
+
+// Parameterized over (m, k, n, trans_a, trans_b).
+class MatMulParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>> {
+};
+
+TEST_P(MatMulParamTest, MatchesNaiveReference) {
+  const auto [m, k, n, trans_a, trans_b] = GetParam();
+  Rng rng(m * 1000 + k * 100 + n * 10 + trans_a * 2 + trans_b);
+  Tensor a = Tensor::RandomNormal(
+      trans_a ? std::vector<int64_t>{k, m} : std::vector<int64_t>{m, k}, &rng);
+  Tensor b = Tensor::RandomNormal(
+      trans_b ? std::vector<int64_t>{n, k} : std::vector<int64_t>{k, n}, &rng);
+  ExpectTensorNear(MatMul2D(a, b, trans_a, trans_b),
+                   NaiveMatMul(a, b, trans_a, trans_b), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulParamTest,
+    ::testing::Combine(::testing::Values(1, 3, 7), ::testing::Values(1, 5, 8),
+                       ::testing::Values(1, 4, 9), ::testing::Bool(),
+                       ::testing::Bool()));
+
+TEST(TensorOpsTest, BatchedMatMulMatchesPerBatch) {
+  Rng rng(11);
+  Tensor a = Tensor::RandomNormal({3, 4, 5}, &rng);
+  Tensor b = Tensor::RandomNormal({3, 5, 2}, &rng);
+  Tensor c = BatchedMatMul(a, b);
+  ASSERT_EQ(c.ndim(), 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    Tensor ai({4, 5});
+    Tensor bi({5, 2});
+    std::copy(a.data() + i * 20, a.data() + (i + 1) * 20, ai.data());
+    std::copy(b.data() + i * 10, b.data() + (i + 1) * 10, bi.data());
+    Tensor ci = MatMul2D(ai, bi);
+    for (int64_t r = 0; r < 4; ++r) {
+      for (int64_t col = 0; col < 2; ++col) {
+        EXPECT_NEAR(c.at(i, r, col), ci.at(r, col), 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(TensorOpsTest, BatchedMatMulTransposeFlags) {
+  Rng rng(12);
+  Tensor a = Tensor::RandomNormal({2, 5, 4}, &rng);  // will be used as A^T
+  Tensor b = Tensor::RandomNormal({2, 5, 3}, &rng);
+  Tensor c = BatchedMatMul(a, b, /*trans_a=*/true, /*trans_b=*/false);
+  EXPECT_EQ(c.dim(1), 4);
+  EXPECT_EQ(c.dim(2), 3);
+  // Check one element against the definition.
+  double acc = 0.0;
+  for (int64_t p = 0; p < 5; ++p) acc += a.at(1, p, 2) * b.at(1, p, 1);
+  EXPECT_NEAR(c.at(1, 2, 1), acc, 1e-4f);
+}
+
+TEST(TensorOpsTest, BatchedMatMulBroadcastMatchesLoop) {
+  Rng rng(13);
+  Tensor a = Tensor::RandomNormal({3, 2, 4}, &rng);
+  Tensor w = Tensor::RandomNormal({4, 6}, &rng);
+  Tensor c = BatchedMatMulBroadcast(a, w);
+  for (int64_t bi = 0; bi < 3; ++bi) {
+    for (int64_t i = 0; i < 2; ++i) {
+      for (int64_t j = 0; j < 6; ++j) {
+        double acc = 0.0;
+        for (int64_t p = 0; p < 4; ++p) acc += a.at(bi, i, p) * w.at(p, j);
+        EXPECT_NEAR(c.at(bi, i, j), acc, 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(TensorOpsTest, BroadcastWithTransposedWeight) {
+  Rng rng(14);
+  Tensor a = Tensor::RandomNormal({2, 3, 4}, &rng);
+  Tensor w = Tensor::RandomNormal({6, 4}, &rng);  // op(W) = W^T is [4, 6]
+  Tensor c = BatchedMatMulBroadcast(a, w, /*trans_w=*/true);
+  EXPECT_EQ(c.dim(2), 6);
+  double acc = 0.0;
+  for (int64_t p = 0; p < 4; ++p) acc += a.at(1, 2, p) * w.at(5, p);
+  EXPECT_NEAR(c.at(1, 2, 5), acc, 1e-4f);
+}
+
+TEST(TensorOpsTest, AccumulateMatMulAddsIntoOutput) {
+  Rng rng(15);
+  Tensor a = Tensor::RandomNormal({3, 2}, &rng);
+  Tensor g = Tensor::RandomNormal({3, 4}, &rng);
+  Tensor out = Tensor::Full({2, 4}, 1.0f);
+  AccumulateMatMul2D(a, g, /*trans_a=*/true, /*trans_b=*/false, &out);
+  Tensor expected = Add(Tensor::Full({2, 4}, 1.0f),
+                        MatMul2D(a, g, /*trans_a=*/true, /*trans_b=*/false));
+  ExpectTensorNear(out, expected);
+}
+
+TEST(TensorOpsTest, ElementwiseAddSubMul) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6});
+  ExpectTensorNear(Add(a, b), Tensor::FromVector({3}, {5, 7, 9}));
+  ExpectTensorNear(Sub(a, b), Tensor::FromVector({3}, {-3, -3, -3}));
+  ExpectTensorNear(Mul(a, b), Tensor::FromVector({3}, {4, 10, 18}));
+}
+
+TEST(TensorOpsTest, ScalarOps) {
+  Tensor a = Tensor::FromVector({2}, {1, -2});
+  ExpectTensorNear(AddScalar(a, 3.0f), Tensor::FromVector({2}, {4, 1}));
+  ExpectTensorNear(MulScalar(a, -2.0f), Tensor::FromVector({2}, {-2, 4}));
+}
+
+TEST(TensorOpsTest, AddBiasLastDimBroadcasts) {
+  Tensor x = Tensor::FromVector({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor b = Tensor::FromVector({3}, {1, 2, 3});
+  ExpectTensorNear(AddBiasLastDim(x, b),
+                   Tensor::FromVector({2, 3}, {1, 2, 3, 2, 3, 4}));
+}
+
+TEST(TensorOpsTest, AxpyAccumulates) {
+  Tensor x = Tensor::FromVector({2}, {1, 2});
+  Tensor out = Tensor::FromVector({2}, {10, 20});
+  Axpy(0.5f, x, &out);
+  ExpectTensorNear(out, Tensor::FromVector({2}, {10.5f, 21.0f}));
+}
+
+TEST(TensorOpsTest, ApplyMapsEveryElement) {
+  Tensor x = Tensor::FromVector({3}, {1, 4, 9});
+  Tensor y = Apply(x, [](float v) { return std::sqrt(v); });
+  ExpectTensorNear(y, Tensor::FromVector({3}, {1, 2, 3}));
+}
+
+TEST(TensorOpsTest, Transpose2D) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose2D(x);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_EQ(t.at(0, 1), 4.0f);
+}
+
+TEST(TensorOpsTest, TransposeLast2SwapsWithinBatch) {
+  Rng rng(16);
+  Tensor x = Tensor::RandomNormal({2, 3, 4}, &rng);
+  Tensor t = TransposeLast2(x);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(t.dim(2), 3);
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t j = 0; j < 4; ++j) {
+        EXPECT_EQ(t.at(b, j, i), x.at(b, i, j));
+      }
+    }
+  }
+}
+
+TEST(TensorOpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(17);
+  Tensor x = Tensor::RandomNormal({5, 7}, &rng, 3.0f);
+  Tensor s = SoftmaxLastDim(x);
+  for (int64_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < 7; ++j) {
+      EXPECT_GT(s.at(r, j), 0.0f);
+      sum += s.at(r, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(TensorOpsTest, SoftmaxStableForLargeLogits) {
+  Tensor x = Tensor::FromVector({1, 3}, {1000.0f, 1000.0f, 999.0f});
+  Tensor s = SoftmaxLastDim(x);
+  EXPECT_TRUE(s.AllFinite());
+  EXPECT_NEAR(s.at(0, 0), s.at(0, 1), 1e-6f);
+  EXPECT_LT(s.at(0, 2), s.at(0, 0));
+}
+
+TEST(TensorOpsTest, SoftmaxIsOrderPreserving) {
+  Tensor x = Tensor::FromVector({1, 4}, {0.1f, 2.0f, -1.0f, 0.5f});
+  Tensor s = SoftmaxLastDim(x);
+  EXPECT_GT(s.at(0, 1), s.at(0, 3));
+  EXPECT_GT(s.at(0, 3), s.at(0, 0));
+  EXPECT_GT(s.at(0, 0), s.at(0, 2));
+}
+
+TEST(TensorOpsTest, SumLastDim) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = SumLastDim(x);
+  EXPECT_EQ(s.ndim(), 1);
+  EXPECT_FLOAT_EQ(s.at(0), 6.0f);
+  EXPECT_FLOAT_EQ(s.at(1), 15.0f);
+}
+
+TEST(TensorOpsDeathTest, MatMulInnerDimMismatchDies) {
+  Tensor a({2, 3});
+  Tensor b({4, 5});
+  EXPECT_DEATH(MatMul2D(a, b), "mismatch");
+}
+
+TEST(TensorOpsDeathTest, ElementwiseShapeMismatchDies) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  EXPECT_DEATH(Add(a, b), "Check failed");
+}
+
+}  // namespace
+}  // namespace vsan

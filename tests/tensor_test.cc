@@ -1,0 +1,122 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vsan {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(TensorTest, ZerosHasShapeAndZeroData) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor f = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(f[i], 2.5f);
+  Tensor o = Tensor::Ones({2, 2});
+  EXPECT_EQ(o.Sum(), 4.0f);
+}
+
+TEST(TensorTest, FromVectorPreservesValues) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ScalarFactory) {
+  Tensor s = Tensor::Scalar(7.0f);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s[0], 7.0f);
+}
+
+TEST(TensorTest, ThreeDAndFourDIndexing) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 9.0f);
+  Tensor u({2, 2, 2, 2});
+  u.at(1, 0, 1, 0) = 3.0f;
+  EXPECT_EQ(u[8 + 0 + 2 + 0], 3.0f);
+}
+
+TEST(TensorTest, ReshapedKeepsDataChangesShape) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, SumMeanMinMax) {
+  Tensor t = Tensor::FromVector({4}, {1, -2, 3, 6});
+  EXPECT_FLOAT_EQ(t.Sum(), 8.0f);
+  EXPECT_FLOAT_EQ(t.Mean(), 2.0f);
+  EXPECT_FLOAT_EQ(t.Min(), -2.0f);
+  EXPECT_FLOAT_EQ(t.Max(), 6.0f);
+}
+
+TEST(TensorTest, AllFiniteDetectsNanAndInf) {
+  Tensor t = Tensor::Ones({3});
+  EXPECT_TRUE(t.AllFinite());
+  t[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(t.AllFinite());
+  t[1] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(t.AllFinite());
+}
+
+TEST(TensorTest, RandomNormalMomentsRoughlyCorrect) {
+  Rng rng(42);
+  Tensor t = Tensor::RandomNormal({10000}, &rng, 2.0f);
+  EXPECT_NEAR(t.Mean(), 0.0f, 0.1f);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) var += t[i] * t[i];
+  var /= t.numel();
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorTest, RandomUniformRange) {
+  Rng rng(7);
+  Tensor t = Tensor::RandomUniform({1000}, &rng, -1.0f, 3.0f);
+  EXPECT_GE(t.Min(), -1.0f);
+  EXPECT_LT(t.Max(), 3.0f);
+  EXPECT_NEAR(t.Mean(), 1.0f, 0.2f);
+}
+
+TEST(TensorTest, FillAndSetZero) {
+  Tensor t({3});
+  t.Fill(5.0f);
+  EXPECT_EQ(t.Sum(), 15.0f);
+  t.SetZero();
+  EXPECT_EQ(t.Sum(), 0.0f);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t = Tensor::Ones({10});
+  const std::string s = t.ToString(3);
+  EXPECT_NE(s.find("Tensor[10]"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(TensorDeathTest, FromVectorSizeMismatchDies) {
+  EXPECT_DEATH(Tensor::FromVector({2, 2}, {1, 2, 3}), "Check failed");
+}
+
+TEST(TensorDeathTest, ReshapeElementMismatchDies) {
+  Tensor t({2, 3});
+  EXPECT_DEATH(t.Reshaped({4, 2}), "Check failed");
+}
+
+}  // namespace
+}  // namespace vsan

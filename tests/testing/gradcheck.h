@@ -1,0 +1,67 @@
+#ifndef VSAN_TESTS_TESTING_GRADCHECK_H_
+#define VSAN_TESTS_TESTING_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/variable.h"
+
+namespace vsan {
+namespace testing {
+
+// Loss builder: constructs a fresh graph from leaf variables and returns a
+// scalar.  Must be deterministic across calls (seed any Rng inside).
+using LossFn = std::function<Variable(const std::vector<Variable>&)>;
+
+// Verifies analytic gradients of `f` against central finite differences for
+// every element of every input.  Inputs are float32, so tolerances are loose
+// by design; keep inputs small (tens of elements).
+inline void ExpectGradientsClose(const LossFn& f,
+                                 const std::vector<Tensor>& inits,
+                                 double eps = 1e-3, double rel_tol = 4e-2,
+                                 double abs_tol = 8e-3) {
+  // Analytic pass.
+  std::vector<Variable> vars;
+  vars.reserve(inits.size());
+  for (const Tensor& t : inits) vars.emplace_back(t, /*requires_grad=*/true);
+  Variable loss = f(vars);
+  ASSERT_EQ(loss.value().numel(), 1);
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  for (Variable& v : vars) {
+    ASSERT_TRUE(v.has_grad());
+    analytic.push_back(v.grad());
+  }
+
+  // Numeric pass, element by element.
+  auto eval = [&](const std::vector<Tensor>& points) {
+    std::vector<Variable> fresh;
+    fresh.reserve(points.size());
+    // requires_grad=true keeps the graph identical to the analytic pass
+    // (pruning must not change forward values, but be safe).
+    for (const Tensor& t : points) fresh.emplace_back(t, true);
+    return static_cast<double>(f(fresh).value()[0]);
+  };
+
+  for (size_t p = 0; p < inits.size(); ++p) {
+    for (int64_t i = 0; i < inits[p].numel(); ++i) {
+      std::vector<Tensor> plus = inits;
+      std::vector<Tensor> minus = inits;
+      plus[p][i] += static_cast<float>(eps);
+      minus[p][i] -= static_cast<float>(eps);
+      const double numeric = (eval(plus) - eval(minus)) / (2.0 * eps);
+      const double got = analytic[p][i];
+      const double tol = abs_tol + rel_tol * std::abs(numeric);
+      EXPECT_NEAR(got, numeric, tol)
+          << "param " << p << " element " << i;
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace vsan
+
+#endif  // VSAN_TESTS_TESTING_GRADCHECK_H_

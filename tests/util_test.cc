@@ -1,0 +1,187 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv_writer.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace vsan {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(6);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.UniformInt(5)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(RngTest, UniformIntLoHiInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(8);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits, 3000, 200);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(10);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0], 1000, 200);
+  EXPECT_NEAR(counts[1], 3000, 300);
+  EXPECT_NEAR(counts[3], 6000, 300);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(11);
+  auto s = rng.SampleWithoutReplacement(20, 10);
+  ASSERT_EQ(s.size(), 10u);
+  std::sort(s.begin(), s.end());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(s[i], 0);
+    EXPECT_LT(s[i], 20);
+    if (i > 0) {
+      EXPECT_NE(s[i], s[i - 1]);
+    }
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(12);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(StringUtilTest, StrCatAndJoin) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%s=%d", "k", 7), "k=7");
+  EXPECT_EQ(StrFormat("%.1f%%", 12.34), "12.3%");
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("bad"), std::string::npos);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  Result<int> err(Status::NotFound("missing"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Model", "Metric"});
+  t.AddRow({"SASRec", "5.1"});
+  t.AddSeparator();
+  t.AddRow({"VSAN", "6.77"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| Model "), std::string::npos);
+  EXPECT_NE(s.find("| SASRec | 5.1    |"), std::string::npos);
+  EXPECT_NE(s.find("| VSAN   | 6.77   |"), std::string::npos);
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  const std::string path = ::testing::TempDir() + "/vsan_csv_test.csv";
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.WriteRow({"a", "b,c", "d\"e"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,\"b,c\",\"d\"\"e\"");
+  std::remove(path.c_str());
+}
+
+TEST(EnvTest, ReturnsDefaultWhenUnset) {
+  EXPECT_EQ(GetEnvInt("VSAN_DEFINITELY_UNSET_VAR", 42), 42);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("VSAN_DEFINITELY_UNSET_VAR", 1.5), 1.5);
+  EXPECT_EQ(GetEnvString("VSAN_DEFINITELY_UNSET_VAR", "x"), "x");
+}
+
+TEST(EnvTest, ParsesSetValues) {
+  setenv("VSAN_TEST_ENV_INT", "17", 1);
+  setenv("VSAN_TEST_ENV_DOUBLE", "2.25", 1);
+  EXPECT_EQ(GetEnvInt("VSAN_TEST_ENV_INT", 0), 17);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("VSAN_TEST_ENV_DOUBLE", 0.0), 2.25);
+  unsetenv("VSAN_TEST_ENV_INT");
+  unsetenv("VSAN_TEST_ENV_DOUBLE");
+}
+
+}  // namespace
+}  // namespace vsan

@@ -1,0 +1,256 @@
+// Behaviour tests for the VSAN core model: training dynamics, ablation
+// switches, evaluation determinism, the next-k extension, and the posterior
+// introspection API.
+
+#include "core/vsan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace core {
+namespace {
+
+data::SequenceDataset CycleDataset(int32_t num_items, int32_t num_users,
+                                   int32_t seq_len, uint64_t seed = 3) {
+  Rng rng(seed);
+  data::SequenceDataset ds(num_items);
+  for (int32_t u = 0; u < num_users; ++u) {
+    int32_t cur = static_cast<int32_t>(rng.UniformInt(1, num_items));
+    std::vector<int32_t> seq;
+    for (int32_t t = 0; t < seq_len; ++t) {
+      seq.push_back(cur);
+      cur = cur % num_items + 1;
+    }
+    ds.AddUser(std::move(seq));
+  }
+  return ds;
+}
+
+TrainOptions FastOptions(int32_t epochs) {
+  TrainOptions opts;
+  opts.epochs = epochs;
+  opts.batch_size = 16;
+  opts.learning_rate = 5e-3f;
+  opts.seed = 19;
+  return opts;
+}
+
+VsanConfig SmallConfig() {
+  VsanConfig cfg;
+  cfg.max_len = 8;
+  cfg.d = 16;
+  cfg.h1 = 1;
+  cfg.h2 = 1;
+  cfg.dropout = 0.0f;
+  cfg.beta_max = 0.1f;
+  cfg.anneal_steps = 50;
+  return cfg;
+}
+
+int32_t RankOf(const std::vector<float>& scores, int32_t target) {
+  int32_t rank = 1;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (static_cast<int32_t>(i) != target && scores[i] > scores[target]) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+TEST(VsanTest, LossDecreasesAndLearnsCycle) {
+  data::SequenceDataset ds = CycleDataset(12, 60, 8);
+  Vsan model(SmallConfig());
+  double first_loss = 0, last_loss = 0;
+  TrainOptions opts = FastOptions(15);
+  opts.epoch_callback = [&](int32_t e, double loss) {
+    if (e == 0) first_loss = loss;
+    last_loss = loss;
+  };
+  model.Fit(ds, opts);
+  EXPECT_LT(last_loss, first_loss);
+  const auto scores = model.Score({9, 10, 11});
+  EXPECT_LE(RankOf(scores, 12), 2);
+  // Guard against degenerate all-equal scores (a tie makes every rank 1).
+  EXPECT_GT(scores[12], scores[5]);
+  EXPECT_NE(*std::max_element(scores.begin() + 1, scores.end()),
+            *std::min_element(scores.begin() + 1, scores.end()));
+}
+
+TEST(VsanTest, EvalIsDeterministicDespiteStochasticLatent) {
+  // Sec. IV-E: evaluation decodes from z = mu, so repeated scoring of the
+  // same history must be bit-identical even though training samples z.
+  data::SequenceDataset ds = CycleDataset(10, 30, 6);
+  Vsan model(SmallConfig());
+  model.Fit(ds, FastOptions(2));
+  EXPECT_EQ(model.Score({1, 2, 3}), model.Score({1, 2, 3}));
+}
+
+TEST(VsanTest, AblationNames) {
+  VsanConfig cfg = SmallConfig();
+  EXPECT_EQ(Vsan(cfg).name(), "VSAN");
+  cfg.use_latent = false;
+  EXPECT_EQ(Vsan(cfg).name(), "VSAN-z");
+  cfg.use_latent = true;
+  cfg.infer_ffn = false;
+  EXPECT_EQ(Vsan(cfg).name(), "VSAN-infer-feed");
+  cfg.infer_ffn = true;
+  cfg.gen_ffn = false;
+  EXPECT_EQ(Vsan(cfg).name(), "VSAN-gene-feed");
+  cfg.infer_ffn = false;
+  EXPECT_EQ(Vsan(cfg).name(), "VSAN-all-feed");
+}
+
+TEST(VsanTest, VsanZSkipsLatentAndStillLearns) {
+  VsanConfig cfg = SmallConfig();
+  cfg.use_latent = false;
+  data::SequenceDataset ds = CycleDataset(12, 60, 8);
+  Vsan model(cfg);
+  model.Fit(ds, FastOptions(12));
+  const auto scores = model.Score({5, 6, 7});
+  EXPECT_LE(RankOf(scores, 8), 3);
+}
+
+TEST(VsanTest, FfnAblationsTrain) {
+  data::SequenceDataset ds = CycleDataset(10, 30, 6);
+  for (const bool infer_ffn : {false, true}) {
+    for (const bool gen_ffn : {false, true}) {
+      VsanConfig cfg = SmallConfig();
+      cfg.infer_ffn = infer_ffn;
+      cfg.gen_ffn = gen_ffn;
+      Vsan model(cfg);
+      model.Fit(ds, FastOptions(2));
+      const auto scores = model.Score({1, 2});
+      for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+    }
+  }
+}
+
+TEST(VsanTest, ZeroBlockConfigurations) {
+  // Table IV includes h1 = 0 (no inference attention: raw embeddings feed
+  // the latent layer) and h2 = 0 (z is decoded directly).
+  data::SequenceDataset ds = CycleDataset(10, 30, 6);
+  for (const auto& [h1, h2] :
+       std::vector<std::pair<int32_t, int32_t>>{{0, 1}, {1, 0}, {0, 0}}) {
+    VsanConfig cfg = SmallConfig();
+    cfg.h1 = h1;
+    cfg.h2 = h2;
+    Vsan model(cfg);
+    model.Fit(ds, FastOptions(2));
+    const auto scores = model.Score({1, 2});
+    ASSERT_EQ(scores.size(), 11u);
+    for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(VsanTest, NextKTrainingWorks) {
+  VsanConfig cfg = SmallConfig();
+  cfg.next_k = 2;  // Eq. 18 multi-hot targets
+  data::SequenceDataset ds = CycleDataset(12, 60, 8);
+  Vsan model(cfg);
+  double last_loss = 1e9, first_loss = 0;
+  TrainOptions opts = FastOptions(10);
+  opts.epoch_callback = [&](int32_t e, double loss) {
+    if (e == 0) first_loss = loss;
+    last_loss = loss;
+  };
+  model.Fit(ds, opts);
+  EXPECT_LT(last_loss, first_loss);
+  const auto scores = model.Score({5, 6, 7});
+  // With k=2 both 8 and 9 should be highly ranked.
+  EXPECT_LE(RankOf(scores, 8), 3);
+  EXPECT_LE(RankOf(scores, 9), 3);
+}
+
+TEST(VsanTest, FixedBetaMode) {
+  VsanConfig cfg = SmallConfig();
+  cfg.fixed_beta = 0.3f;
+  data::SequenceDataset ds = CycleDataset(10, 30, 6);
+  Vsan model(cfg);
+  model.Fit(ds, FastOptions(3));
+  for (float s : model.Score({1, 2})) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(VsanTest, PosteriorStatsExposeUncertainty) {
+  data::SequenceDataset ds = CycleDataset(12, 60, 8);
+  VsanConfig cfg = SmallConfig();
+  Vsan model(cfg);
+  model.Fit(ds, FastOptions(5));
+  const PosteriorStats stats = model.InspectPosterior({3, 4, 5});
+  ASSERT_EQ(stats.mu.size(), static_cast<size_t>(cfg.d));
+  ASSERT_EQ(stats.sigma.size(), static_cast<size_t>(cfg.d));
+  for (float s : stats.sigma) EXPECT_GT(s, 0.0f);
+  EXPECT_GT(stats.MeanSigma(), 0.0f);
+  for (float m : stats.mu) EXPECT_TRUE(std::isfinite(m));
+}
+
+TEST(VsanTest, PosteriorOnVsanZDies) {
+  VsanConfig cfg = SmallConfig();
+  cfg.use_latent = false;
+  data::SequenceDataset ds = CycleDataset(10, 30, 6);
+  Vsan model(cfg);
+  model.Fit(ds, FastOptions(1));
+  EXPECT_DEATH(model.InspectPosterior({1}), "posterior");
+}
+
+TEST(VsanTest, ParameterCountGrowsWithBlocks) {
+  VsanConfig small = SmallConfig();
+  VsanConfig big = SmallConfig();
+  big.h1 = 3;
+  big.h2 = 2;
+  data::SequenceDataset ds = CycleDataset(10, 30, 6);
+  Vsan a(small), b(big);
+  a.Fit(ds, FastOptions(1));
+  b.Fit(ds, FastOptions(1));
+  EXPECT_GT(b.NumParameters(), a.NumParameters());
+}
+
+TEST(VsanTest, SampledLatentScoresVaryButMeanScoresDoNot) {
+  data::SequenceDataset ds = CycleDataset(12, 60, 8);
+  Vsan model(SmallConfig());
+  model.Fit(ds, FastOptions(5));
+  // Mean-decoded scores are deterministic...
+  EXPECT_EQ(model.Score({3, 4, 5}), model.Score({3, 4, 5}));
+  // ...while sampled-z scores differ between draws (sigma > 0).
+  const auto a = model.ScoreWithSampledLatent({3, 4, 5});
+  const auto b = model.ScoreWithSampledLatent({3, 4, 5});
+  ASSERT_EQ(a.size(), b.size());
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) any_diff |= (a[i] != b[i]);
+  EXPECT_TRUE(any_diff);
+  for (float v : a) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(VsanTest, SampledLatentOnVsanZDies) {
+  VsanConfig cfg = SmallConfig();
+  cfg.use_latent = false;
+  data::SequenceDataset ds = CycleDataset(10, 30, 6);
+  Vsan model(cfg);
+  model.Fit(ds, FastOptions(1));
+  EXPECT_DEATH(model.ScoreWithSampledLatent({1}), "posterior");
+}
+
+TEST(VsanTest, UntiedOutputMatchesEq19AndTrains) {
+  VsanConfig cfg = SmallConfig();
+  cfg.tie_output = false;  // the paper's free W_g
+  data::SequenceDataset ds = CycleDataset(12, 60, 8);
+  Vsan model(cfg);
+  model.Fit(ds, FastOptions(15));
+  const auto scores = model.Score({5, 6, 7});
+  EXPECT_LE(RankOf(scores, 8), 3);
+  EXPECT_GT(scores[8], scores[3]);
+}
+
+TEST(VsanTest, ScoreBeforeFitDies) {
+  Vsan model(SmallConfig());
+  EXPECT_DEATH(model.Score({1}), "Fit");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace vsan
