@@ -1,19 +1,43 @@
 // Kernel micro-benchmarks (google-benchmark) backing the complexity
 // analysis of Sec. IV-F: attention is O(n^2 d), the FFN O(n d^2), the output
 // projection O(n d N).
+//
+// The parallelized kernels carry a trailing `threads` argument
+// (1/2/4/hardware_concurrency, deduplicated) that resizes the global
+// ThreadPool, so the emitted JSON captures the scaling curve of each kernel
+// rather than a single-thread point.  Results are bitwise-identical across
+// the sweep (tests/parallel_equivalence_test.cc); only the time changes.
 
 #include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "nn/attention.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace vsan {
 namespace {
 
+std::vector<int64_t> ThreadCounts() {
+  std::vector<int64_t> counts = {1, 2, 4};
+  const int64_t hw = std::thread::hardware_concurrency();
+  if (hw > 4) counts.push_back(hw);
+  return counts;
+}
+
+// The last benchmark argument is the pool size for this run.
+void UseThreads(const benchmark::State& state, int arg_index) {
+  ThreadPool::SetGlobalNumThreads(
+      static_cast<int>(state.range(arg_index)));
+}
+
 void BM_MatMul2D(benchmark::State& state) {
   const int64_t n = state.range(0);
+  UseThreads(state, 1);
   Rng rng(1);
   Tensor a = Tensor::RandomNormal({n, n}, &rng);
   Tensor b = Tensor::RandomNormal({n, n}, &rng);
@@ -22,10 +46,11 @@ void BM_MatMul2D(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatMul2D)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMul2D)->ArgsProduct({{32, 64, 128, 256}, ThreadCounts()});
 
 void BM_MatMul2DTransposed(benchmark::State& state) {
   const int64_t n = state.range(0);
+  UseThreads(state, 1);
   Rng rng(2);
   Tensor a = Tensor::RandomNormal({n, n}, &rng);
   Tensor b = Tensor::RandomNormal({n, n}, &rng);
@@ -34,10 +59,11 @@ void BM_MatMul2DTransposed(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatMul2DTransposed)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul2DTransposed)->ArgsProduct({{64, 128}, ThreadCounts()});
 
 void BM_BatchedMatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
+  UseThreads(state, 1);
   Rng rng(3);
   Tensor a = Tensor::RandomNormal({16, n, n}, &rng);
   Tensor b = Tensor::RandomNormal({16, n, n}, &rng);
@@ -46,10 +72,11 @@ void BM_BatchedMatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 16 * n * n * n);
 }
-BENCHMARK(BM_BatchedMatMul)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_BatchedMatMul)->ArgsProduct({{16, 32, 64}, ThreadCounts()});
 
 void BM_SoftmaxLastDim(benchmark::State& state) {
   const int64_t cols = state.range(0);
+  UseThreads(state, 1);
   Rng rng(4);
   Tensor x = Tensor::RandomNormal({256, cols}, &rng);
   for (auto _ : state) {
@@ -57,10 +84,12 @@ void BM_SoftmaxLastDim(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 256 * cols);
 }
-BENCHMARK(BM_SoftmaxLastDim)->Arg(128)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_SoftmaxLastDim)
+    ->ArgsProduct({{128, 1024, 4096}, ThreadCounts()});
 
 void BM_LayerNormForwardBackward(benchmark::State& state) {
   const int64_t d = state.range(0);
+  ThreadPool::SetGlobalNumThreads(1);  // not a parallelized kernel
   Rng rng(5);
   Tensor x = Tensor::RandomNormal({256, d}, &rng);
   Tensor gamma = Tensor::Ones({d});
@@ -79,6 +108,7 @@ BENCHMARK(BM_LayerNormForwardBackward)->Arg(32)->Arg(128);
 
 void BM_EmbeddingLookup(benchmark::State& state) {
   const int64_t steps = state.range(0);
+  ThreadPool::SetGlobalNumThreads(1);  // not a parallelized kernel
   Rng rng(6);
   Tensor table = Tensor::RandomNormal({5000, 64}, &rng);
   std::vector<int32_t> indices(64 * steps);
@@ -97,6 +127,7 @@ BENCHMARK(BM_EmbeddingLookup)->Arg(30)->Arg(60);
 void BM_AttentionBlockForward(benchmark::State& state) {
   const int64_t n = state.range(0);
   const int64_t d = state.range(1);
+  UseThreads(state, 2);
   Rng rng(7);
   nn::SelfAttentionBlockConfig cfg;
   cfg.d = d;
@@ -113,11 +144,8 @@ void BM_AttentionBlockForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8 * n * n * d);
 }
 BENCHMARK(BM_AttentionBlockForward)
-    ->Args({16, 32})
-    ->Args({32, 32})
-    ->Args({64, 32})
-    ->Args({128, 32})
-    ->Args({64, 64});
+    ->ArgsProduct({{16, 32, 64, 128}, {32}, ThreadCounts()})
+    ->ArgsProduct({{64}, {64}, ThreadCounts()});
 
 }  // namespace
 }  // namespace vsan

@@ -4,15 +4,33 @@
 // at matched sizes (VSAN adds the latent layer without changing the
 // asymptotics; the RNN is O(n d^2) but strictly sequential).
 
+// Each benchmark carries a trailing `threads` argument
+// (1/2/4/hardware_concurrency, deduplicated) that resizes the global
+// ThreadPool so the JSON captures how a full training step scales: the
+// GEMMs inside the forward/backward passes parallelize, the optimizer and
+// tape walk do not, so this measures the end-to-end Amdahl ceiling rather
+// than kernel-only scaling.
+
 #include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
 
 #include "core/vsan.h"
 #include "data/synthetic.h"
 #include "models/gru4rec.h"
 #include "models/sasrec.h"
+#include "util/thread_pool.h"
 
 namespace vsan {
 namespace {
+
+std::vector<int64_t> ThreadCounts() {
+  std::vector<int64_t> counts = {1, 2, 4};
+  const int64_t hw = std::thread::hardware_concurrency();
+  if (hw > 4) counts.push_back(hw);
+  return counts;
+}
 
 data::SequenceDataset MakeCorpus(int32_t seq_len) {
   data::SyntheticConfig cfg;
@@ -35,6 +53,7 @@ TrainOptions OneEpoch() {
 
 void BM_VsanTrainEpoch_SeqLen(benchmark::State& state) {
   const int64_t n = state.range(0);
+  ThreadPool::SetGlobalNumThreads(static_cast<int>(state.range(1)));
   data::SequenceDataset ds = MakeCorpus(static_cast<int32_t>(n));
   core::VsanConfig cfg;
   cfg.max_len = n;
@@ -46,14 +65,12 @@ void BM_VsanTrainEpoch_SeqLen(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VsanTrainEpoch_SeqLen)
-    ->Arg(10)
-    ->Arg(20)
-    ->Arg(40)
-    ->Arg(80)
+    ->ArgsProduct({{10, 20, 40, 80}, ThreadCounts()})
     ->Unit(benchmark::kMillisecond);
 
 void BM_VsanTrainEpoch_Dim(benchmark::State& state) {
   const int64_t d = state.range(0);
+  ThreadPool::SetGlobalNumThreads(static_cast<int>(state.range(1)));
   data::SequenceDataset ds = MakeCorpus(20);
   core::VsanConfig cfg;
   cfg.max_len = 20;
@@ -65,13 +82,12 @@ void BM_VsanTrainEpoch_Dim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VsanTrainEpoch_Dim)
-    ->Arg(16)
-    ->Arg(32)
-    ->Arg(64)
+    ->ArgsProduct({{16, 32, 64}, ThreadCounts()})
     ->Unit(benchmark::kMillisecond);
 
 void BM_SasRecTrainEpoch_SeqLen(benchmark::State& state) {
   const int64_t n = state.range(0);
+  ThreadPool::SetGlobalNumThreads(static_cast<int>(state.range(1)));
   data::SequenceDataset ds = MakeCorpus(static_cast<int32_t>(n));
   models::SasRec::Config cfg;
   cfg.max_len = n;
@@ -84,14 +100,12 @@ void BM_SasRecTrainEpoch_SeqLen(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SasRecTrainEpoch_SeqLen)
-    ->Arg(10)
-    ->Arg(20)
-    ->Arg(40)
-    ->Arg(80)
+    ->ArgsProduct({{10, 20, 40, 80}, ThreadCounts()})
     ->Unit(benchmark::kMillisecond);
 
 void BM_Gru4RecTrainEpoch_SeqLen(benchmark::State& state) {
   const int64_t n = state.range(0);
+  ThreadPool::SetGlobalNumThreads(static_cast<int>(state.range(1)));
   data::SequenceDataset ds = MakeCorpus(static_cast<int32_t>(n));
   models::Gru4Rec::Config cfg;
   cfg.max_len = n;
@@ -104,10 +118,7 @@ void BM_Gru4RecTrainEpoch_SeqLen(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Gru4RecTrainEpoch_SeqLen)
-    ->Arg(10)
-    ->Arg(20)
-    ->Arg(40)
-    ->Arg(80)
+    ->ArgsProduct({{10, 20, 40, 80}, ThreadCounts()})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -10,6 +10,12 @@ using autograd::Node;
 
 namespace {
 
+// The backward rules below are expressed entirely as forward GEMMs, so they
+// inherit the thread-pool parallelism and the bitwise-determinism contract
+// of tensor_ops.cc: gradients are identical at every thread count (checked
+// by tests/parallel_equivalence_test.cc, including a finite-difference
+// gradcheck run under the pool).
+
 // dA = G * B^T, dB = A^T * G (2-D case).
 void Backward2D(Node* self, const Tensor& a, const Tensor& b) {
   Node* pa = self->parents[0].get();

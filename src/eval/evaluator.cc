@@ -7,9 +7,27 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace vsan {
 namespace eval {
+namespace {
+
+// Seed for a user's negative-sampling stream, derived from the base seed
+// and the user's own history rather than from the user's position in the
+// vector or a shared sequential generator.  This makes the sampled
+// candidate set a pure function of (seed, user), so EvaluateRanking is
+// invariant to user ordering, thread count, and which other users are in
+// the batch.
+uint64_t UserNegativeSeed(uint64_t base, const data::HeldOutUser& user) {
+  uint64_t h = MixSeed(base, user.fold_in.size());
+  for (int32_t item : user.fold_in) h = MixSeed(h, static_cast<uint64_t>(item));
+  h = MixSeed(h, user.holdout.size());
+  for (int32_t item : user.holdout) h = MixSeed(h, static_cast<uint64_t>(item));
+  return h;
+}
+
+}  // namespace
 
 std::string EvalResult::ToString() const {
   std::vector<std::string> parts;
@@ -40,56 +58,75 @@ EvalResult EvaluateRanking(const SequentialRecommender& model,
     result.ndcg[n] = 0.0;
   }
 
-  Rng negative_rng(options.negative_seed);
-  int64_t evaluated = 0;
-  for (const data::HeldOutUser& user : users) {
-    if (user.holdout.empty() || user.fold_in.empty()) continue;
-    std::vector<float> scores = model.Score(user.fold_in);
-    VSAN_CHECK_GE(scores.size(), 2u);
+  // Users are scored in parallel (Score() is const and eval-mode forwards
+  // never touch model RNG state); per-user metrics land in a slot indexed
+  // by user position and are merged serially in user order below, so the
+  // averaged result is bitwise-independent of thread count and scheduling.
+  const int64_t num_users = static_cast<int64_t>(users.size());
+  const size_t num_cutoffs = options.cutoffs.size();
+  std::vector<std::vector<TopNMetrics>> per_user(num_users);
+  ParallelFor(0, num_users, 1, [&](int64_t user_begin, int64_t user_end) {
+    for (int64_t ui = user_begin; ui < user_end; ++ui) {
+      const data::HeldOutUser& user = users[ui];
+      if (user.holdout.empty() || user.fold_in.empty()) continue;
+      std::vector<float> scores = model.Score(user.fold_in);
+      VSAN_CHECK_GE(scores.size(), 2u);
 
-    std::vector<bool> excluded(scores.size(), false);
-    excluded[data::kPaddingItem] = true;
-    if (options.num_sampled_negatives > 0) {
-      // Candidate set = holdout + sampled negatives; everything else is
-      // excluded from the ranking.
-      std::unordered_set<int32_t> seen(user.fold_in.begin(),
-                                       user.fold_in.end());
-      std::unordered_set<int32_t> candidates(user.holdout.begin(),
-                                             user.holdout.end());
-      const int32_t num_items = static_cast<int32_t>(scores.size()) - 1;
-      int32_t guard = 0;
-      while (static_cast<int32_t>(candidates.size()) <
-                 options.num_sampled_negatives +
-                     static_cast<int32_t>(user.holdout.size()) &&
-             guard++ < num_items * 20) {
-        const int32_t neg =
-            static_cast<int32_t>(negative_rng.UniformInt(1, num_items));
-        if (seen.count(neg) == 0) candidates.insert(neg);
-      }
-      for (int32_t item = 1; item <= num_items; ++item) {
-        if (candidates.count(item) == 0) excluded[item] = true;
-      }
-    }
-    if (options.exclude_fold_in) {
-      // Do not exclude items that must still be predictable because they
-      // re-occur in the holdout.
-      std::unordered_set<int32_t> holdout_set(user.holdout.begin(),
-                                              user.holdout.end());
-      for (int32_t item : user.fold_in) {
-        if (item < static_cast<int32_t>(excluded.size()) &&
-            holdout_set.count(item) == 0) {
-          excluded[item] = true;
+      std::vector<bool> excluded(scores.size(), false);
+      excluded[data::kPaddingItem] = true;
+      if (options.num_sampled_negatives > 0) {
+        // Candidate set = holdout + sampled negatives; everything else is
+        // excluded from the ranking.
+        Rng negative_rng(UserNegativeSeed(options.negative_seed, user));
+        std::unordered_set<int32_t> seen(user.fold_in.begin(),
+                                         user.fold_in.end());
+        std::unordered_set<int32_t> candidates(user.holdout.begin(),
+                                               user.holdout.end());
+        const int32_t num_items = static_cast<int32_t>(scores.size()) - 1;
+        int32_t guard = 0;
+        while (static_cast<int32_t>(candidates.size()) <
+                   options.num_sampled_negatives +
+                       static_cast<int32_t>(user.holdout.size()) &&
+               guard++ < num_items * 20) {
+          const int32_t neg =
+              static_cast<int32_t>(negative_rng.UniformInt(1, num_items));
+          if (seen.count(neg) == 0) candidates.insert(neg);
+        }
+        for (int32_t item = 1; item <= num_items; ++item) {
+          if (candidates.count(item) == 0) excluded[item] = true;
         }
       }
-    }
+      if (options.exclude_fold_in) {
+        // Do not exclude items that must still be predictable because they
+        // re-occur in the holdout.
+        std::unordered_set<int32_t> holdout_set(user.holdout.begin(),
+                                                user.holdout.end());
+        for (int32_t item : user.fold_in) {
+          if (item < static_cast<int32_t>(excluded.size()) &&
+              holdout_set.count(item) == 0) {
+            excluded[item] = true;
+          }
+        }
+      }
 
-    const std::vector<int32_t> ranked =
-        TopNIndices(scores, excluded, max_cutoff);
-    for (int32_t n : options.cutoffs) {
-      const TopNMetrics m = ComputeTopN(ranked, user.holdout, n);
-      result.precision[n] += m.precision;
-      result.recall[n] += m.recall;
-      result.ndcg[n] += m.ndcg;
+      const std::vector<int32_t> ranked =
+          TopNIndices(scores, excluded, max_cutoff);
+      std::vector<TopNMetrics>& metrics = per_user[ui];
+      metrics.reserve(num_cutoffs);
+      for (int32_t n : options.cutoffs) {
+        metrics.push_back(ComputeTopN(ranked, user.holdout, n));
+      }
+    }
+  });
+
+  int64_t evaluated = 0;
+  for (int64_t ui = 0; ui < num_users; ++ui) {
+    if (per_user[ui].empty()) continue;  // skipped: empty fold-in or holdout
+    for (size_t c = 0; c < num_cutoffs; ++c) {
+      const int32_t n = options.cutoffs[c];
+      result.precision[n] += per_user[ui][c].precision;
+      result.recall[n] += per_user[ui][c].recall;
+      result.ndcg[n] += per_user[ui][c].ndcg;
     }
     ++evaluated;
   }

@@ -32,12 +32,18 @@ struct EvalOptions {
   // negative items only (the SASRec paper's cheaper protocol); useful for
   // very large catalogues.
   int32_t num_sampled_negatives = 0;
+  // Base seed for negative sampling.  Each user's sampling stream is seeded
+  // by hashing this with the user's own history (util/rng.h MixSeed), so
+  // the candidate set per user does not depend on user ordering, thread
+  // count, or the other users being evaluated.
   uint64_t negative_seed = 91;
 };
 
 // Full-ranking evaluation under strong generalization: for each held-out
 // user, score all items from the fold-in prefix, rank, and compare the top-N
-// against the holdout set.
+// against the holdout set.  Users are distributed over the global
+// ThreadPool (VSAN_NUM_THREADS); per-user metrics are merged in user order,
+// so results are bitwise-identical at every thread count.
 EvalResult EvaluateRanking(const SequentialRecommender& model,
                            const std::vector<data::HeldOutUser>& users,
                            const EvalOptions& options);

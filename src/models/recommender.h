@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/thread_pool.h"
 
 namespace vsan {
 namespace optim {
@@ -52,6 +53,30 @@ class SequentialRecommender {
   virtual std::vector<float> Score(
       const std::vector<int32_t>& fold_in) const = 0;
 };
+
+// Batched inference: scores every fold-in history and returns the score
+// vectors positionally aligned with `fold_ins`.  With `parallel` set (the
+// opt-in path), users are distributed over the global ThreadPool; Score()
+// must then be thread-safe for concurrent const calls, which holds for all
+// models in this library because eval-mode forwards never mutate model
+// state (dropout and latent sampling are training-only).  The kernels a
+// Score() call reaches fall back to serial inside the pool, so the two
+// levels compose without oversubscription, and results are identical to
+// the serial path at every thread count.
+inline std::vector<std::vector<float>> ScoreBatch(
+    const SequentialRecommender& model,
+    const std::vector<std::vector<int32_t>>& fold_ins, bool parallel = true) {
+  std::vector<std::vector<float>> scores(fold_ins.size());
+  const int64_t count = static_cast<int64_t>(fold_ins.size());
+  if (!parallel) {
+    for (int64_t i = 0; i < count; ++i) scores[i] = model.Score(fold_ins[i]);
+    return scores;
+  }
+  ParallelFor(0, count, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) scores[i] = model.Score(fold_ins[i]);
+  });
+  return scores;
+}
 
 }  // namespace vsan
 

@@ -16,6 +16,14 @@ namespace models {
 // batcher, build the loss with `loss_fn`, backprop, clip, and step the
 // optimizer.  Reports the mean per-batch loss through
 // TrainOptions::epoch_callback.
+//
+// The loop itself is sequential (each step depends on the previous
+// parameter update), but the GEMMs inside loss_fn's forward and backward
+// passes run on the global ThreadPool (util/thread_pool.h), so a training
+// step uses all configured threads.  For post-training batched inference —
+// e.g. an epoch_callback that evaluates on a validation split — use
+// ScoreBatch() (models/recommender.h) or eval::EvaluateRanking, which
+// parallelize over users instead.
 inline void RunTrainLoop(
     data::SequenceBatcher* batcher, optim::Optimizer* optimizer,
     const TrainOptions& options,

@@ -1,21 +1,37 @@
 #include "tensor/tensor_ops.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace vsan {
 namespace {
 
-// Accumulates C += op(A) * op(B) on raw row-major buffers.
+// Minimum per-shard work (inner-loop multiply-adds) before a kernel loop is
+// worth distributing over the pool; below it the row range runs serially.
+constexpr int64_t kParallelGrainFlops = 1 << 14;
+
+// Rows of C per ParallelFor shard for a GEMM whose per-row cost is n * k.
+int64_t GemmRowGrain(int64_t n, int64_t k) {
+  return std::max<int64_t>(1, kParallelGrainFlops / std::max<int64_t>(1, n * k));
+}
+
+// Accumulates rows [row_begin, row_end) of C += op(A) * op(B) on raw
+// row-major buffers.
 //   op(A) is [m, k]: A is [m, k] when !trans_a, [k, m] when trans_a.
 //   op(B) is [k, n]: B is [k, n] when !trans_b, [n, k] when trans_b.
-// The loop orders are chosen so the innermost loop is contiguous in memory
-// for the NN, NT and TN cases (the ones training actually hits).
-void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
-          int64_t k, bool trans_a, bool trans_b) {
+// Every element of C is produced by exactly one call with a fixed
+// accumulation order over p, so splitting the row range across threads is
+// bitwise-identical to one serial sweep.  The loop orders keep the
+// innermost loop contiguous in memory for the NN, NT and TN cases (the
+// ones training actually hits).
+void GemmRows(const float* a, const float* b, float* c, int64_t m, int64_t n,
+              int64_t k, bool trans_a, bool trans_b, int64_t row_begin,
+              int64_t row_end) {
   if (!trans_a && !trans_b) {
-    for (int64_t i = 0; i < m; ++i) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
       float* c_row = c + i * n;
       const float* a_row = a + i * k;
       for (int64_t p = 0; p < k; ++p) {
@@ -25,7 +41,7 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
       }
     }
   } else if (!trans_a && trans_b) {
-    for (int64_t i = 0; i < m; ++i) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
       const float* a_row = a + i * k;
       float* c_row = c + i * n;
       for (int64_t j = 0; j < n; ++j) {
@@ -36,17 +52,16 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
       }
     }
   } else if (trans_a && !trans_b) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float* a_row = a + p * m;
-      const float* b_row = b + p * n;
-      for (int64_t i = 0; i < m; ++i) {
-        const float a_pi = a_row[i];
-        float* c_row = c + i * n;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      float* c_row = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float a_pi = a[p * m + i];
+        const float* b_row = b + p * n;
         for (int64_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
       }
     }
   } else {
-    for (int64_t i = 0; i < m; ++i) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
       float* c_row = c + i * n;
       for (int64_t j = 0; j < n; ++j) {
         float acc = 0.0f;
@@ -55,6 +70,16 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
       }
     }
   }
+}
+
+// Full C += op(A) * op(B), distributed over output rows.  Row shards are
+// disjoint, so this is race-free and (per GemmRows) deterministic.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
+          int64_t k, bool trans_a, bool trans_b) {
+  ParallelFor(0, m, GemmRowGrain(n, k),
+              [=](int64_t begin, int64_t end) {
+                GemmRows(a, b, c, m, n, k, trans_a, trans_b, begin, end);
+              });
 }
 
 struct GemmDims {
@@ -95,10 +120,25 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a,
   const int64_t a_stride = a.dim(1) * a.dim(2);
   const int64_t b_stride = b.dim(1) * b.dim(2);
   const int64_t c_stride = d.m * d.n;
-  for (int64_t i = 0; i < batch; ++i) {
-    Gemm(a.data() + i * a_stride, b.data() + i * b_stride,
-         c.data() + i * c_stride, d.m, d.n, d.k, trans_a, trans_b);
-  }
+  // Partition the flattened (batch, row) space so small batches of large
+  // matrices still spread across the pool; a shard covering rows
+  // [r0, r1) of the flat space maps back to per-batch row ranges.
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const int64_t m = d.m, n = d.n, k = d.k;
+  ParallelFor(0, batch * m, GemmRowGrain(n, k),
+              [=](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1;) {
+                  const int64_t bi = r / m;
+                  const int64_t row0 = r - bi * m;
+                  const int64_t row1 = std::min<int64_t>(m, row0 + (r1 - r));
+                  GemmRows(pa + bi * a_stride, pb + bi * b_stride,
+                           pc + bi * c_stride, m, n, k, trans_a, trans_b,
+                           row0, row1);
+                  r += row1 - row0;
+                }
+              });
   return c;
 }
 
@@ -223,18 +263,23 @@ Tensor SoftmaxLastDim(const Tensor& x) {
   const int64_t rows = x.numel() / n;
   Tensor out = x;
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    float* row = po + r * n;
-    float max_v = row[0];
-    for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
-    double sum = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      row[j] = std::exp(row[j] - max_v);
-      sum += row[j];
+  // Rows are independent, so sharding them is bitwise-deterministic.
+  const int64_t grain =
+      std::max<int64_t>(1, kParallelGrainFlops / std::max<int64_t>(1, n));
+  ParallelFor(0, rows, grain, [=](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      float* row = po + r * n;
+      float max_v = row[0];
+      for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
+      double sum = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        row[j] = std::exp(row[j] - max_v);
+        sum += row[j];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int64_t j = 0; j < n; ++j) row[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int64_t j = 0; j < n; ++j) row[j] *= inv;
-  }
+  });
   return out;
 }
 

@@ -8,6 +8,14 @@
 // Raw (non-differentiable) kernels on Tensor.  The autograd ops build their
 // forward and backward passes out of these; they are also benchmarked
 // directly in bench_micro_ops.
+//
+// Threading: the GEMM family and SoftmaxLastDim distribute disjoint output
+// rows over the global ThreadPool (util/thread_pool.h, VSAN_NUM_THREADS).
+// Each output element is produced by exactly one thread with a fixed
+// accumulation order, so results are bitwise-identical at every thread
+// count (locked down by tests/parallel_equivalence_test.cc).  Calls made
+// from inside a ParallelFor shard run serially, so kernels compose safely
+// with outer parallel loops such as eval::EvaluateRanking.
 
 namespace vsan {
 

@@ -95,6 +95,13 @@ int64_t Rng::Categorical(const std::vector<double>& weights) {
   return static_cast<int64_t>(weights.size()) - 1;
 }
 
+uint64_t MixSeed(uint64_t seed, uint64_t value) {
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL + value;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
   VSAN_CHECK_GE(n, k);
   VSAN_CHECK_GE(k, 0);

@@ -60,6 +60,12 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+// Mixes `value` into `seed` with a splitmix64 finalizer, for deriving
+// independent per-stream seeds from one base seed (e.g. one Rng per
+// held-out user so parallel evaluation stays deterministic).  Chain calls
+// to fold a whole key into the seed: MixSeed(MixSeed(s, a), b).
+uint64_t MixSeed(uint64_t seed, uint64_t value);
+
 }  // namespace vsan
 
 #endif  // VSAN_UTIL_RNG_H_

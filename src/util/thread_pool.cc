@@ -1,0 +1,147 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "util/env.h"
+
+namespace vsan {
+namespace {
+
+// Set while a thread is executing a ParallelFor shard; nested calls from
+// inside a shard fall back to serial so worker threads never block on work
+// that only other (possibly busy) workers could pick up.
+thread_local bool t_in_parallel_shard = false;
+
+std::mutex g_global_pool_mu;
+std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_pool_mu
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  const int64_t min_per_shard = std::max<int64_t>(1, grain);
+  // Floor division: every shard gets at least `grain` indices.
+  const int64_t max_shards = std::max<int64_t>(1, range / min_per_shard);
+  const int64_t shards = std::min<int64_t>(num_threads_, max_shards);
+  if (shards <= 1 || t_in_parallel_shard) {
+    fn(begin, end);
+    return;
+  }
+
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable done;
+    int64_t pending;
+    std::exception_ptr error;
+  };
+  Sync sync;
+  sync.pending = shards;
+
+  // `sync` and `fn` outlive every shard because the caller blocks on
+  // `pending` below, so reference captures are safe.
+  auto run_shard = [&sync, &fn](int64_t b, int64_t e) {
+    t_in_parallel_shard = true;
+    try {
+      fn(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(sync.mu);
+      if (!sync.error) sync.error = std::current_exception();
+    }
+    t_in_parallel_shard = false;
+    std::lock_guard<std::mutex> lock(sync.mu);
+    if (--sync.pending == 0) sync.done.notify_one();
+  };
+
+  // Static contiguous partition: shard s covers base+1 indices for s < rem,
+  // base indices otherwise, tiling [begin, end) in order.
+  const int64_t base = range / shards;
+  const int64_t rem = range % shards;
+  int64_t cursor = begin;
+  int64_t caller_begin = 0;
+  int64_t caller_end = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t s = 0; s < shards; ++s) {
+      const int64_t b = cursor;
+      const int64_t e = b + base + (s < rem ? 1 : 0);
+      cursor = e;
+      if (s == 0) {
+        caller_begin = b;
+        caller_end = e;
+      } else {
+        queue_.emplace_back([run_shard, b, e] { run_shard(b, e); });
+      }
+    }
+  }
+  cv_.notify_all();
+  run_shard(caller_begin, caller_end);
+
+  std::unique_lock<std::mutex> lock(sync.mu);
+  sync.done.wait(lock, [&sync] { return sync.pending == 0; });
+  if (sync.error) std::rethrow_exception(sync.error);
+}
+
+ThreadPool* ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  if (g_global_pool == nullptr) {
+    g_global_pool = std::make_unique<ThreadPool>(DefaultNumThreads());
+  }
+  return g_global_pool.get();
+}
+
+void ThreadPool::SetGlobalNumThreads(int num_threads) {
+  std::unique_ptr<ThreadPool> fresh =
+      std::make_unique<ThreadPool>(num_threads);
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  g_global_pool = std::move(fresh);
+}
+
+int ThreadPool::DefaultNumThreads() {
+  const int64_t env = GetEnvInt("VSAN_NUM_THREADS", 0);
+  if (env > 0) return static_cast<int>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::Global()->ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace vsan

@@ -1,0 +1,74 @@
+#ifndef VSAN_UTIL_THREAD_POOL_H_
+#define VSAN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Fixed-size worker pool behind the library's data-parallel loops.
+//
+// Determinism contract: ParallelFor partitions [begin, end) into contiguous
+// shards, each processed by exactly one thread, so a kernel whose per-index
+// work is independent of the partition produces bitwise-identical results at
+// every thread count (including 1).  Callers that need reductions must merge
+// per-shard results in index order themselves (see eval::EvaluateRanking).
+
+namespace vsan {
+
+class ThreadPool {
+ public:
+  // `num_threads` counts the calling thread: a pool of N spawns N-1 workers
+  // and runs one shard on the caller.  Clamped to at least 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Invokes fn(shard_begin, shard_end) over contiguous shards of
+  // [begin, end) and blocks until all shards finish.  `grain` is the minimum
+  // number of indices per shard (so every shard has at least `grain` indices
+  // whenever the range does); ranges smaller than 2*grain, pools of one
+  // thread, and calls made from inside a ParallelFor shard all run serially
+  // on the calling thread.  The first exception thrown by any shard is
+  // rethrown on the calling thread after all shards complete.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  // Process-wide pool used by the kernels, lazily created with
+  // DefaultNumThreads().  Stable until SetGlobalNumThreads() replaces it.
+  static ThreadPool* Global();
+
+  // Replaces the global pool with one of `num_threads` threads.  Must not
+  // race with in-flight ParallelFor calls on the old pool; intended for
+  // tests and benchmarks that sweep thread counts between runs.
+  static void SetGlobalNumThreads(int num_threads);
+
+  // VSAN_NUM_THREADS when set to a positive integer, otherwise
+  // std::thread::hardware_concurrency() (at least 1).
+  static int DefaultNumThreads();
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+// ParallelFor on the global pool.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_THREAD_POOL_H_

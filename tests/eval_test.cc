@@ -1,9 +1,12 @@
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
 
 #include "eval/evaluator.h"
 #include "eval/metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace vsan {
 namespace eval {
@@ -116,6 +119,98 @@ TEST(EvaluatorTest, OracleGetsPerfectRecallOnCycleData) {
   EXPECT_DOUBLE_EQ(r.precision[2], 1.0);
   EXPECT_DOUBLE_EQ(r.recall[10], 1.0);
   EXPECT_DOUBLE_EQ(r.precision[10], 0.2);  // 2 of 10 slots relevant
+}
+
+// Deterministic per-user scorer for the invariance regressions below.
+class HashScoreModel : public SequentialRecommender {
+ public:
+  explicit HashScoreModel(int32_t num_items) : num_items_(num_items) {}
+  std::string name() const override { return "HashScore"; }
+  void Fit(const data::SequenceDataset&, const TrainOptions&) override {}
+  std::vector<float> Score(const std::vector<int32_t>& fold_in) const override {
+    std::vector<float> scores(num_items_ + 1, 0.0f);
+    const int32_t last = fold_in.back();
+    for (int32_t i = 1; i <= num_items_; ++i) {
+      scores[i] = static_cast<float>((i * 31 + last * 7) % 97);
+    }
+    return scores;
+  }
+
+ private:
+  int32_t num_items_;
+};
+
+std::vector<data::HeldOutUser> MakeDistinctUsers(int32_t count,
+                                                 int32_t num_items) {
+  Rng rng(7);
+  std::vector<data::HeldOutUser> users(count);
+  for (int32_t u = 0; u < count; ++u) {
+    for (int i = 0; i < 5; ++i) {
+      users[u].fold_in.push_back(
+          static_cast<int32_t>(rng.UniformInt(1, num_items)));
+    }
+    users[u].holdout.push_back(
+        static_cast<int32_t>(rng.UniformInt(1, num_items)));
+  }
+  return users;
+}
+
+// Regression for the evaluator RNG determinism bug: negative-sampling seeds
+// used to come from one sequential generator, so each user's candidate set
+// depended on how many users were processed before it.  Seeds are now
+// derived per user from the user's own history, making results invariant
+// to user ordering.
+TEST(EvaluatorTest, SampledNegativesInvariantToUserOrdering) {
+  const int32_t num_items = 120;
+  HashScoreModel model(num_items);
+  std::vector<data::HeldOutUser> users = MakeDistinctUsers(11, num_items);
+
+  eval::EvalOptions opts;
+  // Cutoff 1 with single-item holdouts keeps every per-user metric in
+  // {0, 1}, so the averaged sums are exact and comparable bitwise even
+  // though reordering changes the summation order; @5 metrics are compared
+  // within float-sum tolerance.
+  opts.cutoffs = {1, 5};
+  opts.num_sampled_negatives = 30;
+
+  const eval::EvalResult forward = eval::EvaluateRanking(model, users, opts);
+  std::reverse(users.begin(), users.end());
+  const eval::EvalResult reversed = eval::EvaluateRanking(model, users, opts);
+  Rng shuffle_rng(3);
+  shuffle_rng.Shuffle(&users);
+  const eval::EvalResult shuffled = eval::EvaluateRanking(model, users, opts);
+
+  for (const eval::EvalResult* other : {&reversed, &shuffled}) {
+    EXPECT_DOUBLE_EQ(forward.recall.at(1), other->recall.at(1));
+    EXPECT_DOUBLE_EQ(forward.precision.at(1), other->precision.at(1));
+    EXPECT_DOUBLE_EQ(forward.ndcg.at(1), other->ndcg.at(1));
+    EXPECT_NEAR(forward.recall.at(5), other->recall.at(5), 1e-12);
+    EXPECT_NEAR(forward.precision.at(5), other->precision.at(5), 1e-12);
+    EXPECT_NEAR(forward.ndcg.at(5), other->ndcg.at(5), 1e-12);
+  }
+}
+
+TEST(EvaluatorTest, SampledNegativesInvariantToThreadCount) {
+  const int32_t num_items = 120;
+  HashScoreModel model(num_items);
+  const std::vector<data::HeldOutUser> users = MakeDistinctUsers(9, num_items);
+
+  eval::EvalOptions opts;
+  opts.cutoffs = {5};
+  opts.num_sampled_negatives = 25;
+
+  ThreadPool::SetGlobalNumThreads(1);
+  const eval::EvalResult serial = eval::EvaluateRanking(model, users, opts);
+  for (int threads : {2, 4}) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    const eval::EvalResult parallel = eval::EvaluateRanking(model, users, opts);
+    // Per-user metrics are merged serially in user order, so this holds
+    // bitwise, not just approximately.
+    EXPECT_DOUBLE_EQ(serial.recall.at(5), parallel.recall.at(5));
+    EXPECT_DOUBLE_EQ(serial.precision.at(5), parallel.precision.at(5));
+    EXPECT_DOUBLE_EQ(serial.ndcg.at(5), parallel.ndcg.at(5));
+  }
+  ThreadPool::SetGlobalNumThreads(ThreadPool::DefaultNumThreads());
 }
 
 TEST(EvaluatorTest, ResultToStringIsPercentages) {

@@ -1,0 +1,242 @@
+// Locks down the determinism contract of the thread-pool rollout: every
+// parallelized kernel, the autograd backward passes built on them, and
+// EvaluateRanking must produce bitwise-identical results at thread counts
+// 1, 2 and 4 on fixed-seed inputs.
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "eval/evaluator.h"
+#include "tensor/tensor_ops.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace vsan {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 4};
+
+// Restores the default global pool after each test.
+class ParallelEquivalenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ThreadPool::SetGlobalNumThreads(ThreadPool::DefaultNumThreads());
+  }
+};
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (!a.SameShape(b)) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+// Runs `fn` once per thread count and asserts every result is bitwise
+// identical to the single-threaded one.
+void ExpectSameAcrossThreadCounts(const std::function<Tensor()>& fn,
+                                  const char* what) {
+  ThreadPool::SetGlobalNumThreads(1);
+  const Tensor serial = fn();
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    const Tensor parallel = fn();
+    EXPECT_TRUE(BitwiseEqual(serial, parallel))
+        << what << " differs at " << threads << " threads";
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, MatMul2DAllTransposeCombos) {
+  Rng rng(101);
+  // Odd sizes: not divisible by any tested thread count.
+  const Tensor a = Tensor::RandomNormal({33, 17}, &rng);
+  const Tensor b = Tensor::RandomNormal({17, 29}, &rng);
+  const Tensor at = Transpose2D(a);
+  const Tensor bt = Transpose2D(b);
+  ExpectSameAcrossThreadCounts([&] { return MatMul2D(a, b); }, "NN");
+  ExpectSameAcrossThreadCounts([&] { return MatMul2D(a, bt, false, true); },
+                               "NT");
+  ExpectSameAcrossThreadCounts([&] { return MatMul2D(at, b, true, false); },
+                               "TN");
+  ExpectSameAcrossThreadCounts([&] { return MatMul2D(at, bt, true, true); },
+                               "TT");
+}
+
+TEST_F(ParallelEquivalenceTest, MatMul2DLargeEnoughToActuallyShard) {
+  Rng rng(102);
+  const Tensor a = Tensor::RandomNormal({67, 64}, &rng);
+  const Tensor b = Tensor::RandomNormal({64, 61}, &rng);
+  ExpectSameAcrossThreadCounts([&] { return MatMul2D(a, b); }, "large NN");
+}
+
+TEST_F(ParallelEquivalenceTest, BatchedMatMul) {
+  Rng rng(103);
+  const Tensor a = Tensor::RandomNormal({5, 13, 9}, &rng);
+  const Tensor b = Tensor::RandomNormal({5, 9, 7}, &rng);
+  ExpectSameAcrossThreadCounts([&] { return BatchedMatMul(a, b); },
+                               "batched NN");
+  const Tensor bt = TransposeLast2(b);
+  ExpectSameAcrossThreadCounts(
+      [&] { return BatchedMatMul(a, bt, false, true); }, "batched NT");
+  const Tensor at = TransposeLast2(a);
+  ExpectSameAcrossThreadCounts(
+      [&] { return BatchedMatMul(at, b, true, false); }, "batched TN");
+}
+
+TEST_F(ParallelEquivalenceTest, BatchedMatMulBroadcast) {
+  Rng rng(104);
+  const Tensor a = Tensor::RandomNormal({3, 11, 8}, &rng);
+  const Tensor w = Tensor::RandomNormal({8, 19}, &rng);
+  ExpectSameAcrossThreadCounts([&] { return BatchedMatMulBroadcast(a, w); },
+                               "broadcast");
+  const Tensor wt = Transpose2D(w);
+  ExpectSameAcrossThreadCounts(
+      [&] { return BatchedMatMulBroadcast(a, wt, true); }, "broadcast T");
+}
+
+TEST_F(ParallelEquivalenceTest, AccumulateMatMul2D) {
+  Rng rng(105);
+  const Tensor a = Tensor::RandomNormal({21, 10}, &rng);
+  const Tensor g = Tensor::RandomNormal({21, 15}, &rng);
+  const Tensor init = Tensor::RandomNormal({10, 15}, &rng);
+  ExpectSameAcrossThreadCounts(
+      [&] {
+        Tensor out = init;  // accumulation on top of non-zero contents
+        AccumulateMatMul2D(a, g, /*trans_a=*/true, /*trans_b=*/false, &out);
+        return out;
+      },
+      "accumulate");
+}
+
+TEST_F(ParallelEquivalenceTest, SoftmaxLastDim) {
+  Rng rng(106);
+  const Tensor x = Tensor::RandomNormal({37, 257}, &rng);
+  ExpectSameAcrossThreadCounts([&] { return SoftmaxLastDim(x); }, "softmax");
+}
+
+TEST_F(ParallelEquivalenceTest, MatMulBackwardBitwiseAcrossThreadCounts) {
+  Rng rng(107);
+  const Tensor a0 = Tensor::RandomNormal({19, 12}, &rng);
+  const Tensor b0 = Tensor::RandomNormal({12, 23}, &rng);
+  auto grads = [&](Tensor* ga, Tensor* gb) {
+    Variable a(a0, /*requires_grad=*/true);
+    Variable b(b0, /*requires_grad=*/true);
+    Variable loss = ops::Mean(ops::MatMul(a, b));
+    loss.Backward();
+    *ga = a.grad();
+    *gb = b.grad();
+  };
+  ThreadPool::SetGlobalNumThreads(1);
+  Tensor ga_serial, gb_serial;
+  grads(&ga_serial, &gb_serial);
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    Tensor ga, gb;
+    grads(&ga, &gb);
+    EXPECT_TRUE(BitwiseEqual(ga_serial, ga)) << "dA at " << threads;
+    EXPECT_TRUE(BitwiseEqual(gb_serial, gb)) << "dB at " << threads;
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, MatMul2DGradcheckUnderPool) {
+  // Finite-difference check of the matmul backward while the pool is
+  // active: the analytic gradients must stay correct, not merely stable.
+  ThreadPool::SetGlobalNumThreads(4);
+  Rng rng(108);
+  const Tensor a = Tensor::RandomNormal({4, 3}, &rng);
+  const Tensor b = Tensor::RandomNormal({3, 5}, &rng);
+  testing::ExpectGradientsClose(
+      [](const std::vector<Variable>& vars) {
+        return ops::Mean(ops::MatMul(vars[0], vars[1]));
+      },
+      {a, b});
+}
+
+// Deterministic model: score of item i is a hash-like but fixed function of
+// i and the last fold-in item, so rankings are stable and user-specific.
+class FixedScoreModel : public SequentialRecommender {
+ public:
+  explicit FixedScoreModel(int32_t num_items) : num_items_(num_items) {}
+  std::string name() const override { return "FixedScore"; }
+  void Fit(const data::SequenceDataset&, const TrainOptions&) override {}
+  std::vector<float> Score(const std::vector<int32_t>& fold_in) const override {
+    std::vector<float> scores(num_items_ + 1, 0.0f);
+    const int32_t last = fold_in.back();
+    for (int32_t i = 1; i <= num_items_; ++i) {
+      scores[i] = static_cast<float>((i * 37 + last * 13) % 101);
+    }
+    return scores;
+  }
+
+ private:
+  int32_t num_items_;
+};
+
+std::vector<data::HeldOutUser> MakeUsers(int32_t count, int32_t num_items) {
+  Rng rng(2024);
+  std::vector<data::HeldOutUser> users(count);
+  for (int32_t u = 0; u < count; ++u) {
+    for (int i = 0; i < 6; ++i) {
+      users[u].fold_in.push_back(
+          static_cast<int32_t>(rng.UniformInt(1, num_items)));
+    }
+    for (int i = 0; i < 2; ++i) {
+      users[u].holdout.push_back(
+          static_cast<int32_t>(rng.UniformInt(1, num_items)));
+    }
+  }
+  return users;
+}
+
+TEST_F(ParallelEquivalenceTest, EvaluateRankingBitwiseAcrossThreadCounts) {
+  const int32_t num_items = 200;
+  FixedScoreModel model(num_items);
+  const std::vector<data::HeldOutUser> users = MakeUsers(17, num_items);
+
+  for (int32_t negatives : {0, 50}) {
+    eval::EvalOptions opts;
+    opts.cutoffs = {5, 10};
+    opts.num_sampled_negatives = negatives;
+
+    ThreadPool::SetGlobalNumThreads(1);
+    const eval::EvalResult serial = eval::EvaluateRanking(model, users, opts);
+    for (int threads : kThreadCounts) {
+      ThreadPool::SetGlobalNumThreads(threads);
+      const eval::EvalResult parallel =
+          eval::EvaluateRanking(model, users, opts);
+      for (int32_t n : opts.cutoffs) {
+        // Bitwise: the merge is serial in user order at every thread count.
+        EXPECT_DOUBLE_EQ(serial.precision.at(n), parallel.precision.at(n))
+            << "precision@" << n << " negatives=" << negatives << " threads="
+            << threads;
+        EXPECT_DOUBLE_EQ(serial.recall.at(n), parallel.recall.at(n))
+            << "recall@" << n;
+        EXPECT_DOUBLE_EQ(serial.ndcg.at(n), parallel.ndcg.at(n))
+            << "ndcg@" << n;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, ScoreBatchMatchesSerialScoring) {
+  const int32_t num_items = 50;
+  FixedScoreModel model(num_items);
+  std::vector<std::vector<int32_t>> fold_ins;
+  for (int32_t u = 1; u <= 9; ++u) fold_ins.push_back({u, u + 1});
+
+  const auto serial = ScoreBatch(model, fold_ins, /*parallel=*/false);
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    const auto parallel = ScoreBatch(model, fold_ins, /*parallel=*/true);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t u = 0; u < serial.size(); ++u) {
+      EXPECT_EQ(parallel[u], serial[u]) << "user " << u;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsan

@@ -1,0 +1,199 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vsan {
+namespace {
+
+// Runs fn over [begin, end) on `pool` and returns per-index visit counts.
+std::vector<int> VisitCounts(ThreadPool* pool, int64_t begin, int64_t end,
+                             int64_t grain) {
+  std::vector<std::atomic<int>> counts(end > begin ? end - begin : 0);
+  for (auto& c : counts) c = 0;
+  pool->ParallelFor(begin, end, grain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++counts[i - begin];
+  });
+  std::vector<int> out;
+  out.reserve(counts.size());
+  for (auto& c : counts) out.push_back(c.load());
+  return out;
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool neg(-3);
+  EXPECT_EQ(neg.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerLifecycleAcrossManyCalls) {
+  // Workers start once, serve many ParallelFor calls, and join cleanly at
+  // scope exit (the test would hang or crash otherwise).
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 100, 1, [&](int64_t b, int64_t e) {
+      int64_t local = 0;
+      for (int64_t i = b; i < e; ++i) local += i;
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  // Range not divisible by the thread count, non-zero begin.
+  EXPECT_EQ(VisitCounts(&pool, 3, 3 + 10, 1), std::vector<int>(10, 1));
+  // Divisible range.
+  EXPECT_EQ(VisitCounts(&pool, 0, 8, 1), std::vector<int>(8, 1));
+  // Single element.
+  EXPECT_EQ(VisitCounts(&pool, 0, 1, 1), std::vector<int>(1, 1));
+}
+
+TEST(ThreadPoolTest, RangeSmallerThanGrainRunsSerialOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::pair<int64_t, int64_t>> shards;
+  std::vector<std::thread::id> ids;
+  std::mutex mu;
+  pool.ParallelFor(0, 7, 16, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    shards.emplace_back(b, e);
+    ids.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0].first, 0);
+  EXPECT_EQ(shards[0].second, 7);
+  EXPECT_EQ(ids[0], caller);
+}
+
+TEST(ThreadPoolTest, ShardsAreContiguousAndRespectGrain) {
+  ThreadPool pool(4);
+  std::vector<std::pair<int64_t, int64_t>> shards;
+  std::mutex mu;
+  // Range 10, grain 3: at most floor(10/3) = 3 shards, each >= 3 long.
+  pool.ParallelFor(0, 10, 3, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    shards.emplace_back(b, e);
+  });
+  ASSERT_LE(shards.size(), 3u);
+  std::sort(shards.begin(), shards.end());
+  int64_t expected_begin = 0;
+  for (const auto& [b, e] : shards) {
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_GE(e - b, 3);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, 10);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsEverythingOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  pool.ParallelFor(0, 1000, 1, [&](int64_t b, int64_t e) {
+    (void)b;
+    (void)e;
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(ids, std::set<std::thread::id>{caller});
+}
+
+TEST(ThreadPoolTest, NestedParallelForFallsBackToSerial) {
+  ThreadPool pool(4);
+  std::atomic<int> outer_shards{0};
+  std::atomic<bool> nested_escaped{false};
+  pool.ParallelFor(0, 4, 1, [&](int64_t, int64_t) {
+    ++outer_shards;
+    const std::thread::id self = std::this_thread::get_id();
+    // The nested call must run its (single) shard on this same thread.
+    pool.ParallelFor(0, 100, 1, [&](int64_t b, int64_t e) {
+      EXPECT_EQ(e - b, 100);
+      if (std::this_thread::get_id() != self) nested_escaped = true;
+    });
+  });
+  EXPECT_GT(outer_shards.load(), 1);
+  EXPECT_FALSE(nested_escaped.load());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100, 1,
+                                [](int64_t b, int64_t) {
+                                  if (b == 0) {
+                                    throw std::runtime_error("shard failed");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool survives a throwing task and keeps serving work.
+  EXPECT_EQ(VisitCounts(&pool, 0, 20, 1), std::vector<int>(20, 1));
+}
+
+TEST(ThreadPoolTest, ExceptionFromWorkerShardPropagates) {
+  ThreadPool pool(4);
+  // Throw from every shard so worker-executed shards (not just the
+  // caller's) are guaranteed to hit the error path.
+  EXPECT_THROW(pool.ParallelFor(0, 4, 1,
+                                [](int64_t, int64_t) {
+                                  throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, EnvVarOverridesDefaultThreadCount) {
+  ASSERT_EQ(setenv("VSAN_NUM_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3);
+  ASSERT_EQ(setenv("VSAN_NUM_THREADS", "1", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 1);
+  ASSERT_EQ(unsetenv("VSAN_NUM_THREADS"), 0);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST(ThreadPoolTest, NumThreadsOneForcesSerialExecution) {
+  ASSERT_EQ(setenv("VSAN_NUM_THREADS", "1", 1), 0);
+  ThreadPool pool(ThreadPool::DefaultNumThreads());
+  EXPECT_EQ(pool.num_threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> escaped{false};
+  pool.ParallelFor(0, 256, 1, [&](int64_t, int64_t) {
+    if (std::this_thread::get_id() != caller) escaped = true;
+  });
+  EXPECT_FALSE(escaped.load());
+  ASSERT_EQ(unsetenv("VSAN_NUM_THREADS"), 0);
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizable) {
+  ThreadPool::SetGlobalNumThreads(2);
+  EXPECT_EQ(ThreadPool::Global()->num_threads(), 2);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 10, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 45);
+  ThreadPool::SetGlobalNumThreads(ThreadPool::DefaultNumThreads());
+}
+
+}  // namespace
+}  // namespace vsan
