@@ -26,15 +26,23 @@ void Adam::Step() {
       m_[i] = Tensor(w.shape());
       v_[i] = Tensor(w.shape());
     }
-    Tensor& m = m_[i];
-    Tensor& v = v_[i];
-    for (int64_t j = 0; j < w.numel(); ++j) {
-      const float grad = g[j] + options_.weight_decay * w[j];
-      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * grad;
-      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * grad * grad;
-      const float m_hat = m[j] / bc1;
-      const float v_hat = v[j] / bc2;
-      w[j] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    // Raw-pointer loop (not Tensor::operator[], which is an out-of-line
+    // call) so the update vectorizes; one fused sweep over w/m/v/g.
+    const float* gp = g.data();
+    float* wp = w.data();
+    float* mp = m_[i].data();
+    float* vp = v_[i].data();
+    const int64_t count = w.numel();
+    const float b1 = options_.beta1, b2 = options_.beta2;
+    const float wd = options_.weight_decay, lr = options_.lr;
+    const float eps = options_.eps;
+    for (int64_t j = 0; j < count; ++j) {
+      const float grad = gp[j] + wd * wp[j];
+      mp[j] = b1 * mp[j] + (1.0f - b1) * grad;
+      vp[j] = b2 * vp[j] + (1.0f - b2) * grad * grad;
+      const float m_hat = mp[j] / bc1;
+      const float v_hat = vp[j] / bc2;
+      wp[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
     }
   }
 }

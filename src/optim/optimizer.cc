@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/tensor_ops.h"
+
 namespace vsan {
 namespace optim {
 
@@ -17,8 +19,10 @@ float Optimizer::ClipGradNorm(float max_norm) {
   for (const Variable& p : params_) {
     if (!p.has_grad()) continue;
     const Tensor& g = p.grad();
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      sq += static_cast<double>(g[i]) * g[i];
+    const float* gp = g.data();
+    const int64_t count = g.numel();
+    for (int64_t i = 0; i < count; ++i) {
+      sq += static_cast<double>(gp[i]) * gp[i];
     }
   }
   const float norm = static_cast<float>(std::sqrt(sq));
@@ -26,8 +30,7 @@ float Optimizer::ClipGradNorm(float max_norm) {
     const float scale = max_norm / norm;
     for (Variable& p : params_) {
       if (!p.has_grad()) continue;
-      Tensor& g = p.mutable_grad();
-      for (int64_t i = 0; i < g.numel(); ++i) g[i] *= scale;
+      ApplyInPlace(&p.mutable_grad(), [scale](float g) { return g * scale; });
     }
   }
   return norm;

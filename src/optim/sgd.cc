@@ -1,5 +1,7 @@
 #include "optim/sgd.h"
 
+#include "tensor/tensor_ops.h"
+
 namespace vsan {
 namespace optim {
 
@@ -9,6 +11,8 @@ Sgd::Sgd(std::vector<Variable> params, const Options& options)
 }
 
 void Sgd::Step() {
+  const float lr = options_.lr;
+  const float wd = options_.weight_decay;
   for (size_t i = 0; i < params_.size(); ++i) {
     Variable& p = params_[i];
     if (!p.has_grad()) continue;
@@ -16,17 +20,22 @@ void Sgd::Step() {
     Tensor& w = p.mutable_value();
     if (options_.momentum > 0.0f) {
       if (velocity_[i].numel() == 0) velocity_[i] = Tensor(w.shape());
-      Tensor& v = velocity_[i];
-      for (int64_t j = 0; j < w.numel(); ++j) {
-        const float grad = g[j] + options_.weight_decay * w[j];
-        v[j] = options_.momentum * v[j] + grad;
-        w[j] -= options_.lr * v[j];
+      // Three-array sweep: raw pointers so the loop vectorizes.
+      const float momentum = options_.momentum;
+      const float* gp = g.data();
+      float* wp = w.data();
+      float* vp = velocity_[i].data();
+      const int64_t count = w.numel();
+      for (int64_t j = 0; j < count; ++j) {
+        const float grad = gp[j] + wd * wp[j];
+        vp[j] = momentum * vp[j] + grad;
+        wp[j] -= lr * vp[j];
       }
     } else {
-      for (int64_t j = 0; j < w.numel(); ++j) {
-        const float grad = g[j] + options_.weight_decay * w[j];
-        w[j] -= options_.lr * grad;
-      }
+      ZipInPlace(&w, g,
+                 [lr, wd](float w_j, float g_j) {
+                   return w_j - lr * (g_j + wd * w_j);
+                 });
     }
   }
 }

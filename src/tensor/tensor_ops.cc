@@ -3,84 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/gemm.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace vsan {
 namespace {
 
-// Minimum per-shard work (inner-loop multiply-adds) before a kernel loop is
-// worth distributing over the pool; below it the row range runs serially.
+// Minimum per-shard work before a row loop is worth distributing over the
+// pool (mirrors the GEMM grain in tensor/gemm.cc).
 constexpr int64_t kParallelGrainFlops = 1 << 14;
-
-// Rows of C per ParallelFor shard for a GEMM whose per-row cost is n * k.
-int64_t GemmRowGrain(int64_t n, int64_t k) {
-  return std::max<int64_t>(1, kParallelGrainFlops / std::max<int64_t>(1, n * k));
-}
-
-// Accumulates rows [row_begin, row_end) of C += op(A) * op(B) on raw
-// row-major buffers.
-//   op(A) is [m, k]: A is [m, k] when !trans_a, [k, m] when trans_a.
-//   op(B) is [k, n]: B is [k, n] when !trans_b, [n, k] when trans_b.
-// Every element of C is produced by exactly one call with a fixed
-// accumulation order over p, so splitting the row range across threads is
-// bitwise-identical to one serial sweep.  The loop orders keep the
-// innermost loop contiguous in memory for the NN, NT and TN cases (the
-// ones training actually hits).
-void GemmRows(const float* a, const float* b, float* c, int64_t m, int64_t n,
-              int64_t k, bool trans_a, bool trans_b, int64_t row_begin,
-              int64_t row_end) {
-  if (!trans_a && !trans_b) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      float* c_row = c + i * n;
-      const float* a_row = a + i * k;
-      for (int64_t p = 0; p < k; ++p) {
-        const float a_ip = a_row[p];
-        const float* b_row = b + p * n;
-        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
-      }
-    }
-  } else if (!trans_a && trans_b) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      const float* a_row = a + i * k;
-      float* c_row = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* b_row = b + j * k;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-        c_row[j] += acc;
-      }
-    }
-  } else if (trans_a && !trans_b) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      float* c_row = c + i * n;
-      for (int64_t p = 0; p < k; ++p) {
-        const float a_pi = a[p * m + i];
-        const float* b_row = b + p * n;
-        for (int64_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
-      }
-    }
-  } else {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      float* c_row = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * b[j * k + p];
-        c_row[j] += acc;
-      }
-    }
-  }
-}
-
-// Full C += op(A) * op(B), distributed over output rows.  Row shards are
-// disjoint, so this is race-free and (per GemmRows) deterministic.
-void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
-          int64_t k, bool trans_a, bool trans_b) {
-  ParallelFor(0, m, GemmRowGrain(n, k),
-              [=](int64_t begin, int64_t end) {
-                GemmRows(a, b, c, m, n, k, trans_a, trans_b, begin, end);
-              });
-}
 
 struct GemmDims {
   int64_t m, n, k;
@@ -117,28 +49,9 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a,
   const GemmDims d =
       CheckGemmDims(a.dim(1), a.dim(2), b.dim(1), b.dim(2), trans_a, trans_b);
   Tensor c({batch, d.m, d.n});
-  const int64_t a_stride = a.dim(1) * a.dim(2);
-  const int64_t b_stride = b.dim(1) * b.dim(2);
-  const int64_t c_stride = d.m * d.n;
-  // Partition the flattened (batch, row) space so small batches of large
-  // matrices still spread across the pool; a shard covering rows
-  // [r0, r1) of the flat space maps back to per-batch row ranges.
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  const int64_t m = d.m, n = d.n, k = d.k;
-  ParallelFor(0, batch * m, GemmRowGrain(n, k),
-              [=](int64_t r0, int64_t r1) {
-                for (int64_t r = r0; r < r1;) {
-                  const int64_t bi = r / m;
-                  const int64_t row0 = r - bi * m;
-                  const int64_t row1 = std::min<int64_t>(m, row0 + (r1 - r));
-                  GemmRows(pa + bi * a_stride, pb + bi * b_stride,
-                           pc + bi * c_stride, m, n, k, trans_a, trans_b,
-                           row0, row1);
-                  r += row1 - row0;
-                }
-              });
+  BatchedGemm(a.data(), b.data(), c.data(), batch, a.dim(1) * a.dim(2),
+              b.dim(1) * b.dim(2), d.m * d.n, d.m, d.n, d.k, trans_a,
+              trans_b);
   return c;
 }
 
@@ -230,11 +143,8 @@ void Axpy(float scale, const Tensor& x, Tensor* out) {
   for (int64_t i = 0; i < x.numel(); ++i) po[i] += scale * px[i];
 }
 
-Tensor Apply(const Tensor& x, const std::function<float(float)>& f) {
-  Tensor out = x;
-  float* po = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) po[i] = f(po[i]);
-  return out;
+void CheckSameShapeForZip(const Tensor& a, const Tensor& b) {
+  VSAN_CHECK(a.SameShape(b));
 }
 
 Tensor Transpose2D(const Tensor& x) {
@@ -263,7 +173,13 @@ Tensor SoftmaxLastDim(const Tensor& x) {
   const int64_t rows = x.numel() / n;
   Tensor out = x;
   float* po = out.data();
-  // Rows are independent, so sharding them is bitwise-deterministic.
+  // Rows are independent, so sharding them is bitwise-deterministic.  Per
+  // row the kernel makes two sweeps over memory: a max reduction, then a
+  // fused exp/sum/normalize pass (the trailing rescale revisits the
+  // just-written row, which is L1-resident at the row lengths this library
+  // sees, so it costs registers and cache bandwidth, not memory traffic).
+  // A true single-visit normalize (online softmax) would double the
+  // std::exp count — the dominant cost — and was rejected.
   const int64_t grain =
       std::max<int64_t>(1, kParallelGrainFlops / std::max<int64_t>(1, n));
   ParallelFor(0, rows, grain, [=](int64_t r0, int64_t r1) {
@@ -273,8 +189,9 @@ Tensor SoftmaxLastDim(const Tensor& x) {
       for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
       double sum = 0.0;
       for (int64_t j = 0; j < n; ++j) {
-        row[j] = std::exp(row[j] - max_v);
-        sum += row[j];
+        const float e = std::exp(row[j] - max_v);
+        row[j] = e;
+        sum += e;
       }
       const float inv = static_cast<float>(1.0 / sum);
       for (int64_t j = 0; j < n; ++j) row[j] *= inv;

@@ -1,21 +1,28 @@
 #ifndef VSAN_TENSOR_TENSOR_OPS_H_
 #define VSAN_TENSOR_TENSOR_OPS_H_
 
-#include <functional>
-
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 // Raw (non-differentiable) kernels on Tensor.  The autograd ops build their
 // forward and backward passes out of these; they are also benchmarked
 // directly in bench_micro_ops.
 //
-// Threading: the GEMM family and SoftmaxLastDim distribute disjoint output
-// rows over the global ThreadPool (util/thread_pool.h, VSAN_NUM_THREADS).
-// Each output element is produced by exactly one thread with a fixed
+// Threading: the GEMM family (backed by the blocked kernel in
+// tensor/gemm.h) and SoftmaxLastDim distribute disjoint output blocks/rows
+// over the global ThreadPool (util/thread_pool.h, VSAN_NUM_THREADS).  Each
+// output element is produced by exactly one thread with a fixed
 // accumulation order, so results are bitwise-identical at every thread
 // count (locked down by tests/parallel_equivalence_test.cc).  Calls made
 // from inside a ParallelFor shard run serially, so kernels compose safely
 // with outer parallel loops such as eval::EvaluateRanking.
+//
+// Elementwise mapping: Apply and friends are templates over the functor (a
+// lambda inlines into the loop), not std::function — the earlier
+// std::function-based Apply cost an indirect call per element and blocked
+// vectorization, so hot elementwise paths (activations in
+// autograd/ops_activation.cc, the optimizer update loops in src/optim/)
+// were migrated to these templates or to raw pointer loops.
 
 namespace vsan {
 
@@ -51,8 +58,37 @@ Tensor MulScalar(const Tensor& a, float s);
 Tensor AddBiasLastDim(const Tensor& x, const Tensor& bias);
 // out += scale * x (same shapes).
 void Axpy(float scale, const Tensor& x, Tensor* out);
-// Applies `f` to every element.
-Tensor Apply(const Tensor& x, const std::function<float(float)>& f);
+
+// Returns a copy of x with `f` (any callable float -> float; inlined, so
+// prefer a lambda over std::function) applied to every element.
+template <typename F>
+Tensor Apply(const Tensor& x, F&& f) {
+  Tensor out = x;
+  float* po = out.data();
+  const int64_t count = out.numel();
+  for (int64_t i = 0; i < count; ++i) po[i] = f(po[i]);
+  return out;
+}
+
+// In-place variant: x[i] = f(x[i]).
+template <typename F>
+void ApplyInPlace(Tensor* x, F&& f) {
+  float* px = x->data();
+  const int64_t count = x->numel();
+  for (int64_t i = 0; i < count; ++i) px[i] = f(px[i]);
+}
+
+// Binary in-place map over same-shape tensors: out[i] = f(out[i], b[i]).
+// The shape check lives in the .cc so this header stays logging-free.
+void CheckSameShapeForZip(const Tensor& a, const Tensor& b);
+template <typename F>
+void ZipInPlace(Tensor* out, const Tensor& b, F&& f) {
+  CheckSameShapeForZip(*out, b);
+  float* po = out->data();
+  const float* pb = b.data();
+  const int64_t count = out->numel();
+  for (int64_t i = 0; i < count; ++i) po[i] = f(po[i], pb[i]);
+}
 
 // --- Structured ------------------------------------------------------------
 

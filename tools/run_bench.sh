@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness: builds the tree in Release mode, runs the
+# kernel (bench_micro_ops) and end-to-end (bench_micro_train) suites, and
+# distills the google-benchmark JSON into BENCH_micro.json at the repo root
+# — one record per benchmark with op, shape, threads, ns/iter and GFLOP/s
+# (GFLOP/s only for the GEMM family, where items_processed counts
+# multiply-adds, i.e. FLOPs = 2 * items).
+#
+# Usage:
+#   tools/run_bench.sh [build_dir] [benchmark_filter]
+#
+# Compare the emitted file against a checked-in BENCH_micro.json from before
+# a kernel change to spot regressions; the 256^3 single-thread MatMul2D row
+# is the headline number the blocked GEMM is tuned against.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+FILTER="${2:-}"
+OUT="$REPO_ROOT/BENCH_micro.json"
+
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target bench_micro_ops bench_micro_train
+
+OPS_JSON="$(mktemp)"
+TRAIN_JSON="$(mktemp)"
+trap 'rm -f "$OPS_JSON" "$TRAIN_JSON"' EXIT
+
+BENCH_ARGS=(--benchmark_format=json)
+if [[ -n "$FILTER" ]]; then
+  BENCH_ARGS+=("--benchmark_filter=$FILTER")
+fi
+
+"$BUILD_DIR/bench/bench_micro_ops" "${BENCH_ARGS[@]}" > "$OPS_JSON"
+"$BUILD_DIR/bench/bench_micro_train" "${BENCH_ARGS[@]}" > "$TRAIN_JSON"
+
+python3 - "$OPS_JSON" "$TRAIN_JSON" "$OUT" <<'PY'
+import json
+import sys
+
+# Benchmarks whose last argument is the thread-pool size (the ThreadCounts()
+# sweep in bench/*.cc).  Everything else is single-thread.
+THREADED = {
+    "BM_MatMul2D", "BM_MatMul2DTransposed", "BM_BatchedMatMul",
+    "BM_SoftmaxLastDim", "BM_AttentionBlockForward",
+    "BM_VsanTrainEpoch_SeqLen", "BM_VsanTrainEpoch_Dim",
+    "BM_SasRecTrainEpoch_SeqLen", "BM_Gru4RecTrainEpoch_SeqLen",
+    "BM_EvaluateRanking",
+}
+# GEMM-family benchmarks: items_processed counts multiply-adds, so
+# FLOPs/s = 2 * items/s.
+GEMM_OPS = {
+    "BM_MatMul2D", "BM_MatMul2DTransposed", "BM_MatMul2DBlockSweep",
+    "BM_BatchedMatMul",
+}
+
+records = []
+context = None
+for path in sys.argv[1:3]:
+    with open(path) as f:
+        data = json.load(f)
+    if context is None:
+        context = {
+            "date": data["context"].get("date"),
+            "num_cpus": data["context"].get("num_cpus"),
+            "mhz_per_cpu": data["context"].get("mhz_per_cpu"),
+            # How the google-benchmark library itself was built (the
+            # project is always built Release by this script).
+            "benchmark_library_build_type":
+                data["context"].get("library_build_type"),
+        }
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        parts = b["name"].split("/")
+        op, args = parts[0], parts[1:]
+        if op in THREADED and args:
+            threads = int(args[-1])
+            shape = "x".join(args[:-1]) or "-"
+        elif op == "BM_MatMul2DBlockSweep":
+            threads = 1
+            shape = "256x256x256 mc={} nc={} kc={}".format(*args)
+        else:
+            threads = 1
+            shape = "x".join(args) or "-"
+        unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+        rec = {
+            "op": op,
+            "shape": shape,
+            "threads": threads,
+            "ns_per_iter": round(
+                b["real_time"] * unit_ns[b.get("time_unit", "ns")], 1),
+        }
+        if op in GEMM_OPS and "items_per_second" in b:
+            rec["gflops"] = round(2.0 * b["items_per_second"] / 1e9, 2)
+        records.append(rec)
+
+with open(sys.argv[3], "w") as f:
+    json.dump({"context": context, "benchmarks": records}, f, indent=1)
+    f.write("\n")
+print(f"wrote {sys.argv[3]} ({len(records)} records)")
+PY
