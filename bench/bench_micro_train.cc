@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,6 +22,8 @@
 #include "data/synthetic.h"
 #include "models/gru4rec.h"
 #include "models/sasrec.h"
+#include "obs/trace.h"
+#include "util/env.h"
 #include "util/thread_pool.h"
 
 namespace vsan {
@@ -124,4 +128,23 @@ BENCHMARK(BM_Gru4RecTrainEpoch_SeqLen)
 }  // namespace
 }  // namespace vsan
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus an optional span-trace capture: with VSAN_TRACE_OUT
+// set, a tracer session wraps the benchmark run and the collected spans are
+// exported as Chrome-trace JSON to that path (tools/run_bench.sh --trace
+// summarizes it with trace_summary for CI diffing).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::string trace_out = vsan::GetEnvString("VSAN_TRACE_OUT", "");
+  if (!trace_out.empty()) vsan::obs::Tracer::Global().StartSession({});
+  benchmark::RunSpecifiedBenchmarks();
+  if (!trace_out.empty()) {
+    vsan::obs::Tracer::Global().StopSession();
+    if (!vsan::obs::ExportChromeTrace(trace_out)) {
+      std::cerr << "error: cannot write VSAN_TRACE_OUT=" << trace_out << "\n";
+      return 1;
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

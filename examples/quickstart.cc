@@ -45,8 +45,8 @@ int main() {
   TrainOptions train_cfg;
   train_cfg.epochs = 10;
   train_cfg.batch_size = 64;
-  train_cfg.epoch_callback = [](int32_t epoch, double loss) {
-    std::cout << "epoch " << epoch << "  loss " << loss << "\n";
+  train_cfg.epoch_callback = [](const EpochStats& stats) {
+    std::cout << "epoch " << stats.epoch << "  loss " << stats.loss << "\n";
   };
   model.Fit(split.train, train_cfg);
 

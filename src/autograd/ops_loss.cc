@@ -1,6 +1,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -13,6 +14,7 @@ using autograd::Node;
 Variable SoftmaxCrossEntropy(const Variable& logits,
                              const std::vector<int32_t>& targets,
                              int32_t ignore_index) {
+  VSAN_TRACE_SPAN("ops/softmax_xent", kAutograd);
   const Tensor& lv = logits.value();
   VSAN_CHECK_EQ(lv.ndim(), 2);
   const int64_t rows = lv.dim(0);
@@ -56,6 +58,7 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
 
 Variable MultiLabelSoftmaxCrossEntropy(
     const Variable& logits, const std::vector<std::vector<int32_t>>& targets) {
+  VSAN_TRACE_SPAN("ops/multilabel_xent", kAutograd);
   const Tensor& lv = logits.value();
   VSAN_CHECK_EQ(lv.ndim(), 2);
   const int64_t rows = lv.dim(0);
@@ -157,6 +160,7 @@ Variable SampledBinaryCrossEntropy(
 
 Variable KlStandardNormal(const Variable& mu, const Variable& logvar,
                           const std::vector<float>& row_mask) {
+  VSAN_TRACE_SPAN("ops/kl_standard_normal", kAutograd);
   const Tensor& mv = mu.value();
   const Tensor& lv = logvar.value();
   VSAN_CHECK(mv.SameShape(lv));

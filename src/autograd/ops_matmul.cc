@@ -1,4 +1,5 @@
 #include "autograd/ops.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -65,6 +66,7 @@ void BackwardBroadcast(Node* self, const Tensor& a, const Tensor& w) {
 }  // namespace
 
 Variable MatMul(const Variable& a, const Variable& b) {
+  VSAN_TRACE_SPAN("ops/matmul", kAutograd);
   const Tensor& av = a.value();
   const Tensor& bv = b.value();
   if (av.ndim() == 2 && bv.ndim() == 2) {

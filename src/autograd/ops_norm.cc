@@ -1,6 +1,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -12,6 +13,7 @@ using autograd::Node;
 
 Variable LayerNorm(const Variable& x, const Variable& gamma,
                    const Variable& beta, float eps) {
+  VSAN_TRACE_SPAN("ops/layer_norm", kAutograd);
   const Tensor& xv = x.value();
   const int64_t n = xv.dim(xv.ndim() - 1);
   VSAN_CHECK_EQ(gamma.value().ndim(), 1);

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -84,6 +85,7 @@ bool Variable::requires_grad() const {
 }
 
 void Variable::Backward() {
+  VSAN_TRACE_SPAN("autograd/backward", kAutograd);
   VSAN_CHECK(defined());
   VSAN_CHECK_EQ(node_->value.numel(), 1)
       << "Backward() requires a scalar root";
@@ -119,7 +121,13 @@ void Variable::Backward() {
   // back (root first).
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     Node* n = *it;
-    if (n->backward_fn && n->has_grad) n->backward_fn(n);
+    if (n->backward_fn && n->has_grad) {
+#if VSAN_OBS_ENABLED
+      // n->op is a static string literal, as SpanEvent::name requires.
+      obs::ScopedSpan span(n->op, obs::SpanCategory::kAutograd);
+#endif
+      n->backward_fn(n);
+    }
   }
 }
 

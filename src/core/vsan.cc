@@ -7,10 +7,13 @@
 
 #include "autograd/ops.h"
 #include "data/batcher.h"
+#include "models/epoch_report.h"
 #include "nn/serialize.h"
+#include "obs/trace.h"
 #include "optim/adam.h"
 #include "optim/lr_schedule.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace vsan {
@@ -186,14 +189,32 @@ void Vsan::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
 
   int64_t step = 0;
   for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    VSAN_TRACE_SPAN("train/epoch", kTrain);
+    Stopwatch epoch_timer;
     batcher.NewEpoch();
     double loss_sum = 0.0;
+    double recon_sum = 0.0;
+    double kl_sum = 0.0;
+    double grad_norm_sum = 0.0;
+    float last_beta = config_.use_latent
+                          ? (config_.fixed_beta >= 0.0f ? config_.fixed_beta
+                                                        : 0.0f)
+                          : 0.0f;
+    float last_lr = optimizer.learning_rate();
     int64_t batches = 0;
     data::TrainBatch batch;
     while (batcher.NextBatch(&batch)) {
+      VSAN_TRACE_SPAN("train/step", kTrain);
       if (opts.lr_schedule != nullptr) {
         optimizer.set_learning_rate(opts.lr_schedule->LearningRate(step));
       }
+      last_lr = optimizer.learning_rate();
+#if VSAN_OBS_ENABLED
+      // The forward pass spans several statements, so it is timed with an
+      // explicit RecordSpan instead of a scoped one.
+      obs::Tracer& tracer = obs::Tracer::Global();
+      const int64_t fwd_start = tracer.enabled() ? tracer.NowNs() : -1;
+#endif
       Net::Outputs out = net_->Forward(batch.inputs, batch.batch_size, &rng_);
       Variable flat_hidden = ops::Reshape(
           out.hidden, {batch.batch_size * batch.seq_len, config_.d});
@@ -235,25 +256,52 @@ void Vsan::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
                                         static_cast<float>(config_.anneal_steps))
                      : config_.beta_max;
         }
+        last_beta = beta;
+        kl_sum += kl.value()[0];
         loss = ops::Add(recon, ops::Scale(kl, beta));
       }
+      recon_sum += recon.value()[0];
+#if VSAN_OBS_ENABLED
+      if (fwd_start >= 0) {
+        tracer.RecordSpan("train/forward", obs::SpanCategory::kTrain,
+                          fwd_start, tracer.NowNs() - fwd_start);
+      }
+#endif
 
       optimizer.ZeroGrad();
-      loss.Backward();
-      if (opts.grad_clip_norm > 0.0f) {
-        optimizer.ClipGradNorm(opts.grad_clip_norm);
+      {
+        VSAN_TRACE_SPAN("train/backward", kTrain);
+        loss.Backward();
       }
-      optimizer.Step();
+      {
+        VSAN_TRACE_SPAN("train/optimizer", kTrain);
+        if (opts.grad_clip_norm > 0.0f) {
+          grad_norm_sum += optimizer.ClipGradNorm(opts.grad_clip_norm);
+        }
+        optimizer.Step();
+      }
       loss_sum += loss.value()[0];
       ++batches;
       ++step;
     }
-    if (opts.epoch_callback && batches > 0) {
-      opts.epoch_callback(epoch, loss_sum / batches);
+    if (batches == 0) continue;
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss_sum / batches;
+    stats.wall_ms = epoch_timer.ElapsedMillis();
+    stats.batches = batches;
+    if (opts.grad_clip_norm > 0.0f) stats.grad_norm = grad_norm_sum / batches;
+    stats.learning_rate = last_lr;
+    std::vector<std::pair<std::string, double>> extras;
+    extras.emplace_back("recon", recon_sum / batches);
+    if (config_.use_latent) {
+      extras.emplace_back("kl", kl_sum / batches);
+      extras.emplace_back("beta", static_cast<double>(last_beta));
     }
-    if (opts.verbose && batches > 0) {
+    models::ReportEpoch(opts, stats, step, std::move(extras));
+    if (opts.verbose) {
       VSAN_LOG_INFO << name() << " epoch " << epoch << " loss "
-                    << FormatDouble(loss_sum / batches, 4);
+                    << FormatDouble(stats.loss, 4);
     }
   }
   net_->SetTraining(false);

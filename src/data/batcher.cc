@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace vsan {
@@ -71,6 +72,7 @@ void SequenceBatcher::FillRow(int32_t user, int64_t row,
 }
 
 bool SequenceBatcher::NextBatch(TrainBatch* batch) {
+  VSAN_TRACE_SPAN("data/next_batch", kData);
   if (cursor_ >= num_training_users()) return false;
   const int64_t n = options_.max_len;
   const int64_t rows =

@@ -4,8 +4,11 @@
 #include <unordered_set>
 
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -46,6 +49,9 @@ std::string EvalResult::ToString() const {
 EvalResult EvaluateRanking(const SequentialRecommender& model,
                            const std::vector<data::HeldOutUser>& users,
                            const EvalOptions& options) {
+  VSAN_TRACE_SPAN("eval/evaluate_ranking", kEval);
+  obs::Histogram* score_hist = obs::MetricsRegistry::Global().GetHistogram(
+      "eval.user_score_us", obs::ExponentialBuckets(1.0, 2.0, 22));
   VSAN_CHECK(!users.empty());
   VSAN_CHECK(!options.cutoffs.empty());
   const int32_t max_cutoff =
@@ -69,7 +75,12 @@ EvalResult EvaluateRanking(const SequentialRecommender& model,
     for (int64_t ui = user_begin; ui < user_end; ++ui) {
       const data::HeldOutUser& user = users[ui];
       if (user.holdout.empty() || user.fold_in.empty()) continue;
-      std::vector<float> scores = model.Score(user.fold_in);
+      Stopwatch score_timer;
+      std::vector<float> scores = [&] {
+        VSAN_TRACE_SPAN("eval/score_user", kEval);
+        return model.Score(user.fold_in);
+      }();
+      score_hist->Observe(score_timer.ElapsedNanos() * 1e-3);
       VSAN_CHECK_GE(scores.size(), 2u);
 
       std::vector<bool> excluded(scores.size(), false);

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "models/epoch_report.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace vsan {
 namespace models {
@@ -58,7 +61,10 @@ void Bpr::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
   const float lr = opts.learning_rate;
   const float reg = config_.l2_reg;
 
+  int64_t step = 0;
   for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    VSAN_TRACE_SPAN("train/epoch", kTrain);
+    Stopwatch epoch_timer;
     double loss_sum = 0.0;
     for (int64_t s = 0; s < samples_per_epoch; ++s) {
       const int32_t u = users[rng.UniformInt(users.size())];
@@ -101,9 +107,14 @@ void Bpr::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
         }
       }
     }
-    if (opts.epoch_callback) {
-      opts.epoch_callback(epoch, loss_sum / samples_per_epoch);
-    }
+    step += samples_per_epoch;
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss_sum / samples_per_epoch;
+    stats.wall_ms = epoch_timer.ElapsedMillis();
+    stats.batches = samples_per_epoch;
+    stats.learning_rate = lr;
+    ReportEpoch(opts, stats, step);
   }
 }
 

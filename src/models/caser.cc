@@ -4,8 +4,11 @@
 
 #include "autograd/ops.h"
 #include "data/batcher.h"
+#include "models/epoch_report.h"
+#include "obs/trace.h"
 #include "optim/adam.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace vsan {
 namespace models {
@@ -62,9 +65,13 @@ void Caser::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
 
   Rng shuffle_rng(opts.seed + 1);
   const int64_t L = config_.window;
+  int64_t step = 0;
   for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    VSAN_TRACE_SPAN("train/epoch", kTrain);
+    Stopwatch epoch_timer;
     shuffle_rng.Shuffle(&instances);
     double loss_sum = 0.0;
+    double grad_norm_sum = 0.0;
     int64_t batches = 0;
     for (size_t begin = 0; begin < instances.size();
          begin += opts.batch_size) {
@@ -91,15 +98,22 @@ void Caser::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
       optimizer.ZeroGrad();
       loss.Backward();
       if (opts.grad_clip_norm > 0.0f) {
-        optimizer.ClipGradNorm(opts.grad_clip_norm);
+        grad_norm_sum += optimizer.ClipGradNorm(opts.grad_clip_norm);
       }
       optimizer.Step();
       loss_sum += loss.value()[0];
       ++batches;
+      ++step;
     }
-    if (opts.epoch_callback && batches > 0) {
-      opts.epoch_callback(epoch, loss_sum / batches);
-    }
+    if (batches == 0) continue;
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss_sum / batches;
+    stats.wall_ms = epoch_timer.ElapsedMillis();
+    stats.batches = batches;
+    if (opts.grad_clip_norm > 0.0f) stats.grad_norm = grad_norm_sum / batches;
+    stats.learning_rate = optimizer.learning_rate();
+    ReportEpoch(opts, stats, step);
   }
   net_->SetTraining(false);
 }

@@ -1,0 +1,39 @@
+#ifndef VSAN_MODELS_EPOCH_REPORT_H_
+#define VSAN_MODELS_EPOCH_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "models/recommender.h"
+#include "obs/telemetry.h"
+
+namespace vsan {
+namespace models {
+
+// Forwards one epoch's stats to TrainOptions::epoch_callback and, when set,
+// TrainOptions::telemetry.  `step` is the cumulative step count after the
+// epoch; `extras` are model-specific key/value pairs (e.g. the VSAN loss
+// decomposition) appended to the telemetry record verbatim.
+inline void ReportEpoch(
+    const TrainOptions& options, const EpochStats& stats, int64_t step,
+    std::vector<std::pair<std::string, double>> extras = {}) {
+  if (options.telemetry != nullptr) {
+    obs::EpochRecord record;
+    record.epoch = stats.epoch;
+    record.loss = stats.loss;
+    record.wall_ms = stats.wall_ms;
+    record.batches = stats.batches;
+    record.step = step;
+    record.grad_norm = stats.grad_norm;
+    record.learning_rate = stats.learning_rate;
+    record.extras = std::move(extras);
+    options.telemetry->RecordEpoch(record);
+  }
+  if (options.epoch_callback) options.epoch_callback(stats);
+}
+
+}  // namespace models
+}  // namespace vsan
+
+#endif  // VSAN_MODELS_EPOCH_REPORT_H_

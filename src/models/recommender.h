@@ -12,9 +12,26 @@ namespace vsan {
 namespace optim {
 class LrSchedule;
 }  // namespace optim
+namespace obs {
+class TelemetryRecorder;
+}  // namespace obs
 }  // namespace vsan
 
 namespace vsan {
+
+// Per-epoch training summary handed to TrainOptions::epoch_callback.
+// grad_norm is the mean pre-clip gradient norm over the epoch's steps
+// (-1 when clipping is disabled or the trainer does not use autograd);
+// learning_rate is the value used on the epoch's last step (-1 when the
+// trainer has no notion of a per-step rate).
+struct EpochStats {
+  int32_t epoch = 0;
+  double loss = 0.0;
+  double wall_ms = 0.0;
+  int64_t batches = 0;
+  double grad_norm = -1.0;
+  float learning_rate = -1.0f;
+};
 
 // Options shared by every trainable recommender.
 struct TrainOptions {
@@ -27,8 +44,10 @@ struct TrainOptions {
   float grad_clip_norm = 5.0f;  // 0 disables clipping
   uint64_t seed = 17;
   bool verbose = false;
-  // Invoked after each epoch with (epoch index, mean training loss).
-  std::function<void(int32_t, double)> epoch_callback;
+  // Invoked after each epoch with that epoch's summary stats.
+  std::function<void(const EpochStats&)> epoch_callback;
+  // Optional per-epoch JSONL sink (not owned); see obs/telemetry.h.
+  obs::TelemetryRecorder* telemetry = nullptr;
 };
 
 // Common interface for the paper's nine models (Table III).

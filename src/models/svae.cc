@@ -4,8 +4,11 @@
 
 #include "autograd/ops.h"
 #include "data/batcher.h"
+#include "models/epoch_report.h"
+#include "obs/trace.h"
 #include "optim/adam.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace vsan {
 namespace models {
@@ -72,8 +75,14 @@ void Svae::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
 
   int64_t step = 0;
   for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    VSAN_TRACE_SPAN("train/epoch", kTrain);
+    Stopwatch epoch_timer;
     batcher.NewEpoch();
     double loss_sum = 0.0;
+    double recon_sum = 0.0;
+    double kl_sum = 0.0;
+    double grad_norm_sum = 0.0;
+    float last_beta = 0.0f;
     int64_t batches = 0;
     data::TrainBatch batch;
     while (batcher.NextBatch(&batch)) {
@@ -103,19 +112,32 @@ void Svae::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
                                        static_cast<float>(config_.anneal_steps))
               : config_.beta_max;
       Variable loss = ops::Add(recon, ops::Scale(kl, beta));
+      last_beta = beta;
+      recon_sum += recon.value()[0];
+      kl_sum += kl.value()[0];
       optimizer.ZeroGrad();
       loss.Backward();
       if (opts.grad_clip_norm > 0.0f) {
-        optimizer.ClipGradNorm(opts.grad_clip_norm);
+        grad_norm_sum += optimizer.ClipGradNorm(opts.grad_clip_norm);
       }
       optimizer.Step();
       loss_sum += loss.value()[0];
       ++batches;
       ++step;
     }
-    if (opts.epoch_callback && batches > 0) {
-      opts.epoch_callback(epoch, loss_sum / batches);
-    }
+    if (batches == 0) continue;
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss_sum / batches;
+    stats.wall_ms = epoch_timer.ElapsedMillis();
+    stats.batches = batches;
+    if (opts.grad_clip_norm > 0.0f) stats.grad_norm = grad_norm_sum / batches;
+    stats.learning_rate = optimizer.learning_rate();
+    std::vector<std::pair<std::string, double>> extras;
+    extras.emplace_back("recon", recon_sum / batches);
+    extras.emplace_back("kl", kl_sum / batches);
+    extras.emplace_back("beta", static_cast<double>(last_beta));
+    ReportEpoch(opts, stats, step, std::move(extras));
   }
   net_->SetTraining(false);
 }

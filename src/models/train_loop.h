@@ -5,17 +5,22 @@
 
 #include "autograd/variable.h"
 #include "data/batcher.h"
+#include "models/epoch_report.h"
 #include "models/recommender.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/lr_schedule.h"
 #include "optim/optimizer.h"
+#include "util/stopwatch.h"
 
 namespace vsan {
 namespace models {
 
 // Shared epoch/batch loop for the neural models: for each epoch, iterate the
 // batcher, build the loss with `loss_fn`, backprop, clip, and step the
-// optimizer.  Reports the mean per-batch loss through
-// TrainOptions::epoch_callback.
+// optimizer.  Reports per-epoch stats (mean loss, wall time, mean pre-clip
+// gradient norm, last learning rate) through TrainOptions::epoch_callback
+// and, when set, TrainOptions::telemetry.
 //
 // The loop itself is sequential (each step depends on the previous
 // parameter update), but the GEMMs inside loss_fn's forward and backward
@@ -28,30 +33,60 @@ inline void RunTrainLoop(
     data::SequenceBatcher* batcher, optim::Optimizer* optimizer,
     const TrainOptions& options,
     const std::function<Variable(const data::TrainBatch&)>& loss_fn) {
+  obs::Counter* step_counter =
+      obs::MetricsRegistry::Global().GetCounter("train.steps");
+  obs::Histogram* loss_hist = obs::MetricsRegistry::Global().GetHistogram(
+      "train.batch_loss", obs::ExponentialBuckets(1e-3, 2.0, 24));
   int64_t step = 0;
   for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    VSAN_TRACE_SPAN("train/epoch", kTrain);
+    Stopwatch epoch_timer;
     batcher->NewEpoch();
     double loss_sum = 0.0;
+    double grad_norm_sum = 0.0;
+    float last_lr = optimizer->learning_rate();
     int64_t batches = 0;
     data::TrainBatch batch;
     while (batcher->NextBatch(&batch)) {
+      VSAN_TRACE_SPAN("train/step", kTrain);
       if (options.lr_schedule != nullptr) {
         optimizer->set_learning_rate(options.lr_schedule->LearningRate(step));
       }
+      last_lr = optimizer->learning_rate();
       ++step;
-      Variable loss = loss_fn(batch);
+      Variable loss = [&] {
+        VSAN_TRACE_SPAN("train/forward", kTrain);
+        return loss_fn(batch);
+      }();
       optimizer->ZeroGrad();
-      loss.Backward();
-      if (options.grad_clip_norm > 0.0f) {
-        optimizer->ClipGradNorm(options.grad_clip_norm);
+      {
+        VSAN_TRACE_SPAN("train/backward", kTrain);
+        loss.Backward();
       }
-      optimizer->Step();
-      loss_sum += loss.value()[0];
+      {
+        VSAN_TRACE_SPAN("train/optimizer", kTrain);
+        if (options.grad_clip_norm > 0.0f) {
+          grad_norm_sum += optimizer->ClipGradNorm(options.grad_clip_norm);
+        }
+        optimizer->Step();
+      }
+      const double batch_loss = loss.value()[0];
+      loss_sum += batch_loss;
+      loss_hist->Observe(batch_loss);
+      step_counter->Increment();
       ++batches;
     }
-    if (options.epoch_callback && batches > 0) {
-      options.epoch_callback(epoch, loss_sum / batches);
+    if (batches == 0) continue;
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss_sum / batches;
+    stats.wall_ms = epoch_timer.ElapsedMillis();
+    stats.batches = batches;
+    if (options.grad_clip_norm > 0.0f) {
+      stats.grad_norm = grad_norm_sum / batches;
     }
+    stats.learning_rate = last_lr;
+    ReportEpoch(options, stats, step);
   }
 }
 

@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include "models/epoch_report.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace vsan {
 namespace models {
@@ -48,7 +51,10 @@ void TransRec::Fit(const data::SequenceDataset& train,
     return beta_[j] - dist;
   };
 
+  int64_t step = 0;
   for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    VSAN_TRACE_SPAN("train/epoch", kTrain);
+    Stopwatch epoch_timer;
     double loss_sum = 0.0;
     for (size_t s = 0; s < positions.size(); ++s) {
       const auto [u, t] = positions[rng.UniformInt(positions.size())];
@@ -86,9 +92,14 @@ void TransRec::Fit(const data::SequenceDataset& train,
         tu[k] += lr * (g_translated - reg * tu[k]);
       }
     }
-    if (opts.epoch_callback) {
-      opts.epoch_callback(epoch, loss_sum / positions.size());
-    }
+    step += static_cast<int64_t>(positions.size());
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss_sum / positions.size();
+    stats.wall_ms = epoch_timer.ElapsedMillis();
+    stats.batches = static_cast<int64_t>(positions.size());
+    stats.learning_rate = lr;
+    ReportEpoch(opts, stats, step);
   }
 }
 

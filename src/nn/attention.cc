@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -43,6 +44,7 @@ SelfAttentionBlock::SelfAttentionBlock(const SelfAttentionBlockConfig& config,
 Variable SelfAttentionBlock::Forward(const Variable& x,
                                      const Tensor& causal_mask, Rng* rng,
                                      Tensor* attention_out) const {
+  VSAN_TRACE_SPAN("nn/attention_block", kModel);
   VSAN_CHECK_EQ(x.value().ndim(), 3);
   VSAN_CHECK_EQ(x.value().dim(2), config_.d);
 

@@ -1,6 +1,7 @@
 #include "nn/embedding.h"
 
 #include "nn/init.h"
+#include "obs/trace.h"
 
 namespace vsan {
 namespace nn {
@@ -12,6 +13,7 @@ Embedding::Embedding(int64_t vocab, int64_t d, Rng* rng, bool mask_zero)
 
 Variable Embedding::Forward(const std::vector<int32_t>& indices, int64_t batch,
                             int64_t steps) const {
+  VSAN_TRACE_SPAN("nn/embedding_lookup", kModel);
   return ops::EmbeddingLookup(table_, indices, batch, steps, mask_zero_);
 }
 

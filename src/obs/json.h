@@ -1,0 +1,46 @@
+#ifndef VSAN_OBS_JSON_H_
+#define VSAN_OBS_JSON_H_
+
+#include <string>
+#include <vector>
+
+// Minimal JSON reader for the observability round-trips: parsing back the
+// Chrome traces and telemetry JSONL this library itself writes (tools/
+// trace_summary, tests).  Full JSON grammar, no streaming, values copied
+// into a tree — fine for trace-sized inputs, not a general-purpose parser.
+
+namespace vsan {
+namespace obs {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // First member with `key`, or nullptr.
+  const JsonValue* Find(const std::string& key) const;
+  // Member `key` coerced to double; `def` when absent or not a number.
+  double NumberOr(const std::string& key, double def) const;
+  // Member `key` coerced to string; `def` when absent or not a string.
+  std::string StringOr(const std::string& key,
+                       const std::string& def) const;
+};
+
+// Parses exactly one JSON document (trailing whitespace allowed).  On
+// failure returns false and describes the problem in `*error`.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace obs
+}  // namespace vsan
+
+#endif  // VSAN_OBS_JSON_H_

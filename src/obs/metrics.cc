@@ -1,0 +1,136 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vsan {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  VSAN_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  VSAN_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Percentile(double p) const {
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Target rank in [1, total].
+  const double rank = std::max(1.0, std::ceil(p / 100.0 * total));
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lower = (i == 0) ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double fraction = (rank - cum) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * fraction;
+    }
+    cum += counts[i];
+  }
+  return bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  count_.store(0);
+  sum_.store(0.0);
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  VSAN_CHECK_GT(start, 0.0);
+  VSAN_CHECK_GT(factor, 1.0);
+  VSAN_CHECK_GT(count, 0);
+  std::vector<double> bounds(count);
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    bounds[i] = edge;
+    edge *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+std::string MetricsRegistry::ScrapeText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    os << "counter " << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << "gauge " << name << " " << FormatDouble(gauge->value(), 6) << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    os << "histogram " << name << " count=" << hist->count()
+       << " sum=" << FormatDouble(hist->sum(), 3)
+       << " p50=" << FormatDouble(hist->Percentile(50), 3)
+       << " p95=" << FormatDouble(hist->Percentile(95), 3)
+       << " p99=" << FormatDouble(hist->Percentile(99), 3) << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace obs
+}  // namespace vsan

@@ -1,0 +1,111 @@
+#ifndef VSAN_OBS_METRICS_H_
+#define VSAN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms.  Updates are lock-free atomics so instruments can be hit from
+// ParallelFor shards; aggregation across threads happens implicitly at
+// scrape time (the atomics hold the global totals).
+//
+// Instruments are created on first Get*() and live for the process, so
+// callers may cache the returned pointers (the hot-path pattern: look up
+// once, Increment()/Observe() forever).
+
+namespace vsan {
+namespace obs {
+
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram for non-negative samples (durations, sizes).
+// `bounds` are ascending bucket upper edges; an implicit overflow bucket
+// catches everything above the last bound.  Percentiles are estimated by
+// linear interpolation inside the bucket containing the target rank (the
+// first bucket's lower edge is taken as 0; the overflow bucket reports the
+// last bound, i.e. percentiles saturate there).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // p in [0, 100].  Returns 0 when empty.
+  double Percentile(double p) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<int64_t> BucketCounts() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  // bounds_.size() + 1 buckets; the last is the overflow bucket.
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// `count` bucket bounds starting at `start`, each `factor` times the
+// previous — the usual latency-histogram shape.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count);
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Each returns the existing instrument when the name is already
+  // registered (for GetHistogram, the original bounds win).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  // Human/CI-readable scrape, sorted by name:
+  //   counter <name> <value>
+  //   gauge <name> <value>
+  //   histogram <name> count=<n> sum=<s> p50=<..> p95=<..> p99=<..>
+  std::string ScrapeText() const;
+
+  // Zeroes every instrument (pointers stay valid).  For tests/benchmarks.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace vsan
+
+#endif  // VSAN_OBS_METRICS_H_

@@ -1,0 +1,96 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vsan {
+namespace obs {
+namespace {
+
+// JSON number: shortest round-trippable form; non-finite values (which JSON
+// cannot carry) become null so a reader fails loudly instead of parsing a
+// bare `inf` token.
+void AppendJsonNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double roundtrip;
+  std::sscanf(buf, "%lf", &roundtrip);
+  for (int precision = 6; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    std::sscanf(shorter, "%lf", &roundtrip);
+    if (roundtrip == v) {
+      *out += shorter;
+      return;
+    }
+  }
+  *out += buf;
+}
+
+void AppendJsonKey(const std::string& key, std::string* out) {
+  *out += '"';
+  for (char c : key) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += "\":";
+}
+
+}  // namespace
+
+TelemetryRecorder::TelemetryRecorder(const std::string& path)
+    : path_(path), out_(path, std::ios::trunc) {
+  ok_ = out_.good();
+}
+
+void TelemetryRecorder::RecordEpoch(const EpochRecord& record) {
+  if (!ok_) return;
+  std::string line = "{";
+  AppendJsonKey("epoch", &line);
+  line += std::to_string(record.epoch);
+  line += ",";
+  AppendJsonKey("loss", &line);
+  AppendJsonNumber(record.loss, &line);
+  line += ",";
+  AppendJsonKey("wall_ms", &line);
+  AppendJsonNumber(record.wall_ms, &line);
+  line += ",";
+  AppendJsonKey("batches", &line);
+  line += std::to_string(record.batches);
+  line += ",";
+  AppendJsonKey("step", &line);
+  line += std::to_string(record.step);
+  if (record.wall_ms > 0.0) {
+    line += ",";
+    AppendJsonKey("steps_per_sec", &line);
+    AppendJsonNumber(record.batches / (record.wall_ms / 1e3), &line);
+  }
+  if (record.grad_norm >= 0.0) {
+    line += ",";
+    AppendJsonKey("grad_norm", &line);
+    AppendJsonNumber(record.grad_norm, &line);
+  }
+  if (record.learning_rate >= 0.0) {
+    line += ",";
+    AppendJsonKey("lr", &line);
+    AppendJsonNumber(record.learning_rate, &line);
+  }
+  for (const auto& [key, value] : record.extras) {
+    line += ",";
+    AppendJsonKey(key, &line);
+    AppendJsonNumber(value, &line);
+  }
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line;
+  out_.flush();
+  ++records_;
+}
+
+}  // namespace obs
+}  // namespace vsan

@@ -1,0 +1,57 @@
+#ifndef VSAN_OBS_TELEMETRY_H_
+#define VSAN_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Training telemetry sink: one JSON object per epoch, appended as a JSONL
+// line, so a run can be tailed live and diffed across commits.  The train
+// loops fill an EpochRecord and models add loss-specific terms through
+// `extras` (VSAN: reconstruction vs KL term and the current annealed beta
+// of Eq. 20 — the signals that expose posterior collapse).
+
+namespace vsan {
+namespace obs {
+
+struct EpochRecord {
+  int32_t epoch = 0;
+  double loss = 0.0;     // mean per-batch training loss
+  double wall_ms = 0.0;  // epoch wall time
+  int64_t batches = 0;
+  int64_t step = 0;  // global optimizer step count after this epoch
+  // Mean pre-clip global gradient norm over the epoch's steps (the return
+  // value of Optimizer::ClipGradNorm); negative = not measured.
+  double grad_norm = -1.0;
+  double learning_rate = -1.0;  // negative = not reported
+  // Loss-specific terms, e.g. {"recon", ...}, {"kl", ...}, {"beta", ...}.
+  std::vector<std::pair<std::string, double>> extras;
+};
+
+// Appends JSONL records to a file.  Thread-safe; writes are flushed per
+// record so a crashed run keeps every completed epoch.
+class TelemetryRecorder {
+ public:
+  explicit TelemetryRecorder(const std::string& path);
+
+  bool ok() const { return ok_; }
+  const std::string& path() const { return path_; }
+  int64_t records_written() const { return records_; }
+
+  void RecordEpoch(const EpochRecord& record);
+
+ private:
+  std::string path_;
+  bool ok_;
+  std::mutex mu_;
+  std::ofstream out_;
+  int64_t records_ = 0;
+};
+
+}  // namespace obs
+}  // namespace vsan
+
+#endif  // VSAN_OBS_TELEMETRY_H_

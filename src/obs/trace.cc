@@ -1,0 +1,216 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace vsan {
+namespace obs {
+namespace {
+
+// Which session the calling thread's cached buffer belongs to.  A stale
+// session id forces re-registration, so a buffer freed by StartSession() is
+// never written again.
+struct TlsSlot {
+  uint64_t session = 0;  // 0 = never registered (session ids start at 1)
+  Tracer::ThreadBuffer* buffer = nullptr;
+};
+thread_local TlsSlot t_slot;
+
+void AppendJsonEscaped(const char* s, std::string* out) {
+  for (const char* p = s; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* SpanCategoryName(SpanCategory category) {
+  switch (category) {
+    case SpanCategory::kKernel:
+      return "kernel";
+    case SpanCategory::kAutograd:
+      return "autograd";
+    case SpanCategory::kData:
+      return "data";
+    case SpanCategory::kEval:
+      return "eval";
+    case SpanCategory::kTrain:
+      return "train";
+    case SpanCategory::kPool:
+      return "pool";
+    case SpanCategory::kModel:
+      return "model";
+    case SpanCategory::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+void Tracer::StartSession(const TracerOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  capacity_ = std::max<int64_t>(1, options.buffer_capacity);
+  session_start_ = std::chrono::steady_clock::now();
+  session_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::StopSession() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+Tracer::ThreadBuffer* Tracer::AcquireBuffer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(
+      capacity_, static_cast<uint32_t>(buffers_.size())));
+  return buffers_.back().get();
+}
+
+void Tracer::RecordSpan(const char* name, SpanCategory category,
+                        int64_t start_ns, int64_t dur_ns) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const uint64_t session = session_.load(std::memory_order_acquire);
+  TlsSlot& slot = t_slot;
+  if (slot.session != session) {
+    slot.buffer = AcquireBuffer();
+    slot.session = session;
+  }
+  ThreadBuffer* buffer = slot.buffer;
+  const uint64_t n = buffer->count.load(std::memory_order_relaxed);
+  SpanEvent& e = buffer->slots[n % buffer->slots.size()];
+  e.name = name;
+  e.category = category;
+  e.tid = buffer->tid;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  buffer->count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<SpanEvent> Tracer::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanEvent> out;
+  for (const auto& buffer : buffers_) {
+    const uint64_t n = buffer->count.load(std::memory_order_acquire);
+    const uint64_t cap = buffer->slots.size();
+    const uint64_t stored = std::min<uint64_t>(n, cap);
+    for (uint64_t i = n - stored; i < n; ++i) {
+      out.push_back(buffer->slots[i % cap]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.dur_ns > b.dur_ns;  // parents before children
+            });
+  return out;
+}
+
+int64_t Tracer::DroppedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    const int64_t n = static_cast<int64_t>(
+        buffer->count.load(std::memory_order_acquire));
+    const int64_t cap = static_cast<int64_t>(buffer->slots.size());
+    dropped += std::max<int64_t>(0, n - cap);
+  }
+  return dropped;
+}
+
+int64_t Tracer::NumThreads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t active = 0;
+  for (const auto& buffer : buffers_) {
+    if (buffer->count.load(std::memory_order_acquire) > 0) ++active;
+  }
+  return active;
+}
+
+void WriteChromeTrace(const std::vector<SpanEvent>& events,
+                      std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  std::string line;
+  char num[64];
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    line.clear();
+    if (!first) line += ",";
+    first = false;
+    line += "\n{\"name\":\"";
+    AppendJsonEscaped(e.name, &line);
+    line += "\",\"cat\":\"";
+    line += SpanCategoryName(e.category);
+    line += "\",\"ph\":\"X\",\"ts\":";
+    // Chrome trace timestamps are microseconds; keep ns resolution in the
+    // fractional digits.
+    std::snprintf(num, sizeof(num), "%.3f", e.start_ns / 1e3);
+    line += num;
+    line += ",\"dur\":";
+    std::snprintf(num, sizeof(num), "%.3f", e.dur_ns / 1e3);
+    line += num;
+    line += ",\"pid\":1,\"tid\":";
+    std::snprintf(num, sizeof(num), "%u", e.tid);
+    line += num;
+    line += "}";
+    os << line;
+  }
+  os << "\n]}\n";
+}
+
+bool ExportChromeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  WriteChromeTrace(Tracer::Global().Collect(), out);
+  return out.good();
+}
+
+std::map<std::string, SpanAggregate> AggregateByCategory(
+    const std::vector<SpanEvent>& events) {
+  std::map<std::string, SpanAggregate> totals;
+  for (const SpanEvent& e : events) {
+    SpanAggregate& agg = totals[SpanCategoryName(e.category)];
+    ++agg.count;
+    agg.total_ns += e.dur_ns;
+  }
+  return totals;
+}
+
+std::map<std::string, SpanAggregate> AggregateByName(
+    const std::vector<SpanEvent>& events) {
+  std::map<std::string, SpanAggregate> totals;
+  for (const SpanEvent& e : events) {
+    SpanAggregate& agg = totals[e.name];
+    ++agg.count;
+    agg.total_ns += e.dur_ns;
+  }
+  return totals;
+}
+
+}  // namespace obs
+}  // namespace vsan

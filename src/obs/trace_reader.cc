@@ -1,0 +1,90 @@
+#include "obs/trace_reader.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace vsan {
+namespace obs {
+
+bool ReadChromeTrace(std::istream& in, std::vector<ParsedSpan>* spans,
+                     std::string* error) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue root;
+  if (!ParseJson(buffer.str(), &root, error)) return false;
+
+  const JsonValue* events = nullptr;
+  if (root.is_array()) {
+    events = &root;
+  } else if (root.is_object()) {
+    events = root.Find("traceEvents");
+  }
+  if (events == nullptr || !events->is_array()) {
+    if (error != nullptr) *error = "no traceEvents array";
+    return false;
+  }
+
+  spans->clear();
+  spans->reserve(events->array.size());
+  for (const JsonValue& e : events->array) {
+    if (!e.is_object()) continue;
+    if (e.StringOr("ph", "X") != "X") continue;  // only complete events
+    ParsedSpan span;
+    span.name = e.StringOr("name", "");
+    span.category = e.StringOr("cat", "other");
+    span.tid = static_cast<int64_t>(e.NumberOr("tid", 0));
+    span.ts_us = e.NumberOr("ts", 0.0);
+    span.dur_us = e.NumberOr("dur", 0.0);
+    spans->push_back(std::move(span));
+  }
+  return true;
+}
+
+TraceSummary SummarizeTrace(const std::vector<ParsedSpan>& spans) {
+  TraceSummary summary;
+  if (spans.empty()) return summary;
+
+  double min_ts = spans[0].ts_us;
+  double max_end = spans[0].ts_us + spans[0].dur_us;
+  std::map<int64_t, std::vector<std::pair<double, double>>> per_tid;
+  for (const ParsedSpan& s : spans) {
+    min_ts = std::min(min_ts, s.ts_us);
+    max_end = std::max(max_end, s.ts_us + s.dur_us);
+    SpanTotals& cat = summary.by_category[s.category];
+    ++cat.count;
+    cat.total_us += s.dur_us;
+    SpanTotals& name = summary.by_name[s.name];
+    ++name.count;
+    name.total_us += s.dur_us;
+    per_tid[s.tid].emplace_back(s.ts_us, s.ts_us + s.dur_us);
+  }
+  summary.wall_us = max_end - min_ts;
+
+  // Interval union per thread; the busiest thread's covered time over the
+  // trace wall is the attribution figure.
+  double best_union = 0.0;
+  for (auto& [tid, intervals] : per_tid) {
+    std::sort(intervals.begin(), intervals.end());
+    double covered = 0.0;
+    double cur_begin = intervals[0].first;
+    double cur_end = intervals[0].second;
+    for (size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].first > cur_end) {
+        covered += cur_end - cur_begin;
+        cur_begin = intervals[i].first;
+        cur_end = intervals[i].second;
+      } else {
+        cur_end = std::max(cur_end, intervals[i].second);
+      }
+    }
+    covered += cur_end - cur_begin;
+    best_union = std::max(best_union, covered);
+  }
+  summary.coverage = summary.wall_us > 0.0 ? best_union / summary.wall_us : 0.0;
+  return summary;
+}
+
+}  // namespace obs
+}  // namespace vsan

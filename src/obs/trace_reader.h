@@ -1,0 +1,54 @@
+#ifndef VSAN_OBS_TRACE_READER_H_
+#define VSAN_OBS_TRACE_READER_H_
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+// Reads back the Chrome trace-event JSON written by WriteChromeTrace and
+// folds it into per-category / per-name time tables — the analysis half of
+// the tracer, shared by tools/trace_summary.cc and the exporter round-trip
+// tests.
+
+namespace vsan {
+namespace obs {
+
+// One "X" (complete) event parsed back from a trace file.
+struct ParsedSpan {
+  std::string name;
+  std::string category;
+  int64_t tid = 0;
+  double ts_us = 0.0;   // start, microseconds
+  double dur_us = 0.0;  // duration, microseconds
+};
+
+// Parses a Chrome trace (either the {"traceEvents": [...]} wrapper this
+// library writes or a bare event array).  Returns false with `*error` set
+// on malformed input; non-"X" phases are skipped.
+bool ReadChromeTrace(std::istream& in, std::vector<ParsedSpan>* spans,
+                     std::string* error);
+
+struct SpanTotals {
+  int64_t count = 0;
+  double total_us = 0.0;
+};
+
+// Per-trace summary used for CI diffing and wall-time attribution.
+struct TraceSummary {
+  double wall_us = 0.0;  // max(ts + dur) - min(ts) over all spans
+  // Fraction of the busiest thread's wall covered by the union of its span
+  // intervals.  Nested spans do not double-count (interval union), so this
+  // is "how much of the traced wall-time is attributed to a named span".
+  double coverage = 0.0;
+  std::map<std::string, SpanTotals> by_category;
+  std::map<std::string, SpanTotals> by_name;
+};
+
+TraceSummary SummarizeTrace(const std::vector<ParsedSpan>& spans);
+
+}  // namespace obs
+}  // namespace vsan
+
+#endif  // VSAN_OBS_TRACE_READER_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/trace.h"
 #include "tensor/gemm_microkernel.h"
 #include "util/thread_pool.h"
 
@@ -122,11 +123,18 @@ void GemmBlockRange(const float* a, const float* b, float* c, int64_t m,
     const int64_t nb = std::min<int64_t>(bs.nc, n - jc);
     for (int64_t pc = 0; pc < k; pc += bs.kc) {
       const int64_t kb = std::min<int64_t>(bs.kc, k - pc);
-      PackB(b, k, n, trans_b, pc, jc, kb, nb, buf.b.data());
+      {
+        VSAN_TRACE_SPAN("gemm/pack_b", kKernel);
+        PackB(b, k, n, trans_b, pc, jc, kb, nb, buf.b.data());
+      }
       for (int64_t blk = mblk0; blk < mblk1; ++blk) {
         const int64_t ic = blk * bs.mc;
         const int64_t mb = std::min<int64_t>(bs.mc, m - ic);
-        PackA(a, m, k, trans_a, ic, pc, mb, kb, buf.a.data());
+        {
+          VSAN_TRACE_SPAN("gemm/pack_a", kKernel);
+          PackA(a, m, k, trans_a, ic, pc, mb, kb, buf.a.data());
+        }
+        VSAN_TRACE_SPAN("gemm/kernel", kKernel);
         for (int64_t jr = 0; jr < nb; jr += kMicroN) {
           const int64_t nr = std::min<int64_t>(kMicroN, nb - jr);
           const float* bp = buf.b.data() + (jr / kMicroN) * kMicroN * kb;
@@ -171,6 +179,7 @@ void SetGemmBlockSizes(const GemmBlockSizes& sizes) {
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
           int64_t k, bool trans_a, bool trans_b) {
   if (m <= 0 || n <= 0 || k <= 0) return;  // C += 0
+  VSAN_TRACE_SPAN("gemm/gemm", kKernel);
   const GemmBlockSizes bs = g_block_sizes;
   const int64_t mblocks = CeilDiv(m, bs.mc);
   ParallelFor(0, mblocks, GemmBlockGrain(bs.mc, n, k),
@@ -185,6 +194,7 @@ void BatchedGemm(const float* a, const float* b, float* c, int64_t batch,
                  int64_t m, int64_t n, int64_t k, bool trans_a,
                  bool trans_b) {
   if (batch <= 0 || m <= 0 || n <= 0 || k <= 0) return;
+  VSAN_TRACE_SPAN("gemm/batched_gemm", kKernel);
   const GemmBlockSizes bs = g_block_sizes;
   const int64_t mblocks = CeilDiv(m, bs.mc);
   ParallelFor(

@@ -1,0 +1,54 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cctype>
+
+#include "util/env.h"
+
+namespace vsan {
+namespace {
+
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_min_severity{-1};
+
+int ParseMinSeverity() {
+  std::string value = GetEnvString("VSAN_MIN_LOG_LEVEL", "info");
+  for (char& c : value) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  if (value == "info" || value == "0") return 0;
+  if (value == "warning" || value == "warn" || value == "1") return 1;
+  if (value == "error" || value == "2") return 2;
+  if (value == "fatal" || value == "3") return 3;
+  return 0;  // unparsable: log everything rather than hide a surprise
+}
+
+}  // namespace
+
+namespace internal {
+
+bool LogSeverityAtLeastMin(LogSeverity severity) {
+  int min = g_min_severity.load(std::memory_order_relaxed);
+  if (min < 0) {
+    min = ParseMinSeverity();
+    g_min_severity.store(min, std::memory_order_relaxed);
+  }
+  return static_cast<int>(severity) >= min;
+}
+
+}  // namespace internal
+
+void SetMinLogSeverity(internal::LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity),
+                       std::memory_order_relaxed);
+}
+
+internal::LogSeverity MinLogSeverity() {
+  int min = g_min_severity.load(std::memory_order_relaxed);
+  if (min < 0) {
+    min = ParseMinSeverity();
+    g_min_severity.store(min, std::memory_order_relaxed);
+  }
+  return static_cast<internal::LogSeverity>(min);
+}
+
+}  // namespace vsan

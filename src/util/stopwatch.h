@@ -2,6 +2,7 @@
 #define VSAN_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace vsan {
 
@@ -17,6 +18,12 @@ class Stopwatch {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/env.h"
 
 namespace vsan {
@@ -63,6 +64,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     fn(begin, end);
     return;
   }
+  VSAN_TRACE_SPAN("pool/parallel_for", kPool);
 
   struct Sync {
     std::mutex mu;
@@ -95,6 +97,12 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   int64_t cursor = begin;
   int64_t caller_begin = 0;
   int64_t caller_end = 0;
+#if VSAN_OBS_ENABLED
+  // Queued shards split into a queue-wait span (enqueue -> first
+  // instruction on a worker) and a body span, so a trace separates pool
+  // starvation from actual work.
+  const bool traced = obs::Tracer::Global().enabled();
+#endif
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int64_t s = 0; s < shards; ++s) {
@@ -104,9 +112,22 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
       if (s == 0) {
         caller_begin = b;
         caller_end = e;
-      } else {
-        queue_.emplace_back([run_shard, b, e] { run_shard(b, e); });
+        continue;
       }
+#if VSAN_OBS_ENABLED
+      if (traced) {
+        const int64_t enqueue_ns = obs::Tracer::Global().NowNs();
+        queue_.emplace_back([run_shard, b, e, enqueue_ns] {
+          obs::Tracer& tracer = obs::Tracer::Global();
+          tracer.RecordSpan("pool/queue_wait", obs::SpanCategory::kPool,
+                            enqueue_ns, tracer.NowNs() - enqueue_ns);
+          VSAN_TRACE_SPAN("pool/shard", kPool);
+          run_shard(b, e);
+        });
+        continue;
+      }
+#endif
+      queue_.emplace_back([run_shard, b, e] { run_shard(b, e); });
     }
   }
   cv_.notify_all();

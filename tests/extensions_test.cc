@@ -138,7 +138,9 @@ TEST(LrScheduleTest, ScheduleFlowsThroughTraining) {
     opts.batch_size = 16;
     opts.lr_schedule = schedule;
     double last = 0.0;
-    opts.epoch_callback = [&](int32_t, double loss) { last = loss; };
+    opts.epoch_callback = [&](const EpochStats& stats) {
+      last = stats.loss;
+    };
     model.Fit(ds, opts);
     return last;
   };

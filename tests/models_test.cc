@@ -95,9 +95,9 @@ TEST(BprTest, TrainsAndScoresUnseenUsers) {
   double first_loss = 0, last_loss = 0;
   TrainOptions opts = FastOptions(5);
   opts.learning_rate = 0.05f;
-  opts.epoch_callback = [&](int32_t e, double loss) {
-    if (e == 0) first_loss = loss;
-    last_loss = loss;
+  opts.epoch_callback = [&](const EpochStats& stats) {
+    if (stats.epoch == 0) first_loss = stats.loss;
+    last_loss = stats.loss;
   };
   model.Fit(ds, opts);
   EXPECT_LT(last_loss, first_loss);
@@ -155,9 +155,9 @@ TEST(Gru4RecTest, LearnsCycleSuccessor) {
   models::Gru4Rec model({.max_len = 8, .d = 16, .hidden = 16, .dropout = 0.0f});
   double first_loss = 0, last_loss = 0;
   TrainOptions opts = FastOptions(15);
-  opts.epoch_callback = [&](int32_t e, double loss) {
-    if (e == 0) first_loss = loss;
-    last_loss = loss;
+  opts.epoch_callback = [&](const EpochStats& stats) {
+    if (stats.epoch == 0) first_loss = stats.loss;
+    last_loss = stats.loss;
   };
   model.Fit(ds, opts);
   EXPECT_LT(last_loss, first_loss);
@@ -193,9 +193,9 @@ TEST(SvaeTest, TrainsWithElboAndScores) {
   models::Svae model(cfg);
   double first_loss = 0, last_loss = 0;
   TrainOptions opts = FastOptions(15);
-  opts.epoch_callback = [&](int32_t e, double loss) {
-    if (e == 0) first_loss = loss;
-    last_loss = loss;
+  opts.epoch_callback = [&](const EpochStats& stats) {
+    if (stats.epoch == 0) first_loss = stats.loss;
+    last_loss = stats.loss;
   };
   model.Fit(ds, opts);
   EXPECT_LT(last_loss, first_loss);
@@ -213,9 +213,9 @@ TEST(SasRecTest, LearnsCycleSuccessor) {
   models::SasRec model(cfg);
   double first_loss = 0, last_loss = 0;
   TrainOptions opts = FastOptions(15);
-  opts.epoch_callback = [&](int32_t e, double loss) {
-    if (e == 0) first_loss = loss;
-    last_loss = loss;
+  opts.epoch_callback = [&](const EpochStats& stats) {
+    if (stats.epoch == 0) first_loss = stats.loss;
+    last_loss = stats.loss;
   };
   model.Fit(ds, opts);
   EXPECT_LT(last_loss, first_loss);

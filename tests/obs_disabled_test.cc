@@ -1,0 +1,54 @@
+// Compile-time check of the VSAN_OBS=OFF story: this translation unit is
+// built with VSAN_OBS_ENABLED=0 (see tests/CMakeLists.txt), under which
+// VSAN_TRACE_SPAN must expand to nothing — zero tokens, zero overhead —
+// while still being a valid statement wherever instrumentation placed it.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+#if VSAN_OBS_ENABLED
+#error "this test must be compiled with VSAN_OBS_ENABLED=0"
+#endif
+
+namespace vsan {
+namespace obs {
+namespace {
+
+#define VSAN_OBS_TEST_STR_INNER(x) #x
+#define VSAN_OBS_TEST_STR(x) VSAN_OBS_TEST_STR_INNER(x)
+
+TEST(ObsDisabledTest, TraceSpanMacroExpandsToNothing) {
+  // Double-indirection stringification captures the post-expansion tokens.
+  const std::string expansion =
+      VSAN_OBS_TEST_STR(VSAN_TRACE_SPAN("gemm/pack", kKernel));
+  EXPECT_EQ(expansion, "");
+}
+
+TEST(ObsDisabledTest, TraceSpanIsAValidStatementEverywhere) {
+  // The macro invocation plus `;` must compile in every position the
+  // instrumented code uses it: statement scope, branch bodies, loops.
+  VSAN_TRACE_SPAN("a", kTrain);
+  if (true) {
+    VSAN_TRACE_SPAN("b", kKernel);
+  }
+  for (int i = 0; i < 2; ++i) {
+    VSAN_TRACE_SPAN("c", kPool);
+  }
+  SUCCEED();
+}
+
+TEST(ObsDisabledTest, RuntimeApiStillLinksWhenCompiledOut) {
+  // The tracer library itself stays available (tools may still read
+  // traces); only the instrumentation macro is compiled out.
+  Tracer& tracer = Tracer::Global();
+  tracer.StartSession({});
+  tracer.StopSession();
+  EXPECT_TRUE(tracer.Collect().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vsan

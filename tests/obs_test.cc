@@ -1,0 +1,399 @@
+// Tests for the observability subsystem: span tracer (ring buffers,
+// sessions, Chrome-trace export round-trip), metrics registry (histogram
+// bucket/percentile math), and training telemetry (JSONL golden run,
+// including the Sec. IV-E beta anneal schedule).
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/vsan.h"
+#include "data/dataset.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "obs/trace_reader.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace vsan {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(TracerTest, DisabledByDefaultRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.StopSession();
+  { VSAN_TRACE_SPAN("never/recorded", kOther); }
+  tracer.RecordSpan("also/never", SpanCategory::kOther, 0, 1);
+  // A fresh session discards anything from previous tests and, once
+  // stopped, keeps only what was recorded inside it.
+  tracer.StartSession({});
+  tracer.StopSession();
+  EXPECT_TRUE(tracer.Collect().empty());
+  EXPECT_EQ(tracer.NumThreads(), 0);
+}
+
+#if VSAN_OBS_ENABLED  // these three tests need the span macro compiled in
+
+TEST(TracerTest, RecordsNestedSpansWithPlausibleTimes) {
+  Tracer& tracer = Tracer::Global();
+  tracer.StartSession({});
+  {
+    VSAN_TRACE_SPAN("outer", kTrain);
+    { VSAN_TRACE_SPAN("inner", kKernel); }
+  }
+  tracer.StopSession();
+  const std::vector<SpanEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time with ties broken longer-first: outer precedes
+  // inner and fully contains it.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_GE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+  EXPECT_GE(events[1].dur_ns, 0);
+}
+
+TEST(TracerTest, CapturesSpansAcrossParallelForThreads) {
+  ThreadPool pool(4);
+  Tracer& tracer = Tracer::Global();
+  tracer.StartSession({});
+  pool.ParallelFor(0, 64, 1, [](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      VSAN_TRACE_SPAN("work/item", kOther);
+    }
+  });
+  tracer.StopSession();
+  const std::vector<SpanEvent> events = tracer.Collect();
+  int64_t items = 0;
+  bool saw_parallel_for = false;
+  bool saw_shard = false;
+  bool saw_queue_wait = false;
+  for (const SpanEvent& e : events) {
+    if (std::string(e.name) == "work/item") ++items;
+    if (std::string(e.name) == "pool/parallel_for") saw_parallel_for = true;
+    if (std::string(e.name) == "pool/shard") saw_shard = true;
+    if (std::string(e.name) == "pool/queue_wait") saw_queue_wait = true;
+  }
+  EXPECT_EQ(items, 64);
+  EXPECT_TRUE(saw_parallel_for);
+  EXPECT_TRUE(saw_shard);
+  EXPECT_TRUE(saw_queue_wait);
+  // All four shards ran (the caller plus three workers); each recording
+  // thread got its own buffer/tid.
+  EXPECT_GE(tracer.NumThreads(), 2);
+  EXPECT_EQ(tracer.DroppedEvents(), 0);
+}
+
+#endif  // VSAN_OBS_ENABLED
+
+TEST(TracerTest, RingBufferWrapsAndCountsDrops) {
+  Tracer& tracer = Tracer::Global();
+  TracerOptions options;
+  options.buffer_capacity = 8;
+  tracer.StartSession(options);
+  for (int i = 0; i < 20; ++i) {
+    tracer.RecordSpan("wrap", SpanCategory::kOther, i, 1);
+  }
+  tracer.StopSession();
+  const std::vector<SpanEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), 8u);  // ring keeps the newest `capacity` events
+  EXPECT_EQ(tracer.DroppedEvents(), 12);
+  // The survivors are the 8 most recent, still in chronological order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].start_ns, static_cast<int64_t>(12 + i));
+  }
+}
+
+TEST(TracerTest, NewSessionDiscardsPreviousEvents) {
+  Tracer& tracer = Tracer::Global();
+  tracer.StartSession({});
+  tracer.RecordSpan("old", SpanCategory::kOther, 0, 1);
+  tracer.StartSession({});
+  tracer.RecordSpan("new", SpanCategory::kOther, 0, 1);
+  tracer.StopSession();
+  const std::vector<SpanEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "new");
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export / read-back
+
+TEST(ChromeTraceTest, ExportParsesBackWithEscapedNames) {
+  std::vector<SpanEvent> events;
+  events.push_back(
+      {"plain", SpanCategory::kKernel, /*tid=*/0, /*start=*/1000, /*dur=*/500});
+  static const char kWeird[] = "q\"uote\\back\nline\ttab";
+  events.push_back({kWeird, SpanCategory::kEval, 3, 2500, 1500});
+  std::ostringstream os;
+  WriteChromeTrace(events, os);
+
+  // The export must be a valid JSON document...
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(os.str(), &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.Find("traceEvents"), nullptr);
+
+  // ...and the reader must recover names, categories, and microsecond
+  // times exactly.
+  std::istringstream is(os.str());
+  std::vector<ParsedSpan> spans;
+  ASSERT_TRUE(ReadChromeTrace(is, &spans, &error)) << error;
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "plain");
+  EXPECT_EQ(spans[0].category, "kernel");
+  EXPECT_EQ(spans[0].tid, 0);
+  EXPECT_DOUBLE_EQ(spans[0].ts_us, 1.0);
+  EXPECT_DOUBLE_EQ(spans[0].dur_us, 0.5);
+  EXPECT_EQ(spans[1].name, kWeird);
+  EXPECT_EQ(spans[1].category, "eval");
+  EXPECT_EQ(spans[1].tid, 3);
+}
+
+TEST(ChromeTraceTest, SummarizeComputesWallCoverageAndTables) {
+  // tid 0: [0, 100us] parent with [10, 30] + [40, 60] children (nested
+  // intervals must not double-count); tid 1: [0, 40].
+  std::vector<ParsedSpan> spans;
+  spans.push_back({"epoch", "train", 0, 0.0, 100.0});
+  spans.push_back({"gemm", "kernel", 0, 10.0, 20.0});
+  spans.push_back({"gemm", "kernel", 0, 40.0, 20.0});
+  spans.push_back({"shard", "pool", 1, 0.0, 40.0});
+  const TraceSummary summary = SummarizeTrace(spans);
+  EXPECT_DOUBLE_EQ(summary.wall_us, 100.0);
+  // Busiest thread (tid 0) covers [0,100] fully via the parent span.
+  EXPECT_DOUBLE_EQ(summary.coverage, 1.0);
+  ASSERT_EQ(summary.by_category.count("kernel"), 1u);
+  EXPECT_EQ(summary.by_category.at("kernel").count, 2);
+  EXPECT_DOUBLE_EQ(summary.by_category.at("kernel").total_us, 40.0);
+  ASSERT_EQ(summary.by_name.count("epoch"), 1u);
+  EXPECT_DOUBLE_EQ(summary.by_name.at("epoch").total_us, 100.0);
+}
+
+TEST(ChromeTraceTest, ExportFileRoundTrip) {
+  Tracer& tracer = Tracer::Global();
+  tracer.StartSession({});
+  tracer.RecordSpan("file/span", SpanCategory::kData, 0, 1000);
+  tracer.StopSession();
+  const std::string path = ::testing::TempDir() + "/vsan_trace.json";
+  ASSERT_TRUE(ExportChromeTrace(path));
+  std::ifstream in(path);
+  std::vector<ParsedSpan> spans;
+  std::string error;
+  ASSERT_TRUE(ReadChromeTrace(in, &spans, &error)) << error;
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "file/span");
+  EXPECT_EQ(spans[0].category, "data");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(MetricsTest, HistogramBucketAndPercentileMath) {
+  Histogram hist({1.0, 10.0, 100.0});
+  EXPECT_DOUBLE_EQ(hist.Percentile(50.0), 0.0);  // empty
+  // 10 samples in [0,1], 80 in (1,10], 10 in (10,100].
+  for (int i = 0; i < 10; ++i) hist.Observe(0.5);
+  for (int i = 0; i < 80; ++i) hist.Observe(5.0);
+  for (int i = 0; i < 10; ++i) hist.Observe(50.0);
+  EXPECT_EQ(hist.count(), 100);
+  EXPECT_DOUBLE_EQ(hist.sum(), 10 * 0.5 + 80 * 5.0 + 10 * 50.0);
+  const std::vector<int64_t> buckets = hist.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 10);
+  EXPECT_EQ(buckets[1], 80);
+  EXPECT_EQ(buckets[2], 10);
+  EXPECT_EQ(buckets[3], 0);
+  // p50: rank 50 lands in bucket (1,10] at position 40 of 80 — linear
+  // interpolation gives 1 + 9 * 40/80 = 5.5.
+  EXPECT_NEAR(hist.Percentile(50.0), 5.5, 1e-9);
+  // p5 lands inside the first bucket (lower edge 0).
+  EXPECT_NEAR(hist.Percentile(5.0), 0.5, 1e-9);
+  // p99 lands in the last finite bucket.
+  EXPECT_NEAR(hist.Percentile(99.0), 10.0 + 90.0 * 9.0 / 10.0, 1e-9);
+}
+
+TEST(MetricsTest, HistogramOverflowSaturatesAtLastBound) {
+  Histogram hist({1.0, 2.0});
+  for (int i = 0; i < 4; ++i) hist.Observe(100.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(99.0), 2.0);
+}
+
+TEST(MetricsTest, ExponentialBucketsShape) {
+  const std::vector<double> bounds = ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(MetricsTest, RegistryReusesInstrumentsAndScrapes) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* c = registry.GetCounter("test.counter");
+  EXPECT_EQ(c, registry.GetCounter("test.counter"));
+  c->Reset();
+  c->Increment(3);
+  registry.GetGauge("test.gauge")->Set(2.5);
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 10.0});
+  h->Reset();
+  h->Observe(0.5);
+  const std::string scrape = registry.ScrapeText();
+  EXPECT_NE(scrape.find("counter test.counter 3"), std::string::npos);
+  EXPECT_NE(scrape.find("gauge test.gauge 2.5"), std::string::npos);
+  EXPECT_NE(scrape.find("histogram test.hist count=1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser
+
+TEST(JsonTest, ParsesEscapesAndStructure) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"a":[1,2.5,-3e2],"s":"q\"\\\nA","b":true,"n":null})", &doc,
+      &error))
+      << error;
+  const JsonValue* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+  EXPECT_EQ(doc.StringOr("s", ""), "q\"\\\nA");
+  EXPECT_TRUE(doc.Find("b")->boolean);
+  EXPECT_EQ(doc.Find("n")->type, JsonValue::Type::kNull);
+  EXPECT_FALSE(ParseJson("{\"unterminated\":", &doc, &error));
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry golden run
+
+data::SequenceDataset CycleDataset(int32_t num_items, int32_t num_users,
+                                   int32_t seq_len) {
+  Rng rng(3);
+  data::SequenceDataset ds(num_items);
+  for (int32_t u = 0; u < num_users; ++u) {
+    int32_t cur = static_cast<int32_t>(rng.UniformInt(1, num_items));
+    std::vector<int32_t> seq;
+    for (int32_t t = 0; t < seq_len; ++t) {
+      seq.push_back(cur);
+      cur = cur % num_items + 1;
+    }
+    ds.AddUser(std::move(seq));
+  }
+  return ds;
+}
+
+TEST(TelemetryTest, VsanRunEmitsParsableJsonlWithAnnealedBeta) {
+  const std::string path = ::testing::TempDir() + "/vsan_telemetry.jsonl";
+  core::VsanConfig cfg;
+  cfg.max_len = 8;
+  cfg.d = 16;
+  cfg.h1 = 1;
+  cfg.h2 = 1;
+  cfg.dropout = 0.0f;
+  cfg.beta_max = 0.1f;
+  cfg.anneal_steps = 5;  // short enough that epoch 0 is mid-anneal
+
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 16;
+  opts.learning_rate = 5e-3f;
+  opts.seed = 19;
+  TelemetryRecorder recorder(path);
+  ASSERT_TRUE(recorder.ok());
+  opts.telemetry = &recorder;
+
+  std::vector<EpochStats> stats;
+  opts.epoch_callback = [&](const EpochStats& s) { stats.push_back(s); };
+
+  core::Vsan model(cfg);
+  model.Fit(CycleDataset(12, 60, 8), opts);
+  EXPECT_EQ(recorder.records_written(), 2);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GT(stats[0].wall_ms, 0.0);
+  EXPECT_GT(stats[0].batches, 0);
+  EXPECT_GT(stats[0].grad_norm, 0.0);  // pre-clip norm was measured
+  EXPECT_FLOAT_EQ(stats[0].learning_rate, 5e-3f);
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<JsonValue> records;
+  while (std::getline(in, line)) {
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(ParseJson(line, &doc, &error)) << error << "\n" << line;
+    records.push_back(doc);
+  }
+  ASSERT_EQ(records.size(), 2u);
+
+  const int64_t batches = stats[0].batches;
+  for (int32_t e = 0; e < 2; ++e) {
+    const JsonValue& rec = records[e];
+    EXPECT_EQ(rec.NumberOr("epoch", -1), e);
+    EXPECT_GT(rec.NumberOr("wall_ms", -1), 0.0);
+    EXPECT_EQ(rec.NumberOr("batches", -1), batches);
+    EXPECT_GT(rec.NumberOr("grad_norm", -1), 0.0);
+    EXPECT_GT(rec.NumberOr("steps_per_sec", -1), 0.0);
+    EXPECT_NEAR(rec.NumberOr("lr", -1), 5e-3, 1e-9);
+    // Eq. 20 decomposition: loss = recon + beta * kl.
+    const double loss = rec.NumberOr("loss", -1);
+    const double recon = rec.NumberOr("recon", -1);
+    const double kl = rec.NumberOr("kl", -1);
+    EXPECT_GT(recon, 0.0);
+    EXPECT_GE(kl, 0.0);
+    EXPECT_GT(loss, 0.0);
+    // Sec. IV-E linear anneal: the recorded beta is the one used at the
+    // epoch's last step, step index = step_after_epoch - 1.
+    const double step_after = rec.NumberOr("step", -1);
+    EXPECT_EQ(step_after, static_cast<double>((e + 1) * batches));
+    const float expected_beta =
+        cfg.beta_max *
+        std::min(1.0f, static_cast<float>(step_after - 1) /
+                           static_cast<float>(cfg.anneal_steps));
+    EXPECT_NEAR(rec.NumberOr("beta", -1), expected_beta, 1e-7);
+  }
+  // The anneal actually progressed between the two epochs.
+  EXPECT_GT(records[1].NumberOr("beta", -1), records[0].NumberOr("beta", -1));
+}
+
+TEST(TelemetryTest, OmitsNegativeSentinelsAndRejectsBadPath) {
+  const std::string path = ::testing::TempDir() + "/vsan_telemetry2.jsonl";
+  TelemetryRecorder recorder(path);
+  ASSERT_TRUE(recorder.ok());
+  EpochRecord record;
+  record.epoch = 0;
+  record.loss = 1.5;
+  record.wall_ms = 0.0;  // suppresses steps_per_sec
+  record.batches = 4;
+  record.step = 4;
+  recorder.RecordEpoch(record);  // grad_norm/lr left at -1 -> omitted
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.find("grad_norm"), std::string::npos);
+  EXPECT_EQ(line.find("\"lr\""), std::string::npos);
+  EXPECT_EQ(line.find("steps_per_sec"), std::string::npos);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(line, &doc, &error)) << error;
+  EXPECT_DOUBLE_EQ(doc.NumberOr("loss", -1), 1.5);
+
+  TelemetryRecorder bad("/nonexistent-dir/telemetry.jsonl");
+  EXPECT_FALSE(bad.ok());
+  bad.RecordEpoch(record);  // must not crash
+  EXPECT_EQ(bad.records_written(), 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vsan

@@ -68,9 +68,9 @@ TEST(VsanTest, LossDecreasesAndLearnsCycle) {
   Vsan model(SmallConfig());
   double first_loss = 0, last_loss = 0;
   TrainOptions opts = FastOptions(15);
-  opts.epoch_callback = [&](int32_t e, double loss) {
-    if (e == 0) first_loss = loss;
-    last_loss = loss;
+  opts.epoch_callback = [&](const EpochStats& stats) {
+    if (stats.epoch == 0) first_loss = stats.loss;
+    last_loss = stats.loss;
   };
   model.Fit(ds, opts);
   EXPECT_LT(last_loss, first_loss);
@@ -155,9 +155,9 @@ TEST(VsanTest, NextKTrainingWorks) {
   Vsan model(cfg);
   double last_loss = 1e9, first_loss = 0;
   TrainOptions opts = FastOptions(10);
-  opts.epoch_callback = [&](int32_t e, double loss) {
-    if (e == 0) first_loss = loss;
-    last_loss = loss;
+  opts.epoch_callback = [&](const EpochStats& stats) {
+    if (stats.epoch == 0) first_loss = stats.loss;
+    last_loss = stats.loss;
   };
   model.Fit(ds, opts);
   EXPECT_LT(last_loss, first_loss);

@@ -8,13 +8,39 @@
 #
 # Usage:
 #   tools/run_bench.sh [build_dir] [benchmark_filter]
+#   tools/run_bench.sh --trace [build_dir]
 #
 # Compare the emitted file against a checked-in BENCH_micro.json from before
 # a kernel change to spot regressions; the 256^3 single-thread MatMul2D row
 # is the headline number the blocked GEMM is tuned against.
+#
+# --trace: instead of the benchmark sweep, capture a span trace of one
+# single-thread VsanTrainEpoch/80 run (VSAN_TRACE_OUT), fold it with
+# trace_summary, and fail if the summary is empty — a smoke check that the
+# tracer and its toolchain stay wired end to end.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ "${1:-}" == "--trace" ]]; then
+  BUILD_DIR="${2:-$REPO_ROOT/build}"
+  cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target bench_micro_train trace_summary
+  TRACE_JSON="$(mktemp --suffix=.json)"
+  SUMMARY="$(mktemp)"
+  trap 'rm -f "$TRACE_JSON" "$SUMMARY"' EXIT
+  VSAN_TRACE_OUT="$TRACE_JSON" "$BUILD_DIR/bench/bench_micro_train" \
+    --benchmark_filter='BM_VsanTrainEpoch_SeqLen/80/1$' \
+    --benchmark_min_time=0.1
+  "$BUILD_DIR/tools/trace_summary" "$TRACE_JSON" | tee "$SUMMARY"
+  if ! grep -q '^by_category' "$SUMMARY"; then
+    echo "error: trace_summary produced no category table" >&2
+    exit 1
+  fi
+  exit 0
+fi
+
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 FILTER="${2:-}"
 OUT="$REPO_ROOT/BENCH_micro.json"

@@ -1,0 +1,69 @@
+// Folds a Chrome trace (written by the obs tracer or --trace_out) into
+// fixed-format per-category and per-name time tables for CI diffing:
+//
+//   trace_summary trace.json
+//
+// Output is stable-ordered (alphabetical keys, fixed column layout) so two
+// summaries of comparable runs diff cleanly.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_reader.h"
+
+namespace vsan {
+namespace {
+
+void PrintTable(const char* title,
+                const std::map<std::string, obs::SpanTotals>& rows,
+                double wall_us) {
+  std::cout << title << "\n";
+  std::cout << "  key                             count      total_ms   "
+               "share\n";
+  for (const auto& [key, totals] : rows) {
+    std::string name = key;
+    if (name.size() < 30) name.resize(30, ' ');
+    const double share = wall_us > 0.0 ? totals.total_us / wall_us : 0.0;
+    std::printf("  %s %9lld  %12.3f  %5.1f%%\n", name.c_str(),
+                static_cast<long long>(totals.count), totals.total_us / 1e3,
+                share * 100.0);
+  }
+}
+
+int Main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_summary <trace.json>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "error: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::vector<obs::ParsedSpan> spans;
+  std::string error;
+  if (!obs::ReadChromeTrace(in, &spans, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  if (spans.empty()) {
+    std::cerr << "error: trace has no complete (\"X\") events\n";
+    return 1;
+  }
+  const obs::TraceSummary summary = obs::SummarizeTrace(spans);
+  std::printf("spans    %lld\n", static_cast<long long>(spans.size()));
+  std::printf("wall_ms  %.3f\n", summary.wall_us / 1e3);
+  std::printf("coverage %.1f%%\n", summary.coverage * 100.0);
+  PrintTable("by_category", summary.by_category, summary.wall_us);
+  PrintTable("by_name", summary.by_name, summary.wall_us);
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsan
+
+int main(int argc, char** argv) { return vsan::Main(argc, argv); }

@@ -27,6 +27,8 @@
 #include "models/sasrec.h"
 #include "models/svae.h"
 #include "models/transrec.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -42,6 +44,7 @@ int Usage() {
       "             [--scale=0.05] [--epochs=20] [--d=32] [--max-len=30]\n"
       "             [--h1=1] [--h2=1] [--k=1] [--dropout=0.2] [--lr=0.001]\n"
       "             [--batch=64] [--seed=7] [--heldout=50] [--save=path]\n"
+      "             [--telemetry_out=train.jsonl] [--trace_out=trace.json]\n"
       "  evaluate   --load=ckpt --dataset=... [--heldout=50] [--seed=7]\n"
       "  recommend  --load=ckpt --history=1,2,3 [--topn=10]\n"
       "  inspect    --load=ckpt --history=1,2,3\n";
@@ -163,11 +166,40 @@ int Train(const FlagParser& flags) {
   train_opts.batch_size = flags.GetInt("batch", 64);
   train_opts.learning_rate = static_cast<float>(flags.GetDouble("lr", 1e-3));
   train_opts.seed = flags.GetInt("seed", 7) + 101;
-  train_opts.epoch_callback = [](int32_t epoch, double loss) {
-    std::cout << "epoch " << epoch << " loss " << FormatDouble(loss, 4)
-              << "\n";
+  train_opts.epoch_callback = [](const EpochStats& stats) {
+    std::cout << "epoch " << stats.epoch << " loss "
+              << FormatDouble(stats.loss, 4) << " ("
+              << FormatDouble(stats.wall_ms, 1) << " ms, " << stats.batches
+              << " batches)\n";
   };
+
+  // Per-epoch JSONL telemetry (loss decomposition, grad norm, timings).
+  std::unique_ptr<obs::TelemetryRecorder> telemetry;
+  const std::string telemetry_out = flags.GetString("telemetry_out");
+  if (!telemetry_out.empty()) {
+    telemetry = std::make_unique<obs::TelemetryRecorder>(telemetry_out);
+    if (!telemetry->ok()) {
+      std::cerr << "error: cannot open --telemetry_out " << telemetry_out
+                << "\n";
+      return 1;
+    }
+    train_opts.telemetry = telemetry.get();
+  }
+
+  // Chrome-trace span capture around training (open in Perfetto).
+  const std::string trace_out = flags.GetString("trace_out");
+  if (!trace_out.empty()) obs::Tracer::Global().StartSession({});
+
   model->Fit(split.train, train_opts);
+
+  if (!trace_out.empty()) {
+    obs::Tracer::Global().StopSession();
+    if (!obs::ExportChromeTrace(trace_out)) {
+      std::cerr << "error: cannot write --trace_out " << trace_out << "\n";
+      return 1;
+    }
+    std::cout << "wrote trace to " << trace_out << "\n";
+  }
 
   const eval::EvalResult val =
       eval::EvaluateRanking(*model, split.validation, {});
