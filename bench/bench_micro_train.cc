@@ -18,12 +18,15 @@
 #include <thread>
 #include <vector>
 
+#include "autograd/ops.h"
 #include "core/vsan.h"
 #include "data/synthetic.h"
 #include "models/gru4rec.h"
 #include "models/sasrec.h"
 #include "obs/trace.h"
+#include "tensor/pool.h"
 #include "util/env.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace vsan {
@@ -124,6 +127,40 @@ void BM_Gru4RecTrainEpoch_SeqLen(benchmark::State& state) {
 BENCHMARK(BM_Gru4RecTrainEpoch_SeqLen)
     ->ArgsProduct({{10, 20, 40, 80}, ThreadCounts()})
     ->Unit(benchmark::kMillisecond);
+
+// Allocation-churn probe: builds and drops one VSAN-shaped training tape
+// per iteration (QKV projections, attention matmuls, softmax, FFN,
+// backward) at the Table III step size, without the optimizer or data
+// pipeline.  This isolates exactly the traffic the tensor pool absorbs;
+// run it with VSAN_POOL=0 to measure the plain-new[] floor (run_bench.sh
+// records both variants).
+void BM_AllocChurn(benchmark::State& state) {
+  ThreadPool::SetGlobalNumThreads(1);
+  Rng rng(7);
+  const int64_t b = 64, n = 80, d = 32;
+  Variable w(Tensor::RandomNormal({d, d}, &rng, 0.02f),
+             /*requires_grad=*/true);
+  const Tensor x0 = Tensor::RandomNormal({b, n, d}, &rng, 1.0f);
+  for (auto _ : state) {
+    Variable x = Variable::Constant(x0);
+    Variable q = ops::MatMul(x, w);
+    Variable k = ops::MatMul(x, w);
+    Variable v = ops::MatMul(x, w);
+    Variable scores = ops::MatMul(q, ops::TransposeLast2(k));
+    Variable attn = ops::Softmax(scores);
+    Variable h = ops::MatMul(attn, v);
+    Variable f = ops::Relu(ops::MatMul(h, w));
+    Variable loss = ops::Mean(f);
+    loss.Backward();
+    benchmark::DoNotOptimize(w.grad().data());
+    w.ZeroGrad();
+    // Leaving the scope drops the tape; every interior tensor returns to
+    // the pool (or the system allocator under VSAN_POOL=0).
+  }
+  const pool::PoolStats stats = pool::GetStats();
+  state.counters["pool_hit_rate"] = stats.HitRate();
+}
+BENCHMARK(BM_AllocChurn)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace vsan

@@ -13,6 +13,17 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Sanitizer sweeps over the labeled suites (pool/buffer code under ASan,
+# concurrency suites under TSan).  The pool stays enabled so poisoning of
+# released buffers is actually exercised.
+cmake -B build-asan -G Ninja -DVSAN_ASAN=ON
+cmake --build build-asan
+ctest --test-dir build-asan -L asan 2>&1 | tee test_output_asan.txt
+
+cmake -B build-tsan -G Ninja -DVSAN_TSAN=ON
+cmake --build build-tsan
+ctest --test-dir build-tsan -L tsan 2>&1 | tee test_output_tsan.txt
+
 (
   cd build/bench
   for b in ./bench_*; do
@@ -21,4 +32,5 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   done
 ) 2>&1 | tee bench_output.txt
 
-echo "done: test_output.txt, bench_output.txt, build/bench/*.csv"
+echo "done: test_output.txt, test_output_{asan,tsan}.txt, bench_output.txt," \
+     "build/bench/*.csv"

@@ -8,6 +8,11 @@
 // tensor_ops.h: the functor is a lambda the compiler inlines into a dense
 // pointer loop, so these passes vectorize instead of paying an indirect
 // call per element (the old std::function-based Apply).
+//
+// Backward closures read the saved forward result through `self->value`
+// (and inputs through `self->parents[i]->value`) instead of capturing
+// tensor copies: the node already keeps those buffers alive for the life
+// of the tape, so capturing would only duplicate pool traffic.
 
 namespace vsan {
 namespace ops {
@@ -17,14 +22,13 @@ using autograd::Node;
 
 Variable Relu(const Variable& x) {
   Tensor out = Apply(x.value(), [](float v) { return v < 0.0f ? 0.0f : v; });
-  Tensor saved = out;
   return Variable::MakeNode(
       std::move(out), {x},
-      [saved](Node* self) {
+      [](Node* self) {
         Tensor gx = self->grad;
-        ZipInPlace(&gx, saved,
+        ZipInPlace(&gx, self->value,
                    [](float g, float y) { return y <= 0.0f ? 0.0f : g; });
-        AccumulateGrad(self->parents[0].get(), gx);
+        AccumulateGrad(self->parents[0].get(), std::move(gx));
       },
       "relu");
 }
@@ -32,78 +36,75 @@ Variable Relu(const Variable& x) {
 Variable Sigmoid(const Variable& x) {
   Tensor out = Apply(x.value(),
                      [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
-  Tensor saved = out;
   return Variable::MakeNode(
       std::move(out), {x},
-      [saved](Node* self) {
+      [](Node* self) {
         Tensor gx = self->grad;
-        ZipInPlace(&gx, saved,
+        ZipInPlace(&gx, self->value,
                    [](float g, float y) { return g * y * (1.0f - y); });
-        AccumulateGrad(self->parents[0].get(), gx);
+        AccumulateGrad(self->parents[0].get(), std::move(gx));
       },
       "sigmoid");
 }
 
 Variable Tanh(const Variable& x) {
   Tensor out = Apply(x.value(), [](float v) { return std::tanh(v); });
-  Tensor saved = out;
   return Variable::MakeNode(
       std::move(out), {x},
-      [saved](Node* self) {
+      [](Node* self) {
         Tensor gx = self->grad;
-        ZipInPlace(&gx, saved,
+        ZipInPlace(&gx, self->value,
                    [](float g, float y) { return g * (1.0f - y * y); });
-        AccumulateGrad(self->parents[0].get(), gx);
+        AccumulateGrad(self->parents[0].get(), std::move(gx));
       },
       "tanh");
 }
 
 Variable Exp(const Variable& x) {
   Tensor out = Apply(x.value(), [](float v) { return std::exp(v); });
-  Tensor saved = out;
   return Variable::MakeNode(
       std::move(out), {x},
-      [saved](Node* self) {
-        AccumulateGrad(self->parents[0].get(), vsan::Mul(self->grad, saved));
+      [](Node* self) {
+        AccumulateGrad(self->parents[0].get(),
+                       vsan::Mul(self->grad, self->value));
       },
       "exp");
 }
 
 Variable Log(const Variable& x) {
-  Tensor in = x.value();
-  Tensor out = Apply(in, [](float v) {
+  Tensor out = Apply(x.value(), [](float v) {
     VSAN_DCHECK(v > 0.0f);
     return std::log(v);
   });
   return Variable::MakeNode(
       std::move(out), {x},
-      [in](Node* self) {
+      [](Node* self) {
         Tensor gx = self->grad;
-        ZipInPlace(&gx, in, [](float g, float v) { return g / v; });
-        AccumulateGrad(self->parents[0].get(), gx);
+        ZipInPlace(&gx, self->parents[0]->value,
+                   [](float g, float v) { return g / v; });
+        AccumulateGrad(self->parents[0].get(), std::move(gx));
       },
       "log");
 }
 
 Variable Softmax(const Variable& x) {
   Tensor out = SoftmaxLastDim(x.value());
-  Tensor saved = out;
   const int64_t n = out.dim(out.ndim() - 1);
   return Variable::MakeNode(
       std::move(out), {x},
-      [saved, n](Node* self) {
+      [n](Node* self) {
         // dx = y * (dy - sum_j dy_j y_j) rowwise.
         Tensor gx = self->grad;
         const int64_t rows = gx.numel() / n;
         for (int64_t r = 0; r < rows; ++r) {
           float* g = gx.data() + r * n;
-          const float* y = saved.data() + r * n;
+          const float* y = self->value.data() + r * n;
           double dot = 0.0;
           for (int64_t j = 0; j < n; ++j) dot += g[j] * y[j];
           const float d = static_cast<float>(dot);
           for (int64_t j = 0; j < n; ++j) g[j] = y[j] * (g[j] - d);
         }
-        AccumulateGrad(self->parents[0].get(), gx);
+        AccumulateGrad(self->parents[0].get(), std::move(gx));
       },
       "softmax");
 }
@@ -113,14 +114,17 @@ Variable Dropout(const Variable& x, float rate, Rng* rng, bool training) {
   VSAN_CHECK_LT(rate, 1.0f);
   if (!training || rate == 0.0f) return x;
   const float keep_scale = 1.0f / (1.0f - rate);
-  Tensor mask(x.value().shape());
+  Tensor mask = Tensor::Uninitialized(x.value().shape());
   float* pm = mask.data();
   for (int64_t i = 0; i < mask.numel(); ++i) {
     pm[i] = rng->Bernoulli(rate) ? 0.0f : keep_scale;
   }
+  // Compute the masked value before the lambda capture moves `mask` (the
+  // two are function arguments, so their evaluation order is unspecified).
+  Tensor out = vsan::Mul(x.value(), mask);
   return Variable::MakeNode(
-      vsan::Mul(x.value(), mask), {x},
-      [mask](Node* self) {
+      std::move(out), {x},
+      [mask = std::move(mask)](Node* self) {
         AccumulateGrad(self->parents[0].get(), vsan::Mul(self->grad, mask));
       },
       "dropout");

@@ -1,4 +1,5 @@
 #include <cstring>
+#include <utility>
 
 #include "autograd/ops.h"
 #include "tensor/tensor_ops.h"
@@ -34,13 +35,15 @@ Variable Sub(const Variable& a, const Variable& b) {
 
 Variable Mul(const Variable& a, const Variable& b) {
   VSAN_CHECK(a.value().SameShape(b.value()));
-  Tensor av = a.value();
-  Tensor bv = b.value();
   return Variable::MakeNode(
-      vsan::Mul(av, bv), {a, b},
-      [av, bv](Node* self) {
-        AccumulateGrad(self->parents[0].get(), vsan::Mul(self->grad, bv));
-        AccumulateGrad(self->parents[1].get(), vsan::Mul(self->grad, av));
+      vsan::Mul(a.value(), b.value()), {a, b},
+      [](Node* self) {
+        // Operands live in the parent nodes for the tape's lifetime; no
+        // need to capture copies.
+        AccumulateGrad(self->parents[0].get(),
+                       vsan::Mul(self->grad, self->parents[1]->value));
+        AccumulateGrad(self->parents[1].get(),
+                       vsan::Mul(self->grad, self->parents[0]->value));
       },
       "mul");
 }
@@ -80,7 +83,7 @@ Variable AddBias(const Variable& x, const Variable& bias) {
             const float* row = g + r * n;
             for (int64_t j = 0; j < n; ++j) gb[j] += row[j];
           }
-          AccumulateGrad(bias_node, gb);
+          AccumulateGrad(bias_node, std::move(gb));
         }
       },
       "add_bias");
@@ -132,7 +135,7 @@ Variable AddBroadcastMatrixVar(const Variable& x, const Variable& m) {
             const float* src = g + b * stride;
             for (int64_t i = 0; i < stride; ++i) gm[i] += src[i];
           }
-          AccumulateGrad(m_node, gm);
+          AccumulateGrad(m_node, std::move(gm));
         }
       },
       "add_broadcast_matrix_var");
@@ -184,7 +187,8 @@ Variable Concat(const std::vector<Variable>& xs, int axis) {
     total_axis += x.value().dim(axis);
   }
   out_shape[axis] = total_axis;
-  Tensor out(out_shape);
+  // Fully covered by the memcpys below.
+  Tensor out = Tensor::Uninitialized(out_shape);
   const AxisDims od = SplitAxis(out_shape, axis);
 
   int64_t offset = 0;  // running position along the concat axis
@@ -210,14 +214,14 @@ Variable Concat(const std::vector<Variable>& xs, int axis) {
           Node* parent = self->parents[p].get();
           if (!parent->requires_grad) continue;
           const AxisDims xd = SplitAxis(in_shapes[p], axis);
-          Tensor gx(in_shapes[p]);
+          Tensor gx = Tensor::Uninitialized(in_shapes[p]);
           for (int64_t o = 0; o < xd.outer; ++o) {
             const float* src =
                 self->grad.data() + (o * od.axis + offsets[p]) * od.inner;
             float* dst = gx.data() + o * xd.axis * xd.inner;
             std::memcpy(dst, src, sizeof(float) * xd.axis * xd.inner);
           }
-          AccumulateGrad(parent, gx);
+          AccumulateGrad(parent, std::move(gx));
         }
       },
       "concat");
@@ -231,7 +235,7 @@ Variable Slice(const Variable& x, int axis, int64_t start, int64_t len) {
   std::vector<int64_t> out_shape = shape;
   out_shape[axis] = len;
   const AxisDims xd = SplitAxis(shape, axis);
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   for (int64_t o = 0; o < xd.outer; ++o) {
     const float* src = x.value().data() + (o * xd.axis + start) * xd.inner;
     float* dst = out.data() + o * len * xd.inner;
@@ -243,13 +247,14 @@ Variable Slice(const Variable& x, int axis, int64_t start, int64_t len) {
       [axis, start, len, xd, in_shape](Node* self) {
         Node* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
+        // Zero-initialized: only the sliced band receives gradient.
         Tensor gx(in_shape);
         for (int64_t o = 0; o < xd.outer; ++o) {
           const float* src = self->grad.data() + o * len * xd.inner;
           float* dst = gx.data() + (o * xd.axis + start) * xd.inner;
           std::memcpy(dst, src, sizeof(float) * len * xd.inner);
         }
-        AccumulateGrad(parent, gx);
+        AccumulateGrad(parent, std::move(gx));
       },
       "slice");
 }
@@ -279,7 +284,7 @@ Variable GatherRows(const Variable& x, const std::vector<int64_t>& indices) {
   const int64_t cols = x.value().dim(1);
   const int64_t k = static_cast<int64_t>(indices.size());
   VSAN_CHECK_GT(k, 0);
-  Tensor out({k, cols});
+  Tensor out = Tensor::Uninitialized({k, cols});
   for (int64_t i = 0; i < k; ++i) {
     VSAN_CHECK_GE(indices[i], 0);
     VSAN_CHECK_LT(indices[i], rows);
@@ -292,6 +297,7 @@ Variable GatherRows(const Variable& x, const std::vector<int64_t>& indices) {
       [indices, in_shape, cols](Node* self) {
         Node* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
+        // Zero-initialized: the scatter-add touches gathered rows only.
         Tensor gx(in_shape);
         for (size_t i = 0; i < indices.size(); ++i) {
           const float* src =
@@ -299,7 +305,7 @@ Variable GatherRows(const Variable& x, const std::vector<int64_t>& indices) {
           float* dst = gx.data() + indices[i] * cols;
           for (int64_t j = 0; j < cols; ++j) dst[j] += src[j];
         }
-        AccumulateGrad(parent, gx);
+        AccumulateGrad(parent, std::move(gx));
       },
       "gather_rows");
 }
@@ -332,7 +338,7 @@ Variable MaxOverAxis1(const Variable& x) {
   const int64_t batch = x.value().dim(0);
   const int64_t t = x.value().dim(1);
   const int64_t f = x.value().dim(2);
-  Tensor out({batch, f});
+  Tensor out = Tensor::Uninitialized({batch, f});
   // argmax per (batch, feature), saved for the backward scatter.
   std::vector<int64_t> argmax(batch * f, 0);
   for (int64_t b = 0; b < batch; ++b) {
@@ -356,13 +362,14 @@ Variable MaxOverAxis1(const Variable& x) {
       [argmax, in_shape, batch, f](Node* self) {
         Node* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
+        // Zero-initialized: gradient scatters to argmax positions only.
         Tensor gx(in_shape);
         for (int64_t b = 0; b < batch; ++b) {
           for (int64_t j = 0; j < f; ++j) {
             gx.at(b, argmax[b * f + j], j) = self->grad.at(b, j);
           }
         }
-        AccumulateGrad(parent, gx);
+        AccumulateGrad(parent, std::move(gx));
       },
       "max_over_axis1");
 }
@@ -386,7 +393,7 @@ Variable MeanOverAxis1(const Variable& x) {
       [in_shape, batch, t, f, inv](Node* self) {
         Node* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
-        Tensor gx(in_shape);
+        Tensor gx = Tensor::Uninitialized(in_shape);
         for (int64_t b = 0; b < batch; ++b) {
           for (int64_t i = 0; i < t; ++i) {
             for (int64_t j = 0; j < f; ++j) {
@@ -394,7 +401,7 @@ Variable MeanOverAxis1(const Variable& x) {
             }
           }
         }
-        AccumulateGrad(parent, gx);
+        AccumulateGrad(parent, std::move(gx));
       },
       "mean_over_axis1");
 }

@@ -1,4 +1,5 @@
 #include <cstring>
+#include <utility>
 
 #include "autograd/ops.h"
 #include "util/logging.h"
@@ -42,7 +43,7 @@ Variable EmbeddingLookup(const Variable& table,
           const float* src = g + static_cast<int64_t>(r) * d;
           for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
         }
-        AccumulateGrad(parent, gt);
+        AccumulateGrad(parent, std::move(gt));
       },
       "embedding_lookup");
 }

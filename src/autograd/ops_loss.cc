@@ -1,4 +1,5 @@
 #include <cmath>
+#include <utility>
 
 #include "autograd/ops.h"
 #include "obs/trace.h"
@@ -38,10 +39,12 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
 
   return Variable::MakeNode(
       Tensor::Scalar(static_cast<float>(loss)), {logits},
-      [probs, targets, ignore_index, count, classes](Node* self) {
+      [probs = std::move(probs), targets, ignore_index, count,
+       classes](Node* self) {
         Node* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
         const float scale = self->grad[0] / static_cast<float>(count);
+        // Zero-initialized: ignored rows get no gradient.
         Tensor gx(probs.shape());
         for (int64_t r = 0; r < probs.dim(0); ++r) {
           const int32_t t = targets[r];
@@ -51,7 +54,7 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
           for (int64_t j = 0; j < classes; ++j) grow[j] = prow[j] * scale;
           grow[t] -= scale;
         }
-        AccumulateGrad(parent, gx);
+        AccumulateGrad(parent, std::move(gx));
       },
       "softmax_cross_entropy");
 }
@@ -82,10 +85,11 @@ Variable MultiLabelSoftmaxCrossEntropy(
 
   return Variable::MakeNode(
       Tensor::Scalar(static_cast<float>(loss)), {logits},
-      [probs, targets, count, classes](Node* self) {
+      [probs = std::move(probs), targets, count, classes](Node* self) {
         Node* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
         const float scale = self->grad[0] / static_cast<float>(count);
+        // Zero-initialized: unlabelled rows get no gradient.
         Tensor gx(probs.shape());
         for (int64_t r = 0; r < probs.dim(0); ++r) {
           if (targets[r].empty()) continue;
@@ -97,7 +101,7 @@ Variable MultiLabelSoftmaxCrossEntropy(
           }
           for (int32_t t : targets[r]) grow[t] -= scale;
         }
-        AccumulateGrad(parent, gx);
+        AccumulateGrad(parent, std::move(gx));
       },
       "multilabel_softmax_cross_entropy");
 }
@@ -135,25 +139,26 @@ Variable SampledBinaryCrossEntropy(
   VSAN_CHECK_GT(count, 0) << "no labelled rows in sampled BCE";
   loss /= count;
 
-  Tensor logits_saved = lv;
   return Variable::MakeNode(
       Tensor::Scalar(static_cast<float>(loss)), {logits},
-      [logits_saved, positives, negatives, count, classes, sigmoid](
-          Node* self) {
+      [positives, negatives, count, sigmoid](Node* self) {
         Node* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
+        // The logits live in the parent node; no captured copy needed.
+        const Tensor& saved = parent->value;
         const float scale = self->grad[0] / static_cast<float>(count);
-        Tensor gx(logits_saved.shape());
-        for (int64_t r = 0; r < logits_saved.dim(0); ++r) {
+        // Zero-initialized: only sampled entries receive gradient.
+        Tensor gx(saved.shape());
+        for (int64_t r = 0; r < saved.dim(0); ++r) {
           const int32_t pos = positives[r];
           if (pos < 0) continue;
           // d softplus(-x)/dx = -sigmoid(-x) = sigmoid(x) - 1.
-          gx.at(r, pos) += scale * (sigmoid(logits_saved.at(r, pos)) - 1.0f);
+          gx.at(r, pos) += scale * (sigmoid(saved.at(r, pos)) - 1.0f);
           for (int32_t neg : negatives[r]) {
-            gx.at(r, neg) += scale * sigmoid(logits_saved.at(r, neg));
+            gx.at(r, neg) += scale * sigmoid(saved.at(r, neg));
           }
         }
-        AccumulateGrad(parent, gx);
+        AccumulateGrad(parent, std::move(gx));
       },
       "sampled_binary_cross_entropy");
 }
@@ -186,37 +191,36 @@ Variable KlStandardNormal(const Variable& mu, const Variable& logvar,
   VSAN_CHECK_GT(count, 0.0) << "empty row mask in KL term";
   kl /= count;
 
-  Tensor mu_saved = mv;
-  Tensor lv_saved = lv;
   return Variable::MakeNode(
       Tensor::Scalar(static_cast<float>(kl)), {mu, logvar},
-      [mu_saved, lv_saved, row_mask, d, rows, count](Node* self) {
+      [row_mask, d, rows, count](Node* self) {
         Node* pmu = self->parents[0].get();
         Node* plv = self->parents[1].get();
         const float scale = self->grad[0] / static_cast<float>(count);
         if (pmu->requires_grad) {
-          Tensor gm(mu_saved.shape());
+          // Zero-initialized: masked rows get no gradient.
+          Tensor gm(pmu->value.shape());
           for (int64_t r = 0; r < rows; ++r) {
             const float w = row_mask.empty() ? 1.0f : row_mask[r];
             if (w == 0.0f) continue;
-            const float* pm = mu_saved.data() + r * d;
+            const float* pm = pmu->value.data() + r * d;
             float* g = gm.data() + r * d;
             for (int64_t j = 0; j < d; ++j) g[j] = w * scale * pm[j];
           }
-          AccumulateGrad(pmu, gm);
+          AccumulateGrad(pmu, std::move(gm));
         }
         if (plv->requires_grad) {
-          Tensor gl(lv_saved.shape());
+          Tensor gl(plv->value.shape());
           for (int64_t r = 0; r < rows; ++r) {
             const float w = row_mask.empty() ? 1.0f : row_mask[r];
             if (w == 0.0f) continue;
-            const float* pl = lv_saved.data() + r * d;
+            const float* pl = plv->value.data() + r * d;
             float* g = gl.data() + r * d;
             for (int64_t j = 0; j < d; ++j) {
               g[j] = w * scale * 0.5f * (std::exp(pl[j]) - 1.0f);
             }
           }
-          AccumulateGrad(plv, gl);
+          AccumulateGrad(plv, std::move(gl));
         }
       },
       "kl_standard_normal");
@@ -229,8 +233,9 @@ Variable Reparameterize(const Variable& mu, const Variable& logvar, Rng* rng,
   const Tensor& lv = logvar.value();
   VSAN_CHECK(mv.SameShape(lv));
 
-  Tensor eps(mv.shape());
-  Tensor sigma(mv.shape());
+  // eps and sigma are written in full below.
+  Tensor eps = Tensor::Uninitialized(mv.shape());
+  Tensor sigma = Tensor::Uninitialized(mv.shape());
   Tensor z = mv;
   for (int64_t i = 0; i < z.numel(); ++i) {
     eps[i] = static_cast<float>(rng->Normal());
@@ -240,7 +245,7 @@ Variable Reparameterize(const Variable& mu, const Variable& logvar, Rng* rng,
 
   return Variable::MakeNode(
       std::move(z), {mu, logvar},
-      [eps, sigma](Node* self) {
+      [eps = std::move(eps), sigma = std::move(sigma)](Node* self) {
         Node* pmu = self->parents[0].get();
         Node* plv = self->parents[1].get();
         AccumulateGrad(pmu, self->grad);
@@ -249,7 +254,7 @@ Variable Reparameterize(const Variable& mu, const Variable& logvar, Rng* rng,
           for (int64_t i = 0; i < gl.numel(); ++i) {
             gl[i] *= 0.5f * sigma[i] * eps[i];
           }
-          AccumulateGrad(plv, gl);
+          AccumulateGrad(plv, std::move(gl));
         }
       },
       "reparameterize");

@@ -16,45 +16,50 @@ namespace {
 // of tensor_ops.cc: gradients are identical at every thread count (checked
 // by tests/parallel_equivalence_test.cc, including a finite-difference
 // gradcheck run under the pool).
+//
+// Inputs are read back through self->parents[i]->value — the tape keeps
+// both operands alive, so the closures capture nothing.
 
 // dA = G * B^T, dB = A^T * G (2-D case).
-void Backward2D(Node* self, const Tensor& a, const Tensor& b) {
+void Backward2D(Node* self) {
   Node* pa = self->parents[0].get();
   Node* pb = self->parents[1].get();
   if (pa->requires_grad) {
-    AccumulateGrad(pa, MatMul2D(self->grad, b, /*trans_a=*/false,
+    AccumulateGrad(pa, MatMul2D(self->grad, pb->value, /*trans_a=*/false,
                                 /*trans_b=*/true));
   }
   if (pb->requires_grad) {
-    AccumulateGrad(pb, MatMul2D(a, self->grad, /*trans_a=*/true,
+    AccumulateGrad(pb, MatMul2D(pa->value, self->grad, /*trans_a=*/true,
                                 /*trans_b=*/false));
   }
 }
 
 // Batched case: per-batch 2-D rule.
-void BackwardBatched(Node* self, const Tensor& a, const Tensor& b) {
+void BackwardBatched(Node* self) {
   Node* pa = self->parents[0].get();
   Node* pb = self->parents[1].get();
   if (pa->requires_grad) {
-    AccumulateGrad(pa, BatchedMatMul(self->grad, b, /*trans_a=*/false,
+    AccumulateGrad(pa, BatchedMatMul(self->grad, pb->value, /*trans_a=*/false,
                                      /*trans_b=*/true));
   }
   if (pb->requires_grad) {
-    AccumulateGrad(pb, BatchedMatMul(a, self->grad, /*trans_a=*/true,
+    AccumulateGrad(pb, BatchedMatMul(pa->value, self->grad, /*trans_a=*/true,
                                      /*trans_b=*/false));
   }
 }
 
 // Broadcast case ([B,m,k] x [k,n]): dW sums over the batch, which equals one
 // flattened 2-D GEMM.
-void BackwardBroadcast(Node* self, const Tensor& a, const Tensor& w) {
+void BackwardBroadcast(Node* self) {
   Node* pa = self->parents[0].get();
   Node* pw = self->parents[1].get();
+  const Tensor& a = pa->value;
+  const Tensor& w = pw->value;
   const int64_t bm = a.dim(0) * a.dim(1);
   if (pa->requires_grad) {
     Tensor ga2 = MatMul2D(self->grad.Reshaped({bm, w.dim(1)}), w,
                           /*trans_a=*/false, /*trans_b=*/true);
-    AccumulateGrad(pa, ga2.Reshaped(a.shape()));
+    AccumulateGrad(pa, std::move(ga2).Reshaped(a.shape()));
   }
   if (pw->requires_grad) {
     AccumulateGrad(pw, MatMul2D(a.Reshaped({bm, a.dim(2)}),
@@ -70,34 +75,16 @@ Variable MatMul(const Variable& a, const Variable& b) {
   const Tensor& av = a.value();
   const Tensor& bv = b.value();
   if (av.ndim() == 2 && bv.ndim() == 2) {
-    Tensor a_saved = av;
-    Tensor b_saved = bv;
-    return Variable::MakeNode(
-        MatMul2D(av, bv), {a, b},
-        [a_saved, b_saved](Node* self) {
-          Backward2D(self, a_saved, b_saved);
-        },
-        "matmul2d");
+    return Variable::MakeNode(MatMul2D(av, bv), {a, b}, Backward2D,
+                              "matmul2d");
   }
   if (av.ndim() == 3 && bv.ndim() == 3) {
-    Tensor a_saved = av;
-    Tensor b_saved = bv;
-    return Variable::MakeNode(
-        BatchedMatMul(av, bv), {a, b},
-        [a_saved, b_saved](Node* self) {
-          BackwardBatched(self, a_saved, b_saved);
-        },
-        "matmul_batched");
+    return Variable::MakeNode(BatchedMatMul(av, bv), {a, b}, BackwardBatched,
+                              "matmul_batched");
   }
   if (av.ndim() == 3 && bv.ndim() == 2) {
-    Tensor a_saved = av;
-    Tensor b_saved = bv;
-    return Variable::MakeNode(
-        BatchedMatMulBroadcast(av, bv), {a, b},
-        [a_saved, b_saved](Node* self) {
-          BackwardBroadcast(self, a_saved, b_saved);
-        },
-        "matmul_broadcast");
+    return Variable::MakeNode(BatchedMatMulBroadcast(av, bv), {a, b},
+                              BackwardBroadcast, "matmul_broadcast");
   }
   VSAN_LOG_FATAL << "unsupported matmul ranks: " << av.ndim() << " x "
                  << bv.ndim();

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <utility>
 
 #include "autograd/ops.h"
 #include "obs/trace.h"
@@ -22,9 +23,10 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   VSAN_CHECK_EQ(beta.value().dim(0), n);
   const int64_t rows = xv.numel() / n;
 
-  Tensor out(xv.shape());
-  Tensor xhat(xv.shape());          // normalized input, saved for backward
-  Tensor inv_std({rows});           // 1/sqrt(var+eps) per row
+  // All three are written in full by the row loop below.
+  Tensor out = Tensor::Uninitialized(xv.shape());
+  Tensor xhat = Tensor::Uninitialized(xv.shape());  // saved for backward
+  Tensor inv_std = Tensor::Uninitialized({rows});   // 1/sqrt(var+eps)/row
   const float* px = xv.data();
   const float* pg = gamma.value().data();
   const float* pb = beta.value().data();
@@ -49,16 +51,17 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
     }
   }
 
-  Tensor gamma_saved = gamma.value();
   return Variable::MakeNode(
       std::move(out), {x, gamma, beta},
-      [xhat, inv_std, gamma_saved, n, rows](Node* self) {
+      [xhat = std::move(xhat), inv_std = std::move(inv_std), n,
+       rows](Node* self) {
         Node* px_node = self->parents[0].get();
         Node* pg_node = self->parents[1].get();
         Node* pb_node = self->parents[2].get();
         const Tensor& gy = self->grad;
 
         if (pg_node->requires_grad || pb_node->requires_grad) {
+          // Zero-initialized accumulators.
           Tensor dgamma({n});
           Tensor dbeta({n});
           for (int64_t r = 0; r < rows; ++r) {
@@ -69,13 +72,13 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
               dbeta[j] += g[j];
             }
           }
-          AccumulateGrad(pg_node, dgamma);
-          AccumulateGrad(pb_node, dbeta);
+          AccumulateGrad(pg_node, std::move(dgamma));
+          AccumulateGrad(pb_node, std::move(dbeta));
         }
 
         if (px_node->requires_grad) {
-          Tensor gx(xhat.shape());
-          const float* pg = gamma_saved.data();
+          Tensor gx = Tensor::Uninitialized(xhat.shape());
+          const float* pg = self->parents[1]->value.data();
           for (int64_t r = 0; r < rows; ++r) {
             const float* g = gy.data() + r * n;
             const float* xh = xhat.data() + r * n;
@@ -97,7 +100,7 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
                                    xh[j] * static_cast<float>(m2));
             }
           }
-          AccumulateGrad(px_node, gx);
+          AccumulateGrad(px_node, std::move(gx));
         }
       },
       "layer_norm");

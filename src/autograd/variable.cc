@@ -1,6 +1,7 @@
 #include "autograd/variable.h"
 
 #include <unordered_set>
+#include <utility>
 
 #include "obs/trace.h"
 #include "tensor/tensor_ops.h"
@@ -15,7 +16,22 @@ void AccumulateGrad(Node* node, const Tensor& g) {
   VSAN_CHECK(g.shape() == node->value.shape())
       << "gradient shape mismatch for op " << node->op;
   if (!node->has_grad) {
+    // Copy-assignment reuses the existing grad allocation when the bucket
+    // matches (see pool::Buffer), so parameter gradients kept alive across
+    // steps by ZeroGrad() become a memcpy here instead of an allocation.
     node->grad = g;
+    node->has_grad = true;
+  } else {
+    Axpy(1.0f, g, &node->grad);
+  }
+}
+
+void AccumulateGrad(Node* node, Tensor&& g) {
+  if (!node->requires_grad) return;
+  VSAN_CHECK(g.shape() == node->value.shape())
+      << "gradient shape mismatch for op " << node->op;
+  if (!node->has_grad) {
+    node->grad = std::move(g);
     node->has_grad = true;
   } else {
     Axpy(1.0f, g, &node->grad);
@@ -133,8 +149,10 @@ void Variable::Backward() {
 
 void Variable::ZeroGrad() {
   VSAN_CHECK(defined());
+  // Keep the grad tensor itself: its allocation is reused by the next
+  // backward pass (AccumulateGrad copy-assigns into it), so per-step
+  // gradient storage for parameters is allocated exactly once.
   node_->has_grad = false;
-  node_->grad = Tensor();
 }
 
 }  // namespace vsan

@@ -29,6 +29,10 @@ struct Node {
 
 // Adds `g` into `node->grad` (no-op when the node does not require grad).
 void AccumulateGrad(Node* node, const Tensor& g);
+// Overload for temporaries: moves `g` into the node on first accumulation
+// instead of deep-copying, so backward closures hand their scratch buffers
+// straight to the tape.
+void AccumulateGrad(Node* node, Tensor&& g);
 
 }  // namespace autograd
 

@@ -308,6 +308,13 @@ void Vsan::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
 }
 
 std::vector<float> Vsan::Score(const std::vector<int32_t>& fold_in) const {
+  std::vector<float> scores;
+  ScoreInto(fold_in, &scores);
+  return scores;
+}
+
+void Vsan::ScoreInto(const std::vector<int32_t>& fold_in,
+                    std::vector<float>* scores) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
   const std::vector<int32_t> padded =
       data::SequenceBatcher::PadSequence(fold_in, config_.max_len);
@@ -317,9 +324,9 @@ std::vector<float> Vsan::Score(const std::vector<int32_t>& fold_in) const {
       {1, config_.d});
   Variable logits = net_->Predict(last);
   const Tensor& v = logits.value();
-  std::vector<float> scores(num_items_ + 1);
-  for (int32_t i = 0; i <= num_items_; ++i) scores[i] = v[i];
-  return scores;
+  scores->resize(num_items_ + 1);
+  const float* src = v.data();
+  std::copy(src, src + num_items_ + 1, scores->data());
 }
 
 std::vector<float> Vsan::ScoreWithSampledLatent(

@@ -81,6 +81,8 @@ class Vsan : public SequentialRecommender {
            const TrainOptions& options) override;
 
   std::vector<float> Score(const std::vector<int32_t>& fold_in) const override;
+  void ScoreInto(const std::vector<int32_t>& fold_in,
+                 std::vector<float>* scores) const override;
 
   // Posterior of the final position for an unseen user's history; exposes
   // the uncertainty the latent layer captured (Fig. 1's dashed ellipse).

@@ -72,18 +72,23 @@ EvalResult EvaluateRanking(const SequentialRecommender& model,
   const size_t num_cutoffs = options.cutoffs.size();
   std::vector<std::vector<TopNMetrics>> per_user(num_users);
   ParallelFor(0, num_users, 1, [&](int64_t user_begin, int64_t user_end) {
+    // Hoisted per-shard buffers, reused across the users of this shard:
+    // ScoreInto overwrites `scores` in place and `excluded` is re-assigned
+    // each iteration, so neither reallocates after the first user.
+    std::vector<float> scores;
+    std::vector<bool> excluded;
     for (int64_t ui = user_begin; ui < user_end; ++ui) {
       const data::HeldOutUser& user = users[ui];
       if (user.holdout.empty() || user.fold_in.empty()) continue;
       Stopwatch score_timer;
-      std::vector<float> scores = [&] {
+      {
         VSAN_TRACE_SPAN("eval/score_user", kEval);
-        return model.Score(user.fold_in);
-      }();
+        model.ScoreInto(user.fold_in, &scores);
+      }
       score_hist->Observe(score_timer.ElapsedNanos() * 1e-3);
       VSAN_CHECK_GE(scores.size(), 2u);
 
-      std::vector<bool> excluded(scores.size(), false);
+      excluded.assign(scores.size(), false);
       excluded[data::kPaddingItem] = true;
       if (options.num_sampled_negatives > 0) {
         // Candidate set = holdout + sampled negatives; everything else is

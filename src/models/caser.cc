@@ -119,14 +119,21 @@ void Caser::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
 }
 
 std::vector<float> Caser::Score(const std::vector<int32_t>& fold_in) const {
+  std::vector<float> scores;
+  ScoreInto(fold_in, &scores);
+  return scores;
+}
+
+void Caser::ScoreInto(const std::vector<int32_t>& fold_in,
+                     std::vector<float>* scores) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
   const std::vector<int32_t> window =
       data::SequenceBatcher::PadSequence(fold_in, config_.window);
   Variable logits = net_->Forward(window, /*batch=*/1, &rng_);
   const Tensor& out = logits.value();
-  std::vector<float> scores(num_items_ + 1);
-  for (int32_t i = 0; i <= num_items_; ++i) scores[i] = out[i];
-  return scores;
+  scores->resize(num_items_ + 1);
+  const float* src = out.data();
+  std::copy(src, src + num_items_ + 1, scores->data());
 }
 
 }  // namespace models

@@ -43,6 +43,8 @@ class Caser : public SequentialRecommender {
            const TrainOptions& options) override;
 
   std::vector<float> Score(const std::vector<int32_t>& fold_in) const override;
+  void ScoreInto(const std::vector<int32_t>& fold_in,
+                 std::vector<float>* scores) const override;
 
  private:
   struct Net : public nn::Module {

@@ -70,6 +70,13 @@ void Gru4Rec::Fit(const data::SequenceDataset& train,
 }
 
 std::vector<float> Gru4Rec::Score(const std::vector<int32_t>& fold_in) const {
+  std::vector<float> scores;
+  ScoreInto(fold_in, &scores);
+  return scores;
+}
+
+void Gru4Rec::ScoreInto(const std::vector<int32_t>& fold_in,
+                       std::vector<float>* scores) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
   const std::vector<int32_t> padded = data::SequenceBatcher::PadSequence(
       fold_in, config_.max_len, /*pad_left=*/false);
@@ -82,9 +89,9 @@ std::vector<float> Gru4Rec::Score(const std::vector<int32_t>& fold_in) const {
   Variable row = net_->Logits(ops::Reshape(
       ops::Slice(hidden, /*axis=*/1, last, /*len=*/1), {1, config_.hidden}));
   const Tensor& out = row.value();
-  std::vector<float> scores(num_items_ + 1);
-  for (int32_t i = 0; i <= num_items_; ++i) scores[i] = out[i];
-  return scores;
+  scores->resize(num_items_ + 1);
+  const float* src = out.data();
+  std::copy(src, src + num_items_ + 1, scores->data());
 }
 
 }  // namespace models

@@ -71,6 +71,16 @@ class SequentialRecommender {
   // evaluator.  Higher means more likely to be interacted with next.
   virtual std::vector<float> Score(
       const std::vector<int32_t>& fold_in) const = 0;
+
+  // Like Score(), but writes into a caller-owned vector so repeated calls
+  // (the evaluator scores thousands of users in a loop) reuse one
+  // allocation instead of constructing a fresh vector per user.  `scores`
+  // is resized to num_items + 1 and fully overwritten.  The default
+  // forwards to Score(); models with a custom fast path override it.
+  virtual void ScoreInto(const std::vector<int32_t>& fold_in,
+                         std::vector<float>* scores) const {
+    *scores = Score(fold_in);
+  }
 };
 
 // Batched inference: scores every fold-in history and returns the score
@@ -88,11 +98,15 @@ inline std::vector<std::vector<float>> ScoreBatch(
   std::vector<std::vector<float>> scores(fold_ins.size());
   const int64_t count = static_cast<int64_t>(fold_ins.size());
   if (!parallel) {
-    for (int64_t i = 0; i < count; ++i) scores[i] = model.Score(fold_ins[i]);
+    for (int64_t i = 0; i < count; ++i) {
+      model.ScoreInto(fold_ins[i], &scores[i]);
+    }
     return scores;
   }
   ParallelFor(0, count, 1, [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) scores[i] = model.Score(fold_ins[i]);
+    for (int64_t i = begin; i < end; ++i) {
+      model.ScoreInto(fold_ins[i], &scores[i]);
+    }
   });
   return scores;
 }

@@ -1,5 +1,6 @@
 #include "models/sasrec.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "autograd/ops.h"
@@ -125,6 +126,13 @@ void SasRec::Fit(const data::SequenceDataset& train,
 }
 
 std::vector<float> SasRec::Score(const std::vector<int32_t>& fold_in) const {
+  std::vector<float> scores;
+  ScoreInto(fold_in, &scores);
+  return scores;
+}
+
+void SasRec::ScoreInto(const std::vector<int32_t>& fold_in,
+                      std::vector<float>* scores) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
   const std::vector<int32_t> padded =
       data::SequenceBatcher::PadSequence(fold_in, config_.max_len);
@@ -135,9 +143,9 @@ std::vector<float> SasRec::Score(const std::vector<int32_t>& fold_in) const {
       {1, config_.d});
   Variable logits = net_->Logits(last);
   const Tensor& out = logits.value();
-  std::vector<float> scores(num_items_ + 1);
-  for (int32_t i = 0; i <= num_items_; ++i) scores[i] = out[i];
-  return scores;
+  scores->resize(num_items_ + 1);
+  const float* src = out.data();
+  std::copy(src, src + num_items_ + 1, scores->data());
 }
 
 }  // namespace models

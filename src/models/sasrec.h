@@ -43,6 +43,8 @@ class SasRec : public SequentialRecommender {
            const TrainOptions& options) override;
 
   std::vector<float> Score(const std::vector<int32_t>& fold_in) const override;
+  void ScoreInto(const std::vector<int32_t>& fold_in,
+                 std::vector<float>* scores) const override;
 
   int64_t NumParameters() const {
     return net_ ? net_->NumParameters() : 0;

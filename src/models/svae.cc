@@ -143,6 +143,13 @@ void Svae::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
 }
 
 std::vector<float> Svae::Score(const std::vector<int32_t>& fold_in) const {
+  std::vector<float> scores;
+  ScoreInto(fold_in, &scores);
+  return scores;
+}
+
+void Svae::ScoreInto(const std::vector<int32_t>& fold_in,
+                    std::vector<float>* scores) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
   const std::vector<int32_t> padded = data::SequenceBatcher::PadSequence(
       fold_in, config_.max_len, /*pad_left=*/false);
@@ -153,9 +160,9 @@ std::vector<float> Svae::Score(const std::vector<int32_t>& fold_in) const {
   VSAN_CHECK_GE(last, 0);
   Variable row = net_->Decode(ops::GatherRows(out.z, {last}), &rng_);
   const Tensor& v = row.value();
-  std::vector<float> scores(num_items_ + 1);
-  for (int32_t i = 0; i <= num_items_; ++i) scores[i] = v[i];
-  return scores;
+  scores->resize(num_items_ + 1);
+  const float* src = v.data();
+  std::copy(src, src + num_items_ + 1, scores->data());
 }
 
 }  // namespace models

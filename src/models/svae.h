@@ -40,6 +40,8 @@ class Svae : public SequentialRecommender {
            const TrainOptions& options) override;
 
   std::vector<float> Score(const std::vector<int32_t>& fold_in) const override;
+  void ScoreInto(const std::vector<int32_t>& fold_in,
+                 std::vector<float>* scores) const override;
 
  private:
   struct Net : public nn::Module {

@@ -125,6 +125,16 @@ std::string MetricsRegistry::ScrapeText() const {
   return os.str();
 }
 
+std::map<std::string, double> MetricsRegistry::SnapshotScalars() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = static_cast<double>(counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();

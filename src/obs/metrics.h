@@ -93,6 +93,11 @@ class MetricsRegistry {
   //   histogram <name> count=<n> sum=<s> p50=<..> p95=<..> p99=<..>
   std::string ScrapeText() const;
 
+  // Point-in-time numeric values of every counter and gauge (histograms are
+  // excluded — they have no single scalar).  Used by the trace exporter to
+  // embed metric values alongside span events.
+  std::map<std::string, double> SnapshotScalars() const;
+
   // Zeroes every instrument (pointers stay valid).  For tests/benchmarks.
   void Reset();
 

@@ -42,6 +42,19 @@ void AppendJsonKey(const std::string& key, std::string* out) {
 
 }  // namespace
 
+int64_t ReadPeakRssKb() {
+  std::ifstream status("/proc/self/status");
+  if (!status) return -1;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    long long kb = -1;
+    if (std::sscanf(line.c_str(), "VmHWM: %lld", &kb) == 1) return kb;
+    return -1;
+  }
+  return -1;
+}
+
 TelemetryRecorder::TelemetryRecorder(const std::string& path)
     : path_(path), out_(path, std::ios::trunc) {
   ok_ = out_.good();
@@ -83,6 +96,14 @@ void TelemetryRecorder::RecordEpoch(const EpochRecord& record) {
     line += ",";
     AppendJsonKey(key, &line);
     AppendJsonNumber(value, &line);
+  }
+  // Sampled at write time rather than passed in: every epoch line carries
+  // the process high-water mark with no train-loop plumbing.
+  const int64_t peak_rss_kb = ReadPeakRssKb();
+  if (peak_rss_kb >= 0) {
+    line += ",";
+    AppendJsonKey("peak_rss_kb", &line);
+    line += std::to_string(peak_rss_kb);
   }
   line += "}\n";
 

@@ -31,6 +31,12 @@ struct EpochRecord {
   std::vector<std::pair<std::string, double>> extras;
 };
 
+// Process peak resident-set size (VmHWM from /proc/self/status) in kB, or
+// -1 where unavailable (non-Linux).  Monotone over a run, so per-epoch
+// samples show when the high-water mark was set — a pooled-allocator
+// regression (arena growth, leaked tape) moves this line.
+int64_t ReadPeakRssKb();
+
 // Appends JSONL records to a file.  Thread-safe; writes are flushed per
 // record so a crashed run keeps every completed epoch.
 class TelemetryRecorder {

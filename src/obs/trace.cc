@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/metrics.h"
+
 namespace vsan {
 namespace obs {
 namespace {
@@ -66,6 +68,8 @@ const char* SpanCategoryName(SpanCategory category) {
       return "pool";
     case SpanCategory::kModel:
       return "model";
+    case SpanCategory::kAlloc:
+      return "alloc";
     case SpanCategory::kOther:
       return "other";
   }
@@ -152,8 +156,8 @@ int64_t Tracer::NumThreads() const {
   return active;
 }
 
-void WriteChromeTrace(const std::vector<SpanEvent>& events,
-                      std::ostream& os) {
+void WriteChromeTrace(const std::vector<SpanEvent>& events, std::ostream& os,
+                      const std::map<std::string, double>* metrics) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   std::string line;
   char num[64];
@@ -180,13 +184,32 @@ void WriteChromeTrace(const std::vector<SpanEvent>& events,
     line += "}";
     os << line;
   }
-  os << "\n]}\n";
+  os << "\n]";
+  if (metrics != nullptr && !metrics->empty()) {
+    os << ",\"metrics\":{";
+    first = true;
+    for (const auto& [name, value] : *metrics) {
+      line.clear();
+      if (!first) line += ",";
+      first = false;
+      line += "\n\"";
+      AppendJsonEscaped(name.c_str(), &line);
+      line += "\":";
+      std::snprintf(num, sizeof(num), "%.6g", value);
+      line += num;
+      os << line;
+    }
+    os << "\n}";
+  }
+  os << "}\n";
 }
 
 bool ExportChromeTrace(const std::string& path) {
   std::ofstream out(path);
   if (!out.good()) return false;
-  WriteChromeTrace(Tracer::Global().Collect(), out);
+  const std::map<std::string, double> metrics =
+      MetricsRegistry::Global().SnapshotScalars();
+  WriteChromeTrace(Tracer::Global().Collect(), out, &metrics);
   return out.good();
 }
 

@@ -47,6 +47,7 @@ enum class SpanCategory : uint8_t {
   kTrain,     // epoch/step structure of a training loop
   kPool,      // ThreadPool shard bodies and queue waits
   kModel,     // nn layer forwards (attention blocks, ...)
+  kAlloc,     // tensor-pool slow paths (system new[]/delete[], arena trips)
   kOther,
 };
 
@@ -165,9 +166,15 @@ class ScopedSpan {
 
 // Writes `events` in Chrome trace-event JSON ("X" complete events,
 // microsecond timestamps) — the format chrome://tracing and Perfetto load.
-void WriteChromeTrace(const std::vector<SpanEvent>& events, std::ostream& os);
+// When `metrics` is non-null its entries are embedded as a top-level
+// "metrics" object (name -> value); Chrome/Perfetto ignore the extra key,
+// but trace_reader surfaces it so trace_summary can report counters (the
+// pool.* hit/miss/byte figures) next to the span tables.
+void WriteChromeTrace(const std::vector<SpanEvent>& events, std::ostream& os,
+                      const std::map<std::string, double>* metrics = nullptr);
 
-// Collects the current session and writes it to `path`.  Returns false on
+// Collects the current session — spans plus a scalar-metrics snapshot from
+// MetricsRegistry::Global() — and writes it to `path`.  Returns false on
 // I/O failure.
 bool ExportChromeTrace(const std::string& path);
 

@@ -10,6 +10,12 @@ namespace obs {
 
 bool ReadChromeTrace(std::istream& in, std::vector<ParsedSpan>* spans,
                      std::string* error) {
+  return ReadChromeTrace(in, spans, /*metrics=*/nullptr, error);
+}
+
+bool ReadChromeTrace(std::istream& in, std::vector<ParsedSpan>* spans,
+                     std::map<std::string, double>* metrics,
+                     std::string* error) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   JsonValue root;
@@ -20,6 +26,16 @@ bool ReadChromeTrace(std::istream& in, std::vector<ParsedSpan>* spans,
     events = &root;
   } else if (root.is_object()) {
     events = root.Find("traceEvents");
+  }
+  if (metrics != nullptr) {
+    metrics->clear();
+    const JsonValue* m =
+        root.is_object() ? root.Find("metrics") : nullptr;
+    if (m != nullptr && m->is_object()) {
+      for (const auto& [name, value] : m->object) {
+        if (value.is_number()) (*metrics)[name] = value.number;
+      }
+    }
   }
   if (events == nullptr || !events->is_array()) {
     if (error != nullptr) *error = "no traceEvents array";

@@ -26,8 +26,13 @@ struct ParsedSpan {
 
 // Parses a Chrome trace (either the {"traceEvents": [...]} wrapper this
 // library writes or a bare event array).  Returns false with `*error` set
-// on malformed input; non-"X" phases are skipped.
+// on malformed input; non-"X" phases are skipped.  The 4-argument overload
+// also fills `*metrics` from the optional top-level "metrics" object the
+// exporter embeds (empty when the trace has none).
 bool ReadChromeTrace(std::istream& in, std::vector<ParsedSpan>* spans,
+                     std::string* error);
+bool ReadChromeTrace(std::istream& in, std::vector<ParsedSpan>* spans,
+                     std::map<std::string, double>* metrics,
                      std::string* error);
 
 struct SpanTotals {

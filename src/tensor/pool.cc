@@ -1,0 +1,414 @@
+#include "tensor/pool.h"
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/env.h"
+#include "util/logging.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define VSAN_POOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define VSAN_POOL_ASAN 1
+#endif
+#endif
+#ifndef VSAN_POOL_ASAN
+#define VSAN_POOL_ASAN 0
+#endif
+
+#if VSAN_POOL_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace vsan {
+namespace pool {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Configuration.
+
+// Idle bytes a single thread may hold per bucket class before releases spill
+// to the global arena.  Small buckets keep many entries (they churn the
+// most), large buckets only a handful.
+constexpr int64_t kThreadCacheBytesPerBucket = int64_t{4} << 20;  // 4 MiB
+constexpr int64_t kThreadCacheMinItems = 8;
+constexpr int64_t kThreadCacheMaxItems = 256;
+
+// Idle bytes the global overflow arena may hold across all buckets; beyond
+// this, released buffers go back to the system so RSS stays bounded when a
+// workload shrinks.
+constexpr int64_t kArenaMaxBytes = int64_t{512} << 20;  // 512 MiB
+
+constexpr int64_t kMinBucketCapacity = int64_t{1} << kMinBucketLog2;
+constexpr int64_t kMaxBucketCapacity = int64_t{1} << kMaxBucketLog2;
+
+int BucketIndex(int64_t capacity) {
+  // capacity is a power of two in [kMinBucketCapacity, kMaxBucketCapacity].
+  return std::bit_width(static_cast<uint64_t>(capacity)) - 1 - kMinBucketLog2;
+}
+
+int64_t MaxThreadItems(int64_t capacity_bytes) {
+  const int64_t by_bytes = kThreadCacheBytesPerBucket / capacity_bytes;
+  if (by_bytes < kThreadCacheMinItems) return kThreadCacheMinItems;
+  if (by_bytes > kThreadCacheMaxItems) return kThreadCacheMaxItems;
+  return by_bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.  Instruments live in the global registry (so ScrapeText and the
+// trace exporter see them); pointers are cached once.  bytes_outstanding /
+// bytes_cached are maintained as pool-local atomics and mirrored into
+// gauges, because gauges have set-only semantics.
+
+struct Metrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* releases;
+  obs::Gauge* bytes_outstanding;
+  obs::Gauge* bytes_cached;
+  std::atomic<int64_t> outstanding{0};
+  std::atomic<int64_t> cached{0};
+
+  Metrics() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    hits = registry.GetCounter(kMetricHits);
+    misses = registry.GetCounter(kMetricMisses);
+    releases = registry.GetCounter(kMetricReleases);
+    bytes_outstanding = registry.GetGauge(kMetricBytesOutstanding);
+    bytes_cached = registry.GetGauge(kMetricBytesCached);
+  }
+
+  void AddOutstanding(int64_t bytes) {
+    const int64_t now =
+        outstanding.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    bytes_outstanding->Set(static_cast<double>(now));
+  }
+  void AddCached(int64_t bytes) {
+    const int64_t now =
+        cached.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    bytes_cached->Set(static_cast<double>(now));
+  }
+};
+
+Metrics& GetMetrics() {
+  static Metrics* metrics = new Metrics();  // leaked: outlives all statics
+  return *metrics;
+}
+
+// ---------------------------------------------------------------------------
+// ASAN poisoning.  Released pooled buffers are filled with a NaN pattern and
+// then address-poisoned, so any read through a stale Tensor faults the same
+// way a heap use-after-free would.  Unpoison happens on reacquire.
+
+#if VSAN_POOL_ASAN
+void PoisonBuffer(float* data, int64_t capacity) {
+  // 0x7fc0dead: a quiet NaN with a recognizable payload in crash dumps.
+  uint32_t pattern = 0x7fc0deadu;
+  float poison;
+  std::memcpy(&poison, &pattern, sizeof(poison));
+  for (int64_t i = 0; i < capacity; ++i) data[i] = poison;
+  ASAN_POISON_MEMORY_REGION(data, capacity * sizeof(float));
+}
+void UnpoisonBuffer(float* data, int64_t capacity) {
+  ASAN_UNPOISON_MEMORY_REGION(data, capacity * sizeof(float));
+}
+#else
+void PoisonBuffer(float*, int64_t) {}
+void UnpoisonBuffer(float*, int64_t) {}
+#endif
+
+// ---------------------------------------------------------------------------
+// Global overflow arena: one mutex-protected free list per bucket, bounded
+// in total bytes.  Leaked on purpose — buffers released by static
+// destructors after main() must still find it alive.
+
+class Arena {
+ public:
+  // Takes ownership of `data` unless the arena is full, in which case the
+  // caller must free it (returns false).
+  bool Push(int bucket, float* data) {
+    const int64_t bytes = BytesFor(bucket);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (bytes_ + bytes > kArenaMaxBytes) return false;
+    lists_[bucket].push_back(data);
+    bytes_ += bytes;
+    return true;
+  }
+
+  float* Pop(int bucket) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<float*>& list = lists_[bucket];
+    if (list.empty()) return nullptr;
+    float* data = list.back();
+    list.pop_back();
+    bytes_ -= BytesFor(bucket);
+    return data;
+  }
+
+  // Frees every cached buffer back to the system; returns bytes released.
+  int64_t Trim() {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t freed = bytes_;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      for (float* data : lists_[b]) {
+        UnpoisonBuffer(data, int64_t{1} << (b + kMinBucketLog2));
+        delete[] data;
+      }
+      lists_[b].clear();
+    }
+    bytes_ = 0;
+    return freed;
+  }
+
+ private:
+  static int64_t BytesFor(int bucket) {
+    return (int64_t{1} << (bucket + kMinBucketLog2)) *
+           static_cast<int64_t>(sizeof(float));
+  }
+
+  std::mutex mu_;
+  std::vector<float*> lists_[kNumBuckets];
+  int64_t bytes_ = 0;
+};
+
+Arena& GetArena() {
+  static Arena* arena = new Arena();  // leaked: see class comment
+  return *arena;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread cache.  Accessed through GetThreadCache(), which returns
+// nullptr once the thread's cache has been destroyed (releases from late
+// static destructors then go straight to the arena).
+
+struct ThreadCache {
+  std::vector<float*> lists[kNumBuckets];
+
+  ~ThreadCache();
+};
+
+bool& ThreadCacheDestroyed() {
+  // Trivially destructible, so reads stay valid after ThreadCache's own
+  // destructor has run during thread teardown.
+  thread_local bool destroyed = false;
+  return destroyed;
+}
+
+ThreadCache* GetThreadCache() {
+  if (ThreadCacheDestroyed()) return nullptr;
+  thread_local ThreadCache cache;
+  return &cache;
+}
+
+ThreadCache::~ThreadCache() {
+  ThreadCacheDestroyed() = true;
+  Arena& arena = GetArena();
+  Metrics& metrics = GetMetrics();
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const int64_t capacity = int64_t{1} << (b + kMinBucketLog2);
+    for (float* data : lists[b]) {
+      if (!arena.Push(b, data)) {
+        UnpoisonBuffer(data, capacity);
+        delete[] data;
+        metrics.AddCached(-capacity * static_cast<int64_t>(sizeof(float)));
+      }
+    }
+    lists[b].clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Enable switch.  -1 = not yet read from the environment.
+
+std::atomic<int> g_enabled{-1};
+
+float* SystemAlloc(int64_t n) {
+  VSAN_TRACE_SPAN("pool/system_alloc", kAlloc);
+  return new float[static_cast<size_t>(n)];
+}
+
+// Acquire result: the raw allocation plus how Release must treat it.
+struct RawBuffer {
+  float* data;
+  int64_t capacity;
+  bool pooled;
+};
+
+RawBuffer AcquireRaw(int64_t n) {
+  VSAN_DCHECK(n > 0);
+  Metrics& metrics = GetMetrics();
+  if (!PoolEnabled() || n > kMaxBucketCapacity) {
+    metrics.misses->Increment();
+    metrics.AddOutstanding(n * static_cast<int64_t>(sizeof(float)));
+    return {SystemAlloc(n), n, false};
+  }
+  const int64_t capacity = BucketCapacity(n);
+  const int bucket = BucketIndex(capacity);
+  const int64_t bytes = capacity * static_cast<int64_t>(sizeof(float));
+  metrics.AddOutstanding(bytes);
+
+  ThreadCache* cache = GetThreadCache();
+  if (cache != nullptr && !cache->lists[bucket].empty()) {
+    float* data = cache->lists[bucket].back();
+    cache->lists[bucket].pop_back();
+    metrics.AddCached(-bytes);
+    metrics.hits->Increment();
+    UnpoisonBuffer(data, capacity);
+    return {data, capacity, true};
+  }
+  if (float* data = GetArena().Pop(bucket)) {
+    metrics.AddCached(-bytes);
+    metrics.hits->Increment();
+    UnpoisonBuffer(data, capacity);
+    return {data, capacity, true};
+  }
+  metrics.misses->Increment();
+  return {SystemAlloc(capacity), capacity, true};
+}
+
+void ReleaseRaw(float* data, int64_t capacity, bool pooled) {
+  if (data == nullptr) return;
+  Metrics& metrics = GetMetrics();
+  const int64_t bytes = capacity * static_cast<int64_t>(sizeof(float));
+  metrics.AddOutstanding(-bytes);
+  if (!pooled) {
+    delete[] data;
+    return;
+  }
+  metrics.releases->Increment();
+  PoisonBuffer(data, capacity);
+  const int bucket = BucketIndex(capacity);
+  ThreadCache* cache = GetThreadCache();
+  if (cache != nullptr) {
+    std::vector<float*>& list = cache->lists[bucket];
+    if (static_cast<int64_t>(list.size()) < MaxThreadItems(bytes)) {
+      list.push_back(data);
+      metrics.AddCached(bytes);
+      return;
+    }
+  }
+  {
+    VSAN_TRACE_SPAN("pool/arena_push", kAlloc);
+    if (GetArena().Push(bucket, data)) {
+      metrics.AddCached(bytes);
+      return;
+    }
+  }
+  // Arena full: back to the system.
+  VSAN_TRACE_SPAN("pool/system_free", kAlloc);
+  UnpoisonBuffer(data, capacity);
+  delete[] data;
+}
+
+}  // namespace
+
+int64_t BucketCapacity(int64_t n) {
+  VSAN_DCHECK(n > 0);
+  if (n > kMaxBucketCapacity) return n;
+  if (n <= kMinBucketCapacity) return kMinBucketCapacity;
+  return static_cast<int64_t>(
+      std::bit_ceil(static_cast<uint64_t>(n)));
+}
+
+bool PoolEnabled() {
+  int enabled = g_enabled.load(std::memory_order_relaxed);
+  if (enabled < 0) {
+    enabled = GetEnvInt("VSAN_POOL", 1) != 0 ? 1 : 0;
+    g_enabled.store(enabled, std::memory_order_relaxed);
+  }
+  return enabled == 1;
+}
+
+void SetPoolEnabledForTesting(bool enabled) {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+PoolStats GetStats() {
+  Metrics& metrics = GetMetrics();
+  PoolStats stats;
+  stats.hits = metrics.hits->value();
+  stats.misses = metrics.misses->value();
+  stats.releases = metrics.releases->value();
+  stats.bytes_outstanding =
+      metrics.outstanding.load(std::memory_order_relaxed);
+  stats.bytes_cached = metrics.cached.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void TrimForTesting() {
+  Metrics& metrics = GetMetrics();
+  ThreadCache* cache = GetThreadCache();
+  if (cache != nullptr) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const int64_t capacity = int64_t{1} << (b + kMinBucketLog2);
+      for (float* data : cache->lists[b]) {
+        UnpoisonBuffer(data, capacity);
+        delete[] data;
+        metrics.AddCached(-capacity * static_cast<int64_t>(sizeof(float)));
+      }
+      cache->lists[b].clear();
+    }
+  }
+  metrics.AddCached(-GetArena().Trim());
+}
+
+Buffer Buffer::Zeroed(int64_t n) {
+  Buffer buffer = Uninitialized(n);
+  if (n > 0) std::memset(buffer.data_, 0, n * sizeof(float));
+  return buffer;
+}
+
+Buffer Buffer::Uninitialized(int64_t n) {
+  Buffer buffer;
+  if (n <= 0) return buffer;
+  const RawBuffer raw = AcquireRaw(n);
+  buffer.data_ = raw.data;
+  buffer.size_ = n;
+  buffer.capacity_ = raw.capacity;
+  buffer.pooled_ = raw.pooled;
+  return buffer;
+}
+
+void Buffer::Reset() {
+  if (data_ != nullptr) ReleaseRaw(data_, capacity_, pooled_);
+  data_ = nullptr;
+  size_ = 0;
+  capacity_ = 0;
+  pooled_ = false;
+}
+
+void Buffer::CopyFrom(const Buffer& other) {
+  // Reuse this allocation only when it comes from the same bucket the
+  // source would use — reusing a much larger buffer for a small copy would
+  // pin pool memory under small tensors.
+  const bool reusable = data_ != nullptr && other.size_ > 0 &&
+                        capacity_ >= other.size_ &&
+                        (!pooled_ || capacity_ == BucketCapacity(other.size_));
+  if (!reusable) {
+    Reset();
+    if (other.size_ == 0) return;
+    *this = Uninitialized(other.size_);
+  }
+  size_ = other.size_;
+  std::memcpy(data_, other.data_, other.size_ * sizeof(float));
+}
+
+void Buffer::MoveFrom(Buffer* other) {
+  data_ = other->data_;
+  size_ = other->size_;
+  capacity_ = other->capacity_;
+  pooled_ = other->pooled_;
+  other->data_ = nullptr;
+  other->size_ = 0;
+  other->capacity_ = 0;
+  other->pooled_ = false;
+}
+
+}  // namespace pool
+}  // namespace vsan

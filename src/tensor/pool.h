@@ -1,0 +1,142 @@
+#ifndef VSAN_TENSOR_POOL_H_
+#define VSAN_TENSOR_POOL_H_
+
+#include <cstdint>
+
+// Pooled float-buffer allocator behind Tensor storage.
+//
+// Training replays thousands of mini-batch steps whose tape shape is
+// identical from step to step, so the allocation pattern is a loop: a few
+// hundred buffers acquired during forward/backward, all released when the
+// tape drops.  The pool turns that loop into pointer pushes and pops:
+//
+//   - Requests are rounded up to power-of-two bucket classes (kMinBucketLog2
+//     .. kMaxBucketLog2 elements).  Oversize requests bypass the pool and go
+//     straight to new[].
+//   - Each thread owns a small per-bucket free list (no locks).  When a
+//     local list overflows on release, buffers spill to a global overflow
+//     arena (mutex-protected, byte-bounded); when a local list is empty on
+//     acquire, the arena is tried before new[].  Cross-thread release is
+//     therefore safe and cheap: the buffer lands in the releasing thread's
+//     cache or the shared arena, from where any thread can reuse it.
+//   - VSAN_POOL=0 in the environment disables pooling entirely (plain
+//     new[]/delete[]), the bitwise-equivalence baseline for tests.
+//   - Under AddressSanitizer, released pooled bytes are filled with a NaN
+//     poison pattern and asan-poisoned, so stale reads of freed tensor
+//     memory fault exactly like a heap use-after-free would.
+//
+// Counters are exported through obs::MetricsRegistry ("pool.*", see
+// kMetric* names below) and the slow paths emit kAlloc spans so
+// tools/trace_summary can attribute residual allocator time.
+//
+// Thread-safety: Acquire/Release are safe from any thread, including inside
+// ParallelFor shards.  The pool never changes the values written through a
+// buffer, so pooling is invisible to numerics (locked down by the pool
+// on/off equivalence test in tests/pool_test.cc).
+
+namespace vsan {
+namespace pool {
+
+// Bucket classes cover 2^4 .. 2^22 floats (64 B .. 16 MiB); larger requests
+// are not pooled.
+inline constexpr int kMinBucketLog2 = 4;
+inline constexpr int kMaxBucketLog2 = 22;
+inline constexpr int kNumBuckets = kMaxBucketLog2 - kMinBucketLog2 + 1;
+
+// Metric names registered in obs::MetricsRegistry::Global().
+inline constexpr const char kMetricHits[] = "pool.acquire.hits";
+inline constexpr const char kMetricMisses[] = "pool.acquire.misses";
+inline constexpr const char kMetricReleases[] = "pool.releases";
+inline constexpr const char kMetricBytesOutstanding[] =
+    "pool.bytes_outstanding";
+inline constexpr const char kMetricBytesCached[] = "pool.bytes_cached";
+
+// Element capacity of the bucket serving a request of `n` floats (n > 0).
+// Oversize requests return n itself (unpooled).
+int64_t BucketCapacity(int64_t n);
+
+// True when pooling is active (VSAN_POOL != 0 and not overridden by
+// SetPoolEnabledForTesting).
+bool PoolEnabled();
+
+// Test hook: force the pool on/off for the rest of the process, overriding
+// VSAN_POOL.  Buffers acquired before the switch release correctly either
+// way (each remembers whether it is pooled).
+void SetPoolEnabledForTesting(bool enabled);
+
+// Point-in-time pool statistics, derived from the metrics registry plus the
+// pool's own atomics.
+struct PoolStats {
+  int64_t hits = 0;           // acquires served from a free list
+  int64_t misses = 0;         // acquires that hit the system allocator
+  int64_t releases = 0;       // buffers returned to the pool
+  int64_t bytes_outstanding = 0;  // acquired minus released, in bytes
+  int64_t bytes_cached = 0;       // idle bytes held in caches + arena
+  double HitRate() const {
+    const int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+PoolStats GetStats();
+
+// Frees every idle buffer (thread-local lists of the calling thread and the
+// whole overflow arena) back to the system.  For tests and RSS-sensitive
+// quiesce points; in-use buffers are unaffected.
+void TrimForTesting();
+
+// Owning handle for one pooled (or plain, when the pool is off / the
+// request oversize) float buffer.  Deep-copying; copy-assignment reuses the
+// destination allocation when the source fits the same bucket, which is
+// what lets a parameter's gradient buffer survive ZeroGrad/Backward cycles
+// without churning.  Not thread-safe per instance (like std::vector).
+class Buffer {
+ public:
+  Buffer() = default;
+  ~Buffer() { Reset(); }
+
+  // Zero-filled buffer of n elements (n >= 0).
+  static Buffer Zeroed(int64_t n);
+  // Uninitialized buffer of n elements: for ops that overwrite every
+  // element before any read, skipping the zero-fill entirely.  Reused pool
+  // memory holds stale values (NaN-poison under ASAN), so a read-before-
+  // write here is a real bug, not a silent zero.
+  static Buffer Uninitialized(int64_t n);
+
+  Buffer(const Buffer& other) { CopyFrom(other); }
+  Buffer& operator=(const Buffer& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Buffer(Buffer&& other) noexcept { MoveFrom(&other); }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  int64_t size() const { return size_; }
+  // Bucket capacity backing this handle (== size for unpooled buffers).
+  int64_t capacity() const { return capacity_; }
+  bool pooled() const { return pooled_; }
+
+  // Releases the allocation (back to the pool when pooled).
+  void Reset();
+
+ private:
+  void CopyFrom(const Buffer& other);
+  void MoveFrom(Buffer* other);
+
+  float* data_ = nullptr;
+  int64_t size_ = 0;
+  int64_t capacity_ = 0;
+  bool pooled_ = false;
+};
+
+}  // namespace pool
+}  // namespace vsan
+
+#endif  // VSAN_TENSOR_POOL_H_

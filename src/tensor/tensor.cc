@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "util/logging.h"
@@ -22,11 +23,19 @@ int64_t ShapeNumel(const std::vector<int64_t>& shape) {
 
 Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
   VSAN_CHECK_LE(shape_.size(), 4u);
-  data_.assign(ShapeNumel(shape_), 0.0f);
+  data_ = pool::Buffer::Zeroed(ShapeNumel(shape_));
 }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape) {
   return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Uninitialized(std::vector<int64_t> shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  VSAN_CHECK_LE(t.shape_.size(), 4u);
+  t.data_ = pool::Buffer::Uninitialized(ShapeNumel(t.shape_));
+  return t;
 }
 
 Tensor Tensor::Ones(std::vector<int64_t> shape) {
@@ -41,11 +50,12 @@ Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
 
 Tensor Tensor::FromVector(std::vector<int64_t> shape,
                           std::vector<float> values) {
-  Tensor t;
-  t.shape_ = std::move(shape);
-  VSAN_CHECK_LE(t.shape_.size(), 4u);
-  VSAN_CHECK_EQ(ShapeNumel(t.shape_), static_cast<int64_t>(values.size()));
-  t.data_ = std::move(values);
+  const int64_t count = static_cast<int64_t>(values.size());
+  VSAN_CHECK_EQ(ShapeNumel(shape), count);
+  Tensor t = Uninitialized(std::move(shape));
+  if (count > 0) {
+    std::memcpy(t.data_.data(), values.data(), count * sizeof(float));
+  }
   return t;
 }
 
@@ -53,18 +63,20 @@ Tensor Tensor::Scalar(float value) { return FromVector({1}, {value}); }
 
 Tensor Tensor::RandomNormal(std::vector<int64_t> shape, Rng* rng,
                             float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
+  float* data = t.data();
   for (int64_t i = 0; i < t.numel(); ++i) {
-    t.data_[i] = static_cast<float>(rng->Normal(0.0, stddev));
+    data[i] = static_cast<float>(rng->Normal(0.0, stddev));
   }
   return t;
 }
 
 Tensor Tensor::RandomUniform(std::vector<int64_t> shape, Rng* rng, float lo,
                              float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
+  float* data = t.data();
   for (int64_t i = 0; i < t.numel(); ++i) {
-    t.data_[i] = static_cast<float>(rng->Uniform(lo, hi));
+    data[i] = static_cast<float>(rng->Uniform(lo, hi));
   }
   return t;
 }
@@ -75,21 +87,28 @@ int64_t Tensor::dim(int i) const {
   return shape_[i];
 }
 
-Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
+Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const& {
   VSAN_CHECK_EQ(ShapeNumel(new_shape), numel());
   Tensor t = *this;
   t.shape_ = std::move(new_shape);
   return t;
 }
 
+Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) && {
+  VSAN_CHECK_EQ(ShapeNumel(new_shape), numel());
+  Tensor t = std::move(*this);
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
 float& Tensor::operator[](int64_t flat_index) {
   VSAN_DCHECK(flat_index >= 0 && flat_index < numel());
-  return data_[flat_index];
+  return data_.data()[flat_index];
 }
 
 float Tensor::operator[](int64_t flat_index) const {
   VSAN_DCHECK(flat_index >= 0 && flat_index < numel());
-  return data_[flat_index];
+  return data_.data()[flat_index];
 }
 
 float& Tensor::at(int64_t i) {
@@ -106,8 +125,12 @@ int64_t Tensor::FlatIndex(int64_t i, int64_t j) const {
   VSAN_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
   return i * shape_[1] + j;
 }
-float& Tensor::at(int64_t i, int64_t j) { return data_[FlatIndex(i, j)]; }
-float Tensor::at(int64_t i, int64_t j) const { return data_[FlatIndex(i, j)]; }
+float& Tensor::at(int64_t i, int64_t j) {
+  return data_.data()[FlatIndex(i, j)];
+}
+float Tensor::at(int64_t i, int64_t j) const {
+  return data_.data()[FlatIndex(i, j)];
+}
 
 int64_t Tensor::FlatIndex(int64_t i, int64_t j, int64_t k) const {
   VSAN_DCHECK(ndim() == 3);
@@ -116,10 +139,10 @@ int64_t Tensor::FlatIndex(int64_t i, int64_t j, int64_t k) const {
   return (i * shape_[1] + j) * shape_[2] + k;
 }
 float& Tensor::at(int64_t i, int64_t j, int64_t k) {
-  return data_[FlatIndex(i, j, k)];
+  return data_.data()[FlatIndex(i, j, k)];
 }
 float Tensor::at(int64_t i, int64_t j, int64_t k) const {
-  return data_[FlatIndex(i, j, k)];
+  return data_.data()[FlatIndex(i, j, k)];
 }
 
 int64_t Tensor::FlatIndex(int64_t i, int64_t j, int64_t k, int64_t l) const {
@@ -129,20 +152,24 @@ int64_t Tensor::FlatIndex(int64_t i, int64_t j, int64_t k, int64_t l) const {
   return ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l;
 }
 float& Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) {
-  return data_[FlatIndex(i, j, k, l)];
+  return data_.data()[FlatIndex(i, j, k, l)];
 }
 float Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) const {
-  return data_[FlatIndex(i, j, k, l)];
+  return data_.data()[FlatIndex(i, j, k, l)];
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  float* data = data_.data();
+  const int64_t count = numel();
+  std::fill(data, data + count, value);
 }
 
 float Tensor::Sum() const {
   // Accumulate in double so large reductions stay accurate in float32 data.
   double sum = 0.0;
-  for (float v : data_) sum += v;
+  const float* data = data_.data();
+  const int64_t count = numel();
+  for (int64_t i = 0; i < count; ++i) sum += data[i];
   return static_cast<float>(sum);
 }
 
@@ -153,17 +180,21 @@ float Tensor::Mean() const {
 
 float Tensor::Min() const {
   VSAN_CHECK_GT(numel(), 0);
-  return *std::min_element(data_.begin(), data_.end());
+  const float* data = data_.data();
+  return *std::min_element(data, data + numel());
 }
 
 float Tensor::Max() const {
   VSAN_CHECK_GT(numel(), 0);
-  return *std::max_element(data_.begin(), data_.end());
+  const float* data = data_.data();
+  return *std::max_element(data, data + numel());
 }
 
 bool Tensor::AllFinite() const {
-  for (float v : data_) {
-    if (!std::isfinite(v)) return false;
+  const float* data = data_.data();
+  const int64_t count = numel();
+  for (int64_t i = 0; i < count; ++i) {
+    if (!std::isfinite(data[i])) return false;
   }
   return true;
 }
@@ -177,9 +208,10 @@ std::string Tensor::ToString(int64_t max_values) const {
   }
   oss << "] {";
   const int64_t shown = std::min<int64_t>(max_values, numel());
+  const float* data = data_.data();
   for (int64_t i = 0; i < shown; ++i) {
     if (i > 0) oss << ", ";
-    oss << data_[i];
+    oss << data[i];
   }
   if (shown < numel()) oss << ", ...";
   oss << "}";

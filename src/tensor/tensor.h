@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/pool.h"
 #include "util/rng.h"
 
 namespace vsan {
@@ -12,6 +13,12 @@ namespace vsan {
 // Dense row-major float32 tensor with 0 to 4 dimensions.  This is the value
 // type everything in the library computes on; it is a plain container with
 // no gradient tracking (see autograd/variable.h for that).
+//
+// Storage is a pooled buffer handle (tensor/pool.h): construction acquires
+// from a size-bucketed free-list pool and destruction returns the buffer,
+// so the per-step allocate/free churn of a training tape collapses into
+// pointer pushes and pops.  VSAN_POOL=0 falls back to plain new[]; values
+// are identical either way.
 //
 // Copyable and movable.  All indexing is bounds-checked in debug builds.
 class Tensor {
@@ -25,6 +32,12 @@ class Tensor {
   // --- Factories -----------------------------------------------------------
 
   static Tensor Zeros(std::vector<int64_t> shape);
+  // Allocation without the zero-fill, for ops that overwrite every element
+  // before any read.  Pool reuse means the contents are stale values from a
+  // previous tensor (NaN-poison under ASAN), never guaranteed zeros — a
+  // read-before-write is a bug, so reach for this only when the writing
+  // loop demonstrably covers the whole tensor.
+  static Tensor Uninitialized(std::vector<int64_t> shape);
   static Tensor Ones(std::vector<int64_t> shape);
   static Tensor Full(std::vector<int64_t> shape, float value);
   // Shape plus explicit contents; `values.size()` must equal the shape's
@@ -44,12 +57,15 @@ class Tensor {
 
   int ndim() const { return static_cast<int>(shape_.size()); }
   int64_t dim(int i) const;
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  int64_t numel() const { return data_.size(); }
   const std::vector<int64_t>& shape() const { return shape_; }
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
-  // Returns a copy with a new shape of equal element count.
-  Tensor Reshaped(std::vector<int64_t> new_shape) const;
+  // Returns a copy with a new shape of equal element count.  The rvalue
+  // overload steals this tensor's buffer instead of copying, so
+  // `std::move(t).Reshaped(...)` is free.
+  Tensor Reshaped(std::vector<int64_t> new_shape) const&;
+  Tensor Reshaped(std::vector<int64_t> new_shape) &&;
 
   // --- Element access ------------------------------------------------------
 
@@ -90,7 +106,7 @@ class Tensor {
   int64_t FlatIndex(int64_t i, int64_t j, int64_t k, int64_t l) const;
 
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  pool::Buffer data_;
 };
 
 }  // namespace vsan

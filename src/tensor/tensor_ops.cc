@@ -149,7 +149,8 @@ void CheckSameShapeForZip(const Tensor& a, const Tensor& b) {
 
 Tensor Transpose2D(const Tensor& x) {
   VSAN_CHECK_EQ(x.ndim(), 2);
-  Tensor out({x.dim(1), x.dim(0)});
+  // Every element is written below, so skip the zero-fill.
+  Tensor out = Tensor::Uninitialized({x.dim(1), x.dim(0)});
   for (int64_t i = 0; i < x.dim(0); ++i) {
     for (int64_t j = 0; j < x.dim(1); ++j) out.at(j, i) = x.at(i, j);
   }
@@ -158,7 +159,7 @@ Tensor Transpose2D(const Tensor& x) {
 
 Tensor TransposeLast2(const Tensor& x) {
   VSAN_CHECK_EQ(x.ndim(), 3);
-  Tensor out({x.dim(0), x.dim(2), x.dim(1)});
+  Tensor out = Tensor::Uninitialized({x.dim(0), x.dim(2), x.dim(1)});
   for (int64_t b = 0; b < x.dim(0); ++b) {
     for (int64_t i = 0; i < x.dim(1); ++i) {
       for (int64_t j = 0; j < x.dim(2); ++j) out.at(b, j, i) = x.at(b, i, j);
@@ -205,7 +206,7 @@ Tensor SumLastDim(const Tensor& x) {
   const int64_t n = x.dim(x.ndim() - 1);
   const int64_t rows = x.numel() / n;
   std::vector<int64_t> out_shape(x.shape().begin(), x.shape().end() - 1);
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(std::move(out_shape));
   const float* px = x.data();
   float* po = out.data();
   for (int64_t r = 0; r < rows; ++r) {

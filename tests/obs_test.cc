@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -195,6 +196,33 @@ TEST(ChromeTraceTest, ExportFileRoundTrip) {
   ASSERT_EQ(spans.size(), 1u);
   EXPECT_EQ(spans[0].name, "file/span");
   EXPECT_EQ(spans[0].category, "data");
+}
+
+TEST(ChromeTraceTest, ExportEmbedsMetricsSnapshot) {
+  MetricsRegistry::Global().GetCounter("test.trace.counter")->Increment(7);
+  MetricsRegistry::Global().GetGauge("test.trace.gauge")->Set(2.5);
+  Tracer& tracer = Tracer::Global();
+  tracer.StartSession({});
+  tracer.RecordSpan("metrics/span", SpanCategory::kAlloc, 0, 1000);
+  tracer.StopSession();
+  const std::string path = ::testing::TempDir() + "/vsan_trace_metrics.json";
+  ASSERT_TRUE(ExportChromeTrace(path));
+  std::ifstream in(path);
+  std::vector<ParsedSpan> spans;
+  std::map<std::string, double> metrics;
+  std::string error;
+  ASSERT_TRUE(ReadChromeTrace(in, &spans, &metrics, &error)) << error;
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].category, "alloc");
+  ASSERT_EQ(metrics.count("test.trace.counter"), 1u);
+  EXPECT_DOUBLE_EQ(metrics.at("test.trace.counter"), 7.0);
+  ASSERT_EQ(metrics.count("test.trace.gauge"), 1u);
+  EXPECT_DOUBLE_EQ(metrics.at("test.trace.gauge"), 2.5);
+  // Traces without a metrics object read back as an empty map, not an
+  // error (compatibility with externally produced traces).
+  std::istringstream bare(R"([{"name":"x","ph":"X","ts":0,"dur":1}])");
+  ASSERT_TRUE(ReadChromeTrace(bare, &spans, &metrics, &error)) << error;
+  EXPECT_TRUE(metrics.empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -392,6 +420,28 @@ TEST(TelemetryTest, OmitsNegativeSentinelsAndRejectsBadPath) {
   EXPECT_FALSE(bad.ok());
   bad.RecordEpoch(record);  // must not crash
   EXPECT_EQ(bad.records_written(), 0);
+}
+
+TEST(TelemetryTest, EpochLinesCarryPeakRss) {
+  const int64_t peak = ReadPeakRssKb();
+  ASSERT_GT(peak, 0) << "VmHWM should be readable on Linux";
+  const std::string path = ::testing::TempDir() + "/vsan_telemetry3.jsonl";
+  TelemetryRecorder recorder(path);
+  ASSERT_TRUE(recorder.ok());
+  EpochRecord record;
+  record.epoch = 0;
+  record.loss = 1.0;
+  record.batches = 1;
+  recorder.RecordEpoch(record);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(line, &doc, &error)) << error;
+  // The high-water mark only grows, so the recorded sample is at least the
+  // one taken above.
+  EXPECT_GE(doc.NumberOr("peak_rss_kb", -1), static_cast<double>(peak));
 }
 
 }  // namespace

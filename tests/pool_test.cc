@@ -1,0 +1,263 @@
+// Tests for the pooled tensor allocator (src/tensor/pool.h): bucket
+// rounding, thread-local and cross-thread reuse, the VSAN_POOL kill-switch,
+// ASAN poison-on-release, and the end-to-end guarantee the pool is built
+// on: training numerics are bitwise-identical with the pool on or off.
+
+#include "tensor/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/vsan.h"
+#include "data/synthetic.h"
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define VSAN_POOL_TEST_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define VSAN_POOL_TEST_ASAN 1
+#endif
+#ifdef VSAN_POOL_TEST_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace vsan {
+namespace {
+
+// Restores the pool-enabled flag on scope exit so tests that flip it do not
+// leak state into later tests.
+class PoolEnabledGuard {
+ public:
+  PoolEnabledGuard() : was_enabled_(pool::PoolEnabled()) {}
+  ~PoolEnabledGuard() { pool::SetPoolEnabledForTesting(was_enabled_); }
+
+ private:
+  bool was_enabled_;
+};
+
+TEST(PoolBucketTest, RoundsUpToPowerOfTwoClasses) {
+  const int64_t min_cap = int64_t{1} << pool::kMinBucketLog2;
+  EXPECT_EQ(pool::BucketCapacity(1), min_cap);
+  EXPECT_EQ(pool::BucketCapacity(min_cap), min_cap);
+  EXPECT_EQ(pool::BucketCapacity(min_cap + 1), min_cap * 2);
+  EXPECT_EQ(pool::BucketCapacity(100), 128);
+  EXPECT_EQ(pool::BucketCapacity(128), 128);
+  EXPECT_EQ(pool::BucketCapacity(129), 256);
+  const int64_t max_cap = int64_t{1} << pool::kMaxBucketLog2;
+  EXPECT_EQ(pool::BucketCapacity(max_cap), max_cap);
+  // Oversize requests are not rounded: they bypass the pool.
+  EXPECT_EQ(pool::BucketCapacity(max_cap + 1), max_cap + 1);
+}
+
+TEST(PoolBufferTest, ThreadLocalFreeListReusesLifo) {
+  PoolEnabledGuard guard;
+  pool::SetPoolEnabledForTesting(true);
+  pool::Buffer a = pool::Buffer::Zeroed(100);
+  ASSERT_TRUE(a.pooled());
+  EXPECT_EQ(a.size(), 100);
+  EXPECT_EQ(a.capacity(), 128);
+  float* ptr = a.data();
+  a.Reset();
+  // The free list is LIFO, so the next same-bucket acquire must return the
+  // buffer just released.
+  pool::Buffer b = pool::Buffer::Uninitialized(128);
+  EXPECT_EQ(b.data(), ptr);
+}
+
+TEST(PoolBufferTest, ZeroedClearsReusedPoolMemory) {
+  PoolEnabledGuard guard;
+  pool::SetPoolEnabledForTesting(true);
+  {
+    pool::Buffer dirty = pool::Buffer::Uninitialized(200);
+    for (int64_t i = 0; i < dirty.size(); ++i) dirty.data()[i] = 42.0f;
+  }
+  pool::Buffer clean = pool::Buffer::Zeroed(200);
+  for (int64_t i = 0; i < clean.size(); ++i) {
+    ASSERT_EQ(clean.data()[i], 0.0f) << "stale pool memory at " << i;
+  }
+}
+
+TEST(PoolBufferTest, CopyAssignmentReusesSameBucketAllocation) {
+  PoolEnabledGuard guard;
+  pool::SetPoolEnabledForTesting(true);
+  pool::Buffer src = pool::Buffer::Zeroed(100);
+  for (int64_t i = 0; i < src.size(); ++i) src.data()[i] = 3.5f;
+  pool::Buffer dst = pool::Buffer::Zeroed(90);  // same 128-element bucket
+  float* dst_ptr = dst.data();
+  dst = src;
+  EXPECT_EQ(dst.data(), dst_ptr) << "same-bucket copy should not reallocate";
+  EXPECT_EQ(dst.size(), src.size());
+  EXPECT_EQ(0, std::memcmp(dst.data(), src.data(),
+                           src.size() * sizeof(float)));
+}
+
+TEST(PoolBufferTest, CrossThreadReleaseSpillsToArenaForReuse) {
+  PoolEnabledGuard guard;
+  pool::SetPoolEnabledForTesting(true);
+  // Quiesce: empty this thread's cache and the arena so pointer identity
+  // below is deterministic.
+  pool::TrimForTesting();
+  pool::Buffer a = pool::Buffer::Zeroed(3000);  // 4096-element bucket
+  ASSERT_TRUE(a.pooled());
+  float* ptr = a.data();
+  std::thread releaser([buf = std::move(a)]() mutable { buf.Reset(); });
+  releaser.join();
+  // The releasing thread's cache flushed to the global arena at thread
+  // exit; an acquire here (empty local list) must pull from the arena.
+  pool::Buffer b = pool::Buffer::Uninitialized(3000);
+  EXPECT_EQ(b.data(), ptr);
+}
+
+TEST(PoolBufferTest, KillSwitchFallsBackToPlainAllocation) {
+  PoolEnabledGuard guard;
+  pool::SetPoolEnabledForTesting(false);
+  pool::Buffer b = pool::Buffer::Zeroed(100);
+  EXPECT_FALSE(b.pooled());
+  EXPECT_EQ(b.size(), 100);
+  EXPECT_EQ(b.capacity(), 100) << "unpooled buffers are exact-sized";
+  // Tensors allocated while the pool is off behave identically.
+  Tensor t = Tensor::Ones({4, 25});
+  EXPECT_EQ(t.Sum(), 100.0f);
+}
+
+TEST(PoolBufferTest, OversizeRequestsBypassThePool) {
+  PoolEnabledGuard guard;
+  pool::SetPoolEnabledForTesting(true);
+  const int64_t oversize = (int64_t{1} << pool::kMaxBucketLog2) + 1;
+  pool::Buffer b = pool::Buffer::Uninitialized(oversize);
+  EXPECT_FALSE(b.pooled());
+  EXPECT_EQ(b.capacity(), oversize);
+}
+
+TEST(PoolBufferTest, BuffersRememberPoolingAcrossKillSwitchFlips) {
+  PoolEnabledGuard guard;
+  pool::SetPoolEnabledForTesting(true);
+  pool::Buffer pooled = pool::Buffer::Zeroed(64);
+  ASSERT_TRUE(pooled.pooled());
+  pool::SetPoolEnabledForTesting(false);
+  pool::Buffer plain = pool::Buffer::Zeroed(64);
+  ASSERT_FALSE(plain.pooled());
+  pool::SetPoolEnabledForTesting(true);
+  // Both destructors run with flags that differ from their acquire-time
+  // state; each must release down its own path (checked by ASAN builds).
+  pooled.Reset();
+  plain.Reset();
+}
+
+TEST(PoolStatsTest, HitsAndMissesAccumulate) {
+  PoolEnabledGuard guard;
+  pool::SetPoolEnabledForTesting(true);
+  const pool::PoolStats before = pool::GetStats();
+  {
+    pool::Buffer warm = pool::Buffer::Zeroed(777);  // 1024-element bucket
+  }
+  pool::Buffer reused = pool::Buffer::Zeroed(777);
+  const pool::PoolStats after = pool::GetStats();
+  EXPECT_GT(after.hits + after.misses, before.hits + before.misses);
+  EXPECT_GE(after.hits, before.hits + 1) << "second acquire must be a hit";
+  EXPECT_GE(after.releases, before.releases + 1);
+}
+
+#ifdef VSAN_POOL_TEST_ASAN
+TEST(PoolAsanTest, ReleasedPooledMemoryIsPoisoned) {
+  PoolEnabledGuard guard;
+  pool::SetPoolEnabledForTesting(true);
+  pool::Buffer a = pool::Buffer::Zeroed(100);
+  ASSERT_TRUE(a.pooled());
+  float* ptr = a.data();
+  a.Reset();
+  // The buffer sits in a free list now; its bytes must be poisoned so a
+  // stale read faults like a use-after-free.
+  EXPECT_TRUE(__asan_address_is_poisoned(ptr));
+  // Re-acquiring the same bucket unpoisons it for legitimate use.
+  pool::Buffer b = pool::Buffer::Uninitialized(128);
+  ASSERT_EQ(b.data(), ptr);
+  EXPECT_FALSE(__asan_address_is_poisoned(ptr));
+}
+#endif
+
+// --- End-to-end guarantees -------------------------------------------------
+
+data::SequenceDataset SmallCorpus() {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 32;
+  cfg.num_items = 60;
+  cfg.num_categories = 5;
+  cfg.min_seq_len = 12;
+  cfg.max_seq_len = 12;
+  cfg.seed = 23;
+  return data::GenerateSynthetic(cfg);
+}
+
+std::vector<double> TrainThreeEpochLosses(const data::SequenceDataset& ds,
+                                          std::vector<double>* hit_rates) {
+  core::VsanConfig cfg;
+  cfg.max_len = 12;
+  cfg.d = 16;
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 16;
+  opts.seed = 99;
+  std::vector<double> losses;
+  pool::PoolStats prev = pool::GetStats();
+  opts.epoch_callback = [&](const EpochStats& stats) {
+    losses.push_back(stats.loss);
+    if (hit_rates != nullptr) {
+      const pool::PoolStats now = pool::GetStats();
+      const int64_t hits = now.hits - prev.hits;
+      const int64_t misses = now.misses - prev.misses;
+      hit_rates->push_back(
+          hits + misses > 0
+              ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+              : 0.0);
+      prev = now;
+    }
+  };
+  core::Vsan model(cfg);
+  model.Fit(ds, opts);
+  return losses;
+}
+
+TEST(PoolEquivalenceTest, VsanLossesBitwiseIdenticalPoolOnVsOff) {
+  PoolEnabledGuard guard;
+  ThreadPool::SetGlobalNumThreads(1);
+  const data::SequenceDataset ds = SmallCorpus();
+
+  pool::SetPoolEnabledForTesting(true);
+  const std::vector<double> pooled =
+      TrainThreeEpochLosses(ds, /*hit_rates=*/nullptr);
+  pool::SetPoolEnabledForTesting(false);
+  const std::vector<double> plain =
+      TrainThreeEpochLosses(ds, /*hit_rates=*/nullptr);
+
+  ASSERT_EQ(pooled.size(), 3u);
+  ASSERT_EQ(plain.size(), 3u);
+  for (size_t e = 0; e < pooled.size(); ++e) {
+    // Bitwise: pooling must be invisible to numerics, not merely close.
+    EXPECT_EQ(0, std::memcmp(&pooled[e], &plain[e], sizeof(double)))
+        << "epoch " << e << ": pool=" << pooled[e] << " plain=" << plain[e];
+  }
+}
+
+TEST(PoolEquivalenceTest, HitRateReachesSteadyStateByEpochTwo) {
+  PoolEnabledGuard guard;
+  ThreadPool::SetGlobalNumThreads(1);
+  pool::SetPoolEnabledForTesting(true);
+  const data::SequenceDataset ds = SmallCorpus();
+  std::vector<double> hit_rates;
+  TrainThreeEpochLosses(ds, &hit_rates);
+  ASSERT_EQ(hit_rates.size(), 3u);
+  // Epoch 1 warms the free lists; from epoch 2 on the tape's allocations
+  // should be served almost entirely from the pool.
+  EXPECT_GE(hit_rates[1], 0.9) << "epoch 2 hit rate";
+  EXPECT_GE(hit_rates[2], 0.9) << "epoch 3 hit rate";
+}
+
+}  // namespace
+}  // namespace vsan

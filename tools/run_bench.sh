@@ -51,7 +51,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 
 OPS_JSON="$(mktemp)"
 TRAIN_JSON="$(mktemp)"
-trap 'rm -f "$OPS_JSON" "$TRAIN_JSON"' EXIT
+POOLOFF_JSON="$(mktemp)"
+trap 'rm -f "$OPS_JSON" "$TRAIN_JSON" "$POOLOFF_JSON"' EXIT
 
 BENCH_ARGS=(--benchmark_format=json)
 if [[ -n "$FILTER" ]]; then
@@ -60,8 +61,13 @@ fi
 
 "$BUILD_DIR/bench/bench_micro_ops" "${BENCH_ARGS[@]}" > "$OPS_JSON"
 "$BUILD_DIR/bench/bench_micro_train" "${BENCH_ARGS[@]}" > "$TRAIN_JSON"
+# The allocation-churn probe again with the tensor pool disabled, so the
+# emitted file carries a pool-on / pool-off pair for the same workload.
+VSAN_POOL=0 "$BUILD_DIR/bench/bench_micro_train" \
+  --benchmark_format=json \
+  --benchmark_filter='BM_AllocChurn' > "$POOLOFF_JSON"
 
-python3 - "$OPS_JSON" "$TRAIN_JSON" "$OUT" <<'PY'
+python3 - "$OPS_JSON" "$TRAIN_JSON" "$POOLOFF_JSON" "$OUT" <<'PY'
 import json
 import sys
 
@@ -83,7 +89,11 @@ GEMM_OPS = {
 
 records = []
 context = None
-for path in sys.argv[1:3]:
+# argv[3] is the VSAN_POOL=0 rerun of the allocation-churn probe; its
+# records are tagged pool=off (pool-sensitive records from the normal run
+# get pool=on) so regressions in either mode are visible side by side.
+for path in sys.argv[1:4]:
+    pool_mode = "off" if path == sys.argv[3] else "on"
     with open(path) as f:
         data = json.load(f)
     if context is None:
@@ -120,10 +130,14 @@ for path in sys.argv[1:3]:
         }
         if op in GEMM_OPS and "items_per_second" in b:
             rec["gflops"] = round(2.0 * b["items_per_second"] / 1e9, 2)
+        if op == "BM_AllocChurn":
+            rec["pool"] = pool_mode
+            if "pool_hit_rate" in b:
+                rec["pool_hit_rate"] = round(b["pool_hit_rate"], 4)
         records.append(rec)
 
-with open(sys.argv[3], "w") as f:
+with open(sys.argv[4], "w") as f:
     json.dump({"context": context, "benchmarks": records}, f, indent=1)
     f.write("\n")
-print(f"wrote {sys.argv[3]} ({len(records)} records)")
+print(f"wrote {sys.argv[4]} ({len(records)} records)")
 PY

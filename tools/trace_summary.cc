@@ -34,6 +34,33 @@ void PrintTable(const char* title,
   }
 }
 
+// The exporter embeds a scalar-metrics snapshot in the trace file; the
+// allocator's pool.* counters are the ones worth a fixed-format table here
+// (hit rate tells you whether the run amortized its allocations).  Traces
+// from older builds have no metrics object — print nothing then.
+void PrintPoolCounters(const std::map<std::string, double>& metrics) {
+  std::map<std::string, double> pool_rows;
+  for (const auto& [name, value] : metrics) {
+    if (name.rfind("pool.", 0) == 0) pool_rows[name] = value;
+  }
+  if (pool_rows.empty()) return;
+  std::cout << "pool\n";
+  for (const auto& [name, value] : pool_rows) {
+    std::string key = name;
+    if (key.size() < 30) key.resize(30, ' ');
+    std::printf("  %s %15.0f\n", key.c_str(), value);
+  }
+  const auto hits = pool_rows.find("pool.acquire.hits");
+  const auto misses = pool_rows.find("pool.acquire.misses");
+  if (hits != pool_rows.end() && misses != pool_rows.end() &&
+      hits->second + misses->second > 0.0) {
+    std::string key = "pool.hit_rate";
+    key.resize(30, ' ');
+    std::printf("  %s %15.4f\n", key.c_str(),
+                hits->second / (hits->second + misses->second));
+  }
+}
+
 int Main(int argc, char** argv) {
   if (argc != 2) {
     std::cerr << "usage: trace_summary <trace.json>\n";
@@ -45,8 +72,9 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::vector<obs::ParsedSpan> spans;
+  std::map<std::string, double> metrics;
   std::string error;
-  if (!obs::ReadChromeTrace(in, &spans, &error)) {
+  if (!obs::ReadChromeTrace(in, &spans, &metrics, &error)) {
     std::cerr << "error: " << error << "\n";
     return 1;
   }
@@ -60,6 +88,7 @@ int Main(int argc, char** argv) {
   std::printf("coverage %.1f%%\n", summary.coverage * 100.0);
   PrintTable("by_category", summary.by_category, summary.wall_us);
   PrintTable("by_name", summary.by_name, summary.wall_us);
+  PrintPoolCounters(metrics);
   return 0;
 }
 
