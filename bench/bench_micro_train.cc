@@ -92,6 +92,33 @@ BENCHMARK(BM_VsanTrainEpoch_Dim)
     ->ArgsProduct({{16, 32, 64}, ThreadCounts()})
     ->Unit(benchmark::kMillisecond);
 
+// Crash-safety overhead probe at the n=80 point: the same epoch with (arg0
+// = 1) and without (arg0 = 0) an end-of-epoch VSANCKP1 write
+// (checkpoint_every_n_epochs=1, the default cadence).  The delta between
+// the two rows bounds the cost of the divergence guards plus one atomic
+// checkpoint write per epoch; the acceptance bar is <= 3%.
+void BM_VsanTrainEpoch_Checkpointed(benchmark::State& state) {
+  const bool checkpointed = state.range(0) != 0;
+  ThreadPool::SetGlobalNumThreads(static_cast<int>(state.range(1)));
+  data::SequenceDataset ds = MakeCorpus(80);
+  core::VsanConfig cfg;
+  cfg.max_len = 80;
+  cfg.d = 32;
+  cfg.dropout = 0.0f;
+  TrainOptions opts = OneEpoch();
+  if (checkpointed) {
+    opts.checkpoint_dir = "/tmp/vsan_bench_ckpt";
+    opts.checkpoint_every_n_epochs = 1;
+  }
+  for (auto _ : state) {
+    core::Vsan model(cfg);
+    model.Fit(ds, opts);
+  }
+}
+BENCHMARK(BM_VsanTrainEpoch_Checkpointed)
+    ->ArgsProduct({{0, 1}, ThreadCounts()})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SasRecTrainEpoch_SeqLen(benchmark::State& state) {
   const int64_t n = state.range(0);
   ThreadPool::SetGlobalNumThreads(static_cast<int>(state.range(1)));

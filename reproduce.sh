@@ -24,6 +24,15 @@ cmake -B build-tsan -G Ninja -DVSAN_TSAN=ON
 cmake --build build-tsan
 ctest --test-dir build-tsan -L tsan 2>&1 | tee test_output_tsan.txt
 
+# Crash-safety sweep: the checkpoint/fault suites under UBSan (the parser
+# walks corrupted bytes; misaligned reads and overflowing fields must trap),
+# plus the fault-labeled tests in the plain build for the kill-and-resume
+# subprocess scenarios.
+cmake -B build-ubsan -G Ninja -DVSAN_UBSAN=ON
+cmake --build build-ubsan
+ctest --test-dir build-ubsan -L ubsan 2>&1 | tee test_output_ubsan.txt
+ctest --test-dir build -L fault 2>&1 | tee test_output_fault.txt
+
 (
   cd build/bench
   for b in ./bench_*; do
@@ -32,5 +41,5 @@ ctest --test-dir build-tsan -L tsan 2>&1 | tee test_output_tsan.txt
   done
 ) 2>&1 | tee bench_output.txt
 
-echo "done: test_output.txt, test_output_{asan,tsan}.txt, bench_output.txt," \
-     "build/bench/*.csv"
+echo "done: test_output.txt, test_output_{asan,tsan,ubsan,fault}.txt," \
+     "bench_output.txt, build/bench/*.csv"

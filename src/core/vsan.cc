@@ -8,6 +8,7 @@
 #include "autograd/ops.h"
 #include "data/batcher.h"
 #include "models/epoch_report.h"
+#include "models/train_runtime.h"
 #include "nn/serialize.h"
 #include "obs/trace.h"
 #include "optim/adam.h"
@@ -187,8 +188,24 @@ void Vsan::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
   adam_opts.lr = opts.learning_rate;
   optim::Adam optimizer(net_->Parameters(), adam_opts);
 
+  models::TrainRuntime::Hooks hooks;
+  hooks.module = net_.get();
+  hooks.mutable_module = net_.get();
+  hooks.optimizer = &optimizer;
+  hooks.rngs = {&rng_};
+  hooks.save_data_state = [&batcher](std::string* out) {
+    batcher.SaveState(out);
+  };
+  hooks.load_data_state = [&batcher](const std::string& blob) {
+    return batcher.RestoreState(blob);
+  };
+  hooks.model_name = "vsan";
+  models::TrainRuntime runtime(opts, std::move(hooks));
+
   int64_t step = 0;
-  for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+  int32_t epoch = 0;
+  if (!runtime.Begin(&step, &epoch)) return;
+  while (epoch < opts.epochs) {
     VSAN_TRACE_SPAN("train/epoch", kTrain);
     Stopwatch epoch_timer;
     batcher.NewEpoch();
@@ -202,13 +219,20 @@ void Vsan::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
                           : 0.0f;
     float last_lr = optimizer.learning_rate();
     int64_t batches = 0;
+    bool rolled_back = false;
+    bool stop = false;
     data::TrainBatch batch;
     while (batcher.NextBatch(&batch)) {
       VSAN_TRACE_SPAN("train/step", kTrain);
+      if (runtime.PreStep(step + 1)) return;  // simulated kill
       if (opts.lr_schedule != nullptr) {
         optimizer.set_learning_rate(opts.lr_schedule->LearningRate(step));
       }
       last_lr = optimizer.learning_rate();
+      // Schedules (lr above, beta anneal below) key off the pre-increment
+      // step so a resumed run reproduces the same curves.
+      const int64_t sched_step = step;
+      ++step;
 #if VSAN_OBS_ENABLED
       // The forward pass spans several statements, so it is timed with an
       // explicit RecordSpan instead of a scoped one.
@@ -243,6 +267,7 @@ void Vsan::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
                                          /*ignore_index=*/-1);
 
       Variable loss = recon;
+      double kl_value = 0.0;
       if (config_.use_latent) {
         // beta * KL term of Eq. 20, with KL annealing.
         Variable kl =
@@ -251,22 +276,36 @@ void Vsan::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
         if (beta < 0.0f) {
           beta = config_.anneal_steps > 0
                      ? config_.beta_max *
-                           std::min(1.0f,
-                                    static_cast<float>(step) /
-                                        static_cast<float>(config_.anneal_steps))
+                           std::min(
+                               1.0f,
+                               static_cast<float>(sched_step) /
+                                   static_cast<float>(config_.anneal_steps))
                      : config_.beta_max;
         }
         last_beta = beta;
-        kl_sum += kl.value()[0];
+        kl_value = kl.value()[0];
         loss = ops::Add(recon, ops::Scale(kl, beta));
       }
-      recon_sum += recon.value()[0];
 #if VSAN_OBS_ENABLED
       if (fwd_start >= 0) {
         tracer.RecordSpan("train/forward", obs::SpanCategory::kTrain,
                           fwd_start, tracer.NowNs() - fwd_start);
       }
 #endif
+
+      float loss_value = loss.value()[0];
+      models::TrainRuntime::StepAction action =
+          runtime.GuardLoss(&loss_value, step);
+      if (action == models::TrainRuntime::StepAction::kSkip) continue;
+      if (action == models::TrainRuntime::StepAction::kStop) {
+        stop = true;
+        break;
+      }
+      if (action == models::TrainRuntime::StepAction::kRollback) {
+        runtime.Rollback(&step, &epoch);
+        rolled_back = true;
+        break;
+      }
 
       optimizer.ZeroGrad();
       {
@@ -276,33 +315,53 @@ void Vsan::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
       {
         VSAN_TRACE_SPAN("train/optimizer", kTrain);
         if (opts.grad_clip_norm > 0.0f) {
-          grad_norm_sum += optimizer.ClipGradNorm(opts.grad_clip_norm);
+          const double norm = optimizer.ClipGradNorm(opts.grad_clip_norm);
+          action = runtime.GuardGradNorm(norm, step);
+          if (action == models::TrainRuntime::StepAction::kSkip) continue;
+          if (action == models::TrainRuntime::StepAction::kStop) {
+            stop = true;
+            break;
+          }
+          if (action == models::TrainRuntime::StepAction::kRollback) {
+            runtime.Rollback(&step, &epoch);
+            rolled_back = true;
+            break;
+          }
+          grad_norm_sum += norm;
         }
         optimizer.Step();
       }
-      loss_sum += loss.value()[0];
+      loss_sum += loss_value;
+      recon_sum += recon.value()[0];
+      kl_sum += kl_value;
       ++batches;
-      ++step;
     }
-    if (batches == 0) continue;
-    EpochStats stats;
-    stats.epoch = epoch;
-    stats.loss = loss_sum / batches;
-    stats.wall_ms = epoch_timer.ElapsedMillis();
-    stats.batches = batches;
-    if (opts.grad_clip_norm > 0.0f) stats.grad_norm = grad_norm_sum / batches;
-    stats.learning_rate = last_lr;
-    std::vector<std::pair<std::string, double>> extras;
-    extras.emplace_back("recon", recon_sum / batches);
-    if (config_.use_latent) {
-      extras.emplace_back("kl", kl_sum / batches);
-      extras.emplace_back("beta", static_cast<double>(last_beta));
+    if (rolled_back) continue;  // replay from the last checkpoint
+    if (batches > 0) {
+      EpochStats stats;
+      stats.epoch = epoch;
+      stats.loss = loss_sum / batches;
+      stats.wall_ms = epoch_timer.ElapsedMillis();
+      stats.batches = batches;
+      if (opts.grad_clip_norm > 0.0f) {
+        stats.grad_norm = grad_norm_sum / batches;
+      }
+      stats.learning_rate = last_lr;
+      std::vector<std::pair<std::string, double>> extras;
+      extras.emplace_back("recon", recon_sum / batches);
+      if (config_.use_latent) {
+        extras.emplace_back("kl", kl_sum / batches);
+        extras.emplace_back("beta", static_cast<double>(last_beta));
+      }
+      models::ReportEpoch(opts, stats, step, std::move(extras));
+      if (opts.verbose) {
+        VSAN_LOG_INFO << name() << " epoch " << epoch << " loss "
+                      << FormatDouble(stats.loss, 4);
+      }
     }
-    models::ReportEpoch(opts, stats, step, std::move(extras));
-    if (opts.verbose) {
-      VSAN_LOG_INFO << name() << " epoch " << epoch << " loss "
-                    << FormatDouble(stats.loss, 4);
-    }
+    if (stop) break;
+    runtime.EndEpoch(epoch, step);
+    ++epoch;
   }
   net_->SetTraining(false);
 }
@@ -418,6 +477,8 @@ Result<std::unique_ptr<Vsan>> Vsan::Load(const std::string& path) {
 int64_t Vsan::NumParameters() const {
   return net_ ? net_->NumParameters() : 0;
 }
+
+const nn::Module* Vsan::module() const { return net_.get(); }
 
 }  // namespace core
 }  // namespace vsan

@@ -112,6 +112,10 @@ class Vsan : public SequentialRecommender {
   int32_t num_items() const { return num_items_; }
   int64_t NumParameters() const;
 
+  // Trained network (null before Fit); exposed for checkpoint tests that
+  // compare parameters bitwise across resumed runs.
+  const nn::Module* module() const;
+
  private:
   struct Net : public nn::Module {
     Net(const VsanConfig& config, int32_t num_items, Rng* rng);

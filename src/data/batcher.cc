@@ -1,9 +1,11 @@
 #include "data/batcher.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace vsan {
 namespace data {
@@ -23,6 +25,48 @@ SequenceBatcher::SequenceBatcher(const SequenceDataset* dataset,
 void SequenceBatcher::NewEpoch() {
   rng_.Shuffle(&user_order_);
   cursor_ = 0;
+}
+
+void SequenceBatcher::SaveState(std::string* out) const {
+  rng_.SaveState(out);
+  const int64_t count = num_training_users();
+  out->append(reinterpret_cast<const char*>(&count), sizeof(count));
+  out->append(reinterpret_cast<const char*>(user_order_.data()),
+              sizeof(int32_t) * user_order_.size());
+  out->append(reinterpret_cast<const char*>(&cursor_), sizeof(cursor_));
+}
+
+Status SequenceBatcher::RestoreState(const std::string& blob) {
+  const size_t expected = Rng::kStateBytes + sizeof(int64_t) +
+                          sizeof(int32_t) * user_order_.size() +
+                          sizeof(int64_t);
+  if (blob.size() != expected) {
+    return Status::InvalidArgument(
+        StrCat("batcher state: expected ", expected, " bytes, got ",
+               blob.size()));
+  }
+  const char* p = blob.data();
+  Status status = rng_.RestoreState(p, Rng::kStateBytes);
+  if (!status.ok()) return status;
+  p += Rng::kStateBytes;
+  int64_t count = 0;
+  std::memcpy(&count, p, sizeof(count));
+  p += sizeof(count);
+  if (count != num_training_users()) {
+    return Status::InvalidArgument(
+        StrCat("batcher state: saved for ", count, " training users, have ",
+               num_training_users()));
+  }
+  std::memcpy(user_order_.data(), p, sizeof(int32_t) * user_order_.size());
+  p += sizeof(int32_t) * user_order_.size();
+  int64_t cursor = 0;
+  std::memcpy(&cursor, p, sizeof(cursor));
+  if (cursor < 0 || cursor > count) {
+    return Status::InvalidArgument(
+        StrCat("batcher state: cursor ", cursor, " out of range"));
+  }
+  cursor_ = cursor;
+  return Status::Ok();
 }
 
 int64_t SequenceBatcher::num_batches() const {

@@ -1,10 +1,12 @@
 #ifndef VSAN_DATA_BATCHER_H_
 #define VSAN_DATA_BATCHER_H_
 
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace vsan {
 namespace data {
@@ -54,6 +56,13 @@ class SequenceBatcher {
   int64_t num_training_users() const {
     return static_cast<int64_t>(user_order_.size());
   }
+
+  // Checkpoint support.  The shuffle RNG alone is not enough to resume: the
+  // Fisher-Yates in NewEpoch permutes the *current* order, so both the RNG
+  // state and the permutation (plus cursor) must round-trip for a resumed
+  // run to see the same batches as an uninterrupted one.
+  void SaveState(std::string* out) const;
+  Status RestoreState(const std::string& blob);
 
   // Truncates to the last `max_len` items and pads with the padding item on
   // the chosen side.  Shared with evaluation-time fold-in encoding.

@@ -1,10 +1,12 @@
 #include "data/loaders.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace vsan {
@@ -40,11 +42,25 @@ bool ParseInt64(const std::string& s, int64_t* out) {
   return end != s.c_str() && *end == '\0';
 }
 
+// Counts malformed input lines before the parser gives up on the file, so
+// operators can tell "one torn line" from "wrong format entirely".
+obs::Counter* BadLinesCounter() {
+  return obs::MetricsRegistry::Global().GetCounter("data.bad_lines");
+}
+
 Result<std::vector<RawInteraction>> ParseWithSeparator(
-    std::istream& in, const std::string& sep, bool skip_header) {
+    std::istream& in, const std::string& sep, bool skip_header,
+    bool numeric_ids, const std::string& source) {
   std::vector<RawInteraction> out;
   std::string line;
   int64_t line_no = 0;
+  // Error context is "<source>:<line>: ..." so a bad record in a multi-file
+  // ingest pipeline is attributable without re-running.
+  auto bad = [&](const std::string& detail) {
+    BadLinesCounter()->Increment();
+    return Status::InvalidArgument(
+        StrCat(source, ":", line_no, ": ", detail));
+  };
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
@@ -54,23 +70,29 @@ Result<std::vector<RawInteraction>> ParseWithSeparator(
     }
     const std::vector<std::string> parts = SplitOn(line, sep);
     if (parts.size() != 4) {
-      return Status::InvalidArgument(
-          StrCat("line ", line_no, ": expected 4 fields, got ", parts.size()));
+      return bad(StrCat("expected 4 fields, got ", parts.size()));
     }
     RawInteraction r;
     r.user = parts[0];
     r.item = parts[1];
-    if (!ParseDouble(parts[2], &r.rating)) {
-      return Status::InvalidArgument(
-          StrCat("line ", line_no, ": bad rating '", parts[2], "'"));
-    }
-    if (!ParseInt64(parts[3], &r.timestamp)) {
-      return Status::InvalidArgument(
-          StrCat("line ", line_no, ": bad timestamp '", parts[3], "'"));
-    }
     if (r.user.empty() || r.item.empty()) {
-      return Status::InvalidArgument(
-          StrCat("line ", line_no, ": empty user or item id"));
+      return bad("empty user or item id");
+    }
+    if (numeric_ids) {
+      int64_t id = 0;
+      if (!ParseInt64(r.user, &id) || id < 0) {
+        return bad(StrCat("non-numeric user id '", r.user, "'"));
+      }
+      if (!ParseInt64(r.item, &id) || id < 0) {
+        return bad(StrCat("non-numeric item id '", r.item, "'"));
+      }
+    }
+    if (!ParseDouble(parts[2], &r.rating) || !std::isfinite(r.rating)) {
+      return bad(StrCat("bad rating '", parts[2], "'"));
+    }
+    if (!ParseInt64(parts[3], &r.timestamp) || r.timestamp < 0) {
+      return bad(StrCat("bad timestamp '", parts[3],
+                        "' (must be a non-negative integer)"));
     }
     out.push_back(std::move(r));
   }
@@ -79,12 +101,18 @@ Result<std::vector<RawInteraction>> ParseWithSeparator(
 
 }  // namespace
 
-Result<std::vector<RawInteraction>> ParseMovieLensRatings(std::istream& in) {
-  return ParseWithSeparator(in, "::", /*skip_header=*/false);
+Result<std::vector<RawInteraction>> ParseMovieLensRatings(
+    std::istream& in, const std::string& source) {
+  // MovieLens ids are numeric; anything else is a corrupt or misformatted
+  // file.
+  return ParseWithSeparator(in, "::", /*skip_header=*/false,
+                            /*numeric_ids=*/true, source);
 }
 
-Result<std::vector<RawInteraction>> ParseAmazonRatingsCsv(std::istream& in) {
-  return ParseWithSeparator(in, ",", /*skip_header=*/true);
+Result<std::vector<RawInteraction>> ParseAmazonRatingsCsv(
+    std::istream& in, const std::string& source) {
+  return ParseWithSeparator(in, ",", /*skip_header=*/true,
+                            /*numeric_ids=*/false, source);
 }
 
 Result<SequenceDataset> Preprocess(std::vector<RawInteraction> interactions,
@@ -168,8 +196,8 @@ Result<SequenceDataset> LoadRatingsFile(const std::string& path,
     return Status::NotFound(StrCat("cannot open ", path));
   }
   Result<std::vector<RawInteraction>> parsed =
-      format == "movielens"    ? ParseMovieLensRatings(in)
-      : format == "amazon-csv" ? ParseAmazonRatingsCsv(in)
+      format == "movielens"    ? ParseMovieLensRatings(in, path)
+      : format == "amazon-csv" ? ParseAmazonRatingsCsv(in, path)
                                : Result<std::vector<RawInteraction>>(
                                      Status::InvalidArgument(
                                          StrCat("unknown format ", format)));

@@ -30,12 +30,18 @@ struct RawInteraction {
 };
 
 // MovieLens-1M "ratings.dat" format: userId::movieId::rating::timestamp.
-// Malformed lines produce an error naming the line number.
-Result<std::vector<RawInteraction>> ParseMovieLensRatings(std::istream& in);
+// Ids must be numeric, ratings finite, timestamps non-negative; any
+// malformed line produces a kInvalidArgument naming "<source>:<line>" and
+// bumps the "data.bad_lines" counter.  `source` is only used in error
+// messages (pass the file path when parsing a file).
+Result<std::vector<RawInteraction>> ParseMovieLensRatings(
+    std::istream& in, const std::string& source = "<stream>");
 
 // Amazon review CSV format: user,item,rating,timestamp (no header expected;
-// a leading "user,item,..." header line is skipped).
-Result<std::vector<RawInteraction>> ParseAmazonRatingsCsv(std::istream& in);
+// a leading "user,item,..." header line is skipped).  Ids are free-form
+// strings; ratings/timestamps are validated as above.
+Result<std::vector<RawInteraction>> ParseAmazonRatingsCsv(
+    std::istream& in, const std::string& source = "<stream>");
 
 // Preprocessing options mirroring Sec. V-A.
 struct PreprocessOptions {

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "models/epoch_report.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -80,6 +81,14 @@ void Bpr::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
       float* vn = target_.data() + static_cast<int64_t>(neg) * d;
       float x = bias_[pos] - bias_[neg];
       for (int64_t j = 0; j < d; ++j) x += user_vec[j] * (vp[j] - vn[j]);
+      if (!std::isfinite(x)) {
+        // Divergence guard: drop the poisoned sample instead of spreading
+        // NaN through the factor tables.
+        obs::MetricsRegistry::Global()
+            .GetCounter("fault.nonfinite_loss")
+            ->Increment();
+        continue;
+      }
       const float coeff = SigmoidF(-x);  // d(-log sigma(x))/dx = -sigma(-x)
       loss_sum += std::log1p(std::exp(-x));
 

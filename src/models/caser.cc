@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include <cstring>
+
 #include "autograd/ops.h"
 #include "data/batcher.h"
 #include "models/epoch_report.h"
+#include "models/train_runtime.h"
 #include "obs/trace.h"
 #include "optim/adam.h"
 #include "util/logging.h"
@@ -64,15 +67,51 @@ void Caser::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
   optim::Adam optimizer(net_->Parameters(), adam_opts);
 
   Rng shuffle_rng(opts.seed + 1);
+
+  TrainRuntime::Hooks hooks;
+  hooks.module = net_.get();
+  hooks.mutable_module = net_.get();
+  hooks.optimizer = &optimizer;
+  hooks.rngs = {&rng_, &shuffle_rng};
+  // Data order: the instance permutation (the Shuffle at each epoch's top
+  // permutes the *current* order, so the shuffle RNG alone is not enough).
+  hooks.save_data_state = [&instances](std::string* out) {
+    const int64_t count = static_cast<int64_t>(instances.size());
+    out->append(reinterpret_cast<const char*>(&count), sizeof(count));
+    out->append(reinterpret_cast<const char*>(instances.data()),
+                sizeof(Instance) * instances.size());
+  };
+  hooks.load_data_state = [&instances](const std::string& blob) {
+    const size_t expected =
+        sizeof(int64_t) + sizeof(Instance) * instances.size();
+    int64_t count = 0;
+    if (blob.size() >= sizeof(count)) {
+      std::memcpy(&count, blob.data(), sizeof(count));
+    }
+    if (blob.size() != expected ||
+        count != static_cast<int64_t>(instances.size())) {
+      return Status::InvalidArgument("caser instance state size mismatch");
+    }
+    std::memcpy(instances.data(), blob.data() + sizeof(count),
+                sizeof(Instance) * instances.size());
+    return Status::Ok();
+  };
+  hooks.model_name = "caser";
+  TrainRuntime runtime(opts, std::move(hooks));
+
   const int64_t L = config_.window;
   int64_t step = 0;
-  for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+  int32_t epoch = 0;
+  if (!runtime.Begin(&step, &epoch)) return;
+  while (epoch < opts.epochs) {
     VSAN_TRACE_SPAN("train/epoch", kTrain);
     Stopwatch epoch_timer;
     shuffle_rng.Shuffle(&instances);
     double loss_sum = 0.0;
     double grad_norm_sum = 0.0;
     int64_t batches = 0;
+    bool rolled_back = false;
+    bool stop = false;
     for (size_t begin = 0; begin < instances.size();
          begin += opts.batch_size) {
       const int64_t rows = std::min<int64_t>(
@@ -93,27 +132,59 @@ void Caser::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
           targets[r].push_back(seq[t + j]);
         }
       }
+      if (runtime.PreStep(step + 1)) return;  // simulated kill
+      ++step;
       Variable logits = net_->Forward(windows, rows, &rng_);
       Variable loss = ops::MultiLabelSoftmaxCrossEntropy(logits, targets);
+      float loss_value = loss.value()[0];
+      TrainRuntime::StepAction action = runtime.GuardLoss(&loss_value, step);
+      if (action == TrainRuntime::StepAction::kSkip) continue;
+      if (action == TrainRuntime::StepAction::kStop) {
+        stop = true;
+        break;
+      }
+      if (action == TrainRuntime::StepAction::kRollback) {
+        runtime.Rollback(&step, &epoch);
+        rolled_back = true;
+        break;
+      }
       optimizer.ZeroGrad();
       loss.Backward();
       if (opts.grad_clip_norm > 0.0f) {
-        grad_norm_sum += optimizer.ClipGradNorm(opts.grad_clip_norm);
+        const double norm = optimizer.ClipGradNorm(opts.grad_clip_norm);
+        action = runtime.GuardGradNorm(norm, step);
+        if (action == TrainRuntime::StepAction::kSkip) continue;
+        if (action == TrainRuntime::StepAction::kStop) {
+          stop = true;
+          break;
+        }
+        if (action == TrainRuntime::StepAction::kRollback) {
+          runtime.Rollback(&step, &epoch);
+          rolled_back = true;
+          break;
+        }
+        grad_norm_sum += norm;
       }
       optimizer.Step();
-      loss_sum += loss.value()[0];
+      loss_sum += loss_value;
       ++batches;
-      ++step;
     }
-    if (batches == 0) continue;
-    EpochStats stats;
-    stats.epoch = epoch;
-    stats.loss = loss_sum / batches;
-    stats.wall_ms = epoch_timer.ElapsedMillis();
-    stats.batches = batches;
-    if (opts.grad_clip_norm > 0.0f) stats.grad_norm = grad_norm_sum / batches;
-    stats.learning_rate = optimizer.learning_rate();
-    ReportEpoch(opts, stats, step);
+    if (rolled_back) continue;  // replay from the last checkpoint
+    if (batches > 0) {
+      EpochStats stats;
+      stats.epoch = epoch;
+      stats.loss = loss_sum / batches;
+      stats.wall_ms = epoch_timer.ElapsedMillis();
+      stats.batches = batches;
+      if (opts.grad_clip_norm > 0.0f) {
+        stats.grad_norm = grad_norm_sum / batches;
+      }
+      stats.learning_rate = optimizer.learning_rate();
+      ReportEpoch(opts, stats, step);
+    }
+    if (stop) break;
+    runtime.EndEpoch(epoch, step);
+    ++epoch;
   }
   net_->SetTraining(false);
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "models/recommender.h"
+#include "obs/metrics.h"
 #include "obs/telemetry.h"
 
 namespace vsan {
@@ -15,6 +16,11 @@ namespace models {
 // TrainOptions::telemetry.  `step` is the cumulative step count after the
 // epoch; `extras` are model-specific key/value pairs (e.g. the VSAN loss
 // decomposition) appended to the telemetry record verbatim.
+//
+// Crash-safety counters (cumulative, process-wide) ride along in the
+// telemetry record once they become nonzero, so a JSONL tail shows when a
+// run started skipping batches, rolling back, or writing checkpoints —
+// clean runs emit exactly the same record shape as before.
 inline void ReportEpoch(
     const TrainOptions& options, const EpochStats& stats, int64_t step,
     std::vector<std::pair<std::string, double>> extras = {}) {
@@ -28,6 +34,23 @@ inline void ReportEpoch(
     record.grad_norm = stats.grad_norm;
     record.learning_rate = stats.learning_rate;
     record.extras = std::move(extras);
+    auto& metrics = obs::MetricsRegistry::Global();
+    const int64_t nonfinite =
+        metrics.GetCounter("fault.nonfinite_loss")->value() +
+        metrics.GetCounter("fault.nonfinite_grad")->value();
+    if (nonfinite > 0) {
+      record.extras.emplace_back("fault_nonfinite",
+                                 static_cast<double>(nonfinite));
+    }
+    const int64_t rollbacks = metrics.GetCounter("fault.rollbacks")->value();
+    if (rollbacks > 0) {
+      record.extras.emplace_back("fault_rollbacks",
+                                 static_cast<double>(rollbacks));
+    }
+    const int64_t saves = metrics.GetCounter("ckpt.saves")->value();
+    if (saves > 0) {
+      record.extras.emplace_back("ckpt_saves", static_cast<double>(saves));
+    }
     options.telemetry->RecordEpoch(record);
   }
   if (options.epoch_callback) options.epoch_callback(stats);

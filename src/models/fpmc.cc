@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "models/epoch_report.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -83,6 +84,14 @@ void Fpmc::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
       float x = 0.0f;
       for (int64_t j = 0; j < d; ++j) {
         x += user_vec[j] * (up[j] - un[j]) + w[j] * (zp[j] - zn[j]);
+      }
+      if (!std::isfinite(x)) {
+        // Divergence guard: drop the poisoned sample instead of spreading
+        // NaN through the factor tables.
+        obs::MetricsRegistry::Global()
+            .GetCounter("fault.nonfinite_loss")
+            ->Increment();
+        continue;
       }
       const float coeff = SigmoidF(-x);
       loss_sum += std::log1p(std::exp(-x));

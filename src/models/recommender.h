@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/early_stopping.h"
 #include "util/thread_pool.h"
 
 namespace vsan {
@@ -33,6 +34,14 @@ struct EpochStats {
   float learning_rate = -1.0f;
 };
 
+// What to do when a training step produces a non-finite loss or a
+// non-finite post-clip gradient norm.
+enum class DivergencePolicy {
+  kAbort,                     // stop training immediately
+  kSkipBatch,                 // drop the poisoned batch, keep going
+  kRollbackToLastCheckpoint,  // reload the last checkpoint and continue
+};
+
 // Options shared by every trainable recommender.
 struct TrainOptions {
   int32_t epochs = 10;
@@ -48,6 +57,25 @@ struct TrainOptions {
   std::function<void(const EpochStats&)> epoch_callback;
   // Optional per-epoch JSONL sink (not owned); see obs/telemetry.h.
   obs::TelemetryRecorder* telemetry = nullptr;
+
+  // --- Crash safety ---------------------------------------------------
+  // When non-empty, a full VSANCKP1 checkpoint (params + optimizer moments
+  // + RNG streams + data order) is written to
+  // `<checkpoint_dir>/<model>.ckpt` every `checkpoint_every_n_epochs`
+  // epochs, atomically.  See nn/checkpoint.h.
+  std::string checkpoint_dir;
+  int32_t checkpoint_every_n_epochs = 1;
+  // Resume from the checkpoint in checkpoint_dir if one exists.  The
+  // resumed run's final parameters are bitwise identical to an
+  // uninterrupted run with the same options.
+  bool resume = false;
+  // Reaction to a non-finite loss or gradient norm mid-epoch.  Rollback
+  // degrades to skip (with a warning) when no checkpoint exists yet.
+  DivergencePolicy divergence_policy = DivergencePolicy::kSkipBatch;
+  // Optional early stopper (not owned).  The caller drives Update() from
+  // epoch_callback; the trainer only persists/restores its progress inside
+  // checkpoints so a resumed run keeps the patience countdown.
+  EarlyStopper* early_stopper = nullptr;
 };
 
 // Common interface for the paper's nine models (Table III).

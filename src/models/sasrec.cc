@@ -82,7 +82,21 @@ void SasRec::Fit(const data::SequenceDataset& train,
   adam_opts.lr = opts.learning_rate;
   optim::Adam optimizer(net_->Parameters(), adam_opts);
 
-  RunTrainLoop(&batcher, &optimizer, opts,
+  TrainRuntime::Hooks hooks;
+  hooks.module = net_.get();
+  hooks.mutable_module = net_.get();
+  hooks.optimizer = &optimizer;
+  hooks.rngs = {&rng_};
+  hooks.save_data_state = [&batcher](std::string* out) {
+    batcher.SaveState(out);
+  };
+  hooks.load_data_state = [&batcher](const std::string& blob) {
+    return batcher.RestoreState(blob);
+  };
+  hooks.model_name = "sasrec";
+  TrainRuntime runtime(opts, std::move(hooks));
+
+  RunTrainLoop(&batcher, &optimizer, opts, &runtime,
                [this](const data::TrainBatch& batch) {
                  Variable hidden =
                      net_->Encode(batch.inputs, batch.batch_size, &rng_);

@@ -50,6 +50,10 @@ class SasRec : public SequentialRecommender {
     return net_ ? net_->NumParameters() : 0;
   }
 
+  // Trained network (null before Fit); exposed for checkpoint tests that
+  // compare parameters bitwise across resumed runs.
+  const nn::Module* module() const { return net_.get(); }
+
  private:
   // The trainable network, built lazily in Fit() once the item count is
   // known.

@@ -5,6 +5,7 @@
 #include "autograd/ops.h"
 #include "data/batcher.h"
 #include "models/epoch_report.h"
+#include "models/train_runtime.h"
 #include "obs/trace.h"
 #include "optim/adam.h"
 #include "util/logging.h"
@@ -73,8 +74,24 @@ void Svae::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
   adam_opts.lr = opts.learning_rate;
   optim::Adam optimizer(net_->Parameters(), adam_opts);
 
+  TrainRuntime::Hooks hooks;
+  hooks.module = net_.get();
+  hooks.mutable_module = net_.get();
+  hooks.optimizer = &optimizer;
+  hooks.rngs = {&rng_};
+  hooks.save_data_state = [&batcher](std::string* out) {
+    batcher.SaveState(out);
+  };
+  hooks.load_data_state = [&batcher](const std::string& blob) {
+    return batcher.RestoreState(blob);
+  };
+  hooks.model_name = "svae";
+  TrainRuntime runtime(opts, std::move(hooks));
+
   int64_t step = 0;
-  for (int32_t epoch = 0; epoch < opts.epochs; ++epoch) {
+  int32_t epoch = 0;
+  if (!runtime.Begin(&step, &epoch)) return;
+  while (epoch < opts.epochs) {
     VSAN_TRACE_SPAN("train/epoch", kTrain);
     Stopwatch epoch_timer;
     batcher.NewEpoch();
@@ -84,8 +101,13 @@ void Svae::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
     double grad_norm_sum = 0.0;
     float last_beta = 0.0f;
     int64_t batches = 0;
+    bool rolled_back = false;
+    bool stop = false;
     data::TrainBatch batch;
     while (batcher.NextBatch(&batch)) {
+      if (runtime.PreStep(step + 1)) return;  // simulated kill
+      const int64_t sched_step = step;
+      ++step;
       Net::Outputs out = net_->Forward(batch.inputs, batch.batch_size, &rng_);
       // Decode only positions with targets, trimmed to the configured k
       // (the batcher filled >= k items per set).
@@ -108,36 +130,67 @@ void Svae::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
       const float beta =
           config_.anneal_steps > 0
               ? config_.beta_max *
-                    std::min(1.0f, static_cast<float>(step) /
-                                       static_cast<float>(config_.anneal_steps))
+                    std::min(1.0f,
+                             static_cast<float>(sched_step) /
+                                 static_cast<float>(config_.anneal_steps))
               : config_.beta_max;
       Variable loss = ops::Add(recon, ops::Scale(kl, beta));
       last_beta = beta;
-      recon_sum += recon.value()[0];
-      kl_sum += kl.value()[0];
+      float loss_value = loss.value()[0];
+      TrainRuntime::StepAction action = runtime.GuardLoss(&loss_value, step);
+      if (action == TrainRuntime::StepAction::kSkip) continue;
+      if (action == TrainRuntime::StepAction::kStop) {
+        stop = true;
+        break;
+      }
+      if (action == TrainRuntime::StepAction::kRollback) {
+        runtime.Rollback(&step, &epoch);
+        rolled_back = true;
+        break;
+      }
       optimizer.ZeroGrad();
       loss.Backward();
       if (opts.grad_clip_norm > 0.0f) {
-        grad_norm_sum += optimizer.ClipGradNorm(opts.grad_clip_norm);
+        const double norm = optimizer.ClipGradNorm(opts.grad_clip_norm);
+        action = runtime.GuardGradNorm(norm, step);
+        if (action == TrainRuntime::StepAction::kSkip) continue;
+        if (action == TrainRuntime::StepAction::kStop) {
+          stop = true;
+          break;
+        }
+        if (action == TrainRuntime::StepAction::kRollback) {
+          runtime.Rollback(&step, &epoch);
+          rolled_back = true;
+          break;
+        }
+        grad_norm_sum += norm;
       }
       optimizer.Step();
-      loss_sum += loss.value()[0];
+      loss_sum += loss_value;
+      recon_sum += recon.value()[0];
+      kl_sum += kl.value()[0];
       ++batches;
-      ++step;
     }
-    if (batches == 0) continue;
-    EpochStats stats;
-    stats.epoch = epoch;
-    stats.loss = loss_sum / batches;
-    stats.wall_ms = epoch_timer.ElapsedMillis();
-    stats.batches = batches;
-    if (opts.grad_clip_norm > 0.0f) stats.grad_norm = grad_norm_sum / batches;
-    stats.learning_rate = optimizer.learning_rate();
-    std::vector<std::pair<std::string, double>> extras;
-    extras.emplace_back("recon", recon_sum / batches);
-    extras.emplace_back("kl", kl_sum / batches);
-    extras.emplace_back("beta", static_cast<double>(last_beta));
-    ReportEpoch(opts, stats, step, std::move(extras));
+    if (rolled_back) continue;  // replay from the last checkpoint
+    if (batches > 0) {
+      EpochStats stats;
+      stats.epoch = epoch;
+      stats.loss = loss_sum / batches;
+      stats.wall_ms = epoch_timer.ElapsedMillis();
+      stats.batches = batches;
+      if (opts.grad_clip_norm > 0.0f) {
+        stats.grad_norm = grad_norm_sum / batches;
+      }
+      stats.learning_rate = optimizer.learning_rate();
+      std::vector<std::pair<std::string, double>> extras;
+      extras.emplace_back("recon", recon_sum / batches);
+      extras.emplace_back("kl", kl_sum / batches);
+      extras.emplace_back("beta", static_cast<double>(last_beta));
+      ReportEpoch(opts, stats, step, std::move(extras));
+    }
+    if (stop) break;
+    runtime.EndEpoch(epoch, step);
+    ++epoch;
   }
   net_->SetTraining(false);
 }

@@ -7,6 +7,7 @@
 #include "data/batcher.h"
 #include "models/epoch_report.h"
 #include "models/recommender.h"
+#include "models/train_runtime.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/lr_schedule.h"
@@ -22,6 +23,12 @@ namespace models {
 // gradient norm, last learning rate) through TrainOptions::epoch_callback
 // and, when set, TrainOptions::telemetry.
 //
+// `runtime` (see train_runtime.h) supplies crash safety: resume from a
+// checkpoint at entry, divergence guards on every step's loss and post-clip
+// gradient norm, end-of-epoch checkpoint writes, and the fault-injection
+// taps.  A skipped batch still advances the step counter so lr schedules
+// stay aligned with an uninterrupted run.
+//
 // The loop itself is sequential (each step depends on the previous
 // parameter update), but the GEMMs inside loss_fn's forward and backward
 // passes run on the global ThreadPool (util/thread_pool.h), so a training
@@ -31,14 +38,16 @@ namespace models {
 // parallelize over users instead.
 inline void RunTrainLoop(
     data::SequenceBatcher* batcher, optim::Optimizer* optimizer,
-    const TrainOptions& options,
+    const TrainOptions& options, TrainRuntime* runtime,
     const std::function<Variable(const data::TrainBatch&)>& loss_fn) {
   obs::Counter* step_counter =
       obs::MetricsRegistry::Global().GetCounter("train.steps");
   obs::Histogram* loss_hist = obs::MetricsRegistry::Global().GetHistogram(
       "train.batch_loss", obs::ExponentialBuckets(1e-3, 2.0, 24));
   int64_t step = 0;
-  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+  int32_t epoch = 0;
+  if (!runtime->Begin(&step, &epoch)) return;
+  while (epoch < options.epochs) {
     VSAN_TRACE_SPAN("train/epoch", kTrain);
     Stopwatch epoch_timer;
     batcher->NewEpoch();
@@ -46,9 +55,12 @@ inline void RunTrainLoop(
     double grad_norm_sum = 0.0;
     float last_lr = optimizer->learning_rate();
     int64_t batches = 0;
+    bool rolled_back = false;
+    bool stop = false;
     data::TrainBatch batch;
     while (batcher->NextBatch(&batch)) {
       VSAN_TRACE_SPAN("train/step", kTrain);
+      if (runtime->PreStep(step + 1)) return;  // simulated kill
       if (options.lr_schedule != nullptr) {
         optimizer->set_learning_rate(options.lr_schedule->LearningRate(step));
       }
@@ -58,6 +70,18 @@ inline void RunTrainLoop(
         VSAN_TRACE_SPAN("train/forward", kTrain);
         return loss_fn(batch);
       }();
+      float loss_value = loss.value()[0];
+      TrainRuntime::StepAction action = runtime->GuardLoss(&loss_value, step);
+      if (action == TrainRuntime::StepAction::kSkip) continue;
+      if (action == TrainRuntime::StepAction::kStop) {
+        stop = true;
+        break;
+      }
+      if (action == TrainRuntime::StepAction::kRollback) {
+        runtime->Rollback(&step, &epoch);
+        rolled_back = true;
+        break;
+      }
       optimizer->ZeroGrad();
       {
         VSAN_TRACE_SPAN("train/backward", kTrain);
@@ -66,27 +90,43 @@ inline void RunTrainLoop(
       {
         VSAN_TRACE_SPAN("train/optimizer", kTrain);
         if (options.grad_clip_norm > 0.0f) {
-          grad_norm_sum += optimizer->ClipGradNorm(options.grad_clip_norm);
+          const double norm = optimizer->ClipGradNorm(options.grad_clip_norm);
+          action = runtime->GuardGradNorm(norm, step);
+          if (action == TrainRuntime::StepAction::kSkip) continue;
+          if (action == TrainRuntime::StepAction::kStop) {
+            stop = true;
+            break;
+          }
+          if (action == TrainRuntime::StepAction::kRollback) {
+            runtime->Rollback(&step, &epoch);
+            rolled_back = true;
+            break;
+          }
+          grad_norm_sum += norm;
         }
         optimizer->Step();
       }
-      const double batch_loss = loss.value()[0];
-      loss_sum += batch_loss;
-      loss_hist->Observe(batch_loss);
+      loss_sum += loss_value;
+      loss_hist->Observe(loss_value);
       step_counter->Increment();
       ++batches;
     }
-    if (batches == 0) continue;
-    EpochStats stats;
-    stats.epoch = epoch;
-    stats.loss = loss_sum / batches;
-    stats.wall_ms = epoch_timer.ElapsedMillis();
-    stats.batches = batches;
-    if (options.grad_clip_norm > 0.0f) {
-      stats.grad_norm = grad_norm_sum / batches;
+    if (rolled_back) continue;  // replay the checkpointed epoch's successor
+    if (batches > 0) {
+      EpochStats stats;
+      stats.epoch = epoch;
+      stats.loss = loss_sum / batches;
+      stats.wall_ms = epoch_timer.ElapsedMillis();
+      stats.batches = batches;
+      if (options.grad_clip_norm > 0.0f) {
+        stats.grad_norm = grad_norm_sum / batches;
+      }
+      stats.learning_rate = last_lr;
+      ReportEpoch(options, stats, step);
     }
-    stats.learning_rate = last_lr;
-    ReportEpoch(options, stats, step);
+    if (stop) return;
+    runtime->EndEpoch(epoch, step);
+    ++epoch;
   }
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "models/epoch_report.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -74,6 +75,14 @@ void TransRec::Fit(const data::SequenceDataset& train,
         translated[k] = gprev[k] + global_t_[k] + tu[k];
       }
       const float x = score_item(pos) - score_item(neg);
+      if (!std::isfinite(x)) {
+        // Divergence guard: drop the poisoned sample instead of spreading
+        // NaN through the factor tables.
+        obs::MetricsRegistry::Global()
+            .GetCounter("fault.nonfinite_loss")
+            ->Increment();
+        continue;
+      }
       const float coeff = SigmoidF(-x);
       loss_sum += std::log1p(std::exp(-x));
 

@@ -1,0 +1,215 @@
+#include "nn/checkpoint.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/crc32.h"
+#include "util/fault.h"
+#include "util/fileio.h"
+#include "util/string_util.h"
+
+namespace vsan {
+namespace nn {
+namespace {
+
+constexpr char kMagic[8] = {'V', 'S', 'A', 'N', 'C', 'K', 'P', '1'};
+constexpr size_t kHeaderBytes = 8 + sizeof(uint64_t);
+constexpr size_t kFooterBytes = sizeof(uint32_t);
+// Marker stored in place of optimizer state when no optimizer is attached.
+constexpr char kNoOptimizerTag[9] = "OPTNULL0";
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+void WriteBlob(std::ostream& out, const std::string& blob) {
+  WritePod<uint32_t>(out, static_cast<uint32_t>(blob.size()));
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+}
+
+Status ReadBlob(std::istream& in, const char* what, std::string* blob) {
+  uint32_t len = 0;
+  if (!ReadPod(in, &len)) {
+    return Status::InvalidArgument(StrCat("trainer state: truncated ", what,
+                                          " length"));
+  }
+  blob->resize(len);
+  if (len > 0) {
+    in.read(blob->data(), len);
+    if (!in.good()) {
+      return Status::InvalidArgument(
+          StrCat("trainer state: truncated ", what));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ParsePayload(const std::string& payload, Module* module,
+                    optim::Optimizer* optimizer, TrainerState* trainer) {
+  std::istringstream in(payload);
+
+  Status status = LoadParameters(module, in);
+  if (!status.ok()) return status;
+
+  // Optimizer section.  Peek the tag to detect the "no optimizer" marker.
+  char tag[8];
+  in.read(tag, sizeof(tag));
+  if (!in.good()) {
+    return Status::InvalidArgument("truncated optimizer section");
+  }
+  const bool has_optimizer_state =
+      std::memcmp(tag, kNoOptimizerTag, sizeof(tag)) != 0;
+  for (int i = static_cast<int>(sizeof(tag)) - 1; i >= 0; --i) {
+    in.putback(tag[i]);
+  }
+  if (has_optimizer_state) {
+    if (optimizer == nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint carries optimizer state but no optimizer was given");
+    }
+    status = optimizer->LoadState(in);
+    if (!status.ok()) return status;
+  } else {
+    in.ignore(sizeof(tag));
+    if (optimizer != nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint has no optimizer state but an optimizer was given");
+    }
+  }
+
+  // Trainer section.
+  TrainerState state;
+  if (!ReadPod(in, &state.epochs_completed) ||
+      state.epochs_completed < 0) {
+    return Status::InvalidArgument("trainer state: bad epoch count");
+  }
+  if (!ReadPod(in, &state.global_step) || state.global_step < 0) {
+    return Status::InvalidArgument("trainer state: bad global step");
+  }
+  int32_t rng_count = 0;
+  if (!ReadPod(in, &rng_count) || rng_count < 0 || rng_count > 64) {
+    return Status::InvalidArgument("trainer state: bad rng stream count");
+  }
+  state.rng_states.resize(rng_count);
+  for (int32_t i = 0; i < rng_count; ++i) {
+    status = ReadBlob(in, "rng stream", &state.rng_states[i]);
+    if (!status.ok()) return status;
+  }
+  uint64_t data_len = 0;
+  if (!ReadPod(in, &data_len) || data_len > payload.size()) {
+    return Status::InvalidArgument("trainer state: bad data-state length");
+  }
+  state.data_state.resize(data_len);
+  if (data_len > 0) {
+    in.read(state.data_state.data(),
+            static_cast<std::streamsize>(data_len));
+    if (!in.good()) {
+      return Status::InvalidArgument("trainer state: truncated data state");
+    }
+  }
+  status = ReadBlob(in, "early-stopping state",
+                    &state.early_stopping_state);
+  if (!status.ok()) return status;
+
+  *trainer = std::move(state);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path, const Module& module,
+                      const optim::Optimizer* optimizer,
+                      const TrainerState& trainer) {
+  std::ostringstream payload_stream;
+  Status status = SaveParameters(module, payload_stream);
+  if (!status.ok()) return status;
+  if (optimizer != nullptr) {
+    optimizer->SaveState(payload_stream);
+  } else {
+    payload_stream.write(kNoOptimizerTag, 8);
+  }
+  WritePod<int32_t>(payload_stream, trainer.epochs_completed);
+  WritePod<int64_t>(payload_stream, trainer.global_step);
+  WritePod<int32_t>(payload_stream,
+                    static_cast<int32_t>(trainer.rng_states.size()));
+  for (const std::string& rng : trainer.rng_states) {
+    WriteBlob(payload_stream, rng);
+  }
+  WritePod<uint64_t>(payload_stream,
+                     static_cast<uint64_t>(trainer.data_state.size()));
+  payload_stream.write(trainer.data_state.data(),
+                       static_cast<std::streamsize>(trainer.data_state.size()));
+  WriteBlob(payload_stream, trainer.early_stopping_state);
+
+  const std::string payload = payload_stream.str();
+  std::string file;
+  file.reserve(kHeaderBytes + payload.size() + kFooterBytes);
+  file.append(kMagic, sizeof(kMagic));
+  const uint64_t payload_size = payload.size();
+  file.append(reinterpret_cast<const char*>(&payload_size),
+              sizeof(payload_size));
+  file.append(payload);
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  file.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+
+  status = AtomicWriteFile(path, file);
+  if (!status.ok()) return status;
+  obs::MetricsRegistry::Global().GetCounter("ckpt.saves")->Increment();
+  // Fault-injection tap: corrupts the just-written file when armed, so the
+  // corruption-rejection path is testable end to end.
+  fault::MaybeCorruptFile(path);
+  return Status::Ok();
+}
+
+Status LoadCheckpoint(const std::string& path, Module* module,
+                      optim::Optimizer* optimizer, TrainerState* trainer) {
+  std::string file;
+  Status status = ReadFileToString(path, &file);
+  if (!status.ok()) return status;
+
+  if (file.size() < kHeaderBytes + kFooterBytes) {
+    return Status::InvalidArgument(
+        StrCat(path, ": truncated: ", file.size(),
+               " bytes is smaller than the fixed header"));
+  }
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        StrCat(path, ": bad magic: not a VSANCKP1 checkpoint"));
+  }
+  uint64_t payload_size = 0;
+  std::memcpy(&payload_size, file.data() + sizeof(kMagic),
+              sizeof(payload_size));
+  if (payload_size != file.size() - kHeaderBytes - kFooterBytes) {
+    return Status::InvalidArgument(
+        StrCat(path, ": truncated or oversized: header claims ",
+               payload_size, " payload bytes, file holds ",
+               file.size() - kHeaderBytes - kFooterBytes));
+  }
+  const char* payload_begin = file.data() + kHeaderBytes;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, payload_begin + payload_size, sizeof(stored_crc));
+  const uint32_t computed_crc = Crc32(payload_begin, payload_size);
+  if (stored_crc != computed_crc) {
+    return Status::InvalidArgument(
+        StrCat(path, ": checksum mismatch: stored ", stored_crc,
+               ", computed ", computed_crc, " — checkpoint is corrupt"));
+  }
+
+  status = ParsePayload(std::string(payload_begin, payload_size), module,
+                        optimizer, trainer);
+  if (!status.ok()) {
+    return Status(status.code(), StrCat(path, ": ", status.message()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace nn
+}  // namespace vsan

@@ -1,0 +1,77 @@
+#ifndef VSAN_NN_CHECKPOINT_H_
+#define VSAN_NN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/serialize.h"
+#include "optim/optimizer.h"
+#include "util/status.h"
+
+namespace vsan {
+namespace nn {
+
+// Full training checkpoint: everything needed to resume a run so that the
+// resumed run's final parameters are bitwise identical to an uninterrupted
+// one.  SaveParameters alone persists weights only — no Adam moments, no
+// step counts, no RNG streams — which makes a crashed run unresumable;
+// this format closes that gap.
+//
+// Binary layout "VSANCKP1" (little-endian, fixed-width):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//   0       8     magic "VSANCKP1"
+//   8       8     u64 payload_size (bytes of the payload section)
+//   16      var   payload:
+//                   parameter blob   (nn/serialize VSANPAR2, own CRC)
+//                   optimizer state  (Optimizer::SaveState: 8-byte tag +
+//                                     step counts + moment buffers)
+//                   trainer section:
+//                     i32 epochs_completed
+//                     i64 global_step
+//                     i32 rng stream count, then per stream
+//                       u32 length + bytes (util/rng SaveState)
+//                     u64 data-state length + bytes (opaque: batcher
+//                       shuffle order / instance permutation)
+//                     u32 early-stopping length + bytes (EarlyStopper
+//                       SaveState; zero length when unused)
+//   16+N    4     u32 CRC32 over the payload
+//
+// Writes are atomic and durable: temp file + fsync + rename (see
+// util/fileio.h), so a crash mid-save leaves the previous checkpoint
+// intact.  Loads validate magic, length, and CRC before touching the
+// payload and return descriptive kInvalidArgument errors for truncation,
+// bad magic, shape mismatches, and checksum failures — never a crash.
+
+// Trainer-side state that travels with the parameters and optimizer.
+struct TrainerState {
+  int32_t epochs_completed = 0;
+  int64_t global_step = 0;
+  // Serialized util/rng streams (model RNG first by convention); restored
+  // positionally.
+  std::vector<std::string> rng_states;
+  // Opaque data-order state (e.g. data::SequenceBatcher::SaveState).
+  std::string data_state;
+  // Serialized EarlyStopper state; empty when no stopper is attached.
+  std::string early_stopping_state;
+};
+
+// Writes a checkpoint atomically.  `optimizer` may be null for models
+// without an optim::Optimizer (a "none" marker is stored).
+Status SaveCheckpoint(const std::string& path, const Module& module,
+                      const optim::Optimizer* optimizer,
+                      const TrainerState& trainer);
+
+// Restores a checkpoint written by SaveCheckpoint into an already
+// constructed module/optimizer pair (same architecture and parameter
+// registration order).  kNotFound when `path` does not exist.
+Status LoadCheckpoint(const std::string& path, Module* module,
+                      optim::Optimizer* optimizer, TrainerState* trainer);
+
+}  // namespace nn
+}  // namespace vsan
+
+#endif  // VSAN_NN_CHECKPOINT_H_

@@ -3,51 +3,72 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/crc32.h"
+#include "util/fileio.h"
 #include "util/string_util.h"
 
 namespace vsan {
 namespace nn {
 namespace {
 
-constexpr char kMagic[8] = {'V', 'S', 'A', 'N', 'P', 'A', 'R', '1'};
+// Current format.  V2 appends a CRC32 over everything after the magic so
+// torn writes and bit rot are detected; V1 files (no checksum) still load.
+constexpr char kMagicV1[8] = {'V', 'S', 'A', 'N', 'P', 'A', 'R', '1'};
+constexpr char kMagicV2[8] = {'V', 'S', 'A', 'N', 'P', 'A', 'R', '2'};
 
-template <typename T>
-void WritePod(std::ostream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+// Writer that mirrors every byte into a CRC32 accumulator.
+class CrcWriter {
+ public:
+  explicit CrcWriter(std::ostream& out) : out_(out) {}
 
-template <typename T>
-bool ReadPod(std::istream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
-}
-
-}  // namespace
-
-Status SaveParameters(const Module& module, std::ostream& out) {
-  const std::vector<Variable> params = module.Parameters();
-  out.write(kMagic, sizeof(kMagic));
-  WritePod<int64_t>(out, static_cast<int64_t>(params.size()));
-  for (const Variable& p : params) {
-    const Tensor& t = p.value();
-    WritePod<int32_t>(out, t.ndim());
-    for (int i = 0; i < t.ndim(); ++i) WritePod<int64_t>(out, t.dim(i));
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  void Write(const void* data, size_t len) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(len));
+    crc_.Update(data, len);
   }
-  if (!out.good()) return Status::Internal("write failed");
-  return Status::Ok();
-}
 
-Status LoadParameters(Module* module, std::istream& in) {
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("bad magic: not a VSAN parameter blob");
+  template <typename T>
+  void WritePod(T value) {
+    Write(&value, sizeof(T));
   }
+
+  uint32_t crc() const { return crc_.value(); }
+
+ private:
+  std::ostream& out_;
+  Crc32Stream crc_;
+};
+
+// Reader that optionally accumulates a CRC32 (V2) over every byte read.
+class CrcReader {
+ public:
+  CrcReader(std::istream& in, bool track_crc) : in_(in), track_crc_(track_crc) {}
+
+  bool Read(void* data, size_t len) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+    if (!in_.good()) return false;
+    if (track_crc_) crc_.Update(data, len);
+    return true;
+  }
+
+  template <typename T>
+  bool ReadPod(T* value) {
+    return Read(value, sizeof(T));
+  }
+
+  uint32_t crc() const { return crc_.value(); }
+
+ private:
+  std::istream& in_;
+  bool track_crc_;
+  Crc32Stream crc_;
+};
+
+Status LoadParameterPayload(CrcReader* reader, Module* module) {
   int64_t count = 0;
-  if (!ReadPod(in, &count)) return Status::InvalidArgument("truncated header");
-
+  if (!reader->ReadPod(&count)) {
+    return Status::InvalidArgument("truncated header");
+  }
   std::vector<Variable> params = module->Parameters();
   if (count != static_cast<int64_t>(params.size())) {
     return Status::InvalidArgument(
@@ -56,12 +77,12 @@ Status LoadParameters(Module* module, std::istream& in) {
   }
   for (int64_t i = 0; i < count; ++i) {
     int32_t ndim = 0;
-    if (!ReadPod(in, &ndim) || ndim < 0 || ndim > 4) {
+    if (!reader->ReadPod(&ndim) || ndim < 0 || ndim > 4) {
       return Status::InvalidArgument(StrCat("parameter ", i, ": bad rank"));
     }
     std::vector<int64_t> shape(ndim);
     for (int32_t d = 0; d < ndim; ++d) {
-      if (!ReadPod(in, &shape[d])) {
+      if (!reader->ReadPod(&shape[d])) {
         return Status::InvalidArgument(
             StrCat("parameter ", i, ": truncated shape"));
       }
@@ -71,10 +92,57 @@ Status LoadParameters(Module* module, std::istream& in) {
       return Status::InvalidArgument(
           StrCat("parameter ", i, ": shape mismatch"));
     }
-    in.read(reinterpret_cast<char*>(dst.data()),
-            static_cast<std::streamsize>(sizeof(float) * dst.numel()));
-    if (!in.good()) {
+    if (!reader->Read(dst.data(), sizeof(float) * dst.numel())) {
       return Status::InvalidArgument(StrCat("parameter ", i, ": truncated"));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveParameters(const Module& module, std::ostream& out) {
+  const std::vector<Variable> params = module.Parameters();
+  out.write(kMagicV2, sizeof(kMagicV2));
+  CrcWriter writer(out);
+  writer.WritePod<int64_t>(static_cast<int64_t>(params.size()));
+  for (const Variable& p : params) {
+    const Tensor& t = p.value();
+    writer.WritePod<int32_t>(t.ndim());
+    for (int i = 0; i < t.ndim(); ++i) writer.WritePod<int64_t>(t.dim(i));
+    writer.Write(t.data(), sizeof(float) * t.numel());
+  }
+  const uint32_t crc = writer.crc();
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  if (!out.good()) return Status::Internal("write failed");
+  return Status::Ok();
+}
+
+Status LoadParameters(Module* module, std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good()) {
+    return Status::InvalidArgument("truncated: missing magic");
+  }
+  const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
+    return Status::InvalidArgument("bad magic: not a VSAN parameter blob");
+  }
+
+  CrcReader reader(in, /*track_crc=*/v2);
+  Status status = LoadParameterPayload(&reader, module);
+  if (!status.ok()) return status;
+  if (v2) {
+    const uint32_t computed = reader.crc();
+    uint32_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in.good()) {
+      return Status::InvalidArgument("truncated: missing checksum");
+    }
+    if (stored != computed) {
+      return Status::InvalidArgument(
+          StrCat("checksum mismatch: stored ", stored, ", computed ",
+                 computed, " — file is corrupt"));
     }
   }
   return Status::Ok();
@@ -82,13 +150,16 @@ Status LoadParameters(Module* module, std::istream& in) {
 
 Status SaveParametersToFile(const Module& module, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out.good()) return Status::NotFound(StrCat("cannot open ", path));
+  if (!out.good()) return Status::Internal(StrCat("cannot open ", path));
   return SaveParameters(module, out);
 }
 
 Status LoadParametersFromFile(Module* module, const std::string& path) {
+  if (!FileExists(path)) {
+    return Status::NotFound(StrCat("no such file: ", path));
+  }
   std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return Status::NotFound(StrCat("cannot open ", path));
+  if (!in.good()) return Status::Internal(StrCat("cannot open ", path));
   return LoadParameters(module, in);
 }
 

@@ -16,8 +16,15 @@ namespace nn {
 // the same configuration.  Loading checks count and shapes and fails with a
 // descriptive Status on any mismatch.
 //
-// Binary layout: magic "VSANPAR1", i64 parameter count, then per parameter
-// i32 ndim, i64 dims..., raw float32 data.
+// Binary layout (V2, current): magic "VSANPAR2", i64 parameter count, then
+// per parameter i32 ndim, i64 dims..., raw float32 data, then u32 CRC32
+// over every byte after the magic.  Corruption and truncation are rejected
+// with a descriptive Status.  Legacy "VSANPAR1" blobs (same layout, no
+// CRC) still load.
+//
+// LoadParametersFromFile distinguishes a missing file (kNotFound) from an
+// unreadable or malformed one (kInternal / kInvalidArgument) so callers
+// can treat "no checkpoint yet" differently from "checkpoint corrupt".
 
 Status SaveParameters(const Module& module, std::ostream& out);
 Status LoadParameters(Module* module, std::istream& in);

@@ -11,6 +11,32 @@ Adam::Adam(std::vector<Variable> params, const Options& options)
   v_.resize(params_.size());
 }
 
+void Adam::SaveState(std::ostream& out) const {
+  WriteTag(out, "OPTADAM1");
+  out.write(reinterpret_cast<const char*>(&step_count_), sizeof(step_count_));
+  WriteBuffers(out, m_);
+  WriteBuffers(out, v_);
+}
+
+Status Adam::LoadState(std::istream& in) {
+  Status status = CheckTag(in, "OPTADAM1");
+  if (!status.ok()) return status;
+  int64_t step_count = 0;
+  in.read(reinterpret_cast<char*>(&step_count), sizeof(step_count));
+  if (!in.good() || step_count < 0) {
+    return Status::InvalidArgument("adam state: bad step count");
+  }
+  std::vector<Tensor> m, v;
+  status = ReadBuffers(in, &m);
+  if (!status.ok()) return status;
+  status = ReadBuffers(in, &v);
+  if (!status.ok()) return status;
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::Ok();
+}
+
 void Adam::Step() {
   ++step_count_;
   const float bc1 =

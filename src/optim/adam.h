@@ -25,6 +25,12 @@ class Adam : public Optimizer {
   void set_learning_rate(float lr) override { options_.lr = lr; }
   float learning_rate() const override { return options_.lr; }
 
+  // Persists/restores the bias-correction step count and both moment
+  // buffers; required for exact training resume (a fresh Adam would re-run
+  // the bias-correction warmup and diverge from the uninterrupted run).
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
+
   int64_t step_count() const { return step_count_; }
 
  private:

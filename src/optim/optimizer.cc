@@ -1,8 +1,10 @@
 #include "optim/optimizer.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "tensor/tensor_ops.h"
+#include "util/string_util.h"
 
 namespace vsan {
 namespace optim {
@@ -12,6 +14,90 @@ Optimizer::Optimizer(std::vector<Variable> params)
 
 void Optimizer::ZeroGrad() {
   for (Variable& p : params_) p.ZeroGrad();
+}
+
+void Optimizer::SaveState(std::ostream& out) const {
+  WriteTag(out, "OPTNONE1");
+}
+
+Status Optimizer::LoadState(std::istream& in) {
+  return CheckTag(in, "OPTNONE1");
+}
+
+void Optimizer::WriteTag(std::ostream& out, const char (&tag)[9]) {
+  out.write(tag, 8);
+}
+
+Status Optimizer::CheckTag(std::istream& in, const char (&tag)[9]) {
+  char got[8];
+  in.read(got, sizeof(got));
+  if (!in.good()) {
+    return Status::InvalidArgument("optimizer state: truncated tag");
+  }
+  if (std::memcmp(got, tag, sizeof(got)) != 0) {
+    return Status::InvalidArgument(
+        StrCat("optimizer state: tag mismatch, expected ",
+               std::string(tag, 8), ", got ", std::string(got, 8)));
+  }
+  return Status::Ok();
+}
+
+void Optimizer::WriteBuffers(std::ostream& out,
+                             const std::vector<Tensor>& buffers) const {
+  const int64_t count = static_cast<int64_t>(buffers.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& t : buffers) {
+    const uint8_t allocated = t.numel() > 0 ? 1 : 0;
+    out.write(reinterpret_cast<const char*>(&allocated), sizeof(allocated));
+    if (!allocated) continue;
+    const int64_t numel = t.numel();
+    out.write(reinterpret_cast<const char*>(&numel), sizeof(numel));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(sizeof(float) * numel));
+  }
+}
+
+Status Optimizer::ReadBuffers(std::istream& in,
+                              std::vector<Tensor>* buffers) const {
+  int64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good()) {
+    return Status::InvalidArgument("optimizer state: truncated buffer count");
+  }
+  if (count != static_cast<int64_t>(params_.size())) {
+    return Status::InvalidArgument(
+        StrCat("optimizer state: buffer count mismatch, state has ", count,
+               ", optimizer has ", params_.size()));
+  }
+  buffers->assign(params_.size(), Tensor());
+  for (int64_t i = 0; i < count; ++i) {
+    uint8_t allocated = 0;
+    in.read(reinterpret_cast<char*>(&allocated), sizeof(allocated));
+    if (!in.good()) {
+      return Status::InvalidArgument(
+          StrCat("optimizer state: buffer ", i, ": truncated"));
+    }
+    if (allocated == 0) continue;
+    if (allocated != 1) {
+      return Status::InvalidArgument(
+          StrCat("optimizer state: buffer ", i, ": bad flag"));
+    }
+    int64_t numel = 0;
+    in.read(reinterpret_cast<char*>(&numel), sizeof(numel));
+    if (!in.good() || numel != params_[i].value().numel()) {
+      return Status::InvalidArgument(
+          StrCat("optimizer state: buffer ", i, ": element count mismatch"));
+    }
+    Tensor t(params_[i].value().shape());
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(sizeof(float) * numel));
+    if (!in.good()) {
+      return Status::InvalidArgument(
+          StrCat("optimizer state: buffer ", i, ": truncated data"));
+    }
+    (*buffers)[i] = std::move(t);
+  }
+  return Status::Ok();
 }
 
 float Optimizer::ClipGradNorm(float max_norm) {

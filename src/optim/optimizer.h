@@ -1,9 +1,12 @@
 #ifndef VSAN_OPTIM_OPTIMIZER_H_
 #define VSAN_OPTIM_OPTIMIZER_H_
 
+#include <istream>
+#include <ostream>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "util/status.h"
 
 namespace vsan {
 namespace optim {
@@ -33,7 +36,30 @@ class Optimizer {
   // Returns the pre-clip norm.
   float ClipGradNorm(float max_norm);
 
+  // Serializes the optimizer's internal state (moment/velocity buffers and
+  // step counts — everything beyond the parameters themselves) so training
+  // can resume exactly where it left off.  Each implementation writes a
+  // fixed 8-byte tag first; LoadState verifies it, so a checkpoint written
+  // with one optimizer cannot be silently loaded into another.  The base
+  // implementations cover stateless optimizers.
+  virtual void SaveState(std::ostream& out) const;
+  virtual Status LoadState(std::istream& in);
+
+  const std::vector<Variable>& params() const { return params_; }
+
  protected:
+  // Shared (de)serialization helpers for subclasses: the fixed 8-byte state
+  // tag and lazily-allocated per-parameter buffer vectors (Adam moments,
+  // SGD velocity).  ReadBuffers validates the buffer count and every
+  // element count against params_, so a checkpoint from a differently
+  // shaped model fails with a descriptive Status instead of corrupting
+  // memory.
+  static void WriteTag(std::ostream& out, const char (&tag)[9]);
+  static Status CheckTag(std::istream& in, const char (&tag)[9]);
+  void WriteBuffers(std::ostream& out,
+                    const std::vector<Tensor>& buffers) const;
+  Status ReadBuffers(std::istream& in, std::vector<Tensor>* buffers) const;
+
   std::vector<Variable> params_;
 };
 

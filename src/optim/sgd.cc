@@ -10,6 +10,21 @@ Sgd::Sgd(std::vector<Variable> params, const Options& options)
   velocity_.resize(params_.size());
 }
 
+void Sgd::SaveState(std::ostream& out) const {
+  WriteTag(out, "OPTSGD01");
+  WriteBuffers(out, velocity_);
+}
+
+Status Sgd::LoadState(std::istream& in) {
+  Status status = CheckTag(in, "OPTSGD01");
+  if (!status.ok()) return status;
+  std::vector<Tensor> velocity;
+  status = ReadBuffers(in, &velocity);
+  if (!status.ok()) return status;
+  velocity_ = std::move(velocity);
+  return Status::Ok();
+}
+
 void Sgd::Step() {
   const float lr = options_.lr;
   const float wd = options_.weight_decay;

@@ -22,6 +22,11 @@ class Sgd : public Optimizer {
   void set_learning_rate(float lr) override { options_.lr = lr; }
   float learning_rate() const override { return options_.lr; }
 
+  // Persists/restores the momentum velocity buffers (a no-op payload for
+  // momentum-free SGD, but the tag still guards optimizer-type mismatches).
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
+
  private:
   Options options_;
   std::vector<Tensor> velocity_;  // allocated lazily, one per parameter

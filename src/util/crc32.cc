@@ -1,0 +1,50 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace vsan {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xedb88320u;
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? kPolynomial ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+uint32_t UpdateRaw(uint32_t state, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = Table();
+  for (size_t i = 0; i < len; ++i) {
+    state = table[(state ^ p[i]) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  return UpdateRaw(seed ^ 0xffffffffu, data, len) ^ 0xffffffffu;
+}
+
+void Crc32Stream::Update(const void* data, size_t len) {
+  state_ = UpdateRaw(state_, data, len);
+}
+
+uint32_t Crc32Stream::value() const { return state_ ^ 0xffffffffu; }
+
+void Crc32Stream::Reset() { state_ = 0xffffffffu; }
+
+}  // namespace vsan

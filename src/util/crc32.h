@@ -1,0 +1,32 @@
+#ifndef VSAN_UTIL_CRC32_H_
+#define VSAN_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vsan {
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding the
+// on-disk parameter and checkpoint formats (nn/serialize, nn/checkpoint).
+// Table-driven, byte-at-a-time: integrity checking is off the hot path, so
+// simplicity beats a sliced implementation.
+
+// One-shot CRC over a buffer.  Pass a previous result as `seed` to chain
+// buffers: Crc32(b, nb, Crc32(a, na)).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+// Incremental CRC for streamed writes/reads.
+class Crc32Stream {
+ public:
+  void Update(const void* data, size_t len);
+  uint32_t value() const;
+  void Reset();
+
+ private:
+  // Stored pre-finalization (bit-inverted) so Update can continue.
+  uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_CRC32_H_

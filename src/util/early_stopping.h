@@ -2,9 +2,12 @@
 #define VSAN_UTIL_EARLY_STOPPING_H_
 
 #include <cstdint>
+#include <cstring>
 #include <limits>
+#include <string>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace vsan {
 
@@ -40,6 +43,58 @@ class EarlyStopper {
   // none yet).
   int32_t best_round() const { return best_round_; }
   int32_t rounds() const { return round_; }
+
+  // Serialized size of the mutable state (best metric, best round, bad
+  // rounds, round counter).  patience/min_delta are construction-time
+  // configuration and are carried for validation only.
+  static constexpr size_t kStateBytes =
+      2 * sizeof(double) + 4 * sizeof(int32_t);
+
+  // Appends the stopper's progress to `*out` so a resumed run keeps the
+  // original best metric and patience countdown; without this a resume
+  // re-arms patience and trains past the point the original run would have
+  // stopped at.
+  void SaveState(std::string* out) const {
+    auto append = [out](const void* p, size_t n) {
+      out->append(reinterpret_cast<const char*>(p), n);
+    };
+    append(&min_delta_, sizeof(min_delta_));
+    append(&best_, sizeof(best_));
+    append(&patience_, sizeof(patience_));
+    append(&best_round_, sizeof(best_round_));
+    append(&bad_rounds_, sizeof(bad_rounds_));
+    append(&round_, sizeof(round_));
+  }
+
+  // Restores state written by SaveState.  Fails when the blob is the wrong
+  // size or was written by a stopper configured differently (patience or
+  // min_delta mismatch) — resuming under a different stopping rule would
+  // silently change when training ends.
+  Status RestoreState(const char* data, size_t len) {
+    if (len != kStateBytes) {
+      return Status::InvalidArgument("early-stopper state: wrong size");
+    }
+    double min_delta = 0.0;
+    int32_t patience = 0;
+    const char* p = data;
+    auto take = [&p](void* dst, size_t n) {
+      std::memcpy(dst, p, n);
+      p += n;
+    };
+    take(&min_delta, sizeof(min_delta));
+    double best = 0.0;
+    take(&best, sizeof(best));
+    take(&patience, sizeof(patience));
+    if (patience != patience_ || min_delta != min_delta_) {
+      return Status::InvalidArgument(
+          "early-stopper state: patience/min_delta mismatch");
+    }
+    best_ = best;
+    take(&best_round_, sizeof(best_round_));
+    take(&bad_rounds_, sizeof(bad_rounds_));
+    take(&round_, sizeof(round_));
+    return Status::Ok();
+  }
 
  private:
   int32_t patience_;

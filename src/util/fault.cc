@@ -1,0 +1,149 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace fault {
+namespace {
+
+struct Spec {
+  int64_t abort_at_step = -1;
+  int64_t stop_at_step = -1;
+  int64_t nan_loss_at_step = -1;
+  int64_t corrupt_checkpoint_bytes = 0;
+};
+
+Spec ParseSpec(const std::string& text) {
+  Spec spec;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string directive = text.substr(start, end - start);
+    const size_t eq = directive.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = directive.substr(0, eq);
+      const int64_t value =
+          std::strtoll(directive.c_str() + eq + 1, nullptr, 10);
+      if (key == "abort_at_step") {
+        spec.abort_at_step = value;
+      } else if (key == "stop_at_step") {
+        spec.stop_at_step = value;
+      } else if (key == "nan_loss_at_step") {
+        spec.nan_loss_at_step = value;
+      } else if (key == "corrupt_checkpoint_bytes") {
+        spec.corrupt_checkpoint_bytes = value;
+      } else if (!key.empty()) {
+        VSAN_LOG_WARNING << "VSAN_FAULT: unknown directive '" << key << "'";
+      }
+    }
+    start = end + 1;
+  }
+  return spec;
+}
+
+struct State {
+  Spec spec;
+  std::atomic<bool> enabled{false};
+  // One-shot latches: an injected fault models a transient, so a rollback
+  // that replays the same step must not re-fire it.
+  std::atomic<bool> stop_fired{false};
+  std::atomic<bool> nan_fired{false};
+};
+
+State& GlobalState() {
+  static State* state = [] {
+    auto* s = new State();
+    const char* env = std::getenv("VSAN_FAULT");
+    if (env != nullptr && env[0] != '\0') {
+      s->spec = ParseSpec(env);
+      s->enabled.store(true, std::memory_order_relaxed);
+    }
+    return s;
+  }();
+  return *state;
+}
+
+}  // namespace
+
+bool Enabled() {
+  return GlobalState().enabled.load(std::memory_order_relaxed);
+}
+
+void SetSpecForTest(const char* spec) {
+  State& state = GlobalState();
+  state.stop_fired.store(false, std::memory_order_relaxed);
+  state.nan_fired.store(false, std::memory_order_relaxed);
+  if (spec == nullptr || spec[0] == '\0') {
+    state.spec = Spec();
+    state.enabled.store(false, std::memory_order_relaxed);
+    return;
+  }
+  state.spec = ParseSpec(spec);
+  state.enabled.store(true, std::memory_order_relaxed);
+}
+
+void MaybeCrashAtStep(int64_t step) {
+  if (!Enabled()) return;
+  State& state = GlobalState();
+  if (state.spec.abort_at_step >= 0 && step == state.spec.abort_at_step) {
+    VSAN_LOG_ERROR << "VSAN_FAULT: aborting at step " << step;
+    // _Exit: no destructors, no stream flushes — a hard kill, so whatever
+    // the checkpoint path already made durable is all that survives.
+    std::_Exit(134);
+  }
+}
+
+bool ShouldStopAtStep(int64_t step) {
+  if (!Enabled()) return false;
+  State& state = GlobalState();
+  if (state.spec.stop_at_step < 0 || step != state.spec.stop_at_step) {
+    return false;
+  }
+  return !state.stop_fired.exchange(true, std::memory_order_relaxed);
+}
+
+bool ShouldInjectNanLoss(int64_t step) {
+  if (!Enabled()) return false;
+  State& state = GlobalState();
+  if (state.spec.nan_loss_at_step < 0 ||
+      step != state.spec.nan_loss_at_step) {
+    return false;
+  }
+  return !state.nan_fired.exchange(true, std::memory_order_relaxed);
+}
+
+void MaybeCorruptFile(const std::string& path) {
+  if (!Enabled()) return;
+  State& state = GlobalState();
+  const int64_t k = state.spec.corrupt_checkpoint_bytes;
+  if (k <= 0) return;
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f.good()) return;
+  f.seekg(0, std::ios::end);
+  const int64_t size = static_cast<int64_t>(f.tellg());
+  if (size <= 0) return;
+  // Deterministic positions (multiplicative hash over the byte index) so a
+  // corruption run is reproducible from the spec alone.
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(size);
+  for (int64_t i = 0; i < k; ++i) {
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int64_t pos = static_cast<int64_t>(h % static_cast<uint64_t>(size));
+    f.seekg(pos);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(pos);
+    f.write(&byte, 1);
+  }
+  f.flush();
+  VSAN_LOG_WARNING << "VSAN_FAULT: corrupted " << k << " byte(s) of "
+                   << path;
+}
+
+}  // namespace fault
+}  // namespace vsan

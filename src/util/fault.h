@@ -1,0 +1,62 @@
+#ifndef VSAN_UTIL_FAULT_H_
+#define VSAN_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vsan {
+namespace fault {
+
+// Fault-injection harness for crash-safety testing.  Compiled in always and
+// inert (a relaxed boolean load per tap) unless the VSAN_FAULT environment
+// variable is set, so production binaries pay nothing and the kill-and-
+// resume integration tests can drive the *shipped* code paths rather than a
+// test double.
+//
+// VSAN_FAULT is a comma-separated list of directives:
+//
+//   abort_at_step=N            _Exit(134) when training step N begins —
+//                              simulates a hard kill (no destructors, no
+//                              flushes), exactly what SIGKILL would do.
+//   stop_at_step=N             make Fit() return when step N begins — the
+//                              in-process analogue of a crash, used by tests
+//                              that cannot lose their own process.
+//   nan_loss_at_step=N         force the observed loss to NaN at step N so
+//                              the divergence guard fires.  One-shot: a
+//                              rollback that replays step N does not re-fire
+//                              (the injected fault models a transient).
+//   corrupt_checkpoint_bytes=K flip K bytes of every checkpoint file right
+//                              after it is written (deterministic positions).
+//
+// Example: VSAN_FAULT=abort_at_step=37 vsan_cli train --checkpoint_dir=ck
+//
+// Steps are 1-based: directive N fires as the Nth optimizer step begins,
+// i.e. after N-1 completed steps (the counter the checkpoint persists).
+
+// True when any directive is armed (env var set or SetSpecForTest called).
+bool Enabled();
+
+// Re-parses the spec from a string instead of the environment; empty or
+// nullptr disarms everything and resets the one-shot latches.  Test-only.
+void SetSpecForTest(const char* spec);
+
+// Tap at the top of each training step: terminates the process when
+// abort_at_step matches `step`.
+void MaybeCrashAtStep(int64_t step);
+
+// Tap at the top of each training step: true once when stop_at_step
+// matches, after which the train loop should return.
+bool ShouldStopAtStep(int64_t step);
+
+// Tap on the observed batch loss: true once when nan_loss_at_step matches;
+// the caller replaces the loss with NaN.
+bool ShouldInjectNanLoss(int64_t step);
+
+// Tap after a checkpoint file is written: flips corrupt_checkpoint_bytes
+// bytes of `path` in place (no-op when unarmed).
+void MaybeCorruptFile(const std::string& path);
+
+}  // namespace fault
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_FAULT_H_

@@ -1,0 +1,94 @@
+#include "util/fileio.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "util/string_util.h"
+
+namespace vsan {
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return StrCat(what, " ", path, ": ", std::strerror(errno));
+}
+
+}  // namespace
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    if (!FileExists(path)) {
+      return Status::NotFound(StrCat("no such file: ", path));
+    }
+    return Status::Internal(StrCat("cannot open ", path));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal(StrCat("read failed: ", path));
+  *out = buffer.str();
+  return Status::Ok();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal(ErrnoMessage("cannot create", tmp));
+
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal(ErrnoMessage("write failed", tmp));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal(ErrnoMessage("fsync failed", tmp));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal(ErrnoMessage("close failed", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal(ErrnoMessage("rename failed", path));
+  }
+
+  // fsync the containing directory so the rename survives power loss.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best-effort: some filesystems reject directory fsync
+    ::close(dir_fd);
+  }
+  return Status::Ok();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::Internal(ErrnoMessage("cannot create directory", path));
+}
+
+}  // namespace vsan

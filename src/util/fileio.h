@@ -1,0 +1,33 @@
+#ifndef VSAN_UTIL_FILEIO_H_
+#define VSAN_UTIL_FILEIO_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace vsan {
+
+// Small POSIX file helpers for the crash-safe checkpoint path.  The
+// std::fstream API cannot express durability (no fsync), so the atomic
+// writer goes through raw descriptors.
+
+// True when `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+// Reads the whole file into `*out`.  kNotFound when the file does not
+// exist, kInternal for any other I/O failure.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+// Crash-safe whole-file write: writes `bytes` to `path + ".tmp"`, fsyncs
+// the temp file, renames it over `path`, then fsyncs the directory so the
+// rename itself is durable.  Readers therefore see either the old complete
+// file or the new complete file, never a torn write.
+Status AtomicWriteFile(const std::string& path, const std::string& bytes);
+
+// mkdir -p for a single level: creates `path` if missing (parent must
+// exist).  OK when the directory already exists.
+Status EnsureDirectory(const std::string& path);
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_FILEIO_H_

@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -93,6 +94,25 @@ int64_t Rng::Categorical(const std::vector<double>& weights) {
     if (r < 0.0) return static_cast<int64_t>(i);
   }
   return static_cast<int64_t>(weights.size()) - 1;
+}
+
+void Rng::SaveState(std::string* out) const {
+  out->append(reinterpret_cast<const char*>(state_), sizeof(state_));
+  const char flag = has_cached_normal_ ? 1 : 0;
+  out->push_back(flag);
+  out->append(reinterpret_cast<const char*>(&cached_normal_),
+              sizeof(cached_normal_));
+}
+
+Status Rng::RestoreState(const char* data, size_t len) {
+  if (len != kStateBytes) {
+    return Status::InvalidArgument("rng state: wrong size");
+  }
+  std::memcpy(state_, data, sizeof(state_));
+  has_cached_normal_ = data[sizeof(state_)] != 0;
+  std::memcpy(&cached_normal_, data + sizeof(state_) + 1,
+              sizeof(cached_normal_));
+  return Status::Ok();
 }
 
 uint64_t MixSeed(uint64_t seed, uint64_t value) {

@@ -2,7 +2,10 @@
 #define VSAN_UTIL_RNG_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "util/status.h"
 
 namespace vsan {
 
@@ -53,6 +56,17 @@ class Rng {
 
   // `k` distinct values sampled uniformly from [0, n) (k <= n).
   std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  // Serialized size of one stream: 4 state words + the Box-Muller cache
+  // (flag + deviate).  Fixed so checkpoint readers can bounds-check.
+  static constexpr size_t kStateBytes = 4 * sizeof(uint64_t) + 1 + sizeof(double);
+
+  // Appends the exact stream position (including the cached Box-Muller
+  // deviate) to `*out`; RestoreState resumes the stream bit-for-bit.  Used
+  // by the training checkpoint so a resumed run draws the same dropout
+  // masks, latent noise, and negative samples an uninterrupted run would.
+  void SaveState(std::string* out) const;
+  Status RestoreState(const char* data, size_t len);
 
  private:
   uint64_t state_[4];

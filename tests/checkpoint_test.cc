@@ -1,0 +1,471 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/batcher.h"
+#include "data/synthetic.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "optim/adam.h"
+#include "util/early_stopping.h"
+#include "util/fileio.h"
+#include "util/rng.h"
+
+namespace vsan {
+namespace {
+
+struct TwoLayer : nn::Module {
+  explicit TwoLayer(Rng* rng) : a(4, 6, rng), b(6, 2, rng) {
+    RegisterSubmodule(&a);
+    RegisterSubmodule(&b);
+  }
+  nn::Linear a;
+  nn::Linear b;
+};
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Deterministic fake gradients so optimizer steps are reproducible across
+// the save/load boundary.
+void ApplyFakeGrads(const nn::Module& module, uint64_t seed) {
+  Rng rng(seed);
+  for (const Variable& p : module.Parameters()) {
+    autograd::AccumulateGrad(p.node().get(),
+                             Tensor::RandomNormal(p.value().shape(), &rng,
+                                                  /*stddev=*/0.1f));
+  }
+}
+
+std::vector<std::string> ParamBytes(const nn::Module& module) {
+  std::vector<std::string> out;
+  for (const Variable& p : module.Parameters()) {
+    const Tensor& t = p.value();
+    out.emplace_back(reinterpret_cast<const char*>(t.data()),
+                     sizeof(float) * t.numel());
+  }
+  return out;
+}
+
+nn::TrainerState MakeTrainerState() {
+  nn::TrainerState trainer;
+  trainer.epochs_completed = 3;
+  trainer.global_step = 77;
+  Rng r1(11), r2(22);
+  r1.Normal();  // populate the Box-Muller cache so it must round-trip
+  trainer.rng_states.emplace_back();
+  r1.SaveState(&trainer.rng_states.back());
+  trainer.rng_states.emplace_back();
+  r2.SaveState(&trainer.rng_states.back());
+  trainer.data_state = std::string("opaque-batcher-bytes\0with-nul", 29);
+  EarlyStopper stopper(/*patience=*/3);
+  stopper.Update(0.5);
+  stopper.Update(0.4);
+  stopper.SaveState(&trainer.early_stopping_state);
+  return trainer;
+}
+
+// --- Component state round-trips --------------------------------------
+
+TEST(RngStateTest, RoundTripResumesStreamExactly) {
+  Rng src(42);
+  for (int i = 0; i < 7; ++i) src.Next();
+  src.Normal();  // leaves a cached second deviate
+  std::string blob;
+  src.SaveState(&blob);
+  EXPECT_EQ(blob.size(), Rng::kStateBytes);
+
+  Rng dst(999);  // different seed, must be overwritten
+  ASSERT_TRUE(dst.RestoreState(blob.data(), blob.size()).ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(src.Next(), dst.Next());
+    EXPECT_EQ(src.Normal(), dst.Normal());
+  }
+}
+
+TEST(RngStateTest, RejectsWrongSize) {
+  Rng rng(1);
+  std::string blob;
+  rng.SaveState(&blob);
+  EXPECT_FALSE(rng.RestoreState(blob.data(), blob.size() - 1).ok());
+  EXPECT_FALSE(rng.RestoreState(blob.data(), 0).ok());
+}
+
+TEST(EarlyStopperStateTest, RoundTripKeepsPatienceCountdown) {
+  EarlyStopper src(/*patience=*/2, /*min_delta=*/0.01);
+  src.Update(0.30);
+  src.Update(0.25);  // one bad round
+  std::string blob;
+  src.SaveState(&blob);
+
+  EarlyStopper dst(/*patience=*/2, /*min_delta=*/0.01);
+  ASSERT_TRUE(dst.RestoreState(blob.data(), blob.size()).ok());
+  EXPECT_EQ(dst.best(), src.best());
+  EXPECT_EQ(dst.rounds(), src.rounds());
+  EXPECT_EQ(dst.best_round(), src.best_round());
+  // Second consecutive bad round trips the stopper in both.
+  EXPECT_TRUE(src.Update(0.24));
+  EXPECT_TRUE(dst.Update(0.24));
+}
+
+TEST(EarlyStopperStateTest, RejectsMismatchedConfiguration) {
+  EarlyStopper src(/*patience=*/3);
+  src.Update(0.5);
+  std::string blob;
+  src.SaveState(&blob);
+  EarlyStopper other_patience(/*patience=*/2);
+  EXPECT_FALSE(other_patience.RestoreState(blob.data(), blob.size()).ok());
+  EarlyStopper other_delta(/*patience=*/3, /*min_delta=*/0.1);
+  EXPECT_FALSE(other_delta.RestoreState(blob.data(), blob.size()).ok());
+  EarlyStopper ok(/*patience=*/3);
+  EXPECT_FALSE(ok.RestoreState(blob.data(), blob.size() - 3).ok());
+}
+
+std::vector<data::TrainBatch> DrainEpochs(data::SequenceBatcher* batcher,
+                                          int epochs) {
+  std::vector<data::TrainBatch> out;
+  for (int e = 0; e < epochs; ++e) {
+    batcher->NewEpoch();
+    data::TrainBatch batch;
+    while (batcher->NextBatch(&batch)) out.push_back(batch);
+  }
+  return out;
+}
+
+TEST(BatcherStateTest, RoundTripResumesBatchOrderAcrossEpochs) {
+  data::SyntheticConfig dc;
+  dc.num_users = 50;
+  dc.num_items = 30;
+  const data::SequenceDataset ds = data::GenerateSynthetic(dc);
+  data::SequenceBatcher::Options opts;
+  opts.max_len = 8;
+  opts.batch_size = 16;
+
+  data::SequenceBatcher src(&ds, opts);
+  src.NewEpoch();
+  data::TrainBatch scratch;
+  ASSERT_TRUE(src.NextBatch(&scratch));  // mid-epoch snapshot
+  std::string blob;
+  src.SaveState(&blob);
+
+  data::SequenceBatcher dst(&ds, opts);
+  ASSERT_TRUE(dst.RestoreState(blob).ok());
+
+  // Remainder of the current epoch matches batch for batch...
+  data::TrainBatch a, b;
+  while (true) {
+    const bool more_src = src.NextBatch(&a);
+    const bool more_dst = dst.NextBatch(&b);
+    ASSERT_EQ(more_src, more_dst);
+    if (!more_src) break;
+    EXPECT_EQ(a.inputs, b.inputs);
+    EXPECT_EQ(a.next_targets, b.next_targets);
+  }
+  // ...and so do the next two reshuffled epochs (the restored RNG and
+  // permutation reproduce the uninterrupted shuffle sequence).
+  const auto ea = DrainEpochs(&src, 2);
+  const auto eb = DrainEpochs(&dst, 2);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].inputs, eb[i].inputs);
+    EXPECT_EQ(ea[i].next_targets, eb[i].next_targets);
+  }
+}
+
+TEST(BatcherStateTest, RejectsForeignOrTruncatedState) {
+  data::SyntheticConfig dc;
+  dc.num_users = 50;
+  dc.num_items = 30;
+  const data::SequenceDataset ds = data::GenerateSynthetic(dc);
+  data::SyntheticConfig dc2 = dc;
+  dc2.num_users = 20;
+  const data::SequenceDataset other = data::GenerateSynthetic(dc2);
+  data::SequenceBatcher::Options opts;
+  opts.max_len = 8;
+
+  data::SequenceBatcher src(&ds, opts);
+  std::string blob;
+  src.SaveState(&blob);
+
+  data::SequenceBatcher wrong_dataset(&other, opts);
+  EXPECT_FALSE(wrong_dataset.RestoreState(blob).ok());
+  data::SequenceBatcher truncated(&ds, opts);
+  EXPECT_FALSE(truncated.RestoreState(blob.substr(0, blob.size() / 2)).ok());
+  EXPECT_FALSE(truncated.RestoreState("").ok());
+}
+
+// --- Full checkpoint round-trips --------------------------------------
+
+TEST(CheckpointTest, RoundTripWithOptimizerResumesExactly) {
+  Rng rng(3);
+  TwoLayer src(&rng);
+  optim::Adam::Options adam_opts;
+  optim::Adam src_opt(src.Parameters(), adam_opts);
+  for (uint64_t s = 0; s < 3; ++s) {
+    ApplyFakeGrads(src, 100 + s);
+    src_opt.Step();
+    src_opt.ZeroGrad();
+  }
+
+  const nn::TrainerState trainer = MakeTrainerState();
+  const std::string path = TempPath("ckpt_roundtrip.ckpt");
+  const int64_t saves_before =
+      obs::MetricsRegistry::Global().GetCounter("ckpt.saves")->value();
+  ASSERT_TRUE(nn::SaveCheckpoint(path, src, &src_opt, trainer).ok());
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().GetCounter("ckpt.saves")->value(),
+      saves_before + 1);
+
+  Rng rng2(777);  // different init, must be overwritten
+  TwoLayer dst(&rng2);
+  optim::Adam dst_opt(dst.Parameters(), adam_opts);
+  nn::TrainerState restored;
+  ASSERT_TRUE(nn::LoadCheckpoint(path, &dst, &dst_opt, &restored).ok());
+
+  EXPECT_EQ(ParamBytes(src), ParamBytes(dst));
+  EXPECT_EQ(restored.epochs_completed, trainer.epochs_completed);
+  EXPECT_EQ(restored.global_step, trainer.global_step);
+  EXPECT_EQ(restored.rng_states, trainer.rng_states);
+  EXPECT_EQ(restored.data_state, trainer.data_state);
+  EXPECT_EQ(restored.early_stopping_state, trainer.early_stopping_state);
+  EXPECT_EQ(dst_opt.step_count(), src_opt.step_count());
+
+  // Identical further steps stay bitwise identical — proof the moment
+  // buffers and bias-correction counter round-tripped, not just weights.
+  for (uint64_t s = 0; s < 3; ++s) {
+    ApplyFakeGrads(src, 200 + s);
+    ApplyFakeGrads(dst, 200 + s);
+    src_opt.Step();
+    dst_opt.Step();
+    src_opt.ZeroGrad();
+    dst_opt.ZeroGrad();
+    EXPECT_EQ(ParamBytes(src), ParamBytes(dst));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RoundTripWithoutOptimizer) {
+  Rng rng(4);
+  TwoLayer src(&rng);
+  const nn::TrainerState trainer = MakeTrainerState();
+  const std::string path = TempPath("ckpt_noopt.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(path, src, nullptr, trainer).ok());
+
+  Rng rng2(5);
+  TwoLayer dst(&rng2);
+  nn::TrainerState restored;
+  ASSERT_TRUE(nn::LoadCheckpoint(path, &dst, nullptr, &restored).ok());
+  EXPECT_EQ(ParamBytes(src), ParamBytes(dst));
+  EXPECT_EQ(restored.global_step, trainer.global_step);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, OptimizerPresenceMismatchIsRejected) {
+  Rng rng(6);
+  TwoLayer m(&rng);
+  optim::Adam opt(m.Parameters(), {});
+  nn::TrainerState trainer;
+
+  const std::string with_opt = TempPath("ckpt_with_opt.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(with_opt, m, &opt, trainer).ok());
+  nn::TrainerState out;
+  Status status = nn::LoadCheckpoint(with_opt, &m, nullptr, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("optimizer"), std::string::npos);
+
+  const std::string without_opt = TempPath("ckpt_without_opt.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(without_opt, m, nullptr, trainer).ok());
+  status = nn::LoadCheckpoint(without_opt, &m, &opt, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("optimizer"), std::string::npos);
+
+  std::remove(with_opt.c_str());
+  std::remove(without_opt.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  Rng rng(7);
+  TwoLayer m(&rng);
+  nn::TrainerState out;
+  Status status =
+      nn::LoadCheckpoint(TempPath("no_such.ckpt"), &m, nullptr, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, WrongArchitectureIsRejectedDescriptively) {
+  Rng rng(8);
+  TwoLayer src(&rng);
+  const std::string path = TempPath("ckpt_arch.ckpt");
+  ASSERT_TRUE(nn::SaveCheckpoint(path, src, nullptr, MakeTrainerState()).ok());
+  nn::Linear other(3, 3, &rng);
+  nn::TrainerState out;
+  Status status = nn::LoadCheckpoint(path, &other, nullptr, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("mismatch"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- Corruption: every byte flip and every truncation must be rejected
+// with a clean Status, never a crash (this suite also runs under ASan and
+// UBSan, where any out-of-bounds or misaligned parse would trap).
+
+std::string WriteReferenceCheckpoint(const std::string& path) {
+  Rng rng(9);
+  nn::Linear m(2, 3, &rng);  // small module keeps the sweep fast
+  optim::Adam opt(m.Parameters(), {});
+  ApplyFakeGrads(m, 1);
+  opt.Step();
+  opt.ZeroGrad();
+  VSAN_CHECK(nn::SaveCheckpoint(path, m, &opt, MakeTrainerState()).ok());
+  std::string bytes;
+  VSAN_CHECK(ReadFileToString(path, &bytes).ok());
+  return bytes;
+}
+
+Status TryLoad(const std::string& path) {
+  Rng rng(9);
+  nn::Linear m(2, 3, &rng);
+  optim::Adam opt(m.Parameters(), {});
+  nn::TrainerState out;
+  return nn::LoadCheckpoint(path, &m, &opt, &out);
+}
+
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  VSAN_CHECK(out.good());
+}
+
+TEST(CheckpointCorruptionTest, EveryByteFlipIsRejected) {
+  const std::string ref_path = TempPath("ckpt_flip_ref.ckpt");
+  const std::string bytes = WriteReferenceCheckpoint(ref_path);
+  ASSERT_TRUE(TryLoad(ref_path).ok());  // sanity: pristine file loads
+
+  const std::string mut_path = TempPath("ckpt_flip_mut.ckpt");
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    WriteRaw(mut_path, mutated);
+    Status status = TryLoad(mut_path);
+    EXPECT_FALSE(status.ok()) << "byte " << i << " flip was accepted";
+    EXPECT_FALSE(status.message().empty()) << "byte " << i;
+  }
+  std::remove(ref_path.c_str());
+  std::remove(mut_path.c_str());
+}
+
+TEST(CheckpointCorruptionTest, EveryTruncationIsRejected) {
+  const std::string ref_path = TempPath("ckpt_trunc_ref.ckpt");
+  const std::string bytes = WriteReferenceCheckpoint(ref_path);
+  const std::string mut_path = TempPath("ckpt_trunc_mut.ckpt");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteRaw(mut_path, bytes.substr(0, len));
+    Status status = TryLoad(mut_path);
+    EXPECT_FALSE(status.ok()) << "prefix of " << len << " bytes accepted";
+  }
+  std::remove(ref_path.c_str());
+  std::remove(mut_path.c_str());
+}
+
+TEST(CheckpointCorruptionTest, TrailingGarbageIsRejected) {
+  const std::string ref_path = TempPath("ckpt_tail_ref.ckpt");
+  const std::string bytes = WriteReferenceCheckpoint(ref_path);
+  const std::string mut_path = TempPath("ckpt_tail_mut.ckpt");
+  WriteRaw(mut_path, bytes + "garbage");
+  EXPECT_FALSE(TryLoad(mut_path).ok());
+  std::remove(ref_path.c_str());
+  std::remove(mut_path.c_str());
+}
+
+TEST(CheckpointCorruptionTest, ChecksumFailureIsDescriptive) {
+  const std::string ref_path = TempPath("ckpt_crc_ref.ckpt");
+  const std::string bytes = WriteReferenceCheckpoint(ref_path);
+  // Flip one payload byte: the outer CRC must name the problem.
+  std::string mutated = bytes;
+  mutated[20] = static_cast<char>(mutated[20] ^ 0x01);
+  const std::string mut_path = TempPath("ckpt_crc_mut.ckpt");
+  WriteRaw(mut_path, mutated);
+  Status status = TryLoad(mut_path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("checksum"), std::string::npos);
+  std::remove(ref_path.c_str());
+  std::remove(mut_path.c_str());
+}
+
+// --- Parameter blob (VSANPAR2) retrofit -------------------------------
+
+TEST(ParamBlobTest, LegacyV1BlobStillLoads) {
+  Rng rng(10);
+  TwoLayer src(&rng);
+  // Hand-write the pre-CRC V1 layout: magic, i64 count, then per parameter
+  // i32 ndim + i64 dims + raw float data, no trailing checksum.
+  std::ostringstream out;
+  out.write("VSANPAR1", 8);
+  const auto params = src.Parameters();
+  const int64_t count = static_cast<int64_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Variable& p : params) {
+    const Tensor& t = p.value();
+    const int32_t ndim = t.ndim();
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int d = 0; d < ndim; ++d) {
+      const int64_t dim = t.dim(d);
+      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  }
+
+  Rng rng2(11);
+  TwoLayer dst(&rng2);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(nn::LoadParameters(&dst, in).ok());
+  EXPECT_EQ(ParamBytes(src), ParamBytes(dst));
+}
+
+TEST(ParamBlobTest, V2CorruptionIsCaughtByCrc) {
+  Rng rng(12);
+  TwoLayer m(&rng);
+  std::ostringstream out;
+  ASSERT_TRUE(nn::SaveParameters(m, out).ok());
+  std::string bytes = out.str();
+  // Flip a float payload byte: shapes stay valid, only the CRC notices —
+  // exactly the corruption class V1 silently accepted.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  std::istringstream in(bytes);
+  Status status = nn::LoadParameters(&m, in);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("checksum"), std::string::npos);
+}
+
+TEST(ParamBlobTest, FileLoadDistinguishesMissingFromCorrupt) {
+  Rng rng(13);
+  TwoLayer m(&rng);
+  Status missing = nn::LoadParametersFromFile(&m, TempPath("absent.params"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+
+  const std::string path = TempPath("corrupt.params");
+  WriteRaw(path, "VSANPAR2 but then nonsense");
+  Status corrupt = nn::LoadParametersFromFile(&m, path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vsan

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace vsan {
 namespace data {
 namespace {
@@ -28,7 +30,8 @@ TEST(ParseMovieLensTest, RejectsWrongFieldCount) {
   std::istringstream in("1::1193::5\n");
   auto result = ParseMovieLensRatings(in);
   ASSERT_FALSE(result.ok());
-  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+  // Error context is "<source>:<line>: ...".
+  EXPECT_NE(result.status().message().find("<stream>:1:"), std::string::npos);
 }
 
 TEST(ParseMovieLensTest, RejectsBadRating) {
@@ -36,9 +39,59 @@ TEST(ParseMovieLensTest, RejectsBadRating) {
   EXPECT_FALSE(ParseMovieLensRatings(in).ok());
 }
 
+TEST(ParseMovieLensTest, RejectsNonFiniteRating) {
+  std::istringstream in("1::2::nan::978300760\n");
+  auto result = ParseMovieLensRatings(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::istringstream inf_in("1::2::inf::978300760\n");
+  EXPECT_FALSE(ParseMovieLensRatings(inf_in).ok());
+}
+
 TEST(ParseMovieLensTest, RejectsBadTimestamp) {
   std::istringstream in("1::2::4::notatime\n");
   EXPECT_FALSE(ParseMovieLensRatings(in).ok());
+}
+
+TEST(ParseMovieLensTest, RejectsNegativeTimestamp) {
+  std::istringstream in("1::2::4::-5\n");
+  auto result = ParseMovieLensRatings(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("timestamp"), std::string::npos);
+}
+
+TEST(ParseMovieLensTest, RejectsNonNumericIds) {
+  std::istringstream in("alice::2::4::10\n");
+  auto result = ParseMovieLensRatings(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("non-numeric user id"),
+            std::string::npos);
+  std::istringstream in2("1::widget::4::10\n");
+  auto result2 = ParseMovieLensRatings(in2);
+  ASSERT_FALSE(result2.ok());
+  EXPECT_NE(result2.status().message().find("non-numeric item id"),
+            std::string::npos);
+}
+
+TEST(ParseMovieLensTest, BadLineBumpsCounter) {
+  obs::Counter* bad_lines =
+      obs::MetricsRegistry::Global().GetCounter("data.bad_lines");
+  const int64_t before = bad_lines->value();
+  std::istringstream in("1::2::4::10\ngarbage line\n");
+  auto result = ParseMovieLensRatings(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("<stream>:2:"), std::string::npos);
+  EXPECT_EQ(bad_lines->value(), before + 1);
+}
+
+TEST(ParseAmazonCsvTest, AcceptsFreeFormIdsButValidatesNumbers) {
+  // Amazon ids are alphanumeric strings — allowed; the rating and timestamp
+  // columns are still validated.
+  std::istringstream ok_in("A1XYZ,B00ABC,5.0,1367193600\n");
+  EXPECT_TRUE(ParseAmazonRatingsCsv(ok_in).ok());
+  std::istringstream bad_in("A1XYZ,B00ABC,5.0,-3\n");
+  EXPECT_FALSE(ParseAmazonRatingsCsv(bad_in).ok());
 }
 
 TEST(ParseMovieLensTest, SkipsEmptyLines) {
@@ -176,6 +229,24 @@ TEST(LoadRatingsFileTest, UnknownFormatRejected) {
   }
   auto result = LoadRatingsFile(path, "sqlite", {});
   EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(LoadRatingsFileTest, CorruptFixtureNamesFileAndLine) {
+  // A ratings file with one torn line in the middle: the error must name
+  // the file and line so the bad record is attributable.
+  const std::string path = ::testing::TempDir() + "/vsan_corrupt.dat";
+  {
+    std::ofstream out(path);
+    out << "1::2::5::10\n"
+        << "1::3::5\n"  // missing timestamp field
+        << "2::2::5::30\n";
+  }
+  auto result = LoadRatingsFile(path, "movielens", {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find(path + ":2:"), std::string::npos)
+      << result.status().ToString();
   std::remove(path.c_str());
 }
 

@@ -45,6 +45,8 @@ int Usage() {
       "             [--h1=1] [--h2=1] [--k=1] [--dropout=0.2] [--lr=0.001]\n"
       "             [--batch=64] [--seed=7] [--heldout=50] [--save=path]\n"
       "             [--telemetry_out=train.jsonl] [--trace_out=trace.json]\n"
+      "             [--checkpoint_dir=dir] [--checkpoint_every=1] [--resume]\n"
+      "             [--on_divergence=skip|abort|rollback]\n"
       "  evaluate   --load=ckpt --dataset=... [--heldout=50] [--seed=7]\n"
       "  recommend  --load=ckpt --history=1,2,3 [--topn=10]\n"
       "  inspect    --load=ckpt --history=1,2,3\n";
@@ -166,6 +168,23 @@ int Train(const FlagParser& flags) {
   train_opts.batch_size = flags.GetInt("batch", 64);
   train_opts.learning_rate = static_cast<float>(flags.GetDouble("lr", 1e-3));
   train_opts.seed = flags.GetInt("seed", 7) + 101;
+  // Crash safety: periodic full checkpoints and resume (see nn/checkpoint.h).
+  train_opts.checkpoint_dir = flags.GetString("checkpoint_dir");
+  train_opts.checkpoint_every_n_epochs =
+      static_cast<int32_t>(flags.GetInt("checkpoint_every", 1));
+  train_opts.resume = flags.GetBool("resume", false);
+  const std::string on_divergence = flags.GetString("on_divergence", "skip");
+  if (on_divergence == "abort") {
+    train_opts.divergence_policy = DivergencePolicy::kAbort;
+  } else if (on_divergence == "rollback") {
+    train_opts.divergence_policy =
+        DivergencePolicy::kRollbackToLastCheckpoint;
+  } else if (on_divergence == "skip") {
+    train_opts.divergence_policy = DivergencePolicy::kSkipBatch;
+  } else {
+    std::cerr << "error: --on_divergence must be skip|abort|rollback\n";
+    return Usage();
+  }
   train_opts.epoch_callback = [](const EpochStats& stats) {
     std::cout << "epoch " << stats.epoch << " loss "
               << FormatDouble(stats.loss, 4) << " ("
