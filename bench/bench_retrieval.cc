@@ -1,0 +1,188 @@
+// Recall-vs-speedup curve for the fast-retrieval backends at production
+// catalog scale (ROADMAP item 2; run via tools/run_bench.sh --retrieval,
+// which lands the JSON in BENCH_retrieval.json).
+//
+// Setup: an EmbeddingMips catalog (default 10^6 items, d = 64) and a fixed
+// set of synthetic user queries.  For each backend configuration the
+// harness measures single-thread per-query latency and recall@10 against
+// the exact full-ranking oracle:
+//   * exact      — ScoreInto (blocked GEMM over the fp32 table) + TopNIndices,
+//                  the evaluator's original path; recall 1.0 by definition.
+//   * quantized  — int8 scan + streaming top-k.
+//   * ivf:nprobe — coarse quantizer at several probe widths, tracing the
+//                  recall/speed frontier; nprobe == clusters is the
+//                  oracle-equivalent end of the curve.
+//
+// Output: a JSON array on stdout, one record per configuration.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/retrieval.h"
+#include "models/embedding_mips.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace vsan {
+namespace {
+
+struct QuerySet {
+  std::vector<std::vector<int32_t>> fold_ins;
+  std::vector<std::vector<float>> queries;        // encoded vectors
+  std::vector<std::vector<int32_t>> exact_top10;  // oracle answers
+};
+
+double Recall10(const std::vector<eval::ScoredItem>& got,
+                const std::vector<int32_t>& want) {
+  int hits = 0;
+  for (const auto& g : got) {
+    for (int32_t w : want) {
+      if (g.index == w) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return want.empty() ? 1.0 : static_cast<double>(hits) / want.size();
+}
+
+void PrintRecord(bool* first, const std::string& backend, int64_t items,
+                 int64_t d, int32_t clusters, int32_t nprobe, double build_ms,
+                 double query_us, double speedup, double recall) {
+  std::printf("%s  {\"backend\": \"%s\", \"items\": %lld, \"d\": %lld, "
+              "\"clusters\": %d, \"nprobe\": %d, \"build_ms\": %.1f, "
+              "\"mean_query_us\": %.1f, \"speedup_vs_exact\": %.2f, "
+              "\"recall_at_10\": %.4f}",
+              *first ? "" : ",\n", backend.c_str(),
+              static_cast<long long>(items), static_cast<long long>(d),
+              clusters, nprobe, build_ms, query_us, speedup, recall);
+  *first = false;
+}
+
+int Run(int64_t num_items, int64_t d, int num_queries) {
+  // Single thread throughout: the headline claim is a single-core speedup,
+  // not a parallelism win.
+  ThreadPool::SetGlobalNumThreads(1);
+
+  std::fprintf(stderr, "building catalog: %lld items, d=%lld\n",
+               static_cast<long long>(num_items), static_cast<long long>(d));
+  models::EmbeddingMips::Config config;
+  config.d = d;
+  models::EmbeddingMips model(config);
+  model.FitCatalog(static_cast<int32_t>(num_items));
+  FactorizedHead head;
+  model.GetFactorizedHead(&head);
+
+  QuerySet qs;
+  Rng rng(53);
+  for (int q = 0; q < num_queries; ++q) {
+    std::vector<int32_t> fold_in;
+    for (int i = 0; i < 8; ++i) {
+      fold_in.push_back(static_cast<int32_t>(rng.UniformInt(1, num_items)));
+    }
+    qs.fold_ins.push_back(std::move(fold_in));
+    std::vector<float> query;
+    model.EncodeQueryInto(qs.fold_ins.back(), &query);
+    qs.queries.push_back(std::move(query));
+  }
+
+  // Exact oracle: full ScoreInto + TopNIndices, timed.
+  std::fprintf(stderr, "exact baseline over %d queries...\n", num_queries);
+  double exact_us = 0.0;
+  {
+    std::vector<float> scores;
+    std::vector<bool> excluded;
+    Stopwatch timer;
+    for (const auto& fold_in : qs.fold_ins) {
+      model.ScoreInto(fold_in, &scores);
+      excluded.assign(scores.size(), false);
+      excluded[0] = true;
+      qs.exact_top10.push_back(eval::TopNIndices(scores, excluded, 10));
+    }
+    exact_us = timer.ElapsedNanos() * 1e-3 / num_queries;
+  }
+
+  std::printf("[\n");
+  bool first = true;
+  PrintRecord(&first, "exact", num_items, d, 0, 0, 0.0, exact_us, 1.0, 1.0);
+
+  // Quantized scan.
+  {
+    std::fprintf(stderr, "quantized backend...\n");
+    eval::RetrievalOptions opts;
+    opts.backend = eval::RetrievalBackend::kQuantized;
+    Stopwatch build_timer;
+    const eval::RetrievalIndex index = eval::RetrievalIndex::Build(head, opts);
+    const double build_ms = build_timer.ElapsedNanos() * 1e-6;
+
+    eval::RetrievalIndex::Scratch scratch;
+    std::vector<eval::ScoredItem> got;
+    double recall_sum = 0.0;
+    Stopwatch timer;
+    for (int q = 0; q < num_queries; ++q) {
+      index.Search(qs.queries[q].data(), 10, &scratch, &got);
+      recall_sum += Recall10(got, qs.exact_top10[q]);
+    }
+    const double query_us = timer.ElapsedNanos() * 1e-3 / num_queries;
+    PrintRecord(&first, "quantized", num_items, d, 0, 0, build_ms, query_us,
+                exact_us / query_us, recall_sum / num_queries);
+  }
+
+  // IVF at several probe widths (clusters fixed).
+  {
+    eval::RetrievalOptions opts;
+    opts.backend = eval::RetrievalBackend::kIvf;
+    opts.clusters = 256;
+    opts.kmeans_iters = 2;
+    std::fprintf(stderr, "ivf build (%d clusters)...\n", opts.clusters);
+    Stopwatch build_timer;
+    eval::RetrievalIndex index = eval::RetrievalIndex::Build(head, opts);
+    const double build_ms = build_timer.ElapsedNanos() * 1e-6;
+    for (int32_t nprobe : {1, 4, 16, 64, 256}) {
+      index.set_nprobe(nprobe);
+      std::fprintf(stderr, "ivf nprobe=%d...\n", nprobe);
+      eval::RetrievalIndex::Scratch scratch;
+      std::vector<eval::ScoredItem> got;
+      double recall_sum = 0.0;
+      Stopwatch timer;
+      for (int q = 0; q < num_queries; ++q) {
+        index.Search(qs.queries[q].data(), 10, &scratch, &got);
+        recall_sum += Recall10(got, qs.exact_top10[q]);
+      }
+      const double query_us = timer.ElapsedNanos() * 1e-3 / num_queries;
+      PrintRecord(&first, "ivf", num_items, d, opts.clusters, nprobe,
+                  build_ms, query_us, exact_us / query_us,
+                  recall_sum / num_queries);
+    }
+  }
+
+  std::printf("\n]\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsan
+
+int main(int argc, char** argv) {
+  int64_t items = 1'000'000;
+  int64_t d = 64;
+  int queries = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--items=", 8) == 0) {
+      items = std::atoll(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--d=", 4) == 0) {
+      d = std::atoll(argv[i] + 4);
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      queries = std::atoi(argv[i] + 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--items=N] [--d=N] [--queries=N]\n", argv[0]);
+      return 2;
+    }
+  }
+  return vsan::Run(items, d, queries);
+}

@@ -33,6 +33,13 @@ cmake --build build-ubsan
 ctest --test-dir build-ubsan -L ubsan 2>&1 | tee test_output_ubsan.txt
 ctest --test-dir build -L fault 2>&1 | tee test_output_fault.txt
 
+# Fast-retrieval suite by label: streaming top-k vs partial_sort, int8
+# error bounds, IVF oracle equivalence, million-item RSS audit.  (Also in
+# the full run above, and its tests carry asan/tsan labels so the
+# sanitizer sweeps pick them up; the explicit selector keeps the layer
+# runnable in isolation.)
+ctest --test-dir build -L retrieval 2>&1 | tee test_output_retrieval.txt
+
 (
   cd build/bench
   for b in ./bench_*; do
@@ -41,5 +48,6 @@ ctest --test-dir build -L fault 2>&1 | tee test_output_fault.txt
   done
 ) 2>&1 | tee bench_output.txt
 
-echo "done: test_output.txt, test_output_{asan,tsan,ubsan,fault}.txt," \
+echo "done: test_output.txt," \
+     "test_output_{asan,tsan,ubsan,fault,retrieval}.txt," \
      "bench_output.txt, build/bench/*.csv"

@@ -388,6 +388,39 @@ void Vsan::ScoreInto(const std::vector<int32_t>& fold_in,
   std::copy(src, src + num_items_ + 1, scores->data());
 }
 
+bool Vsan::GetFactorizedHead(FactorizedHead* head) const {
+  VSAN_CHECK(net_ != nullptr) << "Fit() must be called before GetFactorizedHead()";
+  head->dim = config_.d;
+  head->num_rows = num_items_ + 1;
+  if (config_.tie_output) {
+    head->weights = net_->item_emb.table().value().data();
+    head->items_are_rows = true;
+    head->bias = net_->output_bias.value().data();
+  } else {
+    head->weights = net_->prediction.weight_value().data();
+    head->items_are_rows = false;
+    head->bias = net_->prediction.has_bias()
+                     ? net_->prediction.bias_value().data()
+                     : nullptr;
+  }
+  return true;
+}
+
+bool Vsan::EncodeQueryInto(const std::vector<int32_t>& fold_in,
+                           std::vector<float>* query) const {
+  VSAN_CHECK(net_ != nullptr) << "Fit() must be called before EncodeQueryInto()";
+  const std::vector<int32_t> padded =
+      data::SequenceBatcher::PadSequence(fold_in, config_.max_len);
+  Net::Outputs out = net_->Forward(padded, /*batch=*/1, &rng_);
+  Variable last = ops::Reshape(
+      ops::Slice(out.hidden, /*axis=*/1, config_.max_len - 1, /*len=*/1),
+      {1, config_.d});
+  query->resize(static_cast<size_t>(config_.d));
+  const float* src = last.value().data();
+  std::copy(src, src + config_.d, query->data());
+  return true;
+}
+
 std::vector<float> Vsan::ScoreWithSampledLatent(
     const std::vector<int32_t>& fold_in) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";

@@ -84,6 +84,14 @@ class Vsan : public SequentialRecommender {
   void ScoreInto(const std::vector<int32_t>& fold_in,
                  std::vector<float>* scores) const override;
 
+  // Fast-retrieval seam.  Tied mode factorizes as (item_emb row, output
+  // bias); untied mode as (prediction weight column, prediction bias).  The
+  // query is the final position of the generative stack's hidden states —
+  // exactly what Predict() projects in ScoreInto.
+  bool GetFactorizedHead(FactorizedHead* head) const override;
+  bool EncodeQueryInto(const std::vector<int32_t>& fold_in,
+                       std::vector<float>* query) const override;
+
   // Posterior of the final position for an unseen user's history; exposes
   // the uncertainty the latent layer captured (Fig. 1's dashed ellipse).
   PosteriorStats InspectPosterior(const std::vector<int32_t>& fold_in) const;

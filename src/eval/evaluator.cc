@@ -1,6 +1,7 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "eval/metrics.h"
@@ -64,6 +65,37 @@ EvalResult EvaluateRanking(const SequentialRecommender& model,
     result.ndcg[n] = 0.0;
   }
 
+  // Resolve the retrieval backend.  The fast backends need full ranking and
+  // a factorized head; when either is missing we degrade to exact (the
+  // answer stays correct, only slower) instead of failing the evaluation.
+  bool fast = options.retrieval.backend != RetrievalBackend::kExact;
+  FactorizedHead head;
+  if (fast && options.num_sampled_negatives > 0) {
+    VSAN_LOG_WARNING << "retrieval backend "
+                     << RetrievalBackendName(options.retrieval.backend)
+                     << " requires full ranking; falling back to exact "
+                        "(num_sampled_negatives > 0)";
+    fast = false;
+  }
+  if (fast && !model.GetFactorizedHead(&head)) {
+    VSAN_LOG_WARNING << "model " << model.name()
+                     << " exposes no factorized head; falling back to the "
+                        "exact backend";
+    fast = false;
+  }
+  const RetrievalIndex* index = nullptr;
+  std::optional<RetrievalIndex> local_index;
+  if (fast) {
+    if (options.retrieval_index != nullptr) {
+      index = options.retrieval_index;
+      VSAN_CHECK_EQ(index->dim(), head.dim);
+      VSAN_CHECK_EQ(index->num_rows(), head.num_rows);
+    } else {
+      local_index = RetrievalIndex::Build(head, options.retrieval);
+      index = &*local_index;
+    }
+  }
+
   // Users are scored in parallel (Score() is const and eval-mode forwards
   // never touch model RNG state); per-user metrics land in a slot indexed
   // by user position and are merged serially in user order below, so the
@@ -71,6 +103,67 @@ EvalResult EvaluateRanking(const SequentialRecommender& model,
   const int64_t num_users = static_cast<int64_t>(users.size());
   const size_t num_cutoffs = options.cutoffs.size();
   std::vector<std::vector<TopNMetrics>> per_user(num_users);
+  if (fast) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    obs::Counter* queries = registry.GetCounter(kMetricRetrievalQueries);
+    obs::Counter* rows_scanned =
+        registry.GetCounter(kMetricRetrievalRowsScanned);
+    obs::Counter* clusters_probed =
+        registry.GetCounter(kMetricRetrievalClustersProbed);
+    obs::Histogram* query_hist = registry.GetHistogram(
+        kMetricRetrievalQueryUs, obs::ExponentialBuckets(1.0, 2.0, 22));
+    ParallelFor(0, num_users, 1, [&](int64_t user_begin, int64_t user_end) {
+      // Per-shard state: the query vector, search scratch, and result
+      // buffers are reused across this shard's users, so the steady state
+      // allocates nothing and needs no full score vector anywhere.
+      std::vector<float> query;
+      RetrievalIndex::Scratch scratch;
+      std::vector<ScoredItem> top;
+      std::vector<int32_t> ranked;
+      std::unordered_set<int32_t> skip;
+      for (int64_t ui = user_begin; ui < user_end; ++ui) {
+        const data::HeldOutUser& user = users[ui];
+        if (user.holdout.empty() || user.fold_in.empty()) continue;
+        Stopwatch score_timer;
+        {
+          VSAN_TRACE_SPAN("eval/retrieve_user", kEval);
+          VSAN_CHECK(model.EncodeQueryInto(user.fold_in, &query));
+          skip.clear();
+          if (options.exclude_fold_in) {
+            std::unordered_set<int32_t> holdout_set(user.holdout.begin(),
+                                                    user.holdout.end());
+            for (int32_t item : user.fold_in) {
+              if (holdout_set.count(item) == 0) skip.insert(item);
+            }
+          }
+          // Over-fetch by the number of excludable items so the top
+          // max_cutoff survivors are exactly what the exact path ranks.
+          const int32_t k =
+              max_cutoff + static_cast<int32_t>(skip.size());
+          top.clear();
+          index->Search(query.data(), k, &scratch, &top);
+        }
+        const double elapsed_us = score_timer.ElapsedNanos() * 1e-3;
+        score_hist->Observe(elapsed_us);
+        query_hist->Observe(elapsed_us);
+        queries->Increment();
+        rows_scanned->Increment(scratch.last_rows_scanned);
+        clusters_probed->Increment(scratch.last_clusters_probed);
+
+        ranked.clear();
+        for (const ScoredItem& item : top) {
+          if (skip.count(item.index) != 0) continue;
+          ranked.push_back(item.index);
+          if (static_cast<int32_t>(ranked.size()) >= max_cutoff) break;
+        }
+        std::vector<TopNMetrics>& metrics = per_user[ui];
+        metrics.reserve(num_cutoffs);
+        for (int32_t n : options.cutoffs) {
+          metrics.push_back(ComputeTopN(ranked, user.holdout, n));
+        }
+      }
+    });
+  } else {
   ParallelFor(0, num_users, 1, [&](int64_t user_begin, int64_t user_end) {
     // Hoisted per-shard buffers, reused across the users of this shard:
     // ScoreInto overwrites `scores` in place and `excluded` is re-assigned
@@ -134,6 +227,7 @@ EvalResult EvaluateRanking(const SequentialRecommender& model,
       }
     }
   });
+  }
 
   int64_t evaluated = 0;
   for (int64_t ui = 0; ui < num_users; ++ui) {

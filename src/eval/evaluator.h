@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/split.h"
+#include "eval/retrieval.h"
 #include "models/recommender.h"
 
 namespace vsan {
@@ -37,6 +38,20 @@ struct EvalOptions {
   // the candidate set per user does not depend on user ordering, thread
   // count, or the other users being evaluated.
   uint64_t negative_seed = 91;
+
+  // --- Fast retrieval (eval/retrieval.h) -------------------------------
+  // With retrieval.backend == kExact (the default) evaluation runs the
+  // original full-scoring path, byte for byte.  With kQuantized or kIvf the
+  // evaluator ranks through a RetrievalIndex instead of materializing each
+  // user's full score vector; this requires the model to expose a
+  // FactorizedHead and full ranking (num_sampled_negatives == 0) — when
+  // either precondition fails, evaluation falls back to exact with a
+  // warning rather than failing.
+  RetrievalOptions retrieval;
+  // Optional pre-built index for `model` (not owned).  When null and a fast
+  // backend is selected, EvaluateRanking builds a throwaway index; callers
+  // evaluating repeatedly should build once and pass it here.
+  const RetrievalIndex* retrieval_index = nullptr;
 };
 
 // Full-ranking evaluation under strong generalization: for each held-out

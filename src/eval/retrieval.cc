@@ -1,0 +1,443 @@
+#include "eval/retrieval.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/gemm.h"
+#include "tensor/int8_dot.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace vsan {
+namespace eval {
+namespace {
+
+// The quantized scan is sharded over fixed-size row blocks (independent of
+// the thread count), one bounded collector per block, merged in block
+// order — the recipe that keeps Search bitwise-identical at any thread
+// count (see util/thread_pool.h's determinism contract).
+constexpr int64_t kScanBlockRows = 65536;
+
+// K-means assignment runs through the blocked GEMM in row chunks so the
+// [n_items, clusters] score matrix never materializes whole.
+constexpr int64_t kAssignChunkRows = 4096;
+
+// Symmetric int8 quantization of `v[0..dim)` into `out[0..padded)` (tail
+// zero-filled): scale = max|v| / 127, q = round-to-nearest(v / scale)
+// clamped to [-127, 127].  Reconstruction scale * q is within scale / 2 of
+// v per element.  An all-zero vector gets scale 0 and all-zero codes.
+float QuantizeSymmetric(const float* v, int64_t dim, int64_t padded,
+                        int8_t* out) {
+  float max_abs = 0.0f;
+  for (int64_t j = 0; j < dim; ++j) {
+    max_abs = std::max(max_abs, std::fabs(v[j]));
+  }
+  if (max_abs == 0.0f) {
+    std::memset(out, 0, static_cast<size_t>(padded));
+    return 0.0f;
+  }
+  const float scale = max_abs / 127.0f;
+  for (int64_t j = 0; j < dim; ++j) {
+    const long q = std::lrintf(v[j] / scale);
+    out[j] = static_cast<int8_t>(std::max<long>(-127, std::min<long>(127, q)));
+  }
+  if (padded > dim) {
+    std::memset(out + dim, 0, static_cast<size_t>(padded - dim));
+  }
+  return scale;
+}
+
+}  // namespace
+
+const char* RetrievalBackendName(RetrievalBackend backend) {
+  switch (backend) {
+    case RetrievalBackend::kExact:
+      return "exact";
+    case RetrievalBackend::kQuantized:
+      return "quantized";
+    case RetrievalBackend::kIvf:
+      return "ivf";
+  }
+  return "unknown";
+}
+
+bool ParseRetrievalBackend(const std::string& name, RetrievalBackend* out) {
+  if (name == "exact") {
+    *out = RetrievalBackend::kExact;
+  } else if (name == "quantized") {
+    *out = RetrievalBackend::kQuantized;
+  } else if (name == "ivf") {
+    *out = RetrievalBackend::kIvf;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+float RetrievalIndex::ExactRowScore(const float* query, int64_t row) const {
+  // Same accumulation chain as the exact backend's logits matmul (see
+  // tensor/int8_dot.h): ascending-index FMA, bias added after — bitwise
+  // what ReferenceGemm + AddBias produce for this element.
+  float acc = head_.items_are_rows
+                  ? internal::DotFma(query, head_.weights + row * dim_, dim_)
+                  : internal::DotFmaStrided(query, head_.weights + row, dim_,
+                                            num_rows_);
+  if (head_.bias != nullptr) acc += head_.bias[row];
+  return acc;
+}
+
+float RetrievalIndex::QuantizedRowScore(const int8_t* query_q8,
+                                        float query_scale, int64_t row) const {
+  const int32_t idot = internal::DotInt8(
+      query_q8, packed_.data() + row * padded_dim_, padded_dim_);
+  float score = scales_[row] * (query_scale * static_cast<float>(idot));
+  if (!bias_.empty()) score += bias_[row];
+  return score;
+}
+
+RetrievalIndex RetrievalIndex::Build(const FactorizedHead& head,
+                                     const RetrievalOptions& opts) {
+  VSAN_TRACE_SPAN("retrieval/build_index", kEval);
+  VSAN_CHECK(opts.backend != RetrievalBackend::kExact)
+      << "the exact backend scores through the model and needs no index";
+  VSAN_CHECK(head.weights != nullptr);
+  VSAN_CHECK_GT(head.dim, 0);
+  VSAN_CHECK_GE(head.num_rows, 1);
+  Stopwatch timer;
+
+  RetrievalIndex index;
+  index.backend_ = opts.backend;
+  index.head_ = head;
+  index.dim_ = head.dim;
+  index.num_rows_ = head.num_rows;
+  index.padded_dim_ =
+      (head.dim + internal::kInt8Block - 1) / internal::kInt8Block *
+      internal::kInt8Block;
+  const int64_t n_items = index.num_rows_ - 1;
+
+  if (opts.backend == RetrievalBackend::kQuantized) {
+    index.packed_.assign(
+        static_cast<size_t>(index.num_rows_ * index.padded_dim_), 0);
+    index.scales_.assign(static_cast<size_t>(index.num_rows_), 0.0f);
+    index.row_corr_.assign(static_cast<size_t>(index.num_rows_), 0);
+    if (head.bias != nullptr) {
+      index.bias_.assign(head.bias, head.bias + index.num_rows_);
+    }
+    // Rows quantize independently, so the build parallelizes with no
+    // determinism caveats (each row's codes are a pure function of the row).
+    ParallelFor(1, index.num_rows_, 256, [&](int64_t begin, int64_t end) {
+      std::vector<float> row(static_cast<size_t>(index.dim_));
+      for (int64_t r = begin; r < end; ++r) {
+        head.CopyItem(r, row.data());
+        const int8_t* codes = index.packed_.data() + r * index.padded_dim_;
+        index.scales_[r] = QuantizeSymmetric(row.data(), index.dim_,
+                                             index.padded_dim_,
+                                             index.packed_.data() +
+                                                 r * index.padded_dim_);
+        int32_t code_sum = 0;
+        for (int64_t j = 0; j < index.dim_; ++j) code_sum += codes[j];
+        index.row_corr_[r] = 128 * code_sum;
+      }
+    });
+  } else {
+    // --- kIvf: Lloyd's k-means over the item vectors -------------------
+    int32_t clusters = opts.clusters;
+    if (clusters <= 0 && n_items > 0) {
+      clusters = static_cast<int32_t>(
+          std::ceil(std::sqrt(static_cast<double>(n_items))));
+      clusters = std::min(clusters, 4096);
+    }
+    clusters = static_cast<int32_t>(
+        std::max<int64_t>(0, std::min<int64_t>(clusters, n_items)));
+    index.nprobe_ = std::max(1, opts.nprobe);
+
+    std::vector<int32_t> assignment(static_cast<size_t>(n_items), 0);
+    if (clusters > 0) {
+      // Seeded init: a shuffled sample of distinct item vectors.
+      std::vector<int32_t> ids(static_cast<size_t>(n_items));
+      std::iota(ids.begin(), ids.end(), 1);
+      Rng rng(opts.seed);
+      rng.Shuffle(&ids);
+      index.centroids_.resize(static_cast<size_t>(clusters) * index.dim_);
+      for (int32_t c = 0; c < clusters; ++c) {
+        head.CopyItem(ids[c], index.centroids_.data() + c * index.dim_);
+      }
+
+      // Assignment: argmin_c ||x - c||^2 = argmax_c (x . c - ||c||^2 / 2),
+      // computed chunk-wise through the blocked GEMM (deterministic at any
+      // thread count), ties toward the smaller cluster index.
+      std::vector<float> half_norms(static_cast<size_t>(clusters));
+      std::vector<float> chunk(
+          static_cast<size_t>(kAssignChunkRows * index.dim_));
+      std::vector<float> scores(static_cast<size_t>(kAssignChunkRows) *
+                                clusters);
+      const auto assign_all = [&]() {
+        for (int32_t c = 0; c < clusters; ++c) {
+          const float* cv = index.centroids_.data() + c * index.dim_;
+          half_norms[c] = 0.5f * internal::DotFma(cv, cv, index.dim_);
+        }
+        for (int64_t base = 0; base < n_items; base += kAssignChunkRows) {
+          const int64_t m = std::min(kAssignChunkRows, n_items - base);
+          ParallelFor(0, m, 64, [&](int64_t begin, int64_t end) {
+            for (int64_t r = begin; r < end; ++r) {
+              head.CopyItem(1 + base + r, chunk.data() + r * index.dim_);
+            }
+          });
+          std::fill(scores.begin(), scores.begin() + m * clusters, 0.0f);
+          Gemm(chunk.data(), index.centroids_.data(), scores.data(), m,
+               clusters, index.dim_, /*trans_a=*/false, /*trans_b=*/true);
+          ParallelFor(0, m, 64, [&](int64_t begin, int64_t end) {
+            for (int64_t r = begin; r < end; ++r) {
+              const float* row = scores.data() + r * clusters;
+              int32_t best = 0;
+              float best_score = row[0] - half_norms[0];
+              for (int32_t c = 1; c < clusters; ++c) {
+                const float s = row[c] - half_norms[c];
+                if (s > best_score) {
+                  best_score = s;
+                  best = c;
+                }
+              }
+              assignment[base + r] = best;
+            }
+          });
+        }
+      };
+
+      std::vector<double> sums;
+      std::vector<int64_t> counts;
+      std::vector<float> row(static_cast<size_t>(index.dim_));
+      for (int32_t it = 0; it < std::max(0, opts.kmeans_iters); ++it) {
+        assign_all();
+        // Centroid update, serial in item order: deterministic regardless
+        // of how the assignment pass was sharded.
+        sums.assign(static_cast<size_t>(clusters) * index.dim_, 0.0);
+        counts.assign(static_cast<size_t>(clusters), 0);
+        for (int64_t i = 0; i < n_items; ++i) {
+          head.CopyItem(1 + i, row.data());
+          double* dst = sums.data() + assignment[i] * index.dim_;
+          for (int64_t j = 0; j < index.dim_; ++j) dst[j] += row[j];
+          ++counts[assignment[i]];
+        }
+        for (int32_t c = 0; c < clusters; ++c) {
+          if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+          float* dst = index.centroids_.data() + c * index.dim_;
+          const double* src = sums.data() + c * index.dim_;
+          for (int64_t j = 0; j < index.dim_; ++j) {
+            dst[j] = static_cast<float>(src[j] / counts[c]);
+          }
+        }
+      }
+      assign_all();  // final assignment against the settled centroids
+    }
+
+    // Inverted lists, items ascending within each cluster (in-order fill).
+    index.cluster_offsets_.assign(static_cast<size_t>(clusters) + 1, 0);
+    for (int64_t i = 0; i < n_items; ++i) {
+      ++index.cluster_offsets_[assignment[i] + 1];
+    }
+    for (size_t c = 1; c < index.cluster_offsets_.size(); ++c) {
+      index.cluster_offsets_[c] += index.cluster_offsets_[c - 1];
+    }
+    index.cluster_items_.resize(static_cast<size_t>(n_items));
+    std::vector<int64_t> fill(index.cluster_offsets_.begin(),
+                              index.cluster_offsets_.end() - 1);
+    for (int64_t i = 0; i < n_items; ++i) {
+      index.cluster_items_[fill[assignment[i]]++] =
+          static_cast<int32_t>(1 + i);
+    }
+  }
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter(kMetricRetrievalIndexBuilds)->Increment();
+  metrics.GetGauge(kMetricRetrievalIndexBytes)
+      ->Set(static_cast<double>(index.MemoryBytes()));
+  metrics.GetGauge(kMetricRetrievalIndexBuildMs)
+      ->Set(timer.ElapsedNanos() * 1e-6);
+  return index;
+}
+
+void RetrievalIndex::SearchQuantized(const float* query, int32_t k,
+                                     Scratch* scratch,
+                                     std::vector<ScoredItem>* out) const {
+  scratch->query_q8.resize(static_cast<size_t>(padded_dim_));
+  const float query_scale =
+      QuantizeSymmetric(query, dim_, padded_dim_, scratch->query_q8.data());
+  const int8_t* q8 = scratch->query_q8.data();
+  // Biased copy for the unsigned scan kernel.  Padded query lanes are
+  // 0 + 128 against padded row codes of 0, so the tail contributes nothing
+  // to dot(u, b) or to the row-sum correction.
+  scratch->query_u8.resize(static_cast<size_t>(padded_dim_));
+  for (int64_t j = 0; j < padded_dim_; ++j) {
+    scratch->query_u8[j] =
+        static_cast<uint8_t>(static_cast<int32_t>(q8[j]) + 128);
+  }
+  const uint8_t* qu = scratch->query_u8.data();
+
+  const int64_t rows = num_rows_ - 1;
+  scratch->last_rows_scanned = rows;
+  scratch->last_clusters_probed = 0;
+  if (rows <= 0 || k <= 0) return;
+
+  const int64_t num_blocks = (rows + kScanBlockRows - 1) / kScanBlockRows;
+  if (static_cast<int64_t>(scratch->block_collectors.size()) < num_blocks) {
+    scratch->block_collectors.resize(static_cast<size_t>(num_blocks));
+  }
+  ParallelFor(0, num_blocks, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t b = begin; b < end; ++b) {
+      TopKCollector& collector = scratch->block_collectors[b];
+      collector.Reset(k);
+      const int64_t row_begin = 1 + b * kScanBlockRows;
+      const int64_t row_end = std::min(row_begin + kScanBlockRows, num_rows_);
+      // Strips of 32 rows: integer dots through the biased-unsigned pair
+      // kernel (tensor/int8_dot.h), then one elementwise dequantize pass
+      // the vectorizer can chew on, then the heap offers.  The float ops
+      // per element are exactly QuantizedRowScore's (scale * (qs * dot),
+      // bias added after), so every score is bit-identical to the
+      // single-row path no matter how the strip is carved up.
+      constexpr int64_t kStrip = 32;
+      int32_t dots[kStrip];
+      float strip_scores[kStrip];
+      for (int64_t base = row_begin; base < row_end; base += kStrip) {
+        const int64_t m = std::min(kStrip, row_end - base);
+        int64_t i = 0;
+        for (; i + 1 < m; i += 2) {
+          internal::DotInt8PairU(qu, packed_.data() + (base + i) * padded_dim_,
+                                 packed_.data() + (base + i + 1) * padded_dim_,
+                                 padded_dim_, &dots[i], &dots[i + 1]);
+        }
+        if (i < m) {
+          // Odd tail through the signed kernel, pre-biased by the row
+          // correction so the uniform subtraction below cancels it.
+          dots[i] = internal::DotInt8(
+                        q8, packed_.data() + (base + i) * padded_dim_,
+                        padded_dim_) +
+                    row_corr_[base + i];
+        }
+        for (int64_t j = 0; j < m; ++j) {
+          strip_scores[j] =
+              scales_[base + j] *
+              (query_scale *
+               static_cast<float>(dots[j] - row_corr_[base + j]));
+        }
+        if (!bias_.empty()) {
+          for (int64_t j = 0; j < m; ++j) strip_scores[j] += bias_[base + j];
+        }
+        if (collector.AtCapacity()) {
+          // Steady state: reject against a register-cached worst() so the
+          // common no-op case is one compare, not a heap-front load.
+          ScoredItem worst = collector.worst();
+          for (int64_t j = 0; j < m; ++j) {
+            const ScoredItem cand{strip_scores[j],
+                                  static_cast<int32_t>(base + j)};
+            if (!RanksHigher(cand, worst)) continue;
+            collector.Offer(cand.index, cand.score);
+            worst = collector.worst();
+          }
+        } else {
+          for (int64_t j = 0; j < m; ++j) {
+            collector.Offer(static_cast<int32_t>(base + j), strip_scores[j]);
+          }
+        }
+      }
+    }
+  });
+
+  if (num_blocks == 1) {
+    scratch->block_collectors[0].DrainSortedTo(out);
+    return;
+  }
+  TopKCollector& merge = scratch->merge_collector;
+  merge.Reset(k);
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    for (const ScoredItem& item : scratch->block_collectors[b].contents()) {
+      merge.Offer(item.index, item.score);
+    }
+    scratch->block_collectors[b].Reset(0);
+  }
+  merge.DrainSortedTo(out);
+}
+
+void RetrievalIndex::SearchIvf(const float* query, int32_t k,
+                               Scratch* scratch,
+                               std::vector<ScoredItem>* out) const {
+  const int32_t num_clusters = clusters();
+  scratch->last_rows_scanned = 0;
+  scratch->last_clusters_probed = 0;
+  if (num_clusters == 0 || k <= 0) return;
+
+  scratch->centroid_scores.resize(static_cast<size_t>(num_clusters));
+  for (int32_t c = 0; c < num_clusters; ++c) {
+    scratch->centroid_scores[c] =
+        internal::DotFma(query, centroids_.data() + c * dim_, dim_);
+  }
+  TopKCollector& probe = scratch->probe_collector;
+  probe.Reset(std::min(nprobe_, num_clusters));
+  for (int32_t c = 0; c < num_clusters; ++c) {
+    probe.Offer(c, scratch->centroid_scores[c]);
+  }
+  scratch->probe_order.clear();
+  probe.DrainSortedTo(&scratch->probe_order);
+
+  TopKCollector& merge = scratch->merge_collector;
+  merge.Reset(k);
+  for (const ScoredItem& probed : scratch->probe_order) {
+    const int64_t begin = cluster_offsets_[probed.index];
+    const int64_t end = cluster_offsets_[probed.index + 1];
+    for (int64_t i = begin; i < end; ++i) {
+      const int32_t item = cluster_items_[i];
+      merge.Offer(item, ExactRowScore(query, item));
+    }
+    scratch->last_rows_scanned += end - begin;
+  }
+  scratch->last_clusters_probed =
+      static_cast<int32_t>(scratch->probe_order.size());
+  merge.DrainSortedTo(out);
+}
+
+void RetrievalIndex::Search(const float* query, int32_t k, Scratch* scratch,
+                            std::vector<ScoredItem>* out) const {
+  out->clear();
+  if (backend_ == RetrievalBackend::kQuantized) {
+    SearchQuantized(query, k, scratch, out);
+  } else {
+    SearchIvf(query, k, scratch, out);
+  }
+}
+
+void RetrievalIndex::ScoreAllForTesting(const float* query,
+                                        std::vector<float>* out) const {
+  out->assign(static_cast<size_t>(num_rows_),
+              -std::numeric_limits<float>::infinity());
+  if (backend_ == RetrievalBackend::kQuantized) {
+    std::vector<int8_t> q8(static_cast<size_t>(padded_dim_));
+    const float query_scale =
+        QuantizeSymmetric(query, dim_, padded_dim_, q8.data());
+    for (int64_t r = 1; r < num_rows_; ++r) {
+      (*out)[r] = QuantizedRowScore(q8.data(), query_scale, r);
+    }
+  } else {
+    for (int64_t r = 1; r < num_rows_; ++r) {
+      (*out)[r] = ExactRowScore(query, r);
+    }
+  }
+}
+
+int64_t RetrievalIndex::MemoryBytes() const {
+  return static_cast<int64_t>(packed_.size() * sizeof(int8_t)) +
+         static_cast<int64_t>(scales_.size() * sizeof(float)) +
+         static_cast<int64_t>(row_corr_.size() * sizeof(int32_t)) +
+         static_cast<int64_t>(bias_.size() * sizeof(float)) +
+         static_cast<int64_t>(centroids_.size() * sizeof(float)) +
+         static_cast<int64_t>(cluster_offsets_.size() * sizeof(int64_t)) +
+         static_cast<int64_t>(cluster_items_.size() * sizeof(int32_t));
+}
+
+}  // namespace eval
+}  // namespace vsan

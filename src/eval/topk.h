@@ -1,0 +1,104 @@
+#ifndef VSAN_EVAL_TOPK_H_
+#define VSAN_EVAL_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+// Streaming bounded top-k selection: feed (index, score) pairs one at a
+// time, keep only the best k seen so far.  This is the piece that lets the
+// retrieval backends rank a million-item catalog without ever materializing
+// the million-element score vector the exact evaluator sorts.
+//
+// Ordering contract (identical to eval::TopNIndices in eval/metrics.h):
+// higher score ranks first; exact score ties break toward the smaller
+// index.  Because that order is total, the selected set and its sorted
+// order are pure functions of the offered (index, score) multiset — the
+// order in which candidates are offered never matters, which is what makes
+// block-sharded parallel scans and cluster-ordered IVF scans produce
+// bitwise-identical results to a serial pass (locked down by
+// tests/retrieval_test.cc against std::partial_sort).
+//
+// Scores must not be NaN (same precondition as TopNIndices).
+
+namespace vsan {
+namespace eval {
+
+struct ScoredItem {
+  float score = 0.0f;
+  int32_t index = 0;
+};
+
+// True when `a` outranks `b`.
+inline bool RanksHigher(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
+class TopKCollector {
+ public:
+  explicit TopKCollector(int32_t k) { Reset(k); }
+  TopKCollector() = default;
+
+  // Drops all state and sets a new capacity; retained heap storage is
+  // reused so steady-state Offer loops never allocate.
+  void Reset(int32_t k) {
+    k_ = k;
+    heap_.clear();
+    if (k > 0) heap_.reserve(static_cast<size_t>(k));
+  }
+
+  int32_t k() const { return k_; }
+  int64_t size() const { return static_cast<int64_t>(heap_.size()); }
+
+  // Considers one candidate.  O(1) for candidates that cannot enter the
+  // current top k (the common case on a scan), O(log k) otherwise.
+  void Offer(int32_t index, float score) {
+    const ScoredItem item{score, index};
+    if (static_cast<int32_t>(heap_.size()) < k_) {
+      heap_.push_back(item);
+      std::push_heap(heap_.begin(), heap_.end(), RanksHigher);
+      return;
+    }
+    if (k_ <= 0 || !RanksHigher(item, heap_.front())) return;
+    std::pop_heap(heap_.begin(), heap_.end(), RanksHigher);
+    heap_.back() = item;
+    std::push_heap(heap_.begin(), heap_.end(), RanksHigher);
+  }
+
+  // True once the collector holds k items (k > 0): from here on a
+  // candidate enters iff RanksHigher(candidate, worst()).
+  bool AtCapacity() const {
+    return k_ > 0 && static_cast<int32_t>(heap_.size()) >= k_;
+  }
+
+  // The lowest-ranked item currently held; valid only AtCapacity().  Scan
+  // loops cache this in a register to reject candidates without Offer's
+  // heap-front load (the accept test is exactly Offer's, so filtering
+  // against a cached worst() and re-reading it after each insert admits
+  // precisely the same items).
+  const ScoredItem& worst() const { return heap_.front(); }
+
+  // Appends the collected items to `out` sorted best-first and clears the
+  // collector (capacity k_ is kept).
+  void DrainSortedTo(std::vector<ScoredItem>* out) {
+    std::sort(heap_.begin(), heap_.end(), RanksHigher);
+    out->insert(out->end(), heap_.begin(), heap_.end());
+    heap_.clear();
+  }
+
+  // Unsorted view of the current contents (used when merging per-block
+  // collectors: the merge re-offers, so order is irrelevant).
+  const std::vector<ScoredItem>& contents() const { return heap_; }
+
+ private:
+  int32_t k_ = 0;
+  // Binary heap with the currently-worst item at the front (RanksHigher as
+  // the heap's less-than puts the maximum = lowest-ranked item on top).
+  std::vector<ScoredItem> heap_;
+};
+
+}  // namespace eval
+}  // namespace vsan
+
+#endif  // VSAN_EVAL_TOPK_H_

@@ -30,15 +30,19 @@ Caser::Net::Net(const Config& cfg, int32_t num_items, Rng* rng)
   RegisterSubmodule(&output);
 }
 
-Variable Caser::Net::Forward(const std::vector<int32_t>& windows,
-                             int64_t batch, Rng* rng) const {
+Variable Caser::Net::Hidden(const std::vector<int32_t>& windows,
+                            int64_t batch, Rng* rng) const {
   Variable x = item_emb.Forward(windows, batch, config.window);
   Variable h = hconv.Forward(x);
   Variable v = vconv.Forward(x);
   Variable features = ops::Concat({h, v}, /*axis=*/1);
   features = ops::Dropout(features, config.dropout, rng, training());
-  Variable hidden = ops::Relu(fc.Forward(features));
-  return output.Forward(hidden);
+  return ops::Relu(fc.Forward(features));
+}
+
+Variable Caser::Net::Forward(const std::vector<int32_t>& windows,
+                             int64_t batch, Rng* rng) const {
+  return output.Forward(Hidden(windows, batch, rng));
 }
 
 void Caser::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
@@ -205,6 +209,31 @@ void Caser::ScoreInto(const std::vector<int32_t>& fold_in,
   scores->resize(num_items_ + 1);
   const float* src = out.data();
   std::copy(src, src + num_items_ + 1, scores->data());
+}
+
+bool Caser::GetFactorizedHead(FactorizedHead* head) const {
+  VSAN_CHECK(net_ != nullptr)
+      << "Fit() must be called before GetFactorizedHead()";
+  head->dim = config_.d;
+  head->num_rows = num_items_ + 1;
+  head->weights = net_->output.weight_value().data();
+  head->items_are_rows = false;
+  head->bias =
+      net_->output.has_bias() ? net_->output.bias_value().data() : nullptr;
+  return true;
+}
+
+bool Caser::EncodeQueryInto(const std::vector<int32_t>& fold_in,
+                            std::vector<float>* query) const {
+  VSAN_CHECK(net_ != nullptr)
+      << "Fit() must be called before EncodeQueryInto()";
+  const std::vector<int32_t> window =
+      data::SequenceBatcher::PadSequence(fold_in, config_.window);
+  Variable hidden = net_->Hidden(window, /*batch=*/1, &rng_);
+  query->resize(static_cast<size_t>(config_.d));
+  const float* src = hidden.value().data();
+  std::copy(src, src + config_.d, query->data());
+  return true;
 }
 
 }  // namespace models

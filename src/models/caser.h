@@ -46,9 +46,21 @@ class Caser : public SequentialRecommender {
   void ScoreInto(const std::vector<int32_t>& fold_in,
                  std::vector<float>* scores) const override;
 
+  // Fast-retrieval seam: the output Linear's [d, V+1] weight columns are
+  // the item vectors; the query is the convolutional feature vector after
+  // the fc layer (Net::Hidden).
+  bool GetFactorizedHead(FactorizedHead* head) const override;
+  bool EncodeQueryInto(const std::vector<int32_t>& fold_in,
+                       std::vector<float>* query) const override;
+
  private:
   struct Net : public nn::Module {
     Net(const Config& config, int32_t num_items, Rng* rng);
+
+    // windows: flattened [B * window] left-padded ids -> [B, d] features
+    // (everything before the output projection).
+    Variable Hidden(const std::vector<int32_t>& windows, int64_t batch,
+                    Rng* rng) const;
 
     // windows: flattened [B * window] left-padded ids -> [B, V+1] logits.
     Variable Forward(const std::vector<int32_t>& windows, int64_t batch,

@@ -108,5 +108,36 @@ void Gru4Rec::ScoreInto(const std::vector<int32_t>& fold_in,
   std::copy(src, src + num_items_ + 1, scores->data());
 }
 
+bool Gru4Rec::GetFactorizedHead(FactorizedHead* head) const {
+  VSAN_CHECK(net_ != nullptr)
+      << "Fit() must be called before GetFactorizedHead()";
+  head->dim = config_.hidden;
+  head->num_rows = num_items_ + 1;
+  head->weights = net_->output.weight_value().data();
+  head->items_are_rows = false;
+  head->bias =
+      net_->output.has_bias() ? net_->output.bias_value().data() : nullptr;
+  return true;
+}
+
+bool Gru4Rec::EncodeQueryInto(const std::vector<int32_t>& fold_in,
+                              std::vector<float>* query) const {
+  VSAN_CHECK(net_ != nullptr)
+      << "Fit() must be called before EncodeQueryInto()";
+  const std::vector<int32_t> padded = data::SequenceBatcher::PadSequence(
+      fold_in, config_.max_len, /*pad_left=*/false);
+  Variable hidden = net_->Encode(padded, /*batch=*/1, &rng_);
+  const int64_t last = std::min<int64_t>(static_cast<int64_t>(fold_in.size()),
+                                         config_.max_len) -
+                       1;
+  VSAN_CHECK_GE(last, 0);
+  Variable row = ops::Reshape(
+      ops::Slice(hidden, /*axis=*/1, last, /*len=*/1), {1, config_.hidden});
+  query->resize(static_cast<size_t>(config_.hidden));
+  const float* src = row.value().data();
+  std::copy(src, src + config_.hidden, query->data());
+  return true;
+}
+
 }  // namespace models
 }  // namespace vsan

@@ -40,6 +40,12 @@ class Gru4Rec : public SequentialRecommender {
   void ScoreInto(const std::vector<int32_t>& fold_in,
                  std::vector<float>* scores) const override;
 
+  // Fast-retrieval seam: the output Linear's [hidden, V+1] weight columns
+  // are the item vectors; the query is the last real position's GRU state.
+  bool GetFactorizedHead(FactorizedHead* head) const override;
+  bool EncodeQueryInto(const std::vector<int32_t>& fold_in,
+                       std::vector<float>* query) const override;
+
  private:
   struct Net : public nn::Module {
     Net(const Config& config, int32_t num_items, Rng* rng);

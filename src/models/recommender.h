@@ -1,6 +1,7 @@
 #ifndef VSAN_MODELS_RECOMMENDER_H_
 #define VSAN_MODELS_RECOMMENDER_H_
 
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -78,6 +79,42 @@ struct TrainOptions {
   EarlyStopper* early_stopper = nullptr;
 };
 
+// A model's final scoring layer exposed as raw fp32 buffers, the seam the
+// fast-retrieval backends (eval/retrieval.h) build on.  For every sequence
+// model here the score vector decomposes as
+//
+//   score[i] = dot(query, item_vector(i)) + bias[i]
+//
+// where `query` comes from SequentialRecommender::EncodeQueryInto — the
+// same eval-mode forward pass as ScoreInto, stopped just before the output
+// projection.  With that decomposition the evaluator can rank a large
+// catalog without materializing the full score vector: quantized scans and
+// IVF cluster pruning only need the item vectors.
+//
+// `weights` and `bias` point into the model's own parameters; they are not
+// owned and stay valid only while the model is alive and not refitted.
+struct FactorizedHead {
+  int64_t dim = 0;       // width of the query and item vectors
+  int64_t num_rows = 0;  // num_items + 1; row 0 is the padding item
+  // Item i's vector is the contiguous row weights[i*dim .. i*dim+dim) when
+  // items_are_rows (an embedding-table layout), otherwise the strided
+  // column weights[p*num_rows + i] for p in [0, dim) (a Linear layer's
+  // [in, out] weight).
+  const float* weights = nullptr;
+  bool items_are_rows = true;
+  const float* bias = nullptr;  // optional [num_rows]; nullptr when absent
+
+  // Copies item i's vector into out[0..dim).
+  void CopyItem(int64_t i, float* out) const {
+    if (items_are_rows) {
+      std::memcpy(out, weights + i * dim,
+                  sizeof(float) * static_cast<size_t>(dim));
+    } else {
+      for (int64_t p = 0; p < dim; ++p) out[p] = weights[p * num_rows + i];
+    }
+  }
+};
+
 // Common interface for the paper's nine models (Table III).
 //
 // Evaluation follows strong generalization: held-out users are unseen at
@@ -108,6 +145,29 @@ class SequentialRecommender {
   virtual void ScoreInto(const std::vector<int32_t>& fold_in,
                          std::vector<float>* scores) const {
     *scores = Score(fold_in);
+  }
+
+  // --- Fast-retrieval seam (see FactorizedHead above) -------------------
+  //
+  // Models whose scoring head is an affine projection of a user vector
+  // fill `head` / `query` and return true; the defaults report no
+  // factorization, which restricts such a model to the exact backend.
+  // Both must only be called after Fit(), and EncodeQueryInto must be
+  // thread-safe for concurrent const calls exactly like Score().
+
+  virtual bool GetFactorizedHead(FactorizedHead* head) const {
+    (void)head;
+    return false;
+  }
+
+  // Writes the query-side vector (size head.dim) for one user: the same
+  // deterministic eval-mode forward as ScoreInto, minus the projection
+  // onto the item vocabulary.
+  virtual bool EncodeQueryInto(const std::vector<int32_t>& fold_in,
+                               std::vector<float>* query) const {
+    (void)fold_in;
+    (void)query;
+    return false;
   }
 };
 

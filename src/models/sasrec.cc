@@ -162,5 +162,30 @@ void SasRec::ScoreInto(const std::vector<int32_t>& fold_in,
   std::copy(src, src + num_items_ + 1, scores->data());
 }
 
+bool SasRec::GetFactorizedHead(FactorizedHead* head) const {
+  VSAN_CHECK(net_ != nullptr) << "Fit() must be called before GetFactorizedHead()";
+  head->dim = config_.d;
+  head->num_rows = num_items_ + 1;
+  head->weights = net_->item_emb.table().value().data();
+  head->items_are_rows = true;
+  head->bias = nullptr;
+  return true;
+}
+
+bool SasRec::EncodeQueryInto(const std::vector<int32_t>& fold_in,
+                             std::vector<float>* query) const {
+  VSAN_CHECK(net_ != nullptr) << "Fit() must be called before EncodeQueryInto()";
+  const std::vector<int32_t> padded =
+      data::SequenceBatcher::PadSequence(fold_in, config_.max_len);
+  Variable hidden = net_->Encode(padded, /*batch=*/1, &rng_);
+  Variable last = ops::Reshape(
+      ops::Slice(hidden, /*axis=*/1, config_.max_len - 1, /*len=*/1),
+      {1, config_.d});
+  query->resize(static_cast<size_t>(config_.d));
+  const float* src = last.value().data();
+  std::copy(src, src + config_.d, query->data());
+  return true;
+}
+
 }  // namespace models
 }  // namespace vsan

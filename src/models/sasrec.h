@@ -46,6 +46,13 @@ class SasRec : public SequentialRecommender {
   void ScoreInto(const std::vector<int32_t>& fold_in,
                  std::vector<float>* scores) const override;
 
+  // Fast-retrieval seam: logits are hidden . item_emb row (tied table, no
+  // bias), so the head is the embedding table and the query is the last
+  // position's hidden state.
+  bool GetFactorizedHead(FactorizedHead* head) const override;
+  bool EncodeQueryInto(const std::vector<int32_t>& fold_in,
+                       std::vector<float>* query) const override;
+
   int64_t NumParameters() const {
     return net_ ? net_->NumParameters() : 0;
   }

@@ -50,10 +50,13 @@ Svae::Net::Outputs Svae::Net::Forward(const std::vector<int32_t>& inputs,
   return out;
 }
 
-Variable Svae::Net::Decode(const Variable& z_rows, Rng* rng) const {
+Variable Svae::Net::DecodeHidden(const Variable& z_rows, Rng* rng) const {
   Variable dec = ops::Tanh(dec1.Forward(z_rows));
-  dec = ops::Dropout(dec, config.dropout, rng, training());
-  return output.Forward(dec);
+  return ops::Dropout(dec, config.dropout, rng, training());
+}
+
+Variable Svae::Net::Decode(const Variable& z_rows, Rng* rng) const {
+  return output.Forward(DecodeHidden(z_rows, rng));
 }
 
 void Svae::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
@@ -216,6 +219,37 @@ void Svae::ScoreInto(const std::vector<int32_t>& fold_in,
   scores->resize(num_items_ + 1);
   const float* src = v.data();
   std::copy(src, src + num_items_ + 1, scores->data());
+}
+
+bool Svae::GetFactorizedHead(FactorizedHead* head) const {
+  VSAN_CHECK(net_ != nullptr)
+      << "Fit() must be called before GetFactorizedHead()";
+  head->dim = config_.hidden;
+  head->num_rows = num_items_ + 1;
+  head->weights = net_->output.weight_value().data();
+  head->items_are_rows = false;
+  head->bias =
+      net_->output.has_bias() ? net_->output.bias_value().data() : nullptr;
+  return true;
+}
+
+bool Svae::EncodeQueryInto(const std::vector<int32_t>& fold_in,
+                           std::vector<float>* query) const {
+  VSAN_CHECK(net_ != nullptr)
+      << "Fit() must be called before EncodeQueryInto()";
+  const std::vector<int32_t> padded = data::SequenceBatcher::PadSequence(
+      fold_in, config_.max_len, /*pad_left=*/false);
+  Net::Outputs out = net_->Forward(padded, /*batch=*/1, &rng_);
+  const int64_t last = std::min<int64_t>(static_cast<int64_t>(fold_in.size()),
+                                         config_.max_len) -
+                       1;
+  VSAN_CHECK_GE(last, 0);
+  Variable hidden =
+      net_->DecodeHidden(ops::GatherRows(out.z, {last}), &rng_);
+  query->resize(static_cast<size_t>(config_.hidden));
+  const float* src = hidden.value().data();
+  std::copy(src, src + config_.hidden, query->data());
+  return true;
 }
 
 }  // namespace models

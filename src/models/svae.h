@@ -43,6 +43,13 @@ class Svae : public SequentialRecommender {
   void ScoreInto(const std::vector<int32_t>& fold_in,
                  std::vector<float>* scores) const override;
 
+  // Fast-retrieval seam: the output Linear's weight columns are the item
+  // vectors; the query is the decoder's pre-projection feature vector
+  // (Net::DecodeHidden) at the last real position's posterior mean.
+  bool GetFactorizedHead(FactorizedHead* head) const override;
+  bool EncodeQueryInto(const std::vector<int32_t>& fold_in,
+                       std::vector<float>* query) const override;
+
  private:
   struct Net : public nn::Module {
     Net(const Config& config, int32_t num_items, Rng* rng);
@@ -57,6 +64,10 @@ class Svae : public SequentialRecommender {
     // and latent layer; decode selected rows with Decode().
     Outputs Forward(const std::vector<int32_t>& inputs, int64_t batch,
                     Rng* rng) const;
+
+    // Decoder feed-forward stack on 2-D latent rows [R, latent], stopped
+    // before the output projection: -> [R, hidden].
+    Variable DecodeHidden(const Variable& z_rows, Rng* rng) const;
 
     // Decoder on 2-D latent rows [R, latent] -> [R, num_items+1].
     Variable Decode(const Variable& z_rows, Rng* rng) const;

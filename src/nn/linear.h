@@ -27,6 +27,14 @@ class Linear : public Module {
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
+  bool has_bias() const { return use_bias_; }
+
+  // Raw parameter views for consumers that score against the weights
+  // directly (the retrieval backends factorize output layers through
+  // these).  weight_value() is the [in, out] matrix; bias_value() is
+  // [out] and must only be called when has_bias().
+  const Tensor& weight_value() const { return weight_.value(); }
+  const Tensor& bias_value() const { return bias_.value(); }
 
  private:
   int64_t in_features_;

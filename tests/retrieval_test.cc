@@ -1,0 +1,771 @@
+// Exact-oracle lockdown of the fast-retrieval layer (eval/retrieval.h).
+//
+// The exact backend (the evaluator's original full-scoring path) is the
+// oracle for everything here:
+//   - streaming bounded-heap top-k must equal std::partial_sort over the
+//     backend's own full score vector, for every k and thread count;
+//   - int8 quantization must respect its documented error bounds;
+//   - IVF with nprobe == clusters must reproduce the exact backend's
+//     ranking (and EvaluateRanking's result maps) bit for bit;
+//   - a million-item quantized evaluation must not retain the memory a
+//     full-score-vector evaluation would.
+
+#include "eval/retrieval.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/vsan.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "eval/topk.h"
+#include "models/embedding_mips.h"
+#include "models/gru4rec.h"
+#include "models/pop.h"
+#include "tensor/int8_dot.h"
+#include "obs/metrics.h"
+#include "tensor/pool.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define VSAN_RETRIEVAL_TEST_SANITIZED 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define VSAN_RETRIEVAL_TEST_SANITIZED 1
+#endif
+
+namespace vsan {
+namespace eval {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 4};
+
+// Restores the default global pool after each test (some tests sweep
+// thread counts).
+class RetrievalTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ThreadPool::SetGlobalNumThreads(ThreadPool::DefaultNumThreads());
+  }
+};
+
+// Reference top-k: std::partial_sort over the full (index, score) set under
+// the same total order the collector uses.
+std::vector<ScoredItem> PartialSortTopK(const std::vector<float>& scores,
+                                        int32_t k) {
+  std::vector<ScoredItem> items;
+  for (int32_t i = 1; i < static_cast<int32_t>(scores.size()); ++i) {
+    items.push_back({scores[i], i});
+  }
+  const size_t take = std::min<size_t>(items.size(), static_cast<size_t>(k));
+  std::partial_sort(items.begin(), items.begin() + take, items.end(),
+                    RanksHigher);
+  items.resize(take);
+  return items;
+}
+
+void ExpectSameItems(const std::vector<ScoredItem>& got,
+                     const std::vector<ScoredItem>& want,
+                     const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index) << what << " rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << what << " rank " << i;
+  }
+}
+
+// A FactorizedHead over a test-owned weight buffer (row layout).
+FactorizedHead MakeHead(const std::vector<float>& weights,
+                        const std::vector<float>& bias, int64_t dim) {
+  FactorizedHead head;
+  head.dim = dim;
+  head.num_rows = static_cast<int64_t>(weights.size()) / dim;
+  head.weights = weights.data();
+  head.items_are_rows = true;
+  head.bias = bias.empty() ? nullptr : bias.data();
+  return head;
+}
+
+int64_t ReadCurrentRssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) != 0) continue;
+    long long kb = -1;
+    if (std::sscanf(line.c_str(), "VmRSS: %lld", &kb) == 1) return kb;
+    return -1;
+  }
+  return -1;
+}
+
+TEST(RetrievalBackendNames, RoundTrip) {
+  RetrievalBackend backend = RetrievalBackend::kExact;
+  for (const char* name : {"exact", "quantized", "ivf"}) {
+    ASSERT_TRUE(ParseRetrievalBackend(name, &backend)) << name;
+    EXPECT_STREQ(RetrievalBackendName(backend), name);
+  }
+  EXPECT_FALSE(ParseRetrievalBackend("bogus", &backend));
+}
+
+// --- Satellite 1: streaming top-k == std::partial_sort ------------------
+
+TEST_F(RetrievalTest, CollectorMatchesPartialSortWithTies) {
+  Rng rng(7);
+  const int32_t catalog = 997;  // odd, not a block multiple
+  std::vector<float> scores(catalog + 1, 0.0f);
+  for (int32_t i = 1; i <= catalog; ++i) {
+    // Quantized to few distinct values: dense exact-score ties, so the
+    // index tiebreak is load-bearing.
+    scores[i] = static_cast<float>(rng.UniformInt(0, 30)) * 0.125f;
+  }
+  for (int32_t k : {1, 5, 10, 50, catalog, catalog + 13}) {
+    TopKCollector collector(k);
+    for (int32_t i = 1; i <= catalog; ++i) collector.Offer(i, scores[i]);
+    std::vector<ScoredItem> got;
+    collector.DrainSortedTo(&got);
+    ExpectSameItems(got, PartialSortTopK(scores, k), "k=" + std::to_string(k));
+  }
+  // k = 0 accepts nothing.
+  TopKCollector empty(0);
+  empty.Offer(1, 1.0f);
+  EXPECT_EQ(empty.size(), 0);
+}
+
+TEST_F(RetrievalTest, CollectorOfferOrderIrrelevant) {
+  Rng rng(11);
+  std::vector<ScoredItem> items;
+  for (int32_t i = 1; i <= 300; ++i) {
+    items.push_back({static_cast<float>(rng.UniformInt(0, 10)), i});
+  }
+  TopKCollector forward(17);
+  for (const auto& it : items) forward.Offer(it.index, it.score);
+  std::vector<ScoredItem> a;
+  forward.DrainSortedTo(&a);
+
+  rng.Shuffle(&items);
+  TopKCollector shuffled(17);
+  for (const auto& it : items) shuffled.Offer(it.index, it.score);
+  std::vector<ScoredItem> b;
+  shuffled.DrainSortedTo(&b);
+  ExpectSameItems(a, b, "shuffled offer order");
+}
+
+// Search over a multi-block catalog (> one 65536-row scan block) must equal
+// partial_sort over the backend's own full score vector, for both backends,
+// every k, and every thread count — bitwise.
+TEST_F(RetrievalTest, SearchMatchesPartialSortAcrossThreadCounts) {
+  models::EmbeddingMips::Config config;
+  config.d = 16;
+  models::EmbeddingMips model(config);
+  model.FitCatalog(70'000);  // two scan blocks
+  FactorizedHead head;
+  ASSERT_TRUE(model.GetFactorizedHead(&head));
+
+  std::vector<float> query;
+  model.EncodeQueryInto({3, 999, 41'234, 69'999}, &query);
+
+  for (RetrievalBackend backend :
+       {RetrievalBackend::kQuantized, RetrievalBackend::kIvf}) {
+    RetrievalOptions opts;
+    opts.backend = backend;
+    opts.clusters = 32;
+    opts.nprobe = 32;  // full probe: the scan covers every item
+    opts.kmeans_iters = 2;
+    const RetrievalIndex index = RetrievalIndex::Build(head, opts);
+    std::vector<float> all;
+    index.ScoreAllForTesting(query.data(), &all);
+    for (int32_t k : {1, 5, 10, 50, 70'000}) {
+      const std::vector<ScoredItem> want = PartialSortTopK(all, k);
+      for (int threads : kThreadCounts) {
+        ThreadPool::SetGlobalNumThreads(threads);
+        RetrievalIndex::Scratch scratch;
+        std::vector<ScoredItem> got;
+        index.Search(query.data(), k, &scratch, &got);
+        ExpectSameItems(got, want,
+                        std::string(RetrievalBackendName(backend)) + " k=" +
+                            std::to_string(k) + " threads=" +
+                            std::to_string(threads));
+      }
+    }
+  }
+}
+
+// --- Satellite 2: quantization error bounds ----------------------------
+
+TEST_F(RetrievalTest, QuantizationRoundTripWithinHalfScale) {
+  Rng rng(23);
+  const int64_t dim = 48;
+  std::vector<float> weights((1 + 64) * dim);
+  for (float& w : weights) {
+    w = static_cast<float>(rng.Normal(0.0, 2.0));
+  }
+  std::fill(weights.begin(), weights.begin() + dim, 0.0f);  // padding row
+  const FactorizedHead head = MakeHead(weights, {}, dim);
+
+  RetrievalOptions opts;
+  opts.backend = RetrievalBackend::kQuantized;
+  const RetrievalIndex index = RetrievalIndex::Build(head, opts);
+
+  // Reconstruct each row through the backend: score a one-hot query picking
+  // out coordinate j is awkward, so instead verify via the documented dot
+  // bound specialized to unit queries below; here check the per-element
+  // claim directly by re-deriving scale from the row max.
+  std::vector<float> row(dim);
+  for (int64_t r = 1; r < head.num_rows; ++r) {
+    head.CopyItem(r, row.data());
+    float max_abs = 0.0f;
+    for (float v : row) max_abs = std::max(max_abs, std::fabs(v));
+    const float scale = max_abs / 127.0f;
+    // One-hot query: the quantized score of row r under e_j reduces to
+    // s_r * s_q * q_r[j] * 127 with s_q = 1/127, i.e. s_r * q_r[j].
+    std::vector<float> one_hot(dim, 0.0f);
+    std::vector<float> scores;
+    for (int64_t j = 0; j < dim; ++j) {
+      one_hot[j] = 1.0f;
+      index.ScoreAllForTesting(one_hot.data(), &scores);
+      EXPECT_LE(std::fabs(scores[r] - row[j]), 0.5f * scale * 1.0001f)
+          << "row " << r << " coord " << j;
+      one_hot[j] = 0.0f;
+    }
+  }
+}
+
+TEST_F(RetrievalTest, QuantizedDotWithinDocumentedBound) {
+  Rng rng(29);
+  const int64_t dim = 64;
+  const int64_t rows = 512 + 1;
+  std::vector<float> weights(rows * dim, 0.0f);
+  for (int64_t i = dim; i < rows * dim; ++i) {
+    weights[i] = static_cast<float>(rng.Uniform(-3.0, 3.0));
+  }
+  const FactorizedHead head = MakeHead(weights, {}, dim);
+
+  RetrievalOptions opts;
+  opts.backend = RetrievalBackend::kQuantized;
+  const RetrievalIndex index = RetrievalIndex::Build(head, opts);
+
+  std::vector<float> query(dim);
+  for (float& q : query) q = static_cast<float>(rng.Uniform(-1.5, 1.5));
+  float max_q = 0.0f;
+  for (float q : query) max_q = std::max(max_q, std::fabs(q));
+  const float s_q = max_q / 127.0f;
+
+  std::vector<float> approx;
+  index.ScoreAllForTesting(query.data(), &approx);
+  std::vector<float> row(dim);
+  for (int64_t r = 1; r < rows; ++r) {
+    head.CopyItem(r, row.data());
+    float max_w = 0.0f;
+    double exact = 0.0;
+    for (int64_t j = 0; j < dim; ++j) {
+      max_w = std::max(max_w, std::fabs(row[j]));
+      exact += static_cast<double>(row[j]) * query[j];
+    }
+    const float s_r = max_w / 127.0f;
+    // |dot - s_r s_q dot_int8| <= dim (max|w| s_q/2 + (max|q| + s_q/2) s_r/2)
+    const double bound =
+        dim * (max_w * s_q / 2.0 + (max_q + s_q / 2.0) * s_r / 2.0);
+    EXPECT_LE(std::fabs(approx[r] - exact), bound * 1.0001 + 1e-6)
+        << "row " << r;
+  }
+}
+
+TEST_F(RetrievalTest, DegenerateCases) {
+  const int64_t dim = 8;
+  // Catalog of 3: an all-zero row, a normal row, a duplicate of it.
+  std::vector<float> weights(4 * dim, 0.0f);
+  for (int64_t j = 0; j < dim; ++j) {
+    weights[2 * dim + j] = 0.25f * static_cast<float>(j + 1);
+    weights[3 * dim + j] = 0.25f * static_cast<float>(j + 1);
+  }
+  std::vector<float> bias = {0.0f, -0.5f, 0.125f, 0.125f};
+  const FactorizedHead head = MakeHead(weights, bias, dim);
+
+  for (RetrievalBackend backend :
+       {RetrievalBackend::kQuantized, RetrievalBackend::kIvf}) {
+    RetrievalOptions opts;
+    opts.backend = backend;
+    opts.clusters = 2;
+    opts.nprobe = 2;
+    const RetrievalIndex index = RetrievalIndex::Build(head, opts);
+
+    std::vector<float> query(dim, 1.0f);
+    RetrievalIndex::Scratch scratch;
+    std::vector<ScoredItem> got;
+    // k far beyond the catalog: returns everything, still sorted.
+    index.Search(query.data(), 100, &scratch, &got);
+    ASSERT_EQ(got.size(), 3u);
+    // Rows 2 and 3 are identical incl. bias: the tie breaks to index 2.
+    EXPECT_EQ(got[0].index, 2);
+    EXPECT_EQ(got[1].index, 3);
+    EXPECT_EQ(got[0].score, got[1].score);
+    // The all-zero row scores exactly its bias (scale 0 kills the dot).
+    EXPECT_EQ(got[2].index, 1);
+    EXPECT_EQ(got[2].score, -0.5f);
+  }
+
+  // Single-item catalog.
+  std::vector<float> one_item(2 * dim, 1.0f);
+  std::fill(one_item.begin(), one_item.begin() + dim, 0.0f);
+  const FactorizedHead single = MakeHead(one_item, {}, dim);
+  RetrievalOptions opts;
+  opts.backend = RetrievalBackend::kQuantized;
+  const RetrievalIndex index = RetrievalIndex::Build(single, opts);
+  std::vector<float> query(dim, 0.5f);
+  RetrievalIndex::Scratch scratch;
+  std::vector<ScoredItem> got;
+  index.Search(query.data(), 10, &scratch, &got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].index, 1);
+}
+
+// An all-zero *query* must not produce NaNs (query scale 0).
+TEST_F(RetrievalTest, AllZeroQuery) {
+  models::EmbeddingMips::Config config;
+  config.d = 8;
+  models::EmbeddingMips model(config);
+  model.FitCatalog(100);
+  FactorizedHead head;
+  ASSERT_TRUE(model.GetFactorizedHead(&head));
+  RetrievalOptions opts;
+  opts.backend = RetrievalBackend::kQuantized;
+  const RetrievalIndex index = RetrievalIndex::Build(head, opts);
+  std::vector<float> query(8, 0.0f);
+  RetrievalIndex::Scratch scratch;
+  std::vector<ScoredItem> got;
+  index.Search(query.data(), 5, &scratch, &got);
+  ASSERT_EQ(got.size(), 5u);
+  for (const auto& item : got) EXPECT_TRUE(std::isfinite(item.score));
+}
+
+// --- Satellite 3: oracle equivalence and recall regression --------------
+
+// IVF fine scoring uses the same ascending-index FMA chain as the blocked
+// GEMM behind the model's ScoreInto, so at full probe the dense score
+// vectors must agree bit for bit (items-are-rows layout + bias).
+TEST_F(RetrievalTest, IvfScoresBitwiseEqualExactScoreInto) {
+  models::EmbeddingMips::Config config;
+  config.d = 32;
+  models::EmbeddingMips model(config);
+  model.FitCatalog(3'000);
+  FactorizedHead head;
+  ASSERT_TRUE(model.GetFactorizedHead(&head));
+
+  RetrievalOptions opts;
+  opts.backend = RetrievalBackend::kIvf;
+  opts.clusters = 16;
+  opts.nprobe = 16;
+  const RetrievalIndex index = RetrievalIndex::Build(head, opts);
+
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<int32_t> fold_in;
+    for (int i = 0; i < 8; ++i) {
+      fold_in.push_back(static_cast<int32_t>(rng.UniformInt(1, 3'000)));
+    }
+    std::vector<float> exact;
+    model.ScoreInto(fold_in, &exact);
+    std::vector<float> query;
+    model.EncodeQueryInto(fold_in, &query);
+    std::vector<float> ivf;
+    index.ScoreAllForTesting(query.data(), &ivf);
+    ASSERT_EQ(exact.size(), ivf.size());
+    for (size_t i = 1; i < exact.size(); ++i) {
+      ASSERT_EQ(exact[i], ivf[i]) << "item " << i << " trial " << trial;
+    }
+  }
+}
+
+// Same bitwise claim for the strided (Linear [in, out]) head layout, via a
+// briefly-trained GRU4Rec.
+TEST_F(RetrievalTest, IvfScoresBitwiseEqualExactStridedHead) {
+  data::SyntheticConfig data_config;
+  data_config.num_users = 60;
+  data_config.num_items = 120;
+  data_config.seed = 5;
+  const data::SequenceDataset dataset =
+      data::GenerateSynthetic(data_config);
+
+  models::Gru4Rec::Config config;
+  config.max_len = 10;
+  config.d = 12;
+  config.hidden = 12;
+  models::Gru4Rec model(config);
+  TrainOptions train;
+  train.epochs = 1;
+  train.batch_size = 32;
+  model.Fit(dataset, train);
+
+  FactorizedHead head;
+  ASSERT_TRUE(model.GetFactorizedHead(&head));
+  EXPECT_FALSE(head.items_are_rows);
+  ASSERT_NE(head.bias, nullptr);
+
+  RetrievalOptions opts;
+  opts.backend = RetrievalBackend::kIvf;
+  opts.clusters = 8;
+  opts.nprobe = 8;
+  const RetrievalIndex index = RetrievalIndex::Build(head, opts);
+
+  const std::vector<int32_t> fold_in = {5, 17, 80, 3};
+  std::vector<float> exact;
+  model.ScoreInto(fold_in, &exact);
+  std::vector<float> query;
+  ASSERT_TRUE(model.EncodeQueryInto(fold_in, &query));
+  std::vector<float> ivf;
+  index.ScoreAllForTesting(query.data(), &ivf);
+  ASSERT_EQ(exact.size(), ivf.size());
+  for (size_t i = 1; i < exact.size(); ++i) {
+    ASSERT_EQ(exact[i], ivf[i]) << "item " << i;
+  }
+}
+
+// Full-probe IVF through EvaluateRanking reproduces the exact backend's
+// result maps exactly (not approximately): same per-user rankings, same
+// serial merge order, so the averaged doubles are identical.
+TEST_F(RetrievalTest, EvaluateRankingIvfFullProbeEqualsExact) {
+  const data::SyntheticConfig data_config = data::BeautyLikeConfig(0.05);
+  const data::SequenceDataset dataset =
+      data::GenerateSynthetic(data_config);
+  data::SplitOptions split_options;
+  split_options.num_test_users = 40;
+  const data::StrongSplit split = data::MakeStrongSplit(dataset, split_options);
+
+  models::EmbeddingMips::Config config;
+  config.d = 24;
+  models::EmbeddingMips model(config);
+  TrainOptions train;
+  model.Fit(split.train, train);
+
+  EvalOptions exact_options;
+  const EvalResult exact = EvaluateRanking(model, split.test, exact_options);
+
+  EvalOptions ivf_options;
+  ivf_options.retrieval.backend = RetrievalBackend::kIvf;
+  ivf_options.retrieval.clusters = 12;
+  ivf_options.retrieval.nprobe = 12;
+  const EvalResult ivf = EvaluateRanking(model, split.test, ivf_options);
+
+  EXPECT_EQ(exact.precision, ivf.precision);
+  EXPECT_EQ(exact.recall, ivf.recall);
+  EXPECT_EQ(exact.ndcg, ivf.ndcg);
+}
+
+// Quantized recall regression on the BeautyLike preset, fixed seed: the
+// int8 ranking's top-10 must overlap the exact top-10 at >= 0.99 on
+// average, and the evaluator's recall@10 must not degrade materially.
+TEST_F(RetrievalTest, QuantizedRecallRegressionBeautyLike) {
+  const data::SyntheticConfig data_config = data::BeautyLikeConfig(0.1);
+  const data::SequenceDataset dataset =
+      data::GenerateSynthetic(data_config);
+  data::SplitOptions split_options;
+  split_options.num_test_users = 60;
+  const data::StrongSplit split = data::MakeStrongSplit(dataset, split_options);
+
+  models::EmbeddingMips::Config config;
+  config.d = 32;
+  models::EmbeddingMips model(config);
+  TrainOptions train;
+  model.Fit(split.train, train);
+  FactorizedHead head;
+  ASSERT_TRUE(model.GetFactorizedHead(&head));
+
+  RetrievalOptions ropts;
+  ropts.backend = RetrievalBackend::kQuantized;
+  const RetrievalIndex index = RetrievalIndex::Build(head, ropts);
+
+  // Direct top-10 overlap against the exact oracle.
+  double overlap_sum = 0.0;
+  int64_t queries = 0;
+  RetrievalIndex::Scratch scratch;
+  std::vector<float> exact_scores;
+  std::vector<float> query;
+  std::vector<ScoredItem> got;
+  for (const data::HeldOutUser& user : split.test) {
+    if (user.fold_in.empty()) continue;
+    model.ScoreInto(user.fold_in, &exact_scores);
+    const std::vector<ScoredItem> want = PartialSortTopK(exact_scores, 10);
+    model.EncodeQueryInto(user.fold_in, &query);
+    got.clear();
+    index.Search(query.data(), 10, &scratch, &got);
+    int hits = 0;
+    for (const ScoredItem& g : got) {
+      for (const ScoredItem& w : want) {
+        if (g.index == w.index) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    overlap_sum += static_cast<double>(hits) / 10.0;
+    ++queries;
+  }
+  ASSERT_GT(queries, 0);
+  EXPECT_GE(overlap_sum / queries, 0.99);
+
+  // And through the evaluator: quantized recall@10 within noise of exact.
+  EvalOptions exact_options;
+  exact_options.cutoffs = {10};
+  const EvalResult exact = EvaluateRanking(model, split.test, exact_options);
+  EvalOptions quant_options = exact_options;
+  quant_options.retrieval.backend = RetrievalBackend::kQuantized;
+  quant_options.retrieval_index = &index;
+  const EvalResult quant = EvaluateRanking(model, split.test, quant_options);
+  EXPECT_NEAR(quant.recall.at(10), exact.recall.at(10), 0.005);
+  EXPECT_NEAR(quant.ndcg.at(10), exact.ndcg.at(10), 0.005);
+}
+
+// A tied-head sequence model end to end: VSAN's factorized head (embedding
+// table + output bias) through full-probe IVF equals its exact evaluation.
+TEST_F(RetrievalTest, EvaluateRankingIvfEqualsExactVsanTiedHead) {
+  data::SyntheticConfig data_config;
+  data_config.num_users = 50;
+  data_config.num_items = 80;
+  data_config.seed = 9;
+  const data::SequenceDataset dataset =
+      data::GenerateSynthetic(data_config);
+  data::SplitOptions split_options;
+  split_options.num_test_users = 10;
+  const data::StrongSplit split = data::MakeStrongSplit(dataset, split_options);
+
+  core::VsanConfig config;
+  config.max_len = 8;
+  config.d = 8;
+  core::Vsan model(config);
+  TrainOptions train;
+  train.epochs = 1;
+  train.batch_size = 16;
+  model.Fit(split.train, train);
+
+  FactorizedHead head;
+  ASSERT_TRUE(model.GetFactorizedHead(&head));
+  EXPECT_TRUE(head.items_are_rows);
+  ASSERT_NE(head.bias, nullptr);
+
+  EvalOptions exact_options;
+  const EvalResult exact = EvaluateRanking(model, split.test, exact_options);
+  EvalOptions ivf_options;
+  ivf_options.retrieval.backend = RetrievalBackend::kIvf;
+  ivf_options.retrieval.clusters = 8;
+  ivf_options.retrieval.nprobe = 8;
+  const EvalResult ivf = EvaluateRanking(model, split.test, ivf_options);
+  EXPECT_EQ(exact.precision, ivf.precision);
+  EXPECT_EQ(exact.recall, ivf.recall);
+  EXPECT_EQ(exact.ndcg, ivf.ndcg);
+}
+
+// Models without a factorized head silently fall back to the exact path:
+// same result, no crash.
+TEST_F(RetrievalTest, EvaluateRankingFallsBackWithoutFactorizedHead) {
+  data::SyntheticConfig data_config;
+  data_config.num_users = 40;
+  data_config.num_items = 60;
+  const data::SequenceDataset dataset =
+      data::GenerateSynthetic(data_config);
+  data::SplitOptions split_options;
+  split_options.num_test_users = 8;
+  const data::StrongSplit split = data::MakeStrongSplit(dataset, split_options);
+
+  models::Pop model;
+  TrainOptions train;
+  model.Fit(split.train, train);
+  FactorizedHead head;
+  EXPECT_FALSE(model.GetFactorizedHead(&head));
+
+  EvalOptions exact_options;
+  const EvalResult exact = EvaluateRanking(model, split.test, exact_options);
+  EvalOptions quant_options;
+  quant_options.retrieval.backend = RetrievalBackend::kQuantized;
+  const EvalResult fallback = EvaluateRanking(model, split.test, quant_options);
+  EXPECT_EQ(exact.precision, fallback.precision);
+  EXPECT_EQ(exact.recall, fallback.recall);
+  EXPECT_EQ(exact.ndcg, fallback.ndcg);
+}
+
+// Sampled-negative evaluation also falls back (the fast path only serves
+// full ranking).
+TEST_F(RetrievalTest, EvaluateRankingSampledNegativesFallsBack) {
+  data::SyntheticConfig data_config;
+  data_config.num_users = 40;
+  data_config.num_items = 60;
+  const data::SequenceDataset dataset =
+      data::GenerateSynthetic(data_config);
+  data::SplitOptions split_options;
+  split_options.num_test_users = 8;
+  const data::StrongSplit split = data::MakeStrongSplit(dataset, split_options);
+
+  models::EmbeddingMips::Config config;
+  config.d = 16;
+  models::EmbeddingMips model(config);
+  TrainOptions train;
+  model.Fit(split.train, train);
+
+  EvalOptions sampled;
+  sampled.num_sampled_negatives = 20;
+  const EvalResult exact = EvaluateRanking(model, split.test, sampled);
+  EvalOptions sampled_fast = sampled;
+  sampled_fast.retrieval.backend = RetrievalBackend::kIvf;
+  const EvalResult fallback = EvaluateRanking(model, split.test, sampled_fast);
+  EXPECT_EQ(exact.precision, fallback.precision);
+  EXPECT_EQ(exact.recall, fallback.recall);
+  EXPECT_EQ(exact.ndcg, fallback.ndcg);
+}
+
+// --- Concurrency: shared index, per-thread scratch (TSan coverage) ------
+
+TEST_F(RetrievalTest, ConcurrentSearchesShareOneIndex) {
+  models::EmbeddingMips::Config config;
+  config.d = 16;
+  models::EmbeddingMips model(config);
+  model.FitCatalog(5'000);
+  FactorizedHead head;
+  ASSERT_TRUE(model.GetFactorizedHead(&head));
+  RetrievalOptions opts;
+  opts.backend = RetrievalBackend::kQuantized;
+  const RetrievalIndex index = RetrievalIndex::Build(head, opts);
+
+  std::vector<float> query;
+  model.EncodeQueryInto({10, 20, 30}, &query);
+  RetrievalIndex::Scratch serial_scratch;
+  std::vector<ScoredItem> serial;
+  index.Search(query.data(), 25, &serial_scratch, &serial);
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<ScoredItem>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RetrievalIndex::Scratch scratch;
+      for (int repeat = 0; repeat < 20; ++repeat) {
+        results[t].clear();
+        index.Search(query.data(), 25, &scratch, &results[t]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ExpectSameItems(results[t], serial, "thread " + std::to_string(t));
+  }
+}
+
+// --- Satellite 4: million-item RSS / pool audit -------------------------
+
+// A quantized million-item evaluation must not allocate (or leave cached)
+// anything near the full-score-vector footprint: the exact path would
+// materialize a 4 MB fp32 score vector per evaluation shard, the streaming
+// path holds k * 8 bytes of heap plus the query.  Skipped under sanitizers
+// (shadow memory makes RSS meaningless).
+TEST_F(RetrievalTest, MillionItemEvalRssAndPoolBound) {
+#ifdef VSAN_RETRIEVAL_TEST_SANITIZED
+  GTEST_SKIP() << "RSS accounting is distorted by sanitizer shadow memory";
+#else
+  constexpr int32_t kCatalog = 1'000'000;
+  models::EmbeddingMips::Config config;
+  config.d = 8;
+  models::EmbeddingMips model(config);
+  model.FitCatalog(kCatalog);
+  FactorizedHead head;
+  ASSERT_TRUE(model.GetFactorizedHead(&head));
+
+  RetrievalOptions ropts;
+  ropts.backend = RetrievalBackend::kQuantized;
+  const RetrievalIndex index = RetrievalIndex::Build(head, ropts);
+  // d=8 pads to one 16-byte block per row: ~16 MB packed + 8 MB of scales
+  // and bias copies.
+  EXPECT_LT(index.MemoryBytes(), 40LL << 20);
+
+  std::vector<data::HeldOutUser> users(20);
+  Rng rng(43);
+  for (auto& user : users) {
+    for (int i = 0; i < 6; ++i) {
+      user.fold_in.push_back(
+          static_cast<int32_t>(rng.UniformInt(1, kCatalog)));
+    }
+    user.holdout.push_back(
+        static_cast<int32_t>(rng.UniformInt(1, kCatalog)));
+  }
+
+  EvalOptions options;
+  options.cutoffs = {10};
+  options.retrieval.backend = RetrievalBackend::kQuantized;
+  options.retrieval_index = &index;
+
+  // Warm up once so lazily-faulted pages (code, metrics, scratch) do not
+  // count against the steady-state delta.
+  (void)EvaluateRanking(model, users, options);
+
+  const int64_t rss_before_kb = ReadCurrentRssKb();
+  ASSERT_GT(rss_before_kb, 0);
+  (void)EvaluateRanking(model, users, options);
+  const int64_t rss_after_kb = ReadCurrentRssKb();
+  ASSERT_GT(rss_after_kb, 0);
+
+  // Well below one full fp32 score vector (4000 KB); the streaming path's
+  // steady state allocates nothing.
+  EXPECT_LT(rss_after_kb - rss_before_kb, 2048)
+      << "quantized evaluation grew RSS by " << (rss_after_kb - rss_before_kb)
+      << " KB";
+
+  // The pooled allocator must stay within its arena bound and must not be
+  // holding per-user score vectors.
+  const pool::PoolStats stats = pool::GetStats();
+  EXPECT_LE(stats.bytes_cached, 512LL << 20);
+#endif
+}
+
+// The evaluator's retrieval counters move when (and only when) a fast
+// backend actually runs.
+TEST_F(RetrievalTest, RetrievalMetricsAreRecorded) {
+  models::EmbeddingMips::Config config;
+  config.d = 16;
+  models::EmbeddingMips model(config);
+  model.FitCatalog(2'000);
+  FactorizedHead head;
+  ASSERT_TRUE(model.GetFactorizedHead(&head));
+  RetrievalOptions ropts;
+  ropts.backend = RetrievalBackend::kIvf;
+  ropts.clusters = 8;
+  ropts.nprobe = 2;
+  const RetrievalIndex index = RetrievalIndex::Build(head, ropts);
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const int64_t queries_before =
+      registry.GetCounter(kMetricRetrievalQueries)->value();
+  const int64_t rows_before =
+      registry.GetCounter(kMetricRetrievalRowsScanned)->value();
+
+  std::vector<data::HeldOutUser> users(5);
+  Rng rng(47);
+  for (auto& user : users) {
+    user.fold_in = {static_cast<int32_t>(rng.UniformInt(1, 2'000))};
+    user.holdout = {static_cast<int32_t>(rng.UniformInt(1, 2'000))};
+  }
+  EvalOptions options;
+  options.cutoffs = {10};
+  options.retrieval.backend = RetrievalBackend::kIvf;
+  options.retrieval_index = &index;
+  (void)EvaluateRanking(model, users, options);
+
+  EXPECT_EQ(registry.GetCounter(kMetricRetrievalQueries)->value(),
+            queries_before + 5);
+  // nprobe=2 of 8 clusters: strictly fewer rows than a full scan per query.
+  const int64_t rows_scanned =
+      registry.GetCounter(kMetricRetrievalRowsScanned)->value() - rows_before;
+  EXPECT_GT(rows_scanned, 0);
+  EXPECT_LT(rows_scanned, 5LL * 2'000);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace vsan

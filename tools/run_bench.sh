@@ -9,6 +9,7 @@
 # Usage:
 #   tools/run_bench.sh [build_dir] [benchmark_filter]
 #   tools/run_bench.sh --trace [build_dir]
+#   tools/run_bench.sh --retrieval [build_dir]
 #
 # Compare the emitted file against a checked-in BENCH_micro.json from before
 # a kernel change to spot regressions; the 256^3 single-thread MatMul2D row
@@ -18,9 +19,25 @@
 # single-thread VsanTrainEpoch/80 run (VSAN_TRACE_OUT), fold it with
 # trace_summary, and fail if the summary is empty — a smoke check that the
 # tracer and its toolchain stay wired end to end.
+#
+# --retrieval: run the million-item recall-vs-speedup sweep
+# (bench/bench_retrieval.cc) and land its JSON curve in
+# BENCH_retrieval.json at the repo root — exact baseline, quantized scan,
+# and the IVF nprobe frontier, single-thread.  The checked-in file is the
+# regression reference for the >= 10x quantized speedup claim.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ "${1:-}" == "--retrieval" ]]; then
+  BUILD_DIR="${2:-$REPO_ROOT/build}"
+  OUT="$REPO_ROOT/BENCH_retrieval.json"
+  cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_retrieval
+  "$BUILD_DIR/bench/bench_retrieval" > "$OUT"
+  echo "wrote $OUT"
+  exit 0
+fi
 
 if [[ "${1:-}" == "--trace" ]]; then
   BUILD_DIR="${2:-$REPO_ROOT/build}"

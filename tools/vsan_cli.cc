@@ -48,6 +48,8 @@ int Usage() {
       "             [--checkpoint_dir=dir] [--checkpoint_every=1] [--resume]\n"
       "             [--on_divergence=skip|abort|rollback]\n"
       "  evaluate   --load=ckpt --dataset=... [--heldout=50] [--seed=7]\n"
+      "             [--retrieval=exact|quantized|ivf] [--clusters=0]\n"
+      "             [--nprobe=8]\n"
       "  recommend  --load=ckpt --history=1,2,3 [--topn=10]\n"
       "  inspect    --load=ckpt --history=1,2,3\n";
   return 2;
@@ -267,8 +269,20 @@ int Evaluate(const FlagParser& flags) {
   split_opts.seed = flags.GetInt("seed", 7);
   const data::StrongSplit split =
       data::MakeStrongSplit(dataset.value(), split_opts);
+  // Retrieval backend for the ranking pass (eval/retrieval.h): "exact" is
+  // the full-scoring oracle; "quantized" / "ivf" trade exactness for speed
+  // and fall back to exact when the model exposes no factorized head.
+  eval::EvalOptions eval_opts;
+  const std::string backend = flags.GetString("retrieval", "exact");
+  if (!eval::ParseRetrievalBackend(backend, &eval_opts.retrieval.backend)) {
+    std::cerr << "error: --retrieval must be exact|quantized|ivf\n";
+    return Usage();
+  }
+  eval_opts.retrieval.clusters =
+      static_cast<int32_t>(flags.GetInt("clusters", 0));
+  eval_opts.retrieval.nprobe = static_cast<int32_t>(flags.GetInt("nprobe", 8));
   const eval::EvalResult r =
-      eval::EvaluateRanking(*loaded.value(), split.test, {});
+      eval::EvaluateRanking(*loaded.value(), split.test, eval_opts);
   std::cout << loaded.value()->name() << " test: " << r.ToString() << "\n";
   return 0;
 }
