@@ -40,6 +40,13 @@ ctest --test-dir build -L fault 2>&1 | tee test_output_fault.txt
 # runnable in isolation.)
 ctest --test-dir build -L retrieval 2>&1 | tee test_output_retrieval.txt
 
+# Autotuner + bf16 storage path by label: VSANTUNE1 corruption rejection,
+# tuned-block bitwise equivalence, bf16 RNE edge cases and error bounds,
+# and the fp32-vs-bf16 eval accuracy delta on BeautyLike.  (Also in the
+# full run above; the bf16/autotune suites carry asan/ubsan labels so the
+# sanitizer sweeps cover the conversion and parser code.)
+ctest --test-dir build -L autotune 2>&1 | tee test_output_autotune.txt
+
 (
   cd build/bench
   for b in ./bench_*; do
@@ -49,5 +56,5 @@ ctest --test-dir build -L retrieval 2>&1 | tee test_output_retrieval.txt
 ) 2>&1 | tee bench_output.txt
 
 echo "done: test_output.txt," \
-     "test_output_{asan,tsan,ubsan,fault,retrieval}.txt," \
+     "test_output_{asan,tsan,ubsan,fault,retrieval,autotune}.txt," \
      "bench_output.txt, build/bench/*.csv"

@@ -375,6 +375,7 @@ std::vector<float> Vsan::Score(const std::vector<int32_t>& fold_in) const {
 void Vsan::ScoreInto(const std::vector<int32_t>& fold_in,
                     std::vector<float>* scores) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
+  ScopedMatMulPrecision precision_guard(eval_precision());
   const std::vector<int32_t> padded =
       data::SequenceBatcher::PadSequence(fold_in, config_.max_len);
   Net::Outputs out = net_->Forward(padded, /*batch=*/1, &rng_);
@@ -409,6 +410,7 @@ bool Vsan::GetFactorizedHead(FactorizedHead* head) const {
 bool Vsan::EncodeQueryInto(const std::vector<int32_t>& fold_in,
                            std::vector<float>* query) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before EncodeQueryInto()";
+  ScopedMatMulPrecision precision_guard(eval_precision());
   const std::vector<int32_t> padded =
       data::SequenceBatcher::PadSequence(fold_in, config_.max_len);
   Net::Outputs out = net_->Forward(padded, /*batch=*/1, &rng_);
@@ -425,6 +427,7 @@ std::vector<float> Vsan::ScoreWithSampledLatent(
     const std::vector<int32_t>& fold_in) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
   VSAN_CHECK(config_.use_latent) << "VSAN-z has no posterior to sample";
+  ScopedMatMulPrecision precision_guard(eval_precision());
   const std::vector<int32_t> padded =
       data::SequenceBatcher::PadSequence(fold_in, config_.max_len);
   Net::Outputs out =

@@ -202,6 +202,7 @@ std::vector<float> Caser::Score(const std::vector<int32_t>& fold_in) const {
 void Caser::ScoreInto(const std::vector<int32_t>& fold_in,
                      std::vector<float>* scores) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
+  ScopedMatMulPrecision precision_guard(eval_precision());
   const std::vector<int32_t> window =
       data::SequenceBatcher::PadSequence(fold_in, config_.window);
   Variable logits = net_->Forward(window, /*batch=*/1, &rng_);
@@ -227,6 +228,7 @@ bool Caser::EncodeQueryInto(const std::vector<int32_t>& fold_in,
                             std::vector<float>* query) const {
   VSAN_CHECK(net_ != nullptr)
       << "Fit() must be called before EncodeQueryInto()";
+  ScopedMatMulPrecision precision_guard(eval_precision());
   const std::vector<int32_t> window =
       data::SequenceBatcher::PadSequence(fold_in, config_.window);
   Variable hidden = net_->Hidden(window, /*batch=*/1, &rng_);

@@ -92,6 +92,7 @@ std::vector<float> Gru4Rec::Score(const std::vector<int32_t>& fold_in) const {
 void Gru4Rec::ScoreInto(const std::vector<int32_t>& fold_in,
                        std::vector<float>* scores) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
+  ScopedMatMulPrecision precision_guard(eval_precision());
   const std::vector<int32_t> padded = data::SequenceBatcher::PadSequence(
       fold_in, config_.max_len, /*pad_left=*/false);
   Variable hidden = net_->Encode(padded, /*batch=*/1, &rng_);
@@ -124,6 +125,7 @@ bool Gru4Rec::EncodeQueryInto(const std::vector<int32_t>& fold_in,
                               std::vector<float>* query) const {
   VSAN_CHECK(net_ != nullptr)
       << "Fit() must be called before EncodeQueryInto()";
+  ScopedMatMulPrecision precision_guard(eval_precision());
   const std::vector<int32_t> padded = data::SequenceBatcher::PadSequence(
       fold_in, config_.max_len, /*pad_left=*/false);
   Variable hidden = net_->Encode(padded, /*batch=*/1, &rng_);

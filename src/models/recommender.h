@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "tensor/gemm.h"
 #include "util/early_stopping.h"
 #include "util/thread_pool.h"
 
@@ -169,6 +170,24 @@ class SequentialRecommender {
     (void)query;
     return false;
   }
+
+  // --- Inference precision ----------------------------------------------
+  //
+  // Operand-storage precision for the GEMMs inside Score / ScoreInto /
+  // EncodeQueryInto (tensor/gemm.h).  Each model's scoring path installs a
+  // ScopedMatMulPrecision guard with this value *inside* the virtual call,
+  // so the setting follows the model onto whatever thread scores it
+  // (ScoreBatch fans ScoreInto out over pool workers) and can never leak
+  // into training: Fit() never consults it.  With kBf16, the accuracy cost
+  // is tracked — not assumed away — by the eval-delta test
+  // (tests/bf16_test.cc) and the EXPERIMENTS.md table.
+  void set_eval_precision(MatMulPrecision precision) {
+    eval_precision_ = precision;
+  }
+  MatMulPrecision eval_precision() const { return eval_precision_; }
+
+ private:
+  MatMulPrecision eval_precision_ = MatMulPrecision::kFp32;
 };
 
 // Batched inference: scores every fold-in history and returns the score

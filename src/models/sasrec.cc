@@ -148,6 +148,7 @@ std::vector<float> SasRec::Score(const std::vector<int32_t>& fold_in) const {
 void SasRec::ScoreInto(const std::vector<int32_t>& fold_in,
                       std::vector<float>* scores) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
+  ScopedMatMulPrecision precision_guard(eval_precision());
   const std::vector<int32_t> padded =
       data::SequenceBatcher::PadSequence(fold_in, config_.max_len);
   Variable hidden = net_->Encode(padded, /*batch=*/1, &rng_);
@@ -175,6 +176,7 @@ bool SasRec::GetFactorizedHead(FactorizedHead* head) const {
 bool SasRec::EncodeQueryInto(const std::vector<int32_t>& fold_in,
                              std::vector<float>* query) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before EncodeQueryInto()";
+  ScopedMatMulPrecision precision_guard(eval_precision());
   const std::vector<int32_t> padded =
       data::SequenceBatcher::PadSequence(fold_in, config_.max_len);
   Variable hidden = net_->Encode(padded, /*batch=*/1, &rng_);

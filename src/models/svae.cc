@@ -207,6 +207,7 @@ std::vector<float> Svae::Score(const std::vector<int32_t>& fold_in) const {
 void Svae::ScoreInto(const std::vector<int32_t>& fold_in,
                     std::vector<float>* scores) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";
+  ScopedMatMulPrecision precision_guard(eval_precision());
   const std::vector<int32_t> padded = data::SequenceBatcher::PadSequence(
       fold_in, config_.max_len, /*pad_left=*/false);
   Net::Outputs out = net_->Forward(padded, /*batch=*/1, &rng_);
@@ -237,6 +238,7 @@ bool Svae::EncodeQueryInto(const std::vector<int32_t>& fold_in,
                            std::vector<float>* query) const {
   VSAN_CHECK(net_ != nullptr)
       << "Fit() must be called before EncodeQueryInto()";
+  ScopedMatMulPrecision precision_guard(eval_precision());
   const std::vector<int32_t> padded = data::SequenceBatcher::PadSequence(
       fold_in, config_.max_len, /*pad_left=*/false);
   Net::Outputs out = net_->Forward(padded, /*batch=*/1, &rng_);

@@ -1,0 +1,127 @@
+#ifndef VSAN_TENSOR_AUTOTUNE_H_
+#define VSAN_TENSOR_AUTOTUNE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "util/status.h"
+
+// Cache-aware autotuner for GemmBlockSizes (ROADMAP item 5).  The hand-
+// tuned defaults in gemm.h were picked on one development host; this module
+// makes per-host adaptation automatic by timing a candidate grid derived
+// from the machine's actual cache hierarchy on the repo's real GEMM shapes
+// (embedding-dim x seq-len rectangles, not just cubes — fat-N logits GEMMs
+// reward a very different nc than a 256^3 cube).
+//
+// Three ways in, all ending at SetGemmBlockSizes:
+//   1. Offline: `tools/autotune --out=tuned.vsantune` sweeps with a generous
+//      budget and writes a VSANTUNE1 config file.
+//   2. Load: `vsan_cli --tune-config=tuned.vsantune` (or the
+//      VSAN_TUNE_CONFIG env var) applies a saved config at startup.
+//   3. Lazy: with VSAN_AUTOTUNE=1, the first Gemm call triggers a one-shot
+//      quick sweep (budget VSAN_AUTOTUNE_BUDGET_MS, default 2000); if
+//      VSAN_TUNE_CONFIG also names a path, a loadable file there short-
+//      circuits the sweep and a fresh sweep result is saved there, so the
+//      sweep cost is paid once per host, not once per process.
+//
+// Applying tuned block sizes never changes results: the blocked GEMM is
+// bitwise-invariant to block sizes by construction (see gemm.h), which is
+// what makes silent startup retuning safe.  tests/autotune_test.cc locks
+// both properties down (config corruption rejection byte by byte, and
+// tuned-blocks bitwise equality across thread counts).
+
+namespace vsan {
+namespace autotune {
+
+// Per-core cache sizes in bytes, from
+// /sys/devices/system/cpu/cpu0/cache/index*/ (level + type + size).
+// `detected` is false when sysfs was unreadable and the conservative
+// fallbacks (32 KiB / 1 MiB / 8 MiB) are in use.
+struct CacheInfo {
+  int64_t l1d_bytes = 32 * 1024;
+  int64_t l2_bytes = 1024 * 1024;
+  int64_t l3_bytes = 8 * 1024 * 1024;
+  bool detected = false;
+};
+
+CacheInfo DetectCacheInfo();
+
+// One GEMM problem the sweep times.  The default set mirrors the repo's
+// hot shapes (see DefaultTuneShapes in autotune.cc): training FFN/attention
+// rectangles, the eval logits GEMM over the item catalog, and one cube.
+struct TuneShape {
+  std::string name;
+  int64_t m = 0;
+  int64_t n = 0;
+  int64_t k = 0;
+};
+
+std::vector<TuneShape> DefaultTuneShapes();
+
+struct TuneOptions {
+  // Wall-clock budget for the candidate sweep.  The grid is visited in
+  // heuristic order (cache-ideal candidates first), so an exhausted budget
+  // still yields the most promising configurations tried so far.
+  double budget_ms = 2000;
+  // Timed repetitions per (candidate, shape); the minimum is kept.
+  int repeats = 2;
+  // Shapes to time; empty means DefaultTuneShapes().
+  std::vector<TuneShape> shapes;
+};
+
+// Default-vs-tuned timing for one shape, from the final A/B pass.
+struct ShapeTiming {
+  TuneShape shape;
+  double default_ns = 0;
+  double tuned_ns = 0;
+  double speedup = 0;  // default_ns / tuned_ns
+};
+
+struct TuneResult {
+  GemmBlockSizes baseline;  // block sizes active when the sweep started
+  GemmBlockSizes best;      // winner by total time across shapes
+  CacheInfo cache;
+  int64_t candidates_tried = 0;
+  int64_t candidates_total = 0;
+  double total_default_ns = 0;
+  double total_best_ns = 0;
+  std::vector<ShapeTiming> timings;  // final A/B, one entry per shape
+};
+
+// Runs the sweep and returns the winner WITHOUT applying it.  Restores the
+// block sizes that were active at entry, so timing candidates is
+// side-effect-free; callers decide whether to SetGemmBlockSizes(best).
+// Uses the process's current thread-pool configuration.
+TuneResult TuneGemmBlockSizes(const TuneOptions& options = {});
+
+// VSANTUNE1 config file: 9-byte magic, fixed little-endian payload
+// (mc/nc/kc + the cache sizes the sweep saw, for provenance), CRC32
+// footer.  Fixed total size; Load rejects any size mismatch, bad magic,
+// CRC failure, or out-of-range block value with a descriptive error —
+// every single-byte corruption is detectable (tests/autotune_test.cc flips
+// each byte in turn, checkpoint_test.cc style).
+Status SaveTuneConfig(const std::string& path, const GemmBlockSizes& blocks,
+                      const CacheInfo& cache);
+Result<GemmBlockSizes> LoadTuneConfig(const std::string& path);
+
+// LoadTuneConfig + SetGemmBlockSizes.
+Status ApplyTuneConfig(const std::string& path);
+
+// Lazy env-driven hook, called at every public Gemm entry.  One relaxed
+// atomic load on the fast path; the first caller resolves VSAN_TUNE_CONFIG
+// / VSAN_AUTOTUNE as described above.  Deliberately NOT std::call_once:
+// the sweep itself calls Gemm, so the hook must tolerate re-entry from the
+// same (and concurrent) threads — re-entrant callers see the "running"
+// state and proceed untuned instead of deadlocking.
+void EnsureGemmTuningFromEnv();
+
+// Test hook: resets EnsureGemmTuningFromEnv to the unchecked state so a
+// test can exercise the env path after setenv.  Not for production use.
+void ResetGemmTuningForTest();
+
+}  // namespace autotune
+}  // namespace vsan
+
+#endif  // VSAN_TENSOR_AUTOTUNE_H_

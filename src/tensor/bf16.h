@@ -1,0 +1,111 @@
+#ifndef VSAN_TENSOR_BF16_H_
+#define VSAN_TENSOR_BF16_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+// bfloat16 storage conversions for the reduced-precision GEMM path
+// (tensor/gemm.h, MatMulPrecision::kBf16).
+//
+// bf16 is the upper half of an IEEE-754 binary32: 1 sign bit, the same
+// 8-bit exponent, and a 7-bit stored mantissa (8 significand bits with the
+// implicit leading one).  Truncating a float therefore never changes the
+// exponent range — only precision drops, from 24 significand bits to 8.
+// Machine epsilon is 2^-7, so round-to-nearest-even conversion has relative
+// error at most 2^-8 for normal values; that bound is what the documented
+// bf16 dot-product error bound in tests/bf16_test.cc builds on (the same
+// discipline as int8_dot.h's quantization bound).
+//
+// The conversions live here as plain integer arithmetic on the bit pattern
+// (std::memcpy in, shift/add, std::memcpy out) for two reasons:
+//   1. Correctness under sanitizers: type-punning through unions or
+//      reinterpret_cast is exactly the aliasing/UB trap UBSan exists to
+//      catch; memcpy-based bit access is the sanctioned idiom and compiles
+//      to a single register move.
+//   2. Vectorizability: Bf16FromFloat is branchless (the NaN fixup is a
+//      select, not a branch), so the packing loops in gemm.cc that call it
+//      element-by-element auto-vectorize; no hand-written conversion kernel
+//      is needed off the innermost GEMM loop.
+//
+// Rounding is IEEE round-to-nearest-even, implemented with the classic
+// carry trick: adding 0x7fff + (bit 16 of the input) to the float's bit
+// pattern rounds the low 16 bits away, carrying into the kept mantissa on
+// ties exactly when the kept LSB is odd.  Edge behavior (all locked down in
+// tests/bf16_test.cc):
+//   - NaN: the rounding add could carry a NaN's mantissa into the exponent
+//     and produce +/-inf, so NaNs are instead truncated and forced quiet
+//     (mantissa MSB set), preserving sign and payload top bits.
+//   - +/-inf: bit 16 of an infinity is 0 and the mantissa is all zero, so
+//     the bias add never carries; infinities round-trip unchanged.
+//   - Overflow: finite values above the largest finite bf16
+//     (0x7f7f = 3.3895e38) round to +/-inf, as IEEE RNE requires.
+//   - Subnormals: bf16 shares the fp32 exponent field, so fp32 subnormals
+//     map onto bf16 subnormals by the same shift-and-round; no special
+//     case.  (The AVX-512 vdpbf16ps *kernel* flushes subnormal inputs to
+//     zero — see gemm_microkernel.h — but conversion here is exact RNE.)
+//   - Signed zero: -0.0f keeps its sign bit.
+
+namespace vsan {
+
+// bf16 values travel as raw uint16_t bit patterns; there is deliberately no
+// arithmetic wrapper type.  Packed GEMM panels are the only bulk container.
+using Bf16 = uint16_t;
+
+inline Bf16 Bf16FromFloat(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  // Round-to-nearest-even on the low 16 bits.
+  const uint32_t rounded =
+      (bits + 0x7fffu + ((bits >> 16) & 1u)) >> 16;
+  // NaN (exponent all ones, mantissa nonzero): truncate and quiet instead,
+  // so the rounding carry cannot turn a NaN into an infinity.
+  const bool is_nan = (bits & 0x7fffffffu) > 0x7f800000u;
+  const uint32_t nan_bits = (bits >> 16) | 0x0040u;
+  return static_cast<Bf16>(is_nan ? nan_bits : rounded);
+}
+
+// Widening is exact: a bf16 pattern shifted into the high half of a zeroed
+// uint32 *is* the float it denotes.
+inline float Bf16ToFloat(Bf16 h) {
+  const uint32_t bits = static_cast<uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+// Bulk conversions for packing/unpacking and tests.  Plain element loops:
+// the branchless scalar bodies vectorize under -O3.
+inline void Bf16FromFloatN(const float* src, Bf16* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = Bf16FromFloat(src[i]);
+}
+
+inline void Bf16ToFloatN(const Bf16* src, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = Bf16ToFloat(src[i]);
+}
+
+namespace internal {
+
+// Reference bf16 dot product: both operands rounded to bf16, widened back,
+// and accumulated in fp32 along the same ascending-index contracted chain
+// as DotFma (int8_dot.h).  This is the accumulation-order specification for
+// the non-AVX-512-BF16 GemmBf16 kernels and the oracle for the documented
+// error bound in tests/bf16_test.cc; it is never used on a hot path.
+inline float DotBf16(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t p = 0; p < n; ++p) {
+    const float av = Bf16ToFloat(Bf16FromFloat(a[p]));
+    const float bv = Bf16ToFloat(Bf16FromFloat(b[p]));
+#if defined(__FMA__)
+    acc = std::fma(av, bv, acc);
+#else
+    acc += av * bv;
+#endif
+  }
+  return acc;
+}
+
+}  // namespace internal
+}  // namespace vsan
+
+#endif  // VSAN_TENSOR_BF16_H_

@@ -1,0 +1,100 @@
+// Offline GEMM autotuner (tensor/autotune.h).  Sweeps cache-derived block-
+// size candidates on the repo's real GEMM shapes with a generous budget and
+// writes a VSANTUNE1 config, which vsan_cli --tune-config= / the
+// VSAN_TUNE_CONFIG env var apply at startup.  Run once per host; applying
+// the result never changes numerical results (the blocked GEMM is bitwise-
+// invariant to block sizes).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "tensor/autotune.h"
+#include "tensor/gemm.h"
+#include "util/flags.h"
+
+namespace vsan {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage: autotune [--out=tuned.vsantune] [--budget-ms=15000]\n"
+      "                [--repeats=3] [--apply-check]\n"
+      "  --out         write the winning block sizes as a VSANTUNE1 file\n"
+      "  --budget-ms   sweep time budget (candidates are visited most-\n"
+      "                promising-first, so a small budget still helps)\n"
+      "  --repeats     timed repetitions per candidate/shape (min is kept)\n"
+      "  --apply-check reload the written file and verify it round-trips\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (!flags.positional().empty()) return Usage();
+
+  autotune::TuneOptions options;
+  options.budget_ms = flags.GetDouble("budget-ms", 15000.0);
+  options.repeats = static_cast<int>(flags.GetInt("repeats", 3));
+
+  const autotune::CacheInfo cache = autotune::DetectCacheInfo();
+  std::printf("cache: L1d %lld KiB, L2 %lld KiB, L3 %lld KiB (%s)\n",
+              static_cast<long long>(cache.l1d_bytes / 1024),
+              static_cast<long long>(cache.l2_bytes / 1024),
+              static_cast<long long>(cache.l3_bytes / 1024),
+              cache.detected ? "sysfs" : "fallback defaults");
+
+  const autotune::TuneResult result = autotune::TuneGemmBlockSizes(options);
+  std::printf("candidates: %lld of %lld within budget\n",
+              static_cast<long long>(result.candidates_tried),
+              static_cast<long long>(result.candidates_total));
+  std::printf("baseline: mc=%lld nc=%lld kc=%lld\n",
+              static_cast<long long>(result.baseline.mc),
+              static_cast<long long>(result.baseline.nc),
+              static_cast<long long>(result.baseline.kc));
+  std::printf("best:     mc=%lld nc=%lld kc=%lld\n",
+              static_cast<long long>(result.best.mc),
+              static_cast<long long>(result.best.nc),
+              static_cast<long long>(result.best.kc));
+  std::printf("%-14s %14s %14s %8s\n", "shape", "default_ns", "tuned_ns",
+              "speedup");
+  for (const autotune::ShapeTiming& t : result.timings) {
+    std::printf("%-14s %14.0f %14.0f %7.3fx\n", t.shape.name.c_str(),
+                t.default_ns, t.tuned_ns, t.speedup);
+  }
+  std::printf("total: %.0f ns -> %.0f ns (%.3fx)\n", result.total_default_ns,
+              result.total_best_ns,
+              result.total_best_ns > 0
+                  ? result.total_default_ns / result.total_best_ns
+                  : 0.0);
+
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    Status status = autotune::SaveTuneConfig(out, result.best, result.cache);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+    if (flags.GetBool("apply-check", false)) {
+      Result<GemmBlockSizes> loaded = autotune::LoadTuneConfig(out);
+      if (!loaded.ok()) {
+        std::cerr << "error: round-trip failed: "
+                  << loaded.status().ToString() << "\n";
+        return 1;
+      }
+      if (loaded.value().mc != result.best.mc ||
+          loaded.value().nc != result.best.nc ||
+          loaded.value().kc != result.best.kc) {
+        std::cerr << "error: round-trip mismatch\n";
+        return 1;
+      }
+      std::printf("round-trip ok\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsan
+
+int main(int argc, char** argv) { return vsan::Main(argc, argv); }

@@ -10,6 +10,24 @@
 #   tools/run_bench.sh [build_dir] [benchmark_filter]
 #   tools/run_bench.sh --trace [build_dir]
 #   tools/run_bench.sh --retrieval [build_dir]
+#   tools/run_bench.sh --autotune [build_dir]
+#
+# The distilled records carry a `precision` field on the GEMM family
+# (fp32, or bf16 for BM_GemmBf16 and the bf16 rows of BM_GemmModelShape),
+# so fp32/bf16 pairs at equal shapes sit side by side in the file.
+#
+# If the google-benchmark library itself was a debug build (distro packages
+# often are; the binary self-reports via library_build_type), the script
+# warns — the project code is still Release, but the measurement loop
+# carries extra overhead.  Set VSAN_REQUIRE_RELEASE_BENCH=1 to make that a
+# hard failure, or configure with -DVSAN_BENCHMARK_SOURCE_DIR=<checkout> to
+# build the library Release in-tree.
+#
+# --autotune: A/B the GEMM family against tools/autotune's winner.  Runs
+# the offline tuner (budget VSAN_AUTOTUNE_BUDGET_MS, default 15000 ms),
+# then runs the GEMM benchmarks once with default block sizes and once
+# with the tuned config applied via VSAN_TUNE_CONFIG, landing both in
+# BENCH_autotune.json with records tagged blocks=default|tuned.
 #
 # Compare the emitted file against a checked-in BENCH_micro.json from before
 # a kernel change to spot regressions; the 256^3 single-thread MatMul2D row
@@ -58,6 +76,50 @@ if [[ "${1:-}" == "--trace" ]]; then
   exit 0
 fi
 
+# Warn (or, under VSAN_REQUIRE_RELEASE_BENCH=1, fail) when the
+# google-benchmark library linked into a just-produced JSON was a debug
+# build.  $1 = benchmark JSON path.
+check_bench_library() {
+  local build_type
+  build_type="$(python3 -c '
+import json, sys
+print(json.load(open(sys.argv[1]))["context"].get("library_build_type", "unknown"))
+' "$1")"
+  if [[ "$build_type" != "release" ]]; then
+    echo "warning: google-benchmark library build type is '$build_type'," \
+      "not 'release'; timings include debug-library overhead (configure" \
+      "with -DVSAN_BENCHMARK_SOURCE_DIR=<checkout> for a Release lib)" >&2
+    if [[ "${VSAN_REQUIRE_RELEASE_BENCH:-0}" == "1" ]]; then
+      echo "error: VSAN_REQUIRE_RELEASE_BENCH=1 and the benchmark library" \
+        "is not a release build" >&2
+      exit 1
+    fi
+  fi
+}
+
+if [[ "${1:-}" == "--autotune" ]]; then
+  BUILD_DIR="${2:-$REPO_ROOT/build}"
+  OUT="$REPO_ROOT/BENCH_autotune.json"
+  cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro_ops autotune
+  TUNE_CONFIG="$(mktemp --suffix=.vsantune)"
+  DEFAULT_JSON="$(mktemp)"
+  TUNED_JSON="$(mktemp)"
+  trap 'rm -f "$TUNE_CONFIG" "$DEFAULT_JSON" "$TUNED_JSON"' EXIT
+  "$BUILD_DIR/tools/autotune" --out="$TUNE_CONFIG" \
+    --budget-ms="${VSAN_AUTOTUNE_BUDGET_MS:-15000}" --apply-check
+  GEMM_FILTER='BM_MatMul2D|BM_BatchedMatMul|BM_GemmBf16|BM_GemmModelShape'
+  "$BUILD_DIR/bench/bench_micro_ops" --benchmark_format=json \
+    --benchmark_filter="$GEMM_FILTER" > "$DEFAULT_JSON"
+  check_bench_library "$DEFAULT_JSON"
+  VSAN_TUNE_CONFIG="$TUNE_CONFIG" "$BUILD_DIR/bench/bench_micro_ops" \
+    --benchmark_format=json \
+    --benchmark_filter="$GEMM_FILTER" > "$TUNED_JSON"
+  python3 "$REPO_ROOT/tools/distill_bench.py" --autotune \
+    "$DEFAULT_JSON" "$TUNED_JSON" "$OUT"
+  exit 0
+fi
+
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 FILTER="${2:-}"
 OUT="$REPO_ROOT/BENCH_micro.json"
@@ -77,6 +139,7 @@ if [[ -n "$FILTER" ]]; then
 fi
 
 "$BUILD_DIR/bench/bench_micro_ops" "${BENCH_ARGS[@]}" > "$OPS_JSON"
+check_bench_library "$OPS_JSON"
 "$BUILD_DIR/bench/bench_micro_train" "${BENCH_ARGS[@]}" > "$TRAIN_JSON"
 # The allocation-churn probe again with the tensor pool disabled, so the
 # emitted file carries a pool-on / pool-off pair for the same workload.
@@ -84,77 +147,5 @@ VSAN_POOL=0 "$BUILD_DIR/bench/bench_micro_train" \
   --benchmark_format=json \
   --benchmark_filter='BM_AllocChurn' > "$POOLOFF_JSON"
 
-python3 - "$OPS_JSON" "$TRAIN_JSON" "$POOLOFF_JSON" "$OUT" <<'PY'
-import json
-import sys
-
-# Benchmarks whose last argument is the thread-pool size (the ThreadCounts()
-# sweep in bench/*.cc).  Everything else is single-thread.
-THREADED = {
-    "BM_MatMul2D", "BM_MatMul2DTransposed", "BM_BatchedMatMul",
-    "BM_SoftmaxLastDim", "BM_AttentionBlockForward",
-    "BM_VsanTrainEpoch_SeqLen", "BM_VsanTrainEpoch_Dim",
-    "BM_SasRecTrainEpoch_SeqLen", "BM_Gru4RecTrainEpoch_SeqLen",
-    "BM_EvaluateRanking",
-}
-# GEMM-family benchmarks: items_processed counts multiply-adds, so
-# FLOPs/s = 2 * items/s.
-GEMM_OPS = {
-    "BM_MatMul2D", "BM_MatMul2DTransposed", "BM_MatMul2DBlockSweep",
-    "BM_BatchedMatMul",
-}
-
-records = []
-context = None
-# argv[3] is the VSAN_POOL=0 rerun of the allocation-churn probe; its
-# records are tagged pool=off (pool-sensitive records from the normal run
-# get pool=on) so regressions in either mode are visible side by side.
-for path in sys.argv[1:4]:
-    pool_mode = "off" if path == sys.argv[3] else "on"
-    with open(path) as f:
-        data = json.load(f)
-    if context is None:
-        context = {
-            "date": data["context"].get("date"),
-            "num_cpus": data["context"].get("num_cpus"),
-            "mhz_per_cpu": data["context"].get("mhz_per_cpu"),
-            # How the google-benchmark library itself was built (the
-            # project is always built Release by this script).
-            "benchmark_library_build_type":
-                data["context"].get("library_build_type"),
-        }
-    for b in data.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
-            continue
-        parts = b["name"].split("/")
-        op, args = parts[0], parts[1:]
-        if op in THREADED and args:
-            threads = int(args[-1])
-            shape = "x".join(args[:-1]) or "-"
-        elif op == "BM_MatMul2DBlockSweep":
-            threads = 1
-            shape = "256x256x256 mc={} nc={} kc={}".format(*args)
-        else:
-            threads = 1
-            shape = "x".join(args) or "-"
-        unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
-        rec = {
-            "op": op,
-            "shape": shape,
-            "threads": threads,
-            "ns_per_iter": round(
-                b["real_time"] * unit_ns[b.get("time_unit", "ns")], 1),
-        }
-        if op in GEMM_OPS and "items_per_second" in b:
-            rec["gflops"] = round(2.0 * b["items_per_second"] / 1e9, 2)
-        if op == "BM_AllocChurn":
-            rec["pool"] = pool_mode
-            if "pool_hit_rate" in b:
-                rec["pool_hit_rate"] = round(b["pool_hit_rate"], 4)
-        records.append(rec)
-
-with open(sys.argv[4], "w") as f:
-    json.dump({"context": context, "benchmarks": records}, f, indent=1)
-    f.write("\n")
-print(f"wrote {sys.argv[4]} ({len(records)} records)")
-PY
+python3 "$REPO_ROOT/tools/distill_bench.py" \
+  "$OPS_JSON" "$TRAIN_JSON" "$POOLOFF_JSON" "$OUT"

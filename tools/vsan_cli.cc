@@ -29,6 +29,8 @@
 #include "models/transrec.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "tensor/autotune.h"
+#include "tensor/gemm.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -49,10 +51,28 @@ int Usage() {
       "             [--on_divergence=skip|abort|rollback]\n"
       "  evaluate   --load=ckpt --dataset=... [--heldout=50] [--seed=7]\n"
       "             [--retrieval=exact|quantized|ivf] [--clusters=0]\n"
-      "             [--nprobe=8]\n"
+      "             [--nprobe=8] [--precision=fp32|bf16]\n"
       "  recommend  --load=ckpt --history=1,2,3 [--topn=10]\n"
-      "  inspect    --load=ckpt --history=1,2,3\n";
+      "             [--precision=fp32|bf16]\n"
+      "  inspect    --load=ckpt --history=1,2,3\n"
+      "global flags:\n"
+      "  --tune-config=path   apply a VSANTUNE1 GEMM config (tools/autotune;\n"
+      "                       env: VSAN_TUNE_CONFIG, sweep: VSAN_AUTOTUNE=1)\n";
   return 2;
+}
+
+// --precision=fp32|bf16: operand-storage precision for the model's scoring
+// GEMMs (tensor/gemm.h).  Inference-only; training always runs fp32.
+bool ApplyPrecisionFlag(const FlagParser& flags,
+                        SequentialRecommender* model) {
+  const std::string precision = flags.GetString("precision", "fp32");
+  if (precision == "fp32") return true;
+  if (precision == "bf16") {
+    model->set_eval_precision(MatMulPrecision::kBf16);
+    return true;
+  }
+  std::cerr << "error: --precision must be fp32|bf16\n";
+  return false;
 }
 
 Result<data::SequenceDataset> LoadDataset(const FlagParser& flags) {
@@ -281,6 +301,7 @@ int Evaluate(const FlagParser& flags) {
   eval_opts.retrieval.clusters =
       static_cast<int32_t>(flags.GetInt("clusters", 0));
   eval_opts.retrieval.nprobe = static_cast<int32_t>(flags.GetInt("nprobe", 8));
+  if (!ApplyPrecisionFlag(flags, loaded.value().get())) return Usage();
   const eval::EvalResult r =
       eval::EvaluateRanking(*loaded.value(), split.test, eval_opts);
   std::cout << loaded.value()->name() << " test: " << r.ToString() << "\n";
@@ -299,6 +320,7 @@ int Recommend(const FlagParser& flags) {
     std::cerr << "error: --history=1,2,3 required\n";
     return Usage();
   }
+  if (!ApplyPrecisionFlag(flags, loaded.value().get())) return Usage();
   const std::vector<float> scores = loaded.value()->Score(history);
   std::vector<bool> excluded(scores.size(), false);
   excluded[data::kPaddingItem] = true;
@@ -340,6 +362,14 @@ int Inspect(const FlagParser& flags) {
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.positional().empty()) return Usage();
+  const std::string tune_config = flags.GetString("tune-config");
+  if (!tune_config.empty()) {
+    const Status s = autotune::ApplyTuneConfig(tune_config);
+    if (!s.ok()) {
+      std::cerr << "error: --tune-config: " << s.ToString() << "\n";
+      return 1;
+    }
+  }
   const std::string command = flags.positional()[0];
   if (command == "train") return Train(flags);
   if (command == "evaluate") return Evaluate(flags);
