@@ -23,6 +23,7 @@
 #include "data/synthetic.h"
 #include "models/gru4rec.h"
 #include "models/sasrec.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "tensor/pool.h"
 #include "util/env.h"
@@ -195,13 +196,34 @@ BENCHMARK(BM_AllocChurn)->Unit(benchmark::kMillisecond);
 // BENCHMARK_MAIN plus an optional span-trace capture: with VSAN_TRACE_OUT
 // set, a tracer session wraps the benchmark run and the collected spans are
 // exported as Chrome-trace JSON to that path (tools/run_bench.sh --trace
-// summarizes it with trace_summary for CI diffing).
+// summarizes it with trace_summary for CI diffing).  VSAN_PROFILE_OUT does
+// the same with the sampling CPU profiler, writing folded stacks for
+// flamegraph.pl / speedscope.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   const std::string trace_out = vsan::GetEnvString("VSAN_TRACE_OUT", "");
   if (!trace_out.empty()) vsan::obs::Tracer::Global().StartSession({});
+  const std::string profile_out = vsan::GetEnvString("VSAN_PROFILE_OUT", "");
+  if (!profile_out.empty() &&
+      !vsan::obs::SamplingProfiler::Global().Start()) {
+    std::cerr << "error: cannot start profiler for VSAN_PROFILE_OUT"
+                 " (built with -DVSAN_OBS=OFF?)\n";
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
+  if (!profile_out.empty()) {
+    const vsan::obs::ProfileStats stats =
+        vsan::obs::SamplingProfiler::Global().Stop();
+    if (!vsan::obs::SamplingProfiler::Global().WriteFolded(profile_out)) {
+      std::cerr << "error: cannot write VSAN_PROFILE_OUT=" << profile_out
+                << "\n";
+      return 1;
+    }
+    std::cerr << "profile: " << stats.samples << " samples ("
+              << 100.0 * stats.any_symbolized_fraction << "% symbolized, "
+              << stats.dropped << " dropped) -> " << profile_out << "\n";
+  }
   if (!trace_out.empty()) {
     vsan::obs::Tracer::Global().StopSession();
     if (!vsan::obs::ExportChromeTrace(trace_out)) {

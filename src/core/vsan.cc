@@ -10,6 +10,7 @@
 #include "models/epoch_report.h"
 #include "models/train_runtime.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/adam.h"
 #include "optim/lr_schedule.h"
@@ -202,6 +203,16 @@ void Vsan::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
   hooks.model_name = "vsan";
   models::TrainRuntime runtime(opts, std::move(hooks));
 
+  // Same live-metrics set as the shared loop (models/train_loop.h), so a
+  // /metrics scrape reads identically whichever model is training.
+  obs::Counter* step_counter =
+      obs::MetricsRegistry::Global().GetCounter("train.steps");
+  obs::Histogram* loss_hist = obs::MetricsRegistry::Global().GetHistogram(
+      "train.batch_loss", obs::ExponentialBuckets(1e-3, 2.0, 24));
+  obs::SlidingWindowHistogram* step_ms_hist =
+      obs::MetricsRegistry::Global().GetSlidingHistogram(
+          "train.step_ms", obs::ExponentialBuckets(0.1, 2.0, 20));
+
   int64_t step = 0;
   int32_t epoch = 0;
   if (!runtime.Begin(&step, &epoch)) return;
@@ -224,6 +235,7 @@ void Vsan::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
     data::TrainBatch batch;
     while (batcher.NextBatch(&batch)) {
       VSAN_TRACE_SPAN("train/step", kTrain);
+      Stopwatch step_timer;
       if (runtime.PreStep(step + 1)) return;  // simulated kill
       if (opts.lr_schedule != nullptr) {
         optimizer.set_learning_rate(opts.lr_schedule->LearningRate(step));
@@ -334,6 +346,9 @@ void Vsan::Fit(const data::SequenceDataset& train, const TrainOptions& opts) {
       loss_sum += loss_value;
       recon_sum += recon.value()[0];
       kl_sum += kl_value;
+      loss_hist->Observe(loss_value);
+      step_ms_hist->Observe(step_timer.ElapsedMillis());
+      step_counter->Increment();
       ++batches;
     }
     if (rolled_back) continue;  // replay from the last checkpoint

@@ -44,6 +44,11 @@ inline void RunTrainLoop(
       obs::MetricsRegistry::Global().GetCounter("train.steps");
   obs::Histogram* loss_hist = obs::MetricsRegistry::Global().GetHistogram(
       "train.batch_loss", obs::ExponentialBuckets(1e-3, 2.0, 24));
+  // Sliding window so a /metrics scrape reports the *recent* step latency
+  // (p50/p95/p99 over the last 30 s), not a since-startup average.
+  obs::SlidingWindowHistogram* step_ms_hist =
+      obs::MetricsRegistry::Global().GetSlidingHistogram(
+          "train.step_ms", obs::ExponentialBuckets(0.1, 2.0, 20));
   int64_t step = 0;
   int32_t epoch = 0;
   if (!runtime->Begin(&step, &epoch)) return;
@@ -60,6 +65,7 @@ inline void RunTrainLoop(
     data::TrainBatch batch;
     while (batcher->NextBatch(&batch)) {
       VSAN_TRACE_SPAN("train/step", kTrain);
+      Stopwatch step_timer;
       if (runtime->PreStep(step + 1)) return;  // simulated kill
       if (options.lr_schedule != nullptr) {
         optimizer->set_learning_rate(options.lr_schedule->LearningRate(step));
@@ -108,6 +114,7 @@ inline void RunTrainLoop(
       }
       loss_sum += loss_value;
       loss_hist->Observe(loss_value);
+      step_ms_hist->Observe(step_timer.ElapsedMillis());
       step_counter->Increment();
       ++batches;
     }

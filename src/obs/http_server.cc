@@ -1,0 +1,323 @@
+#include "obs/http_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vsan {
+namespace obs {
+
+#if VSAN_OBS_ENABLED
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 431:
+      return "Request Header Fields Too Large";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << response.status << " " << StatusText(response.status)
+     << "\r\n"
+     << "Content-Type: " << response.content_type << "\r\n"
+     << "Content-Length: " << response.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << response.body;
+  return os.str();
+}
+
+// %XX and '+' decoding for query values (metric names are plain ASCII, but
+// a curl user typing /trace?ms=100 should never trip over encoding).
+std::string UrlDecode(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]);
+      const int lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+// Parses "GET /path?k=v HTTP/1.1" out of a raw header block.  False on
+// anything that is not a well-formed request line.
+bool ParseRequestLine(const std::string& header, HttpRequest* request) {
+  const size_t line_end = header.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? header : header.substr(0, line_end);
+  std::istringstream is(line);
+  std::string target, version;
+  if (!(is >> request->method >> target >> version)) return false;
+  if (version.rfind("HTTP/", 0) != 0) return false;
+  const size_t q = target.find('?');
+  request->path = target.substr(0, q);
+  if (request->path.empty() || request->path[0] != '/') return false;
+  if (q != std::string::npos) {
+    const std::string query = target.substr(q + 1);
+    size_t pos = 0;
+    while (pos < query.size()) {
+      size_t amp = query.find('&', pos);
+      if (amp == std::string::npos) amp = query.size();
+      const std::string pair = query.substr(pos, amp - pos);
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        if (!pair.empty()) request->query[UrlDecode(pair)] = "";
+      } else {
+        request->query[UrlDecode(pair.substr(0, eq))] =
+            UrlDecode(pair.substr(eq + 1));
+      }
+      pos = amp + 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer() = default;
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, HttpHandler handler) {
+  VSAN_CHECK(!running()) << "register routes before Start()";
+  handlers_[path] = std::move(handler);
+}
+
+bool HttpServer::Start(const HttpServerOptions& options) {
+  VSAN_CHECK(!running()) << "HttpServer::Start called twice";
+  options_ = options;
+
+  // Default routes; a caller's Handle() registration for the same path
+  // wins (emplace does not overwrite).
+  handlers_.emplace("/healthz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+  handlers_.emplace("/metrics", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = WritePrometheusText(MetricsRegistry::Global());
+    return response;
+  });
+  handlers_.emplace("/trace", [this](const HttpRequest& request) {
+    HttpResponse response;
+    int64_t ms = 200;
+    const auto it = request.query.find("ms");
+    if (it != request.query.end()) {
+      ms = std::atoll(it->second.c_str());
+      if (ms <= 0 || ms > 10000) {
+        response.status = 400;
+        response.body = "ms must be in (0, 10000]\n";
+        return response;
+      }
+    }
+    // One live-trace window at a time, and never on top of a session some
+    // other surface (e.g. vsan_cli --trace_out) already runs: Start/Stop
+    // are quiesce-point APIs, so stealing an active session would corrupt
+    // the other owner's collection.
+    std::unique_lock<std::mutex> lock(trace_mu_, std::try_to_lock);
+    if (!lock.owns_lock() || Tracer::Global().enabled()) {
+      response.status = 409;
+      response.body = "a trace session is already active\n";
+      return response;
+    }
+    Tracer::Global().StartSession({});
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    Tracer::Global().StopSession();
+    const std::map<std::string, double> metrics =
+        MetricsRegistry::Global().SnapshotScalars();
+    std::ostringstream os;
+    WriteChromeTrace(Tracer::Global().Collect(), os, &metrics);
+    response.content_type = "application/json";
+    response.body = os.str();
+    return response;
+  });
+
+  if (!listener_.Listen(options_.port, options_.bind_any)) {
+    VSAN_LOG_WARNING << "http: cannot listen on port " << options_.port;
+    return false;
+  }
+  port_ = listener_.port();
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  const int handler_threads = std::max(1, options_.handler_threads);
+  handler_threads_.reserve(static_cast<size_t>(handler_threads));
+  for (int i = 0; i < handler_threads; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the blocked accept() with a throwaway self-connection instead of
+  // closing the fd under it — the listener is only touched from this
+  // thread once the accept loop has joined, so there is no cross-thread
+  // fd mutation for TSAN to mind.
+  { Socket wake = TcpConnect("127.0.0.1", port_); }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_cv_.notify_all();
+  }
+  for (std::thread& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  handler_threads_.clear();
+  listener_.Close();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    pending_.clear();
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Socket conn = listener_.Accept();
+    if (stopping_.load(std::memory_order_acquire)) break;  // wake-up dummy
+    if (!conn.valid()) continue;
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    pending_.push_back(std::move(conn));
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::HandlerLoop() {
+  for (;;) {
+    Socket conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (pending_.empty()) return;  // stopping
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    ServeConnection(std::move(conn));
+  }
+}
+
+void HttpServer::ServeConnection(Socket conn) {
+  static Counter* requests =
+      MetricsRegistry::Global().GetCounter("http.requests");
+  static Counter* errors = MetricsRegistry::Global().GetCounter("http.errors");
+  static SlidingWindowHistogram* latency =
+      MetricsRegistry::Global().GetSlidingHistogram(
+          "http.request_us", ExponentialBuckets(1.0, 2.0, 22));
+  const auto start = std::chrono::steady_clock::now();
+
+  conn.SetRecvTimeout(options_.recv_timeout_ms);
+  // Read until the end of the header block; GET requests have no body.
+  std::string raw;
+  char buf[4096];
+  bool complete = false;
+  while (raw.size() < (1 << 14)) {
+    const int64_t n = conn.Recv(buf, sizeof(buf));
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+    if (raw.find("\r\n\r\n") != std::string::npos) {
+      complete = true;
+      break;
+    }
+  }
+
+  HttpResponse response;
+  HttpRequest request;
+  if (!complete && raw.size() >= (1 << 14)) {
+    response.status = 431;
+    response.body = "header too large\n";
+  } else if (raw.empty() || !ParseRequestLine(raw, &request)) {
+    response.status = 400;
+    response.body = "malformed request\n";
+  } else if (request.method != "GET") {
+    response.status = 405;
+    response.body = "GET only\n";
+  } else {
+    const auto it = handlers_.find(request.path);
+    if (it == handlers_.end()) {
+      response.status = 404;
+      response.body = "not found\n";
+    } else {
+      response = it->second(request);
+    }
+  }
+
+  requests->Increment();
+  if (response.status >= 400) errors->Increment();
+  conn.SendAll(RenderResponse(response));
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  latency->Observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count());
+}
+
+#endif  // VSAN_OBS_ENABLED
+
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             int* status, std::string* body) {
+  Socket conn = TcpConnect(host, port);
+  if (!conn.valid()) return false;
+  conn.SetRecvTimeout(30000);
+  const std::string request = StrCat("GET ", path, " HTTP/1.1\r\nHost: ",
+                                     host, "\r\nConnection: close\r\n\r\n");
+  if (!conn.SendAll(request)) return false;
+  std::string raw;
+  if (!conn.RecvUntilClosed(&raw)) return false;
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
+  if (raw.rfind("HTTP/", 0) != 0) return false;
+  const size_t space = raw.find(' ');
+  if (space == std::string::npos) return false;
+  const int parsed_status = std::atoi(raw.c_str() + space + 1);
+  if (parsed_status < 100) return false;
+  if (status != nullptr) *status = parsed_status;
+  if (body != nullptr) {
+    const size_t header_end = raw.find("\r\n\r\n");
+    *body = header_end == std::string::npos ? std::string()
+                                            : raw.substr(header_end + 4);
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace vsan

@@ -1,0 +1,138 @@
+#ifndef VSAN_OBS_HTTP_SERVER_H_
+#define VSAN_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"  // VSAN_OBS_ENABLED
+#include "util/socket.h"
+
+// Embedded HTTP/1.1 endpoint for the live observability plane: a blocking
+// accept loop plus a small set of handler threads serving
+//
+//   GET /metrics      Prometheus text exposition of MetricsRegistry
+//                     (counters, gauges, histogram buckets + quantiles)
+//   GET /healthz      200 "ok" liveness probe
+//   GET /trace?ms=N   records a live span window of N ms (default 200,
+//                     cap 10000) and returns Chrome-trace JSON; 409 when a
+//                     trace session is already active (e.g. --trace_out)
+//
+// plus any routes registered with Handle().  GET-only, Connection: close
+// per response — a monitoring surface, not a general web server; the
+// listener/connection substrate lives in util/socket.h so the future
+// serving daemon can reuse it.
+//
+// Requests are intentionally handled on dedicated threads rather than the
+// global ThreadPool: ParallelFor is a barrier primitive, and on a
+// single-core host the global pool has no workers to park a blocking
+// accept loop on.  Handler threads only ever read atomic snapshots, so
+// scrapes never contend with training compute.
+//
+// Under -DVSAN_OBS=OFF the server compiles to a no-op (Start() refuses,
+// nothing listens) just like the tracer macro.
+
+namespace vsan {
+namespace obs {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;                                // without query string
+  std::map<std::string, std::string> query;        // decoded ?k=v pairs
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  int port = 0;            // 0 = ephemeral (read back via port())
+  bool bind_any = false;   // default loopback-only
+  int handler_threads = 3;
+  int64_t recv_timeout_ms = 5000;  // per-connection header-read timeout
+};
+
+#if VSAN_OBS_ENABLED
+
+class HttpServer {
+ public:
+  HttpServer();
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers `handler` for an exact path.  Must be called before Start().
+  void Handle(const std::string& path, HttpHandler handler);
+
+  // Binds, installs the default routes, and spawns the accept loop +
+  // handler threads.  False when the port cannot be bound.
+  bool Start(const HttpServerOptions& options = {});
+
+  // Unblocks the accept loop, drains handler threads, closes the listener.
+  // Idempotent; also runs on destruction.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  int port() const { return port_; }
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  void ServeConnection(Socket conn);
+
+  HttpServerOptions options_;
+  ListenSocket listener_;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::vector<std::thread> handler_threads_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Socket> pending_;
+  std::map<std::string, HttpHandler> handlers_;
+  std::mutex trace_mu_;  // serializes /trace sessions
+};
+
+#else  // VSAN_OBS_ENABLED == 0: header-only no-op (nothing ever listens)
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  void Handle(const std::string&, HttpHandler) {}
+  bool Start(const HttpServerOptions& = {}) { return false; }
+  void Stop() {}
+  bool running() const { return false; }
+  int port() const { return 0; }
+  int64_t requests_served() const { return 0; }
+};
+
+#endif  // VSAN_OBS_ENABLED
+
+// Minimal HTTP/1.1 GET client for vsan_top, tests, and scripts: fetches
+// `path` from host:port, filling `*status` and `*body` from the response.
+// False on connect/transport failure or an unparsable status line.  Always
+// compiled (it is a client; the VSAN_OBS switch only removes the server).
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             int* status, std::string* body);
+
+}  // namespace obs
+}  // namespace vsan
+
+#endif  // VSAN_OBS_HTTP_SERVER_H_

@@ -10,6 +10,33 @@
 namespace vsan {
 namespace obs {
 
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<int64_t>& counts, double p) {
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Target rank in [1, total].
+  const double rank = std::max(1.0, std::ceil(p / 100.0 * total));
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] >= rank) {
+      if (i == bounds.size()) return bounds.back();  // overflow bucket
+      const double lower = (i == 0) ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double fraction = (rank - cum) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * fraction;
+    }
+    cum += counts[i];
+  }
+  return bounds.back();
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  return PercentileFromBuckets(bounds, buckets, p);
+}
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
       buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
@@ -36,33 +63,105 @@ std::vector<int64_t> Histogram::BucketCounts() const {
   return counts;
 }
 
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets = BucketCounts();
+  snap.count = count();
+  snap.sum = sum();
+  return snap;
+}
+
 double Histogram::Percentile(double p) const {
-  const std::vector<int64_t> counts = BucketCounts();
-  int64_t total = 0;
-  for (int64_t c : counts) total += c;
-  if (total == 0) return 0.0;
-  p = std::min(100.0, std::max(0.0, p));
-  // Target rank in [1, total].
-  const double rank = std::max(1.0, std::ceil(p / 100.0 * total));
-  int64_t cum = 0;
-  for (size_t i = 0; i < counts.size(); ++i) {
-    if (counts[i] == 0) continue;
-    if (cum + counts[i] >= rank) {
-      if (i == bounds_.size()) return bounds_.back();  // overflow bucket
-      const double lower = (i == 0) ? 0.0 : bounds_[i - 1];
-      const double upper = bounds_[i];
-      const double fraction = (rank - cum) / static_cast<double>(counts[i]);
-      return lower + (upper - lower) * fraction;
-    }
-    cum += counts[i];
-  }
-  return bounds_.back();
+  return PercentileFromBuckets(bounds_, BucketCounts(), p);
 }
 
 void Histogram::Reset() {
   for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
   count_.store(0);
   sum_.store(0.0);
+}
+
+SlidingWindowHistogram::SlidingWindowHistogram(std::vector<double> bounds,
+                                               int64_t window_ns,
+                                               int num_slices)
+    : bounds_(std::move(bounds)), num_slices_(num_slices) {
+  VSAN_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  VSAN_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  VSAN_CHECK_GT(num_slices_, 0);
+  VSAN_CHECK_GT(window_ns, 0);
+  slice_ns_ = std::max<int64_t>(1, window_ns / num_slices_);
+  slices_ = std::vector<Slice>(static_cast<size_t>(num_slices_));
+  for (Slice& s : slices_) {
+    s.buckets.reset(new std::atomic<int64_t>[bounds_.size() + 1]);
+    for (size_t i = 0; i <= bounds_.size(); ++i) s.buckets[i].store(0);
+  }
+}
+
+SlidingWindowHistogram::Slice* SlidingWindowHistogram::SliceFor(
+    int64_t slice_epoch) {
+  Slice& slice = slices_[static_cast<size_t>(slice_epoch % num_slices_)];
+  if (slice.epoch.load(std::memory_order_acquire) == slice_epoch) {
+    return &slice;
+  }
+  // The slot holds an expired slice (or is empty).  Recycle under the
+  // mutex — once per slice duration — so only one thread zeroes it; the
+  // release store of the new epoch publishes the zeroed buckets.
+  std::lock_guard<std::mutex> lock(recycle_mu_);
+  if (slice.epoch.load(std::memory_order_acquire) != slice_epoch) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      slice.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    slice.count.store(0, std::memory_order_relaxed);
+    slice.sum.store(0.0, std::memory_order_relaxed);
+    slice.epoch.store(slice_epoch, std::memory_order_release);
+  }
+  return &slice;
+}
+
+void SlidingWindowHistogram::ObserveAt(double value, int64_t now_ns) {
+  Slice* slice = SliceFor(now_ns / slice_ns_);
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  slice->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  slice->count.fetch_add(1, std::memory_order_relaxed);
+  slice->sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot SlidingWindowHistogram::SnapshotAt(int64_t now_ns) const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  snap.window_ns = window_ns();
+  // Live slices are those whose epoch lies within the window ending at the
+  // current slice (inclusive): epochs in (current - num_slices, current].
+  const int64_t current = now_ns / slice_ns_;
+  for (const Slice& slice : slices_) {
+    const int64_t epoch = slice.epoch.load(std::memory_order_acquire);
+    if (epoch < 0 || epoch > current || epoch <= current - num_slices_) {
+      continue;
+    }
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      snap.buckets[i] += slice.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += slice.count.load(std::memory_order_relaxed);
+    snap.sum += slice.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void SlidingWindowHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(recycle_mu_);
+  for (Slice& slice : slices_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      slice.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    slice.count.store(0, std::memory_order_relaxed);
+    slice.sum.store(0.0, std::memory_order_relaxed);
+    slice.epoch.store(-1, std::memory_order_release);
+  }
 }
 
 std::vector<double> ExponentialBuckets(double start, double factor,
@@ -106,6 +205,18 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+SlidingWindowHistogram* MetricsRegistry::GetSlidingHistogram(
+    const std::string& name, const std::vector<double>& bounds,
+    int64_t window_ns, int num_slices) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sliding_histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<SlidingWindowHistogram>(bounds, window_ns,
+                                                    num_slices);
+  }
+  return slot.get();
+}
+
 std::string MetricsRegistry::ScrapeText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
@@ -122,6 +233,16 @@ std::string MetricsRegistry::ScrapeText() const {
        << " p95=" << FormatDouble(hist->Percentile(95), 3)
        << " p99=" << FormatDouble(hist->Percentile(99), 3) << "\n";
   }
+  for (const auto& [name, hist] : sliding_histograms_) {
+    const HistogramSnapshot snap = hist->Snapshot();
+    os << "sliding " << name
+       << " window_s=" << FormatDouble(snap.window_ns / 1e9, 1)
+       << " count=" << snap.count
+       << " sum=" << FormatDouble(snap.sum, 3)
+       << " p50=" << FormatDouble(snap.Percentile(50), 3)
+       << " p95=" << FormatDouble(snap.Percentile(95), 3)
+       << " p99=" << FormatDouble(snap.Percentile(99), 3) << "\n";
+  }
   return os.str();
 }
 
@@ -132,6 +253,48 @@ std::map<std::string, double> MetricsRegistry::SnapshotScalars() const {
     out[name] = static_cast<double>(counter->value());
   }
   for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  // Histograms contribute their count and headline quantiles as scalars so
+  // downstream sinks (trace "metrics" snapshot, telemetry extras) keep the
+  // latency shape instead of dropping it.
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSnapshot snap = hist->Snapshot();
+    out[name + ".count"] = static_cast<double>(snap.count);
+    out[name + ".p50"] = snap.Percentile(50);
+    out[name + ".p95"] = snap.Percentile(95);
+    out[name + ".p99"] = snap.Percentile(99);
+  }
+  for (const auto& [name, hist] : sliding_histograms_) {
+    const HistogramSnapshot snap = hist->Snapshot();
+    out[name + ".count"] = static_cast<double>(snap.count);
+    out[name + ".p50"] = snap.Percentile(50);
+    out[name + ".p95"] = snap.Percentile(95);
+    out[name + ".p99"] = snap.Percentile(99);
+  }
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::SnapshotHistograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, hist] : histograms_) out[name] = hist->Snapshot();
+  for (const auto& [name, hist] : sliding_histograms_) {
+    out[name] = hist->Snapshot();
+  }
+  return out;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::SnapshotCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::SnapshotGauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
   return out;
 }
 
@@ -140,6 +303,7 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
+  for (auto& [name, hist] : sliding_histograms_) hist->Reset();
 }
 
 }  // namespace obs

@@ -2,6 +2,7 @@
 #define VSAN_OBS_METRICS_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -10,9 +11,11 @@
 #include <vector>
 
 // Process-wide metrics registry: named counters, gauges, and fixed-bucket
-// histograms.  Updates are lock-free atomics so instruments can be hit from
-// ParallelFor shards; aggregation across threads happens implicitly at
-// scrape time (the atomics hold the global totals).
+// histograms — cumulative (process lifetime) and sliding-window (the last N
+// seconds, for live p50/p95/p99 under the HTTP /metrics endpoint).  Updates
+// are lock-free atomics so instruments can be hit from ParallelFor shards;
+// aggregation across threads happens implicitly at scrape time (the atomics
+// hold the global totals).
 //
 // Instruments are created on first Get*() and live for the process, so
 // callers may cache the returned pointers (the hot-path pattern: look up
@@ -43,12 +46,30 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// Point-in-time view of a histogram (either kind), the currency of
+// SnapshotHistograms() and the Prometheus exposition writer.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    // ascending finite upper edges
+  std::vector<int64_t> buckets;  // bounds.size() + 1; last = overflow
+  int64_t count = 0;
+  double sum = 0.0;
+  // 0 for cumulative histograms; the merge horizon for sliding windows.
+  int64_t window_ns = 0;
+
+  // p in [0, 100], interpolated inside the owning bucket; 0 when empty.
+  double Percentile(double p) const;
+};
+
+// Shared percentile estimator over fixed buckets: linear interpolation
+// inside the bucket containing the target rank (the first bucket's lower
+// edge is taken as 0; the overflow bucket reports the last bound, i.e.
+// percentiles saturate there).  Returns 0 when the counts sum to 0.
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<int64_t>& counts, double p);
+
 // Fixed-bucket histogram for non-negative samples (durations, sizes).
 // `bounds` are ascending bucket upper edges; an implicit overflow bucket
-// catches everything above the last bound.  Percentiles are estimated by
-// linear interpolation inside the bucket containing the target rank (the
-// first bucket's lower edge is taken as 0; the overflow bucket reports the
-// last bound, i.e. percentiles saturate there).
+// catches everything above the last bound.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -61,6 +82,7 @@ class Histogram {
   double Percentile(double p) const;
   const std::vector<double>& bounds() const { return bounds_; }
   std::vector<int64_t> BucketCounts() const;
+  HistogramSnapshot Snapshot() const;
   void Reset();
 
  private:
@@ -69,6 +91,65 @@ class Histogram {
   std::unique_ptr<std::atomic<int64_t>[]> buckets_;
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
+};
+
+// Sliding-window histogram: a time-bucketed ring of `num_slices` fixed-
+// bucket histograms, each owning one slice of the window; reads merge the
+// slices whose slice-epoch still falls inside the window, so percentiles
+// reflect roughly the last `window` of wall time instead of the process
+// lifetime (resolution: one slice — a snapshot covers between
+// window - window/num_slices and window of history).
+//
+// Observe() is lock-free in the steady state (relaxed atomic adds into the
+// current slice); a mutex is taken only when a slice expires and must be
+// recycled, i.e. once per slice duration, never per sample.  Concurrent
+// Observe/Snapshot from any number of threads is safe (everything is
+// atomics — TSAN-clean); a sample landing in a slice as it recycles may be
+// attributed to the wrong side of the boundary, which is harmless for
+// monitoring quantiles.
+//
+// The *At(now_ns) variants take an explicit steady-clock timestamp so tests
+// can drive the window deterministically; the clockless forms read
+// std::chrono::steady_clock.
+class SlidingWindowHistogram {
+ public:
+  SlidingWindowHistogram(std::vector<double> bounds, int64_t window_ns,
+                         int num_slices);
+
+  void Observe(double value) { ObserveAt(value, NowNs()); }
+  void ObserveAt(double value, int64_t now_ns);
+
+  HistogramSnapshot Snapshot() const { return SnapshotAt(NowNs()); }
+  HistogramSnapshot SnapshotAt(int64_t now_ns) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  int64_t window_ns() const { return slice_ns_ * num_slices_; }
+  void Reset();
+
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  struct Slice {
+    // Which slice-index (now_ns / slice_ns_) this slot currently holds;
+    // -1 = empty.  Written release after the buckets are zeroed so readers
+    // never merge a half-recycled slice under the stale epoch.
+    std::atomic<int64_t> epoch{-1};
+    std::unique_ptr<std::atomic<int64_t>[]> buckets;
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  Slice* SliceFor(int64_t slice_epoch);
+
+  std::vector<double> bounds_;
+  int64_t slice_ns_;
+  int num_slices_;
+  std::vector<Slice> slices_;
+  std::mutex recycle_mu_;  // serializes slice resets, not observations
 };
 
 // `count` bucket bounds starting at `start`, each `factor` times the
@@ -81,22 +162,43 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
   // Each returns the existing instrument when the name is already
-  // registered (for GetHistogram, the original bounds win).
+  // registered (for the histogram getters, the original configuration
+  // wins).  Cumulative and sliding histograms share a namespace with
+  // counters/gauges only at scrape time; the four instrument kinds keep
+  // separate maps, so reusing one name across kinds is possible but will
+  // collide in SnapshotScalars — don't.
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name,
                           const std::vector<double>& bounds);
+  SlidingWindowHistogram* GetSlidingHistogram(
+      const std::string& name, const std::vector<double>& bounds,
+      int64_t window_ns = 30ll * 1000 * 1000 * 1000, int num_slices = 10);
 
   // Human/CI-readable scrape, sorted by name:
   //   counter <name> <value>
   //   gauge <name> <value>
   //   histogram <name> count=<n> sum=<s> p50=<..> p95=<..> p99=<..>
+  //   sliding <name> window_s=<w> count=<n> p50=<..> p95=<..> p99=<..>
   std::string ScrapeText() const;
 
-  // Point-in-time numeric values of every counter and gauge (histograms are
-  // excluded — they have no single scalar).  Used by the trace exporter to
-  // embed metric values alongside span events.
+  // Point-in-time numeric values of every instrument.  Counters and gauges
+  // appear under their own names; each histogram (cumulative and sliding)
+  // contributes <name>.count, <name>.p50, <name>.p95, and <name>.p99, so
+  // the trace exporter's embedded "metrics" snapshot and telemetry extras
+  // carry latency data instead of dropping it.
   std::map<std::string, double> SnapshotScalars() const;
+
+  // Full bucket state of every histogram, cumulative and sliding (sliding
+  // windows are merged as of now).  The Prometheus exposition writer
+  // (obs/prometheus.h) is the main consumer.
+  std::map<std::string, HistogramSnapshot> SnapshotHistograms() const;
+
+  // Typed point-in-time views for sinks that must distinguish instrument
+  // kinds (the Prometheus writer emits counters and gauges as different
+  // metric families).
+  std::map<std::string, int64_t> SnapshotCounters() const;
+  std::map<std::string, double> SnapshotGauges() const;
 
   // Zeroes every instrument (pointers stay valid).  For tests/benchmarks.
   void Reset();
@@ -108,6 +210,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SlidingWindowHistogram>>
+      sliding_histograms_;
 };
 
 }  // namespace obs

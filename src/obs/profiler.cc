@@ -1,0 +1,270 @@
+#include "obs/profiler.h"
+
+#if VSAN_OBS_ENABLED
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace vsan {
+namespace obs {
+namespace {
+
+constexpr int kHandlerSkipMax = 3;  // handler + signal trampoline frames
+
+struct sigaction g_previous_action;
+bool g_have_previous_action = false;
+
+// Demangles and caches one program counter.  Runs at Stop() time only —
+// never in the signal handler — so allocation is fine here.
+std::string SymbolForPc(void* pc, bool* resolved) {
+  Dl_info info;
+  // backtrace() records return addresses; subtract one byte so a call as
+  // the last instruction of a function does not attribute to its neighbor.
+  void* lookup = static_cast<char*>(pc) - 1;
+  if (dladdr(lookup, &info) != 0 && info.dli_sname != nullptr) {
+    *resolved = true;
+    int demangle_status = 0;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr,
+                                          &demangle_status);
+    std::string name =
+        demangle_status == 0 && demangled != nullptr ? demangled
+                                                     : info.dli_sname;
+    std::free(demangled);
+    // Folded-stack separators are ';' and ' '; keep frames on one token.
+    for (char& c : name) {
+      if (c == ';') c = ':';
+      if (c == ' ') c = '_';
+    }
+    return name;
+  }
+  *resolved = false;
+  // Module+offset pseudo-frame: still distinguishes hot static functions
+  // even when the dynamic symbol table cannot name them.
+  char buf[256];
+  if (dladdr(lookup, &info) != 0 && info.dli_fname != nullptr) {
+    const char* base = strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    std::snprintf(buf, sizeof(buf), "[%s+0x%zx]", base,
+                  static_cast<size_t>(static_cast<char*>(pc) -
+                                      static_cast<char*>(info.dli_fbase)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "[0x%zx]",
+                  reinterpret_cast<size_t>(pc));
+  }
+  return buf;
+}
+
+}  // namespace
+
+SamplingProfiler& SamplingProfiler::Global() {
+  static SamplingProfiler* profiler = new SamplingProfiler();
+  return *profiler;
+}
+
+void SamplingProfiler::SignalHandler(int /*signo*/) {
+  SamplingProfiler& p = Global();
+  p.in_handler_.fetch_add(1, std::memory_order_acquire);
+  if (p.capturing_.load(std::memory_order_relaxed)) {
+    void* frames[256];
+    const int depth = std::min(p.options_.max_stack_depth,
+                               static_cast<int>(sizeof(frames) / sizeof(*frames)));
+    // Async-signal-safe by construction: backtrace() allocates only on its
+    // first call, which Start() primes before arming the timer.
+    const int n = backtrace(frames, depth);
+    if (n > 0) {
+      const int64_t need = n + 1;
+      const int64_t idx = p.pos_.fetch_add(need, std::memory_order_relaxed);
+      if (idx + need <= static_cast<int64_t>(p.buffer_.size())) {
+        p.buffer_[static_cast<size_t>(idx)] =
+            reinterpret_cast<void*>(static_cast<intptr_t>(n));
+        for (int i = 0; i < n; ++i) {
+          p.buffer_[static_cast<size_t>(idx) + 1 + i] = frames[i];
+        }
+      } else {
+        p.dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  p.in_handler_.fetch_sub(1, std::memory_order_release);
+}
+
+bool SamplingProfiler::Start(const ProfilerOptions& options) {
+  if (running_.load(std::memory_order_acquire)) return false;
+  options_ = options;
+  if (options_.hz <= 0) options_.hz = 99;
+  options_.max_stack_depth = std::max(2, std::min(options_.max_stack_depth, 256));
+  buffer_.assign(static_cast<size_t>(std::max<int64_t>(
+                     options_.buffer_words, options_.max_stack_depth + 1)),
+                 nullptr);
+  pos_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  folded_.clear();
+  stats_ = {};
+
+  // Prime backtrace(): its first call may dlopen/allocate, which must not
+  // happen inside the signal handler.
+  void* prime[4];
+  backtrace(prime, 4);
+
+  struct sigaction action;
+  memset(&action, 0, sizeof(action));
+  action.sa_handler = &SamplingProfiler::SignalHandler;
+  action.sa_flags = SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (sigaction(SIGPROF, &action, &g_previous_action) != 0) {
+    VSAN_LOG_WARNING << "profiler: sigaction(SIGPROF) failed";
+    return false;
+  }
+  g_have_previous_action = true;
+
+  capturing_.store(true, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+
+  struct itimerval timer;
+  timer.it_interval.tv_sec = 0;
+  timer.it_interval.tv_usec = static_cast<suseconds_t>(1000000 / options_.hz);
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    VSAN_LOG_WARNING << "profiler: setitimer(ITIMER_PROF) failed";
+    capturing_.store(false, std::memory_order_release);
+    running_.store(false, std::memory_order_release);
+    sigaction(SIGPROF, &g_previous_action, nullptr);
+    g_have_previous_action = false;
+    return false;
+  }
+  return true;
+}
+
+ProfileStats SamplingProfiler::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return {};
+
+  struct itimerval disarm;
+  memset(&disarm, 0, sizeof(disarm));
+  setitimer(ITIMER_PROF, &disarm, nullptr);
+  capturing_.store(false, std::memory_order_seq_cst);
+  // Wait for any handler already past the capturing_ check; its release
+  // decrement paired with this acquire spin makes the plain buffer writes
+  // visible before we read them.
+  while (in_handler_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::yield();
+  }
+  if (g_have_previous_action) {
+    sigaction(SIGPROF, &g_previous_action, nullptr);
+    g_have_previous_action = false;
+  }
+
+  Symbolize();
+  return stats_;
+}
+
+void SamplingProfiler::Symbolize() {
+  const int64_t end =
+      std::min(pos_.load(std::memory_order_acquire),
+               static_cast<int64_t>(buffer_.size()));
+  std::map<void*, std::pair<std::string, bool>> cache;  // pc -> (name, resolved)
+  std::map<std::string, int64_t> folded;
+  int64_t samples = 0;
+  int64_t leaf_resolved = 0;
+  int64_t any_resolved = 0;
+
+  int64_t idx = 0;
+  while (idx < end) {
+    const int n = static_cast<int>(
+        reinterpret_cast<intptr_t>(buffer_[static_cast<size_t>(idx)]));
+    if (n <= 0 || idx + 1 + n > end) break;  // truncated trailing record
+    void** frames = &buffer_[static_cast<size_t>(idx) + 1];
+    idx += 1 + n;
+
+    // frames[] is leaf-first and starts inside our handler plus the kernel
+    // signal trampoline; skip those so the fold starts at interrupted code.
+    int skip = 0;
+    while (skip < n && skip < kHandlerSkipMax) {
+      auto it = cache.find(frames[skip]);
+      if (it == cache.end()) {
+        bool pc_resolved = false;
+        std::string name = SymbolForPc(frames[skip], &pc_resolved);
+        it = cache.emplace(frames[skip], std::make_pair(name, pc_resolved))
+                 .first;
+      }
+      const std::string& name = it->second.first;
+      const bool resolved = it->second.second;
+      if (name.find("SignalHandler") != std::string::npos ||
+          name.find("__restore_rt") != std::string::npos ||
+          name.find("killpg") != std::string::npos) {
+        ++skip;
+        continue;
+      }
+      // Directly after the handler frame sits the kernel signal
+      // trampoline, which glibc's dynamic symbols often cannot name;
+      // drop that one unresolved pseudo-frame too.
+      if (skip > 0 && !resolved && skip < n - 1) ++skip;
+      break;
+    }
+    if (skip >= n) skip = std::min(n - 1, 2);
+
+    ++samples;
+    bool sample_any_resolved = false;
+    std::string line;
+    // Folded format is root-first; frames[] is leaf-first.
+    for (int i = n - 1; i >= skip; --i) {
+      auto it = cache.find(frames[i]);
+      if (it == cache.end()) {
+        bool resolved = false;
+        std::string name = SymbolForPc(frames[i], &resolved);
+        it = cache.emplace(frames[i], std::make_pair(name, resolved)).first;
+      }
+      if (it->second.second) {
+        sample_any_resolved = true;
+        if (i == skip) ++leaf_resolved;
+      }
+      if (!line.empty()) line += ';';
+      line += it->second.first;
+    }
+    if (sample_any_resolved) ++any_resolved;
+    ++folded[line];
+  }
+
+  folded_.assign(folded.begin(), folded.end());
+  std::sort(folded_.begin(), folded_.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  stats_.samples = samples;
+  stats_.dropped = dropped_.load(std::memory_order_relaxed);
+  stats_.leaf_symbolized_fraction =
+      samples > 0 ? static_cast<double>(leaf_resolved) / samples : 0.0;
+  stats_.any_symbolized_fraction =
+      samples > 0 ? static_cast<double>(any_resolved) / samples : 0.0;
+}
+
+std::string SamplingProfiler::FoldedStacks() const {
+  std::ostringstream os;
+  for (const auto& [line, count] : folded_) {
+    os << line << " " << count << "\n";
+  }
+  return os.str();
+}
+
+bool SamplingProfiler::WriteFolded(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << FoldedStacks();
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace vsan
+
+#endif  // VSAN_OBS_ENABLED

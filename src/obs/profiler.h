@@ -1,0 +1,120 @@
+#ifndef VSAN_OBS_PROFILER_H_
+#define VSAN_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"  // VSAN_OBS_ENABLED
+
+// Signal-based sampling CPU profiler: a SIGPROF timer (ITIMER_PROF, i.e.
+// process CPU time, so idle waits are never sampled) fires at `hz`; the
+// handler captures a backtrace into a preallocated lock-free buffer — no
+// allocation, no locks, nothing async-signal-unsafe on the sampling path.
+// Stop() disarms the timer and symbolizes the raw program counters
+// (dladdr + demangling) into folded-stack lines
+//
+//   vsan::core::Vsan::Fit;vsan::models::RunTrainLoop;vsan::Gemm 412
+//
+// the format flamegraph.pl / speedscope / inferno consume directly.
+//
+// Symbolization resolves through the dynamic symbol table, which is why
+// CMake links with -rdynamic when VSAN_OBS is ON; frames in static or
+// anonymous-namespace functions that were not inlined fall back to a
+// module+offset pseudo-frame.  Sampling overhead at the default 99 Hz is
+// one backtrace per tick (~microseconds) — see EXPERIMENTS.md for the
+// measured train-epoch delta.
+//
+// One profiler per process (SIGPROF is process-global); use the Global()
+// instance.  Under -DVSAN_OBS=OFF the whole surface compiles to a no-op.
+
+namespace vsan {
+namespace obs {
+
+struct ProfilerOptions {
+  int hz = 99;             // sampling frequency (prime avoids lockstep)
+  int max_stack_depth = 64;
+  // Preallocated sample storage in words (one word per frame plus one per
+  // sample); samples past the cap are counted as dropped, not recorded.
+  int64_t buffer_words = 1 << 20;  // 8 MiB, ~6 min of 20-deep stacks @99 Hz
+};
+
+struct ProfileStats {
+  int64_t samples = 0;  // recorded samples
+  int64_t dropped = 0;  // ticks lost to a full buffer
+  // Of the recorded samples: fraction whose leaf frame resolved to a
+  // symbol, and fraction with at least one resolved frame anywhere in the
+  // stack (what a flamegraph can attribute).  Filled by Stop().
+  double leaf_symbolized_fraction = 0.0;
+  double any_symbolized_fraction = 0.0;
+};
+
+#if VSAN_OBS_ENABLED
+
+class SamplingProfiler {
+ public:
+  static SamplingProfiler& Global();
+
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  // Arms SIGPROF.  False if already running or the timer cannot be set.
+  bool Start(const ProfilerOptions& options = {});
+
+  // Disarms the timer, waits for in-flight handlers, symbolizes, and
+  // returns the run's stats.  Samples stay available to FoldedStacks()
+  // until the next Start().  No-op (zero stats) when not running.
+  ProfileStats Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Folded-stack lines ("frame;frame;leaf count\n"), aggregated and
+  // sorted by count descending.  Valid after Stop().
+  std::string FoldedStacks() const;
+
+  // Writes FoldedStacks() to `path`; false on I/O failure.
+  bool WriteFolded(const std::string& path) const;
+
+  // Stats of the last stopped run.
+  ProfileStats stats() const { return stats_; }
+
+ private:
+  SamplingProfiler() = default;
+  static void SignalHandler(int signo);
+  void Symbolize();
+
+  ProfilerOptions options_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> capturing_{false};
+  std::atomic<int64_t> in_handler_{0};
+  std::atomic<int64_t> pos_{0};      // bump allocator over buffer_
+  std::atomic<int64_t> dropped_{0};
+  std::vector<void*> buffer_;  // [depth, frame0..frameN-1] records
+  ProfileStats stats_;
+  // Symbolized, folded stacks with counts (filled by Stop()).
+  std::vector<std::pair<std::string, int64_t>> folded_;
+};
+
+#else  // VSAN_OBS_ENABLED == 0: header-only no-op
+
+class SamplingProfiler {
+ public:
+  static SamplingProfiler& Global() {
+    static SamplingProfiler profiler;
+    return profiler;
+  }
+  bool Start(const ProfilerOptions& = {}) { return false; }
+  ProfileStats Stop() { return {}; }
+  bool running() const { return false; }
+  std::string FoldedStacks() const { return ""; }
+  bool WriteFolded(const std::string&) const { return false; }
+  ProfileStats stats() const { return {}; }
+};
+
+#endif  // VSAN_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace vsan
+
+#endif  // VSAN_OBS_PROFILER_H_

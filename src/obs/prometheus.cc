@@ -1,0 +1,181 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace vsan {
+namespace obs {
+namespace {
+
+std::string FormatValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// One histogram family: cumulative le-buckets, _sum, _count, and the
+// interpolated headline quantiles as sibling gauge families.
+void WriteHistogram(const std::string& raw_name,
+                    const HistogramSnapshot& snap, std::ostringstream* os) {
+  const std::string name = PrometheusName(raw_name);
+  std::string window_label;
+  if (snap.window_ns > 0) {
+    window_label =
+        "window=\"" + FormatValue(snap.window_ns / 1e9) + "s\"";
+  }
+  *os << "# TYPE " << name << " histogram\n";
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < snap.bounds.size(); ++i) {
+    cumulative += snap.buckets[i];
+    *os << name << "_bucket{le=\"" << FormatValue(snap.bounds[i]) << "\""
+        << (window_label.empty() ? "" : "," + window_label) << "} "
+        << cumulative << "\n";
+  }
+  cumulative += snap.buckets.back();
+  *os << name << "_bucket{le=\"+Inf\""
+      << (window_label.empty() ? "" : "," + window_label) << "} "
+      << cumulative << "\n";
+  *os << name << "_sum " << FormatValue(snap.sum) << "\n";
+  *os << name << "_count " << snap.count << "\n";
+  for (const auto& [suffix, p] :
+       {std::pair<const char*, double>{"_p50", 50.0},
+        {"_p95", 95.0},
+        {"_p99", 99.0}}) {
+    *os << "# TYPE " << name << suffix << " gauge\n";
+    *os << name << suffix << " " << FormatValue(snap.Percentile(p)) << "\n";
+  }
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "vsan_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string WritePrometheusText(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  for (const auto& [name, value] : registry.SnapshotCounters()) {
+    const std::string pname = PrometheusName(name) + "_total";
+    os << "# TYPE " << pname << " counter\n";
+    os << pname << " " << value << "\n";
+  }
+  for (const auto& [name, value] : registry.SnapshotGauges()) {
+    const std::string pname = PrometheusName(name);
+    os << "# TYPE " << pname << " gauge\n";
+    os << pname << " " << FormatValue(value) << "\n";
+  }
+  for (const auto& [name, snap] : registry.SnapshotHistograms()) {
+    WriteHistogram(name, snap, &os);
+  }
+  return os.str();
+}
+
+bool ParsePrometheusText(const std::string& text,
+                         std::vector<PrometheusSample>* samples,
+                         std::map<std::string, std::string>* types,
+                         std::string* error) {
+  samples->clear();
+  if (types != nullptr) types->clear();
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = message + " at line " + std::to_string(line_no);
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '#') {
+      // Only `# TYPE <name> <type>` comments carry structure.
+      std::istringstream comment(line.substr(pos + 1));
+      std::string keyword, name, type;
+      if (comment >> keyword >> name >> type && keyword == "TYPE" &&
+          types != nullptr) {
+        (*types)[name] = type;
+      }
+      continue;
+    }
+    PrometheusSample sample;
+    // Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+    const size_t name_start = pos;
+    while (pos < line.size()) {
+      const char c = line[pos];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      c == '_' || c == ':' ||
+                      (pos > name_start && c >= '0' && c <= '9');
+      if (!ok) break;
+      ++pos;
+    }
+    if (pos == name_start) return fail("expected metric name");
+    sample.name = line.substr(name_start, pos - name_start);
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      while (pos < line.size() && line[pos] != '}') {
+        while (pos < line.size() && (line[pos] == ' ' || line[pos] == ',')) {
+          ++pos;
+        }
+        const size_t key_start = pos;
+        while (pos < line.size() && line[pos] != '=') ++pos;
+        if (pos >= line.size()) return fail("unterminated label");
+        const std::string key = line.substr(key_start, pos - key_start);
+        ++pos;  // '='
+        if (pos >= line.size() || line[pos] != '"') {
+          return fail("expected label value quote");
+        }
+        ++pos;
+        std::string value;
+        while (pos < line.size() && line[pos] != '"') {
+          if (line[pos] == '\\' && pos + 1 < line.size()) {
+            ++pos;
+            if (line[pos] == 'n') {
+              value += '\n';
+            } else {
+              value += line[pos];  // \" and \\ (and anything else verbatim)
+            }
+          } else {
+            value += line[pos];
+          }
+          ++pos;
+        }
+        if (pos >= line.size()) return fail("unterminated label value");
+        ++pos;  // closing quote
+        sample.labels[key] = value;
+      }
+      if (pos >= line.size()) return fail("unterminated label set");
+      ++pos;  // '}'
+    }
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    if (pos >= line.size()) return fail("missing sample value");
+    const std::string value_text = line.substr(pos);
+    if (value_text.rfind("+Inf", 0) == 0) {
+      sample.value = HUGE_VAL;
+    } else if (value_text.rfind("-Inf", 0) == 0) {
+      sample.value = -HUGE_VAL;
+    } else {
+      char* end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str()) return fail("bad sample value");
+    }
+    samples->push_back(std::move(sample));
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace vsan

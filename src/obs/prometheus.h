@@ -1,0 +1,52 @@
+#ifndef VSAN_OBS_PROMETHEUS_H_
+#define VSAN_OBS_PROMETHEUS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+// Prometheus text exposition (version 0.0.4) writer for the metrics
+// registry, plus the small parser vsan_top and the tests use to read a
+// scrape back.  Writer and parser round-trip each other; the parser also
+// accepts any well-formed exposition text from elsewhere.
+
+namespace vsan {
+namespace obs {
+
+// "pool.acquire.hits" -> "vsan_pool_acquire_hits": a "vsan_" prefix plus
+// every character outside [a-zA-Z0-9_:] mapped to '_', the Prometheus
+// metric-name alphabet.
+std::string PrometheusName(const std::string& name);
+
+// Renders the registry into exposition text:
+//   - counters as `<name>_total` counter families,
+//   - gauges as gauge families,
+//   - histograms (cumulative and sliding) as histogram families with
+//     cumulative `_bucket{le="..."}` series, `_sum`, and `_count`, plus
+//     `_p50` / `_p95` / `_p99` gauge families with the interpolated
+//     quantiles (sliding windows additionally label their buckets with
+//     window="<seconds>s" and quantiles reflect only that window).
+std::string WritePrometheusText(const MetricsRegistry& registry);
+
+// One sample line parsed back from exposition text.
+struct PrometheusSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+// Parses exposition text into samples plus the `# TYPE` declarations
+// (metric family name -> counter|gauge|histogram|...).  Returns false with
+// `*error` set on a malformed sample line; comment and blank lines are
+// skipped.
+bool ParsePrometheusText(const std::string& text,
+                         std::vector<PrometheusSample>* samples,
+                         std::map<std::string, std::string>* types,
+                         std::string* error);
+
+}  // namespace obs
+}  // namespace vsan
+
+#endif  // VSAN_OBS_PROMETHEUS_H_

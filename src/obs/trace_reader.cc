@@ -1,12 +1,31 @@
 #include "obs/trace_reader.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "obs/json.h"
 
 namespace vsan {
 namespace obs {
+namespace {
+
+// Nearest-rank percentile over an unsorted sample of durations; sorts in
+// place.  Groups in a trace are small (thousands of spans at most), so a
+// full sort per group is cheap and exact.
+void FillPercentiles(std::vector<double>* durations, SpanTotals* totals) {
+  std::sort(durations->begin(), durations->end());
+  auto at = [&](double p) {
+    const size_t rank = static_cast<size_t>(
+        std::max(1.0, std::ceil(p / 100.0 * durations->size())));
+    return (*durations)[rank - 1];
+  };
+  totals->p50_us = at(50.0);
+  totals->p95_us = at(95.0);
+  totals->p99_us = at(99.0);
+}
+
+}  // namespace
 
 bool ReadChromeTrace(std::istream& in, std::vector<ParsedSpan>* spans,
                      std::string* error) {
@@ -65,18 +84,28 @@ TraceSummary SummarizeTrace(const std::vector<ParsedSpan>& spans) {
   double min_ts = spans[0].ts_us;
   double max_end = spans[0].ts_us + spans[0].dur_us;
   std::map<int64_t, std::vector<std::pair<double, double>>> per_tid;
+  std::map<std::string, std::vector<double>> cat_durations;
+  std::map<std::string, std::vector<double>> name_durations;
   for (const ParsedSpan& s : spans) {
     min_ts = std::min(min_ts, s.ts_us);
     max_end = std::max(max_end, s.ts_us + s.dur_us);
     SpanTotals& cat = summary.by_category[s.category];
     ++cat.count;
     cat.total_us += s.dur_us;
+    cat_durations[s.category].push_back(s.dur_us);
     SpanTotals& name = summary.by_name[s.name];
     ++name.count;
     name.total_us += s.dur_us;
+    name_durations[s.name].push_back(s.dur_us);
     per_tid[s.tid].emplace_back(s.ts_us, s.ts_us + s.dur_us);
   }
   summary.wall_us = max_end - min_ts;
+  for (auto& [category, durations] : cat_durations) {
+    FillPercentiles(&durations, &summary.by_category[category]);
+  }
+  for (auto& [name, durations] : name_durations) {
+    FillPercentiles(&durations, &summary.by_name[name]);
+  }
 
   // Interval union per thread; the busiest thread's covered time over the
   // trace wall is the attribution figure.

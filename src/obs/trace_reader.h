@@ -38,6 +38,11 @@ bool ReadChromeTrace(std::istream& in, std::vector<ParsedSpan>* spans,
 struct SpanTotals {
   int64_t count = 0;
   double total_us = 0.0;
+  // Nearest-rank duration percentiles over the group's spans, filled by
+  // SummarizeTrace.  With one span all three equal its duration.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
 };
 
 // Per-trace summary used for CI diffing and wall-time attribution.

@@ -1,0 +1,141 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vsan {
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::SendAll(const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing
+    // the process with SIGPIPE.
+    const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+int64_t Socket::Recv(void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool Socket::RecvUntilClosed(std::string* out, size_t max_bytes) {
+  char buf[4096];
+  while (out->size() < max_bytes) {
+    const int64_t n = Recv(buf, sizeof(buf));
+    if (n < 0) return false;
+    if (n == 0) return true;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool Socket::SetRecvTimeout(int64_t timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+bool ListenSocket::Listen(int port, bool bind_any, int backlog) {
+  Socket fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return false;
+  const int one = 1;
+  ::setsockopt(fd.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(bind_any ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return false;
+  }
+  if (::listen(fd.fd(), backlog) != 0) return false;
+  // Read back the bound port — the whole point of port 0.
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  fd_ = std::move(fd);
+  return true;
+}
+
+Socket ListenSocket::Accept() {
+  if (!fd_.valid()) return Socket();
+  for (;;) {
+    const int client = ::accept(fd_.fd(), nullptr, nullptr);
+    if (client >= 0) return Socket(client);
+    if (errno == EINTR) continue;
+    return Socket();  // closed from another thread, or a hard error
+  }
+}
+
+void ListenSocket::Close() {
+  if (fd_.valid()) {
+    // shutdown() wakes a blocked accept() on most kernels; the close()
+    // invalidates the fd so retries fail fast either way.
+    ::shutdown(fd_.fd(), SHUT_RDWR);
+    fd_.Close();
+  }
+  port_ = 0;
+}
+
+Socket TcpConnect(const std::string& host, int port) {
+  struct in_addr ip;
+  const std::string resolved =
+      (host == "localhost") ? std::string("127.0.0.1") : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &ip) != 1) return Socket();
+  Socket fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Socket();
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr = ip;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  for (;;) {
+    if (::connect(fd.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Socket();
+  }
+}
+
+}  // namespace vsan

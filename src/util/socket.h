@@ -1,0 +1,89 @@
+#ifndef VSAN_UTIL_SOCKET_H_
+#define VSAN_UTIL_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+// Thin POSIX TCP wrappers — the listener/connection substrate under the
+// observability HTTP endpoint (obs/http_server.h) and, eventually, the
+// vsan_serve request loop.  Blocking I/O with EINTR retry; no external
+// dependencies, IPv4 loopback-oriented (a monitoring plane, not a general
+// networking stack).
+
+namespace vsan {
+
+// Owning socket file descriptor.  Movable, closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  // Writes all `len` bytes (retrying short writes and EINTR).  False on
+  // error, e.g. the peer closed mid-write.
+  bool SendAll(const void* data, size_t len);
+  bool SendAll(const std::string& data) {
+    return SendAll(data.data(), data.size());
+  }
+
+  // Reads at most `len` bytes; returns the byte count, 0 on orderly peer
+  // shutdown, -1 on error.  Retries EINTR.
+  int64_t Recv(void* buf, size_t len);
+
+  // Appends to `*out` until the peer closes or `max_bytes` accumulate.
+  // False on a read error (a clean close is success).
+  bool RecvUntilClosed(std::string* out, size_t max_bytes = 1 << 24);
+
+  // SO_RCVTIMEO, so a stuck peer cannot wedge a handler thread forever.
+  bool SetRecvTimeout(int64_t timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening TCP socket bound to 127.0.0.1 (the observability plane is a
+// local monitoring surface; bind_any widens it to 0.0.0.0 deliberately).
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() = default;
+  ListenSocket(ListenSocket&&) = default;
+  ListenSocket& operator=(ListenSocket&&) = default;
+
+  // Binds and listens.  `port` 0 picks an ephemeral port (the bound one is
+  // readable via port() — tests and parallel runs rely on this).  False on
+  // bind/listen failure (port in use, permissions).
+  bool Listen(int port, bool bind_any = false, int backlog = 64);
+
+  // Blocks until a connection arrives; invalid Socket on error or after
+  // the listener was closed from another thread (the shutdown path).
+  Socket Accept();
+
+  bool listening() const { return fd_.valid(); }
+  int port() const { return port_; }
+
+  // Unblocks any Accept() in progress (shutdown + close); subsequent
+  // Accepts return invalid sockets.
+  void Close();
+
+ private:
+  Socket fd_;
+  int port_ = 0;
+};
+
+// Blocking TCP connect to host:port ("127.0.0.1", "localhost", or a
+// dotted quad).  Invalid Socket on failure.
+Socket TcpConnect(const std::string& host, int port);
+
+}  // namespace vsan
+
+#endif  // VSAN_UTIL_SOCKET_H_

@@ -1,0 +1,377 @@
+// Tests for the live observability plane: the Prometheus exposition
+// writer/parser pair, the embedded HTTP/1.1 metrics server (/metrics,
+// /healthz, /trace), concurrent scrapers against a training run, and the
+// socket substrate.  Labeled `http` (reproduce.sh selector) and runs under
+// the ASan/TSan builds — concurrent scrape-vs-train is exactly the traffic
+// the server must survive race-free.
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/vsan.h"
+#include "data/dataset.h"
+#include "obs/http_server.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "util/rng.h"
+#include "util/socket.h"
+
+namespace vsan {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Prometheus text format
+
+TEST(PrometheusTest, NameMapping) {
+  EXPECT_EQ(PrometheusName("pool.acquire.hits"), "vsan_pool_acquire_hits");
+  EXPECT_EQ(PrometheusName("train.step_ms"), "vsan_train_step_ms");
+  EXPECT_EQ(PrometheusName("weird-name!x"), "vsan_weird_name_x");
+}
+
+TEST(PrometheusTest, WriterEmitsAllInstrumentKinds) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  registry.GetCounter("prom.requests")->Increment(7);
+  registry.GetGauge("prom.depth")->Set(1.5);
+  Histogram* h = registry.GetHistogram("prom.lat_us", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(500.0);
+  SlidingWindowHistogram* s =
+      registry.GetSlidingHistogram("prom.win_us", {1.0, 10.0});
+  s->Observe(5.0);
+
+  const std::string text = WritePrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE vsan_prom_requests_total counter\n"
+                      "vsan_prom_requests_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsan_prom_depth 1.5"), std::string::npos);
+  // Cumulative le-buckets, +Inf last, then sum/count and quantile gauges.
+  EXPECT_NE(text.find("vsan_prom_lat_us_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsan_prom_lat_us_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsan_prom_lat_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsan_prom_lat_us_count 3"), std::string::npos);
+  EXPECT_NE(text.find("vsan_prom_lat_us_p50 "), std::string::npos);
+  // Sliding windows carry the window label on bucket lines.
+  EXPECT_NE(text.find("vsan_prom_win_us_bucket{le=\"1\",window=\"30s\"} 0"),
+            std::string::npos);
+  registry.Reset();
+}
+
+TEST(PrometheusTest, WriterParserRoundTrip) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  registry.GetCounter("rt.count")->Increment(42);
+  registry.GetGauge("rt.gauge")->Set(-2.25);
+  Histogram* h = registry.GetHistogram("rt.hist", {1.0, 10.0});
+  for (int i = 0; i < 10; ++i) h->Observe(5.0);
+
+  std::vector<PrometheusSample> samples;
+  std::map<std::string, std::string> types;
+  std::string error;
+  ASSERT_TRUE(ParsePrometheusText(WritePrometheusText(registry), &samples,
+                                  &types, &error))
+      << error;
+  EXPECT_EQ(types.at("vsan_rt_count_total"), "counter");
+  EXPECT_EQ(types.at("vsan_rt_gauge"), "gauge");
+  EXPECT_EQ(types.at("vsan_rt_hist"), "histogram");
+  std::map<std::string, double> plain;
+  double inf_bucket = -1.0;
+  for (const PrometheusSample& sample : samples) {
+    if (sample.labels.empty()) plain[sample.name] = sample.value;
+    if (sample.name == "vsan_rt_hist_bucket" &&
+        sample.labels.at("le") == "+Inf") {
+      inf_bucket = sample.value;
+    }
+  }
+  EXPECT_DOUBLE_EQ(plain.at("vsan_rt_count_total"), 42.0);
+  EXPECT_DOUBLE_EQ(plain.at("vsan_rt_gauge"), -2.25);
+  EXPECT_DOUBLE_EQ(plain.at("vsan_rt_hist_count"), 10.0);
+  EXPECT_DOUBLE_EQ(inf_bucket, 10.0);
+  registry.Reset();
+}
+
+TEST(PrometheusTest, ParserHandlesLabelEscapesAndRejectsGarbage) {
+  std::vector<PrometheusSample> samples;
+  std::map<std::string, std::string> types;
+  std::string error;
+  ASSERT_TRUE(ParsePrometheusText(
+      "# a plain comment\n"
+      "m{a=\"x\\\\y\",b=\"line\\nbreak\",c=\"qu\\\"ote\"} 3\n"
+      "plain 1.5e3\n"
+      "inf_val +Inf\n",
+      &samples, &types, &error))
+      << error;
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].labels.at("a"), "x\\y");
+  EXPECT_EQ(samples[0].labels.at("b"), "line\nbreak");
+  EXPECT_EQ(samples[0].labels.at("c"), "qu\"ote");
+  EXPECT_DOUBLE_EQ(samples[1].value, 1500.0);
+  EXPECT_TRUE(std::isinf(samples[2].value));
+
+  EXPECT_FALSE(ParsePrometheusText("name_without_value\n", &samples, &types,
+                                   &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParsePrometheusText("m{unterminated=\"x\n", &samples, &types,
+                                   &error));
+  EXPECT_FALSE(ParsePrometheusText("m bogus\n", &samples, &types, &error));
+}
+
+// ---------------------------------------------------------------------------
+// Socket substrate
+
+TEST(SocketTest, ListenConnectEcho) {
+  ListenSocket listener;
+  ASSERT_TRUE(listener.Listen(0));  // ephemeral port, read back
+  ASSERT_GT(listener.port(), 0);
+  std::thread server([&listener] {
+    Socket conn = listener.Accept();
+    ASSERT_TRUE(conn.valid());
+    char buf[64];
+    const int64_t n = conn.Recv(buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    ASSERT_TRUE(conn.SendAll(std::string(buf, static_cast<size_t>(n))));
+  });
+  Socket client = TcpConnect("127.0.0.1", listener.port());
+  ASSERT_TRUE(client.valid());
+  ASSERT_TRUE(client.SendAll("ping"));
+  char buf[64];
+  const int64_t n = client.Recv(buf, sizeof(buf));
+  EXPECT_EQ(std::string(buf, static_cast<size_t>(n)), "ping");
+  server.join();
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, close it, then connect to the now-dead port.
+  int dead_port = 0;
+  {
+    ListenSocket listener;
+    ASSERT_TRUE(listener.Listen(0));
+    dead_port = listener.port();
+  }
+  Socket conn = TcpConnect("127.0.0.1", dead_port);
+  EXPECT_FALSE(conn.valid());
+}
+
+#if VSAN_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// HTTP server
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(server_.Start({}));  // port 0 = ephemeral
+    ASSERT_GT(server_.port(), 0);
+  }
+  HttpServer server_;
+};
+
+TEST_F(HttpServerTest, HealthzAndUnknownPaths) {
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server_.port(), "/healthz", &status,
+                      &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+  ASSERT_TRUE(HttpGet("127.0.0.1", server_.port(), "/nope", &status, &body));
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(HttpServerTest, MetricsServesParsableExposition) {
+  MetricsRegistry::Global().GetCounter("http_test.hits")->Increment(5);
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server_.port(), "/metrics", &status,
+                      &body));
+  EXPECT_EQ(status, 200);
+  std::vector<PrometheusSample> samples;
+  std::map<std::string, std::string> types;
+  std::string error;
+  ASSERT_TRUE(ParsePrometheusText(body, &samples, &types, &error)) << error;
+  bool found = false;
+  for (const PrometheusSample& sample : samples) {
+    if (sample.name == "vsan_http_test_hits_total" && sample.value >= 5.0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << body;
+}
+
+TEST_F(HttpServerTest, MalformedAndUnsupportedRequests) {
+  // Raw garbage instead of an HTTP request line.
+  {
+    Socket conn = TcpConnect("127.0.0.1", server_.port());
+    ASSERT_TRUE(conn.valid());
+    ASSERT_TRUE(conn.SendAll("complete garbage\r\n\r\n"));
+    std::string raw;
+    ASSERT_TRUE(conn.RecvUntilClosed(&raw));
+    EXPECT_NE(raw.find("400"), std::string::npos);
+  }
+  // Well-formed but non-GET.
+  {
+    Socket conn = TcpConnect("127.0.0.1", server_.port());
+    ASSERT_TRUE(conn.valid());
+    ASSERT_TRUE(conn.SendAll("POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
+    std::string raw;
+    ASSERT_TRUE(conn.RecvUntilClosed(&raw));
+    EXPECT_NE(raw.find("405"), std::string::npos);
+  }
+  // Error responses count into http.errors.
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server_.port(), "/metrics", &status,
+                      &body));
+  EXPECT_NE(body.find("vsan_http_errors_total"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, CustomRouteAndQueryDecoding) {
+  HttpServer server;
+  server.Handle("/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    const auto it = request.query.find("msg");
+    response.body = it == request.query.end() ? "none" : it->second;
+    return response;
+  });
+  ASSERT_TRUE(server.Start({}));
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/echo?msg=hi%20there",
+                      &status, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "hi there");
+  server.Stop();
+}
+
+TEST_F(HttpServerTest, TraceEndpointReturnsChromeJson) {
+  Tracer::Global().StopSession();  // ensure no session is active
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server_.port(), "/trace?ms=50", &status,
+                      &body));
+  EXPECT_EQ(status, 200);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(body, &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_NE(doc.Find("traceEvents"), nullptr);
+  // Bad window is a client error, not a hung handler.
+  ASSERT_TRUE(HttpGet("127.0.0.1", server_.port(), "/trace?ms=999999",
+                      &status, &body));
+  EXPECT_EQ(status, 400);
+}
+
+TEST_F(HttpServerTest, TraceConflictsWithActiveSession) {
+  Tracer::Global().StartSession({});
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server_.port(), "/trace?ms=50", &status,
+                      &body));
+  EXPECT_EQ(status, 409);
+  Tracer::Global().StopSession();
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndRestartable) {
+  server_.Stop();
+  server_.Stop();
+  EXPECT_FALSE(server_.running());
+  HttpServer second;
+  ASSERT_TRUE(second.Start({}));
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", second.port(), "/healthz", &status,
+                      &body));
+  EXPECT_EQ(status, 200);
+  second.Stop();
+}
+
+// The acceptance scenario: /metrics stays a valid exposition and every
+// scrape succeeds while a real training run hammers the registry from the
+// training thread and its ParallelFor shards — with 4 concurrent scrapers.
+TEST(HttpLiveTest, ConcurrentScrapersDuringTraining) {
+  MetricsRegistry::Global().Reset();
+  HttpServer server;
+  ASSERT_TRUE(server.Start({}));
+
+  Rng rng(29);
+  data::SequenceDataset dataset(40);
+  for (int u = 0; u < 60; ++u) {
+    std::vector<int32_t> seq;
+    for (int t = 0; t < 12; ++t) {
+      seq.push_back(static_cast<int32_t>(rng.UniformInt(1, 39)));
+    }
+    dataset.AddUser(std::move(seq));
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> scrapes{0};
+  std::atomic<int64_t> failures{0};
+  std::vector<std::thread> scrapers;
+  for (int i = 0; i < 4; ++i) {
+    scrapers.emplace_back([&server, &done, &scrapes, &failures] {
+      while (!done.load(std::memory_order_acquire)) {
+        int status = 0;
+        std::string body;
+        if (!HttpGet("127.0.0.1", server.port(), "/metrics", &status,
+                     &body) ||
+            status != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        std::vector<PrometheusSample> samples;
+        std::string error;
+        if (!ParsePrometheusText(body, &samples, nullptr, &error)) {
+          failures.fetch_add(1);
+        }
+        scrapes.fetch_add(1);
+      }
+    });
+  }
+
+  core::VsanConfig config;
+  config.max_len = 12;
+  config.d = 8;
+  core::Vsan model(config);
+  TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 16;
+  model.Fit(dataset, options);
+
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : scrapers) t.join();
+  server.Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(scrapes.load(), 0);
+  // The training run itself must have shown up in the scraped registry.
+  const std::map<std::string, double> scalars =
+      MetricsRegistry::Global().SnapshotScalars();
+  EXPECT_GT(scalars.at("train.steps"), 0.0);
+  EXPECT_GT(scalars.at("train.step_ms.count"), 0.0);
+}
+
+#else  // !VSAN_OBS_ENABLED
+
+TEST(HttpDisabledTest, ServerRefusesToStart) {
+  HttpServer server;
+  EXPECT_FALSE(server.Start({}));
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+}
+
+#endif  // VSAN_OBS_ENABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace vsan

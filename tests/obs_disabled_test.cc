@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/http_server.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 #if VSAN_OBS_ENABLED
@@ -47,6 +49,30 @@ TEST(ObsDisabledTest, RuntimeApiStillLinksWhenCompiledOut) {
   tracer.StartSession({});
   tracer.StopSession();
   EXPECT_TRUE(tracer.Collect().empty());
+}
+
+TEST(ObsDisabledTest, HttpServerIsANoop) {
+  // This TU sees the header-only no-op HttpServer: Start() refuses and
+  // nothing ever listens, so --metrics-port degrades cleanly in OBS=OFF
+  // builds rather than serving stale data.
+  HttpServer server;
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  EXPECT_FALSE(server.Start({}));
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  EXPECT_EQ(server.requests_served(), 0);
+  server.Stop();  // must be callable, must do nothing
+}
+
+TEST(ObsDisabledTest, ProfilerIsANoop) {
+  SamplingProfiler& profiler = SamplingProfiler::Global();
+  EXPECT_FALSE(profiler.Start());
+  EXPECT_FALSE(profiler.running());
+  const ProfileStats stats = profiler.Stop();
+  EXPECT_EQ(stats.samples, 0);
+  EXPECT_EQ(stats.dropped, 0);
+  EXPECT_EQ(profiler.FoldedStacks(), "");
+  EXPECT_FALSE(profiler.WriteFolded("/tmp/never-written.folded"));
 }
 
 }  // namespace

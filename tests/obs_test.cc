@@ -9,6 +9,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -282,6 +283,157 @@ TEST(MetricsTest, RegistryReusesInstrumentsAndScrapes) {
 }
 
 // ---------------------------------------------------------------------------
+// Sliding-window histogram
+
+constexpr int64_t kSecond = 1000000000ll;
+
+TEST(SlidingWindowTest, QuantilesConvergeOnInjectedDistribution) {
+  // 30 s window, 10 slices; fine buckets so interpolation error is small.
+  SlidingWindowHistogram hist(ExponentialBuckets(1.0, 1.25, 40),
+                              30 * kSecond, 10);
+  // Inject a known three-mode distribution, spread over 20 s (inside the
+  // window): 50% at 10, 45% at 100, 5% at 500.
+  Rng rng(11);
+  const int64_t t0 = 1000 * kSecond;
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t at = t0 + static_cast<int64_t>(rng.Uniform() * 20) * kSecond;
+    const double u = rng.Uniform();
+    hist.ObserveAt(u < 0.5 ? 10.0 : (u < 0.95 ? 100.0 : 500.0), at);
+  }
+  const HistogramSnapshot snap = hist.SnapshotAt(t0 + 20 * kSecond);
+  EXPECT_EQ(snap.count, 4000);
+  EXPECT_EQ(snap.window_ns, 30 * kSecond);
+  // Bucketed quantiles land within one exponential bucket (factor 1.25) of
+  // the true value.
+  EXPECT_NEAR(snap.Percentile(50.0), 10.0, 10.0 * 0.25);
+  EXPECT_NEAR(snap.Percentile(90.0), 100.0, 100.0 * 0.25);
+  EXPECT_NEAR(snap.Percentile(99.0), 500.0, 500.0 * 0.25);
+}
+
+TEST(SlidingWindowTest, OldSamplesAgeOut) {
+  SlidingWindowHistogram hist({1.0, 10.0, 100.0}, 10 * kSecond, 5);
+  const int64_t t0 = 50 * kSecond;
+  for (int i = 0; i < 100; ++i) hist.ObserveAt(5.0, t0);
+  EXPECT_EQ(hist.SnapshotAt(t0).count, 100);
+  // Still inside the window…
+  EXPECT_EQ(hist.SnapshotAt(t0 + 9 * kSecond).count, 100);
+  // …and fully outside it.
+  EXPECT_EQ(hist.SnapshotAt(t0 + 11 * kSecond).count, 0);
+  EXPECT_DOUBLE_EQ(hist.SnapshotAt(t0 + 11 * kSecond).Percentile(50.0), 0.0);
+}
+
+TEST(SlidingWindowTest, WindowSlidesSampleBySample) {
+  SlidingWindowHistogram hist({1.0, 10.0, 100.0}, 10 * kSecond, 10);
+  const int64_t t0 = 100 * kSecond;
+  // One low sample per second for 10 s, then a high stream.  Snapshots are
+  // taken in time order — the ring recycles slices as time advances, so the
+  // past cannot be queried after later observations overwrite it.
+  for (int i = 0; i < 10; ++i) hist.ObserveAt(0.5, t0 + i * kSecond);
+  for (int i = 10; i < 15; ++i) hist.ObserveAt(50.0, t0 + i * kSecond);
+  // Mid-transition: both populations visible.
+  const HistogramSnapshot mid = hist.SnapshotAt(t0 + 14 * kSecond);
+  EXPECT_GT(mid.count, 5);
+  EXPECT_LT(mid.count, 15);
+  // After the low batch ages out, only high samples remain.
+  for (int i = 15; i < 20; ++i) hist.ObserveAt(50.0, t0 + i * kSecond);
+  const HistogramSnapshot late = hist.SnapshotAt(t0 + 20 * kSecond);
+  EXPECT_LE(late.count, 10);
+  EXPECT_GT(late.Percentile(50.0), 10.0);
+}
+
+TEST(SlidingWindowTest, ConcurrentObserversStaySane) {
+  SlidingWindowHistogram hist(ExponentialBuckets(1.0, 2.0, 10), 5 * kSecond,
+                              5);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Observe(static_cast<double>(1 + (t + i) % 100));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Everything was observed "now", so nothing has aged out yet.
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(MetricsTest, SnapshotScalarsCarriesHistogramQuantiles) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram* h = registry.GetHistogram("scalar.hist", {1.0, 10.0, 100.0});
+  h->Reset();
+  for (int i = 0; i < 100; ++i) h->Observe(5.0);
+  SlidingWindowHistogram* s =
+      registry.GetSlidingHistogram("scalar.sliding", {1.0, 10.0, 100.0});
+  s->Reset();
+  for (int i = 0; i < 50; ++i) s->Observe(50.0);
+  const std::map<std::string, double> scalars = registry.SnapshotScalars();
+  EXPECT_EQ(scalars.at("scalar.hist.count"), 100.0);
+  EXPECT_GT(scalars.at("scalar.hist.p50"), 1.0);
+  EXPECT_GT(scalars.at("scalar.hist.p95"), 1.0);
+  EXPECT_GT(scalars.at("scalar.hist.p99"), 1.0);
+  EXPECT_EQ(scalars.at("scalar.sliding.count"), 50.0);
+  EXPECT_GT(scalars.at("scalar.sliding.p50"), 10.0);
+}
+
+TEST(MetricsTest, SnapshotHistogramsExposesBuckets) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram* h = registry.GetHistogram("snap.hist", {1.0, 10.0});
+  h->Reset();
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(500.0);
+  const std::map<std::string, HistogramSnapshot> snaps =
+      registry.SnapshotHistograms();
+  const HistogramSnapshot& snap = snaps.at("snap.hist");
+  ASSERT_EQ(snap.buckets.size(), 3u);
+  EXPECT_EQ(snap.buckets[0], 1);
+  EXPECT_EQ(snap.buckets[1], 1);
+  EXPECT_EQ(snap.buckets[2], 1);  // overflow
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_EQ(snap.window_ns, 0);  // cumulative
+  EXPECT_DOUBLE_EQ(snap.sum, 505.5);
+}
+
+// ---------------------------------------------------------------------------
+// Trace-summary duration percentiles
+
+TEST(ChromeTraceTest, SummaryFillsDurationPercentiles) {
+  std::vector<ParsedSpan> spans;
+  // 100 spans of one name: 1..100 us.
+  for (int i = 1; i <= 100; ++i) {
+    ParsedSpan s;
+    s.name = "op";
+    s.category = "train";
+    s.ts_us = i * 1000.0;
+    s.dur_us = static_cast<double>(i);
+    spans.push_back(s);
+  }
+  const TraceSummary summary = SummarizeTrace(spans);
+  const SpanTotals& totals = summary.by_name.at("op");
+  EXPECT_EQ(totals.count, 100);
+  EXPECT_DOUBLE_EQ(totals.p50_us, 50.0);   // nearest rank
+  EXPECT_DOUBLE_EQ(totals.p95_us, 95.0);
+  EXPECT_DOUBLE_EQ(totals.p99_us, 99.0);
+  EXPECT_DOUBLE_EQ(summary.by_category.at("train").p99_us, 99.0);
+}
+
+TEST(ChromeTraceTest, SingleSpanPercentilesEqualItsDuration) {
+  ParsedSpan s;
+  s.name = "solo";
+  s.category = "eval";
+  s.dur_us = 7.0;
+  const TraceSummary summary = SummarizeTrace({s});
+  EXPECT_DOUBLE_EQ(summary.by_name.at("solo").p50_us, 7.0);
+  EXPECT_DOUBLE_EQ(summary.by_name.at("solo").p99_us, 7.0);
+}
+
+// ---------------------------------------------------------------------------
 // JSON parser
 
 TEST(JsonTest, ParsesEscapesAndStructure) {
@@ -300,6 +452,60 @@ TEST(JsonTest, ParsesEscapesAndStructure) {
   EXPECT_TRUE(doc.Find("b")->boolean);
   EXPECT_EQ(doc.Find("n")->type, JsonValue::Type::kNull);
   EXPECT_FALSE(ParseJson("{\"unterminated\":", &doc, &error));
+}
+
+TEST(JsonTest, UnicodeEscapesAndNonAscii) {
+  JsonValue doc;
+  std::string error;
+  // \u escapes decode to UTF-8 (2- and 3-byte); raw multi-byte UTF-8
+  // passes through untouched.
+  ASSERT_TRUE(ParseJson(R"({"u":"A\u00e9 \u20ac","raw":"héllo"})", &doc,
+                        &error))
+      << error;
+  EXPECT_EQ(doc.StringOr("u", ""), "A\xc3\xa9 \xe2\x82\xac");
+  EXPECT_EQ(doc.StringOr("raw", ""), "héllo");
+  // Malformed \u escapes fail instead of emitting garbage.
+  EXPECT_FALSE(ParseJson(R"({"u":"\u12"})", &doc, &error));
+  EXPECT_FALSE(ParseJson(R"({"u":"\uzzzz"})", &doc, &error));
+}
+
+TEST(JsonTest, DeeplyNestedArraysAndObjects) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"([[1,[2,[3]]],{"a":{"b":[{"c":4}]}}])", &doc,
+                        &error))
+      << error;
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.array.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.array[0].array[1].array[1].array[0].number, 3.0);
+  const JsonValue* a = doc.array[1].Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->Find("b")->array[0].NumberOr("c", 0.0), 4.0);
+}
+
+TEST(JsonTest, TruncatedInputsFailCleanly) {
+  JsonValue doc;
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1,2", R"({"a")", R"({"a":)", R"({"a":1,)", "\"unclosed",
+        "[1,]", "{,}", "tru", "nul", "-", "1e", R"({"a":1}extra)"}) {
+    error.clear();
+    EXPECT_FALSE(ParseJson(bad, &doc, &error)) << "input: " << bad;
+    EXPECT_FALSE(error.empty()) << "input: " << bad;
+  }
+}
+
+TEST(JsonTest, NumbersAtPrecisionEdges) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"big":1e300,"tiny":-2.5e-300,"zero":0,"neg":-0.125})", &doc,
+      &error))
+      << error;
+  EXPECT_DOUBLE_EQ(doc.NumberOr("big", 0.0), 1e300);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("tiny", 0.0), -2.5e-300);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("zero", 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("neg", 0.0), -0.125);
 }
 
 // ---------------------------------------------------------------------------

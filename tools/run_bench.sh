@@ -11,6 +11,7 @@
 #   tools/run_bench.sh --trace [build_dir]
 #   tools/run_bench.sh --retrieval [build_dir]
 #   tools/run_bench.sh --autotune [build_dir]
+#   tools/run_bench.sh --gate [build_dir] [benchmark_filter]
 #
 # The distilled records carry a `precision` field on the GEMM family
 # (fp32, or bf16 for BM_GemmBf16 and the bf16 rows of BM_GemmModelShape),
@@ -37,6 +38,12 @@
 # single-thread VsanTrainEpoch/80 run (VSAN_TRACE_OUT), fold it with
 # trace_summary, and fail if the summary is empty — a smoke check that the
 # tracer and its toolchain stay wired end to end.
+#
+# --gate: regression gate for CI.  Runs the same sweep as the default mode
+# but distills into a temp file and diffs it against the committed
+# BENCH_micro.json with tools/check_bench.py (tolerance ±15% ns/iter by
+# default; override with VSAN_BENCH_TOLERANCE=0.25).  The baseline file is
+# never overwritten; exit status 1 on any regression.
 #
 # --retrieval: run the million-item recall-vs-speedup sweep
 # (bench/bench_retrieval.cc) and land its JSON curve in
@@ -120,9 +127,23 @@ if [[ "${1:-}" == "--autotune" ]]; then
   exit 0
 fi
 
+GATE=0
+if [[ "${1:-}" == "--gate" ]]; then
+  GATE=1
+  shift
+fi
+
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 FILTER="${2:-}"
 OUT="$REPO_ROOT/BENCH_micro.json"
+if [[ "$GATE" == "1" ]]; then
+  if [[ ! -f "$OUT" ]]; then
+    echo "error: --gate needs a committed $OUT baseline" >&2
+    exit 1
+  fi
+  BASELINE="$OUT"
+  OUT="$(mktemp --suffix=.json)"
+fi
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
@@ -131,7 +152,11 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 OPS_JSON="$(mktemp)"
 TRAIN_JSON="$(mktemp)"
 POOLOFF_JSON="$(mktemp)"
-trap 'rm -f "$OPS_JSON" "$TRAIN_JSON" "$POOLOFF_JSON"' EXIT
+if [[ "$GATE" == "1" ]]; then
+  trap 'rm -f "$OPS_JSON" "$TRAIN_JSON" "$POOLOFF_JSON" "$OUT"' EXIT
+else
+  trap 'rm -f "$OPS_JSON" "$TRAIN_JSON" "$POOLOFF_JSON"' EXIT
+fi
 
 BENCH_ARGS=(--benchmark_format=json)
 if [[ -n "$FILTER" ]]; then
@@ -149,3 +174,9 @@ VSAN_POOL=0 "$BUILD_DIR/bench/bench_micro_train" \
 
 python3 "$REPO_ROOT/tools/distill_bench.py" \
   "$OPS_JSON" "$TRAIN_JSON" "$POOLOFF_JSON" "$OUT"
+
+if [[ "$GATE" == "1" ]]; then
+  python3 "$REPO_ROOT/tools/check_bench.py" \
+    ${VSAN_BENCH_TOLERANCE:+--tolerance="$VSAN_BENCH_TOLERANCE"} \
+    "$BASELINE" "$OUT"
+fi

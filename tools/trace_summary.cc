@@ -23,14 +23,15 @@ void PrintTable(const char* title,
                 double wall_us) {
   std::cout << title << "\n";
   std::cout << "  key                             count      total_ms   "
-               "share\n";
+               "share     p50_ms     p95_ms     p99_ms\n";
   for (const auto& [key, totals] : rows) {
     std::string name = key;
     if (name.size() < 30) name.resize(30, ' ');
     const double share = wall_us > 0.0 ? totals.total_us / wall_us : 0.0;
-    std::printf("  %s %9lld  %12.3f  %5.1f%%\n", name.c_str(),
-                static_cast<long long>(totals.count), totals.total_us / 1e3,
-                share * 100.0);
+    std::printf("  %s %9lld  %12.3f  %5.1f%%  %9.3f  %9.3f  %9.3f\n",
+                name.c_str(), static_cast<long long>(totals.count),
+                totals.total_us / 1e3, share * 100.0, totals.p50_us / 1e3,
+                totals.p95_us / 1e3, totals.p99_us / 1e3);
   }
 }
 

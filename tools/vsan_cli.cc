@@ -27,6 +27,8 @@
 #include "models/sasrec.h"
 #include "models/svae.h"
 #include "models/transrec.h"
+#include "obs/http_server.h"
+#include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "tensor/autotune.h"
@@ -49,9 +51,11 @@ int Usage() {
       "             [--telemetry_out=train.jsonl] [--trace_out=trace.json]\n"
       "             [--checkpoint_dir=dir] [--checkpoint_every=1] [--resume]\n"
       "             [--on_divergence=skip|abort|rollback]\n"
+      "             [--metrics-port=9108] [--profile_out=train.folded]\n"
       "  evaluate   --load=ckpt --dataset=... [--heldout=50] [--seed=7]\n"
       "             [--retrieval=exact|quantized|ivf] [--clusters=0]\n"
       "             [--nprobe=8] [--precision=fp32|bf16]\n"
+      "             [--metrics-port=9108]\n"
       "  recommend  --load=ckpt --history=1,2,3 [--topn=10]\n"
       "             [--precision=fp32|bf16]\n"
       "  inspect    --load=ckpt --history=1,2,3\n"
@@ -149,6 +153,25 @@ std::unique_ptr<SequentialRecommender> MakeModel(const FlagParser& flags) {
   return nullptr;
 }
 
+// --metrics-port=N: expose /metrics, /healthz, and /trace on localhost:N
+// for the duration of the command (obs/http_server.h; vsan_top attaches
+// here).  Returns false when the port cannot be bound; a zero/absent flag
+// leaves the server off.
+bool MaybeStartMetricsServer(const FlagParser& flags, obs::HttpServer* server) {
+  const int64_t port = flags.GetInt("metrics-port", 0);
+  if (port <= 0) return true;
+  obs::HttpServerOptions options;
+  options.port = static_cast<int>(port);
+  if (!server->Start(options)) {
+    std::cerr << "error: cannot bind --metrics-port " << port
+              << " (built with -DVSAN_OBS=OFF, or port in use)\n";
+    return false;
+  }
+  std::cout << "metrics on http://127.0.0.1:" << server->port()
+            << "/metrics\n";
+  return true;
+}
+
 std::vector<int32_t> ParseHistory(const std::string& csv) {
   std::vector<int32_t> items;
   std::string token;
@@ -227,11 +250,35 @@ int Train(const FlagParser& flags) {
     train_opts.telemetry = telemetry.get();
   }
 
+  obs::HttpServer metrics_server;
+  if (!MaybeStartMetricsServer(flags, &metrics_server)) return 1;
+
   // Chrome-trace span capture around training (open in Perfetto).
   const std::string trace_out = flags.GetString("trace_out");
   if (!trace_out.empty()) obs::Tracer::Global().StartSession({});
 
+  // Sampling CPU profiler around training (obs/profiler.h); the folded
+  // stacks feed flamegraph.pl / speedscope directly.
+  const std::string profile_out = flags.GetString("profile_out");
+  if (!profile_out.empty() && !obs::SamplingProfiler::Global().Start()) {
+    std::cerr << "error: cannot start profiler for --profile_out "
+              << "(built with -DVSAN_OBS=OFF?)\n";
+    return 1;
+  }
+
   model->Fit(split.train, train_opts);
+
+  if (!profile_out.empty()) {
+    const obs::ProfileStats stats = obs::SamplingProfiler::Global().Stop();
+    if (!obs::SamplingProfiler::Global().WriteFolded(profile_out)) {
+      std::cerr << "error: cannot write --profile_out " << profile_out << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << stats.samples << " profile samples to "
+              << profile_out << " ("
+              << FormatDouble(100.0 * stats.any_symbolized_fraction, 1)
+              << "% symbolized)\n";
+  }
 
   if (!trace_out.empty()) {
     obs::Tracer::Global().StopSession();
@@ -302,6 +349,8 @@ int Evaluate(const FlagParser& flags) {
       static_cast<int32_t>(flags.GetInt("clusters", 0));
   eval_opts.retrieval.nprobe = static_cast<int32_t>(flags.GetInt("nprobe", 8));
   if (!ApplyPrecisionFlag(flags, loaded.value().get())) return Usage();
+  obs::HttpServer metrics_server;
+  if (!MaybeStartMetricsServer(flags, &metrics_server)) return 1;
   const eval::EvalResult r =
       eval::EvaluateRanking(*loaded.value(), split.test, eval_opts);
   std::cout << loaded.value()->name() << " test: " << r.ToString() << "\n";

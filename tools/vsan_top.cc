@@ -1,0 +1,185 @@
+// vsan_top: a terminal dashboard over a running process's /metrics
+// endpoint (vsan_cli --metrics-port, or anything serving obs/http_server).
+//
+//   vsan_top --port=9108                 # refresh every 2 s until Ctrl-C
+//   vsan_top --port=9108 --interval=0.5
+//   vsan_top --port=9108 --once          # one plain snapshot (scripts/CI)
+//
+// Each refresh scrapes /metrics, parses the Prometheus exposition text, and
+// renders counters as rates (delta between consecutive scrapes), gauges as
+// values, and histograms as count plus p50/p95/p99 — sliding-window
+// families (window="..." label) are the last-N-seconds view, so their
+// quantiles move with the workload instead of averaging over the run.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/http_server.h"
+#include "obs/prometheus.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace vsan {
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: vsan_top --port=N [--host=127.0.0.1] [--interval=2]"
+         " [--once]\n"
+         "attaches to a /metrics endpoint (e.g. vsan_cli --metrics-port=N)\n";
+  return 2;
+}
+
+struct Snapshot {
+  bool ok = false;
+  double at_seconds = 0.0;  // steady-clock scrape time
+  std::map<std::string, double> values;            // plain sample name -> value
+  std::map<std::string, std::string> types;        // family -> counter|gauge|...
+  std::map<std::string, std::string> windows;      // family -> window label
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Snapshot Scrape(const std::string& host, int port) {
+  Snapshot snap;
+  int status = 0;
+  std::string body;
+  if (!obs::HttpGet(host, port, "/metrics", &status, &body) || status != 200) {
+    return snap;
+  }
+  std::vector<obs::PrometheusSample> samples;
+  std::string error;
+  if (!obs::ParsePrometheusText(body, &samples, &snap.types, &error)) {
+    std::cerr << "parse error: " << error << "\n";
+    return snap;
+  }
+  snap.at_seconds = NowSeconds();
+  for (const obs::PrometheusSample& sample : samples) {
+    const auto window = sample.labels.find("window");
+    if (window != sample.labels.end()) {
+      // "vsan_http_request_us_bucket" -> family "vsan_http_request_us"
+      std::string family = sample.name;
+      const size_t suffix = family.rfind("_bucket");
+      if (suffix != std::string::npos) family.resize(suffix);
+      snap.windows[family] = window->second;
+    }
+    if (sample.labels.empty()) snap.values[sample.name] = sample.value;
+  }
+  snap.ok = true;
+  return snap;
+}
+
+double Lookup(const Snapshot& snap, const std::string& name, double fallback) {
+  const auto it = snap.values.find(name);
+  return it == snap.values.end() ? fallback : it->second;
+}
+
+// Renders one dashboard frame.  `prev` supplies counter deltas; on the
+// first frame rates show as "-".
+std::string Render(const Snapshot& snap, const Snapshot& prev,
+                   const std::string& target) {
+  std::ostringstream os;
+  const double dt =
+      prev.ok ? std::max(1e-9, snap.at_seconds - prev.at_seconds) : 0.0;
+  os << "vsan_top  " << target << (prev.ok ? "" : "  (first scrape)") << "\n\n";
+
+  TablePrinter counters({"counter", "total", "rate/s"});
+  TablePrinter gauges({"gauge", "value"});
+  TablePrinter histograms({"histogram", "window", "count", "p50", "p95",
+                           "p99"});
+  bool any_counter = false, any_gauge = false, any_histogram = false;
+  for (const auto& [family, type] : snap.types) {
+    if (type == "counter") {
+      const double value = Lookup(snap, family, 0.0);
+      std::string rate = "-";
+      if (prev.ok && prev.values.count(family) > 0) {
+        rate = FormatDouble((value - prev.values.at(family)) / dt, 1);
+      }
+      counters.AddRow({family, FormatDouble(value, 0), rate});
+      any_counter = true;
+    } else if (type == "gauge") {
+      // Quantile families render inside their histogram's row.
+      if (family.size() > 4 &&
+          (family.rfind("_p50") == family.size() - 4 ||
+           family.rfind("_p95") == family.size() - 4 ||
+           family.rfind("_p99") == family.size() - 4)) {
+        continue;
+      }
+      gauges.AddRow({family, FormatDouble(Lookup(snap, family, 0.0), 4)});
+      any_gauge = true;
+    } else if (type == "histogram") {
+      const auto window = snap.windows.find(family);
+      histograms.AddRow(
+          {family,
+           window == snap.windows.end() ? "all" : window->second,
+           FormatDouble(Lookup(snap, family + "_count", 0.0), 0),
+           FormatDouble(Lookup(snap, family + "_p50", 0.0), 2),
+           FormatDouble(Lookup(snap, family + "_p95", 0.0), 2),
+           FormatDouble(Lookup(snap, family + "_p99", 0.0), 2)});
+      any_histogram = true;
+    }
+  }
+
+  // Derived headline: pool hit rate, when the acquire counters are present.
+  const double hits = Lookup(snap, "vsan_pool_acquire_hits_total", -1.0);
+  const double misses = Lookup(snap, "vsan_pool_acquire_misses_total", -1.0);
+  if (hits >= 0.0 && misses >= 0.0 && hits + misses > 0.0) {
+    os << "pool hit rate: "
+       << FormatDouble(100.0 * hits / (hits + misses), 1) << "%\n\n";
+  }
+  if (any_counter) {
+    counters.Print(os);
+    os << "\n";
+  }
+  if (any_gauge) {
+    gauges.Print(os);
+    os << "\n";
+  }
+  if (any_histogram) histograms.Print(os);
+  return os.str();
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port <= 0) return Usage();
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const double interval = flags.GetDouble("interval", 2.0);
+  const bool once = flags.GetBool("once", false);
+  const std::string target = host + ":" + std::to_string(port) + "/metrics";
+
+  Snapshot prev;
+  for (;;) {
+    Snapshot snap = Scrape(host, port);
+    if (!snap.ok) {
+      std::cerr << "cannot scrape http://" << target
+                << " (is the process running with --metrics-port?)\n";
+      return 1;
+    }
+    const std::string frame = Render(snap, prev, target);
+    if (once) {
+      std::cout << frame;
+      return 0;
+    }
+    // ANSI home+clear keeps the dashboard in place between refreshes.
+    std::cout << "\x1b[H\x1b[2J" << frame << std::flush;
+    prev = snap;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int64_t>(interval * 1000)));
+  }
+}
+
+}  // namespace
+}  // namespace vsan
+
+int main(int argc, char** argv) { return vsan::Main(argc, argv); }
