@@ -47,6 +47,16 @@ ctest --test-dir build -L retrieval 2>&1 | tee test_output_retrieval.txt
 # sweeps cover the accept/handler threads and the signal-handler buffer.)
 ctest --test-dir build -L http 2>&1 | tee test_output_http.txt
 
+# Serving plane by label: cache/batcher semantics, batched-encode bitwise
+# equality, serve-vs-offline oracle equality, and the HTTP daemon lifecycle
+# (readiness gate, 429 shedding, graceful drain) — plain build plus an
+# explicit TSan pass, since the batcher's cv/promise handoffs and the
+# daemon's shutdown ordering are exactly the code worth re-racing.  (Also
+# in the full run above; the serve suite carries asan/tsan labels so the
+# sanitizer sweeps pick it up.)
+ctest --test-dir build -L serve 2>&1 | tee test_output_serve.txt
+ctest --test-dir build-tsan -L serve 2>&1 | tee test_output_serve_tsan.txt
+
 # Autotuner + bf16 storage path by label: VSANTUNE1 corruption rejection,
 # tuned-block bitwise equivalence, bf16 RNE edge cases and error bounds,
 # and the fp32-vs-bf16 eval accuracy delta on BeautyLike.  (Also in the
@@ -75,4 +85,5 @@ VSAN_BENCH_TOLERANCE="${VSAN_BENCH_TOLERANCE:-0.35}" \
 
 echo "done: test_output.txt," \
      "test_output_{asan,tsan,ubsan,fault,retrieval,autotune,http}.txt," \
+     "test_output_serve{,_tsan}.txt," \
      "bench_output.txt, bench_gate.txt, build/bench/*.csv"

@@ -438,6 +438,31 @@ bool Vsan::EncodeQueryInto(const std::vector<int32_t>& fold_in,
   return true;
 }
 
+bool Vsan::EncodeBatchInto(const std::vector<std::vector<int32_t>>& fold_ins,
+                           std::vector<float>* queries) const {
+  VSAN_CHECK(net_ != nullptr)
+      << "Fit() must be called before EncodeBatchInto()";
+  const int64_t count = static_cast<int64_t>(fold_ins.size());
+  queries->resize(static_cast<size_t>(count * config_.d));
+  if (count == 0) return true;
+  ScopedMatMulPrecision precision_guard(eval_precision());
+  std::vector<int32_t> flat(static_cast<size_t>(count * config_.max_len));
+  for (int64_t i = 0; i < count; ++i) {
+    const std::vector<int32_t> padded =
+        data::SequenceBatcher::PadSequence(fold_ins[i], config_.max_len);
+    std::copy(padded.begin(), padded.end(),
+              flat.begin() + i * config_.max_len);
+  }
+  Net::Outputs out = net_->Forward(flat, count, &rng_);
+  // [count, 1, d] -> the final position of every sequence, contiguous.
+  Variable last = ops::Reshape(
+      ops::Slice(out.hidden, /*axis=*/1, config_.max_len - 1, /*len=*/1),
+      {count, config_.d});
+  const float* src = last.value().data();
+  std::copy(src, src + count * config_.d, queries->data());
+  return true;
+}
+
 std::vector<float> Vsan::ScoreWithSampledLatent(
     const std::vector<int32_t>& fold_in) const {
   VSAN_CHECK(net_ != nullptr) << "Fit() must be called before Score()";

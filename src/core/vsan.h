@@ -91,6 +91,11 @@ class Vsan : public SequentialRecommender {
   bool GetFactorizedHead(FactorizedHead* head) const override;
   bool EncodeQueryInto(const std::vector<int32_t>& fold_in,
                        std::vector<float>* query) const override;
+  // True multi-query encode: one Forward over the whole batch (a single
+  // blocked-GEMM cascade over [count * max_len] rows), bitwise-identical
+  // per query to EncodeQueryInto.  The serving daemon's batched hot path.
+  bool EncodeBatchInto(const std::vector<std::vector<int32_t>>& fold_ins,
+                       std::vector<float>* queries) const override;
 
   // Posterior of the final position for an unseen user's history; exposes
   // the uncertainty the latent layer captured (Fig. 1's dashed ellipse).

@@ -171,6 +171,34 @@ class SequentialRecommender {
     return false;
   }
 
+  // Batched encode: writes fold_ins.size() query vectors contiguously into
+  // `queries` ([count, head.dim] row-major).  The hot path of the serving
+  // daemon's dynamic batching queue (src/serve/batcher.h): models whose
+  // eval forward is a fixed-shape sequence stack (vsan, sasrec) override
+  // this with ONE forward pass over the whole batch — a single set of
+  // blocked GEMMs over [count * max_len] rows instead of count per-query
+  // GEMM cascades.  Results are bitwise-identical to calling
+  // EncodeQueryInto per query: every per-row accumulation chain in the
+  // blocked GEMM is a pure function of the row's operands and the K
+  // blocking, never of how many other rows share the call (the same
+  // invariance tests/gemm_blocked_test.cc locks down across block sizes),
+  // and no eval-mode op reduces across batch entries.  Asserted in
+  // tests/serve_test.cc.  The default falls back to the per-query path, so
+  // every model with EncodeQueryInto batches correctly, just without the
+  // fused-GEMM win.  Thread-safety matches EncodeQueryInto (concurrent
+  // const calls are safe).
+  virtual bool EncodeBatchInto(
+      const std::vector<std::vector<int32_t>>& fold_ins,
+      std::vector<float>* queries) const {
+    queries->clear();
+    std::vector<float> one;
+    for (const std::vector<int32_t>& fold_in : fold_ins) {
+      if (!EncodeQueryInto(fold_in, &one)) return false;
+      queries->insert(queries->end(), one.begin(), one.end());
+    }
+    return true;
+  }
+
   // --- Inference precision ----------------------------------------------
   //
   // Operand-storage precision for the GEMMs inside Score / ScoreInto /

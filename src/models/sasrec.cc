@@ -189,5 +189,29 @@ bool SasRec::EncodeQueryInto(const std::vector<int32_t>& fold_in,
   return true;
 }
 
+bool SasRec::EncodeBatchInto(const std::vector<std::vector<int32_t>>& fold_ins,
+                             std::vector<float>* queries) const {
+  VSAN_CHECK(net_ != nullptr)
+      << "Fit() must be called before EncodeBatchInto()";
+  const int64_t count = static_cast<int64_t>(fold_ins.size());
+  queries->resize(static_cast<size_t>(count * config_.d));
+  if (count == 0) return true;
+  ScopedMatMulPrecision precision_guard(eval_precision());
+  std::vector<int32_t> flat(static_cast<size_t>(count * config_.max_len));
+  for (int64_t i = 0; i < count; ++i) {
+    const std::vector<int32_t> padded =
+        data::SequenceBatcher::PadSequence(fold_ins[i], config_.max_len);
+    std::copy(padded.begin(), padded.end(),
+              flat.begin() + i * config_.max_len);
+  }
+  Variable hidden = net_->Encode(flat, count, &rng_);
+  Variable last = ops::Reshape(
+      ops::Slice(hidden, /*axis=*/1, config_.max_len - 1, /*len=*/1),
+      {count, config_.d});
+  const float* src = last.value().data();
+  std::copy(src, src + count * config_.d, queries->data());
+  return true;
+}
+
 }  // namespace models
 }  // namespace vsan

@@ -52,6 +52,10 @@ class SasRec : public SequentialRecommender {
   bool GetFactorizedHead(FactorizedHead* head) const override;
   bool EncodeQueryInto(const std::vector<int32_t>& fold_in,
                        std::vector<float>* query) const override;
+  // One Encode over the whole batch; bitwise-identical per query to
+  // EncodeQueryInto (see models/recommender.h).
+  bool EncodeBatchInto(const std::vector<std::vector<int32_t>>& fold_ins,
+                       std::vector<float>* queries) const override;
 
   int64_t NumParameters() const {
     return net_ ? net_->NumParameters() : 0;

@@ -1,6 +1,7 @@
 #include "obs/http_server.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <sstream>
@@ -29,8 +30,14 @@ const char* StatusText(int status) {
       return "Method Not Allowed";
     case 409:
       return "Conflict";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
     case 431:
       return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Internal Server Error";
   }
@@ -109,6 +116,34 @@ bool ParseRequestLine(const std::string& header, HttpRequest* request) {
   return true;
 }
 
+// Content-Length of a raw header block, or -1 when absent/unparsable.
+// Field names are case-insensitive (RFC 9110); values are plain digits.
+int64_t ParseContentLength(const std::string& header) {
+  size_t pos = header.find("\r\n");
+  while (pos != std::string::npos && pos + 2 < header.size()) {
+    const size_t line_start = pos + 2;
+    const size_t line_end = header.find("\r\n", line_start);
+    const std::string line = header.substr(
+        line_start, line_end == std::string::npos ? std::string::npos
+                                                  : line_end - line_start);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (name == "content-length") {
+        const char* value = line.c_str() + colon + 1;
+        while (*value == ' ' || *value == '\t') ++value;
+        char* end = nullptr;
+        const long long n = std::strtoll(value, &end, 10);
+        return (end == value || n < 0) ? -1 : static_cast<int64_t>(n);
+      }
+    }
+    pos = line_end;
+  }
+  return -1;
+}
+
 }  // namespace
 
 HttpServer::HttpServer() = default;
@@ -118,6 +153,11 @@ HttpServer::~HttpServer() { Stop(); }
 void HttpServer::Handle(const std::string& path, HttpHandler handler) {
   VSAN_CHECK(!running()) << "register routes before Start()";
   handlers_[path] = std::move(handler);
+}
+
+void HttpServer::HandlePost(const std::string& path, HttpHandler handler) {
+  VSAN_CHECK(!running()) << "register routes before Start()";
+  post_handlers_[path] = std::move(handler);
 }
 
 bool HttpServer::Start(const HttpServerOptions& options) {
@@ -248,15 +288,18 @@ void HttpServer::ServeConnection(Socket conn) {
   const auto start = std::chrono::steady_clock::now();
 
   conn.SetRecvTimeout(options_.recv_timeout_ms);
-  // Read until the end of the header block; GET requests have no body.
+  // Read until the end of the header block; only POST requests carry a
+  // body, read afterwards up to Content-Length.
   std::string raw;
   char buf[4096];
   bool complete = false;
+  size_t header_end = std::string::npos;
   while (raw.size() < (1 << 14)) {
     const int64_t n = conn.Recv(buf, sizeof(buf));
     if (n <= 0) break;
     raw.append(buf, static_cast<size_t>(n));
-    if (raw.find("\r\n\r\n") != std::string::npos) {
+    header_end = raw.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
       complete = true;
       break;
     }
@@ -270,10 +313,7 @@ void HttpServer::ServeConnection(Socket conn) {
   } else if (raw.empty() || !ParseRequestLine(raw, &request)) {
     response.status = 400;
     response.body = "malformed request\n";
-  } else if (request.method != "GET") {
-    response.status = 405;
-    response.body = "GET only\n";
-  } else {
+  } else if (request.method == "GET") {
     const auto it = handlers_.find(request.path);
     if (it == handlers_.end()) {
       response.status = 404;
@@ -281,6 +321,44 @@ void HttpServer::ServeConnection(Socket conn) {
     } else {
       response = it->second(request);
     }
+  } else if (request.method == "POST") {
+    const auto it = post_handlers_.find(request.path);
+    const int64_t content_length =
+        ParseContentLength(raw.substr(0, header_end + 2));
+    if (it == post_handlers_.end()) {
+      // No POST route for this path: 405 whether or not a GET route
+      // exists, so monitoring paths never accept mutations.
+      response.status = 405;
+      response.body = "method not allowed\n";
+    } else if (content_length < 0) {
+      response.status = 400;
+      response.body = "POST requires Content-Length\n";
+    } else if (content_length > options_.max_body_bytes) {
+      response.status = 413;
+      response.body = "body too large\n";
+    } else {
+      // Bytes past the header block already read belong to the body.
+      request.body = raw.substr(header_end + 4);
+      bool body_complete = true;
+      while (static_cast<int64_t>(request.body.size()) < content_length) {
+        const int64_t n = conn.Recv(buf, sizeof(buf));
+        if (n <= 0) {
+          body_complete = false;
+          break;
+        }
+        request.body.append(buf, static_cast<size_t>(n));
+      }
+      if (!body_complete) {
+        response.status = 400;
+        response.body = "truncated body\n";
+      } else {
+        request.body.resize(static_cast<size_t>(content_length));
+        response = it->second(request);
+      }
+    }
+  } else {
+    response.status = 405;
+    response.body = "method not allowed\n";
   }
 
   requests->Increment();
@@ -294,13 +372,16 @@ void HttpServer::ServeConnection(Socket conn) {
 
 #endif  // VSAN_OBS_ENABLED
 
-bool HttpGet(const std::string& host, int port, const std::string& path,
-             int* status, std::string* body) {
+namespace {
+
+// Shared request/response round trip for the two clients: sends `request`,
+// reads to close, parses the status line and splits off the body.
+bool HttpRoundTrip(const std::string& host, int port,
+                   const std::string& request, int* status,
+                   std::string* body) {
   Socket conn = TcpConnect(host, port);
   if (!conn.valid()) return false;
   conn.SetRecvTimeout(30000);
-  const std::string request = StrCat("GET ", path, " HTTP/1.1\r\nHost: ",
-                                     host, "\r\nConnection: close\r\n\r\n");
   if (!conn.SendAll(request)) return false;
   std::string raw;
   if (!conn.RecvUntilClosed(&raw)) return false;
@@ -317,6 +398,26 @@ bool HttpGet(const std::string& host, int port, const std::string& path,
                                             : raw.substr(header_end + 4);
   }
   return true;
+}
+
+}  // namespace
+
+bool HttpPost(const std::string& host, int port, const std::string& path,
+              const std::string& request_body, const std::string& content_type,
+              int* status, std::string* response_body) {
+  const std::string request =
+      StrCat("POST ", path, " HTTP/1.1\r\nHost: ", host,
+             "\r\nContent-Type: ", content_type,
+             "\r\nContent-Length: ", request_body.size(),
+             "\r\nConnection: close\r\n\r\n", request_body);
+  return HttpRoundTrip(host, port, request, status, response_body);
+}
+
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             int* status, std::string* body) {
+  const std::string request = StrCat("GET ", path, " HTTP/1.1\r\nHost: ",
+                                     host, "\r\nConnection: close\r\n\r\n");
+  return HttpRoundTrip(host, port, request, status, body);
 }
 
 }  // namespace obs

@@ -46,6 +46,7 @@ struct HttpRequest {
   std::string method;
   std::string path;                                // without query string
   std::map<std::string, std::string> query;        // decoded ?k=v pairs
+  std::string body;                                // POST payload (else empty)
 };
 
 struct HttpResponse {
@@ -61,6 +62,9 @@ struct HttpServerOptions {
   bool bind_any = false;   // default loopback-only
   int handler_threads = 3;
   int64_t recv_timeout_ms = 5000;  // per-connection header-read timeout
+  // Largest accepted POST body; bigger requests get 413.  A recommendation
+  // request is a few hundred bytes, so the default is generous.
+  int64_t max_body_bytes = 1 << 20;
 };
 
 #if VSAN_OBS_ENABLED
@@ -75,6 +79,13 @@ class HttpServer {
 
   // Registers `handler` for an exact path.  Must be called before Start().
   void Handle(const std::string& path, HttpHandler handler);
+
+  // Registers `handler` for POST requests to an exact path (request.body
+  // carries the payload).  GET and POST routes are separate namespaces, so
+  // a POST to a GET-only path (e.g. /metrics) stays 405 — the serving
+  // daemon mounts POST /recommend here without widening the monitoring
+  // routes.  Must be called before Start().
+  void HandlePost(const std::string& path, HttpHandler handler);
 
   // Binds, installs the default routes, and spawns the accept loop +
   // handler threads.  False when the port cannot be bound.
@@ -107,6 +118,7 @@ class HttpServer {
   std::condition_variable queue_cv_;
   std::deque<Socket> pending_;
   std::map<std::string, HttpHandler> handlers_;
+  std::map<std::string, HttpHandler> post_handlers_;
   std::mutex trace_mu_;  // serializes /trace sessions
 };
 
@@ -116,6 +128,7 @@ class HttpServer {
  public:
   HttpServer() = default;
   void Handle(const std::string&, HttpHandler) {}
+  void HandlePost(const std::string&, HttpHandler) {}
   bool Start(const HttpServerOptions& = {}) { return false; }
   void Stop() {}
   bool running() const { return false; }
@@ -131,6 +144,13 @@ class HttpServer {
 // compiled (it is a client; the VSAN_OBS switch only removes the server).
 bool HttpGet(const std::string& host, int port, const std::string& path,
              int* status, std::string* body);
+
+// Minimal HTTP/1.1 POST client (the load generator's and the serve tests'
+// request path): sends `request_body` as `content_type` to host:port/path,
+// fills `*status` and `*response_body`.  Same failure semantics as HttpGet.
+bool HttpPost(const std::string& host, int port, const std::string& path,
+              const std::string& request_body, const std::string& content_type,
+              int* status, std::string* response_body);
 
 }  // namespace obs
 }  // namespace vsan

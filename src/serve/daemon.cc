@@ -1,0 +1,183 @@
+#include "serve/daemon.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace vsan {
+namespace serve {
+namespace {
+
+obs::HttpResponse JsonError(int status, const std::string& message) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = "{\"error\": \"" + message + "\"}\n";
+  return response;
+}
+
+// %.9g round-trips every finite fp32 value exactly, so a client (or a
+// test) parsing the score back gets the bitwise-identical float.
+void AppendFloat(float value, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(value));
+  out->append(buf);
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(const SequentialRecommender* model, int32_t num_items,
+                         const DaemonOptions& options)
+    : model_(model), num_items_(num_items), options_(options) {
+  VSAN_CHECK(model_ != nullptr);
+}
+
+ServeDaemon::~ServeDaemon() { Shutdown(); }
+
+bool ServeDaemon::StartHttp() {
+  VSAN_CHECK(!started_) << "ServeDaemon::StartHttp called twice";
+
+  if (options_.retrieval.backend != eval::RetrievalBackend::kExact) {
+    FactorizedHead head;
+    VSAN_CHECK(model_->GetFactorizedHead(&head))
+        << "retrieval backend '"
+        << eval::RetrievalBackendName(options_.retrieval.backend)
+        << "' needs a factorized head";
+    index_ = std::make_unique<eval::RetrievalIndex>(
+        eval::RetrievalIndex::Build(head, options_.retrieval));
+  }
+  cache_ = std::make_unique<EncodedStateCache>(options_.cache_bytes);
+  FactorizedHead head;
+  VSAN_CHECK(model_->GetFactorizedHead(&head))
+      << "the serving daemon requires a factorized-head model";
+  batcher_ = std::make_unique<RequestBatcher>(
+      [this](const std::vector<std::vector<int32_t>>& fold_ins,
+             std::vector<float>* queries) {
+        return model_->EncodeBatchInto(fold_ins, queries);
+      },
+      head.dim, options_.batcher);
+  if (index_ == nullptr) {
+    // Exact backend: scoring goes through its own batching stage so the
+    // head GEMM runs at M=batch instead of M=1 per request.
+    ScoreBatcher::Options score_options = options_.batcher;
+    score_options.metric_prefix = "serve.score";
+    scorer_ = std::make_unique<ScoreBatcher>(head, score_options);
+  }
+  service_ = std::make_unique<RecommendService>(
+      model_, num_items_, index_.get(), batcher_.get(), scorer_.get(),
+      cache_.get(), options_.service);
+  batcher_->Start();
+  if (scorer_ != nullptr) scorer_->Start();
+
+  http_.Handle("/healthz", [this](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    if (!ready()) {
+      response.status = 503;
+      response.body = "loading\n";
+    } else {
+      response.body = "ok\n";
+    }
+    return response;
+  });
+  http_.HandlePost("/recommend", [this](const obs::HttpRequest& request) {
+    return HandleRecommend(request);
+  });
+
+  obs::HttpServerOptions http_opts;
+  http_opts.port = options_.port;
+  http_opts.handler_threads = options_.handler_threads;
+  if (!http_.Start(http_opts)) {
+    batcher_->Stop();
+    if (scorer_ != nullptr) scorer_->Stop();
+    return false;
+  }
+  started_ = true;
+  return true;
+}
+
+void ServeDaemon::Activate() {
+  ready_.store(true, std::memory_order_release);
+}
+
+void ServeDaemon::Shutdown() {
+  if (!started_) return;
+  ready_.store(false, std::memory_order_release);
+  // HTTP first: handler threads finishing /recommend calls still have live
+  // batching stages underneath them, so every in-flight request completes
+  // with a real response before the drains below.
+  http_.Stop();
+  batcher_->Stop();
+  if (scorer_ != nullptr) scorer_->Stop();
+  started_ = false;
+}
+
+obs::HttpResponse ServeDaemon::HandleRecommend(
+    const obs::HttpRequest& http_request) {
+  static obs::SlidingWindowHistogram* request_ms =
+      obs::MetricsRegistry::Global().GetSlidingHistogram(
+          "serve.request_ms", obs::ExponentialBuckets(0.05, 1.6, 24));
+  Stopwatch timer;
+  if (!ready()) return JsonError(503, "not ready");
+
+  obs::JsonValue doc;
+  std::string error;
+  if (!obs::ParseJson(http_request.body, &doc, &error) || !doc.is_object()) {
+    return JsonError(400, "bad json");
+  }
+  RecommendRequest request;
+  request.user_id = static_cast<int64_t>(doc.NumberOr("user", -1));
+  request.k = static_cast<int32_t>(doc.NumberOr("k", 10));
+  const obs::JsonValue* history = doc.Find("history");
+  if (request.user_id < 0 || history == nullptr || !history->is_array()) {
+    return JsonError(400, "need user and history");
+  }
+  request.history.reserve(history->array.size());
+  for (const obs::JsonValue& item : history->array) {
+    if (!item.is_number()) return JsonError(400, "history must be item ids");
+    request.history.push_back(static_cast<int32_t>(item.number));
+  }
+
+  RecommendResult result;
+  switch (service_->Recommend(request, &result)) {
+    case ServeStatus::kOk:
+      break;
+    case ServeStatus::kInvalid:
+      return JsonError(400, "invalid request");
+    case ServeStatus::kOverloaded:
+      return JsonError(429, "queue full");
+    case ServeStatus::kShutdown:
+      return JsonError(503, "shutting down");
+    case ServeStatus::kError:
+      return JsonError(500, "encode failed");
+  }
+
+  obs::HttpResponse response;
+  response.content_type = "application/json";
+  std::string& body = response.body;
+  body.reserve(64 + result.items.size() * 32);
+  body += "{\"user\": ";
+  body += std::to_string(request.user_id);
+  body += ", \"k\": ";
+  body += std::to_string(request.k);
+  body += ", \"cache_hit\": ";
+  body += result.cache_hit ? "true" : "false";
+  body += ", \"items\": [";
+  for (size_t i = 0; i < result.items.size(); ++i) {
+    if (i > 0) body += ", ";
+    body += "{\"item\": ";
+    body += std::to_string(result.items[i].index);
+    body += ", \"score\": ";
+    AppendFloat(result.items[i].score, &body);
+    body += "}";
+  }
+  body += "]}\n";
+  request_ms->Observe(timer.ElapsedMillis());
+  return response;
+}
+
+}  // namespace serve
+}  // namespace vsan

@@ -1,0 +1,113 @@
+#ifndef VSAN_SERVE_DAEMON_H_
+#define VSAN_SERVE_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "eval/retrieval.h"
+#include "models/recommender.h"
+#include "obs/http_server.h"
+#include "serve/batcher.h"
+#include "serve/service.h"
+#include "serve/state_cache.h"
+
+// The serving daemon: glues a loaded model, an optional retrieval index,
+// the dynamic batcher, the encoded-state cache, and the HTTP server into
+// one process (tools/vsan_serve is a thin flag wrapper around this class).
+//
+// Request lifecycle:
+//   POST /recommend {"user": 7, "history": [3, 1, 4], "k": 10}
+//     -> 200 {"user": 7, "k": 10, "cache_hit": false,
+//             "items": [{"item": 42, "score": 3.1}, ...]}
+//     -> 400 on malformed JSON / bad ids / k out of range
+//     -> 429 when the batching queue is full (serve.rejected counts these)
+//     -> 503 before Activate() or during shutdown
+//   GET /healthz   503 "loading" until Activate(), then 200 "ok" — the
+//                  readiness gate: a load balancer adds the task only once
+//                  the checkpoint (and index build) is actually done.
+//   GET /metrics   the standard Prometheus exposition, now carrying the
+//                  serve.* instruments.
+//
+// Startup is two-phase so the port can be bound (and health-checked) while
+// the expensive work happens: StartHttp() brings up routes answering 503,
+// Activate() flips readiness after the caller finishes loading/building.
+// Shutdown() stops the HTTP server first — handler threads blocked on
+// batcher futures finish their in-flight requests because both batching
+// stages are still running — then drains and stops the encode and scoring
+// stages.  That order is what makes SIGTERM graceful: accepted requests
+// are answered, never dropped.
+//
+// Under -DVSAN_OBS=OFF the HTTP server is a stub and StartHttp() returns
+// false; the service/batcher/cache layers still compile and are testable.
+
+namespace vsan {
+namespace serve {
+
+struct DaemonOptions {
+  int port = 0;  // 0 = ephemeral, read back via port()
+  int handler_threads = 4;
+  // Applied to both batching stages (encode and, on the exact backend,
+  // scoring); the scoring stage swaps in its own metric prefix.
+  RequestBatcher::Options batcher;
+  int64_t cache_bytes = 64ll << 20;  // 0 disables the encoded-state cache
+  // "exact" serves from a full factorized-head scan (no index); otherwise
+  // a RetrievalIndex is built at startup.
+  eval::RetrievalOptions retrieval;
+  ServiceOptions service;
+};
+
+class ServeDaemon {
+ public:
+  // `model` is borrowed and must stay alive (and unrefitted) for the
+  // daemon's lifetime.
+  ServeDaemon(const SequentialRecommender* model, int32_t num_items,
+              const DaemonOptions& options);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  // Builds the retrieval index (when the backend needs one), starts the
+  // batcher, binds the HTTP server with routes answering 503.  False when
+  // the port cannot be bound or VSAN_OBS is off.
+  bool StartHttp();
+
+  // Flips /healthz to 200 and opens /recommend for traffic.
+  void Activate();
+
+  // Graceful stop: HTTP first (in-flight requests complete), then the
+  // batcher drain.  Idempotent; also runs on destruction.
+  void Shutdown();
+
+  int port() const { return http_.port(); }
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+  // Direct access for tests and the stats headline in vsan_serve.
+  const RecommendService* service() const { return service_.get(); }
+  const EncodedStateCache* cache() const { return cache_.get(); }
+  RequestBatcher* batcher() { return batcher_.get(); }
+  ScoreBatcher* scorer() { return scorer_.get(); }
+  const eval::RetrievalIndex* index() const { return index_.get(); }
+
+ private:
+  obs::HttpResponse HandleRecommend(const obs::HttpRequest& request);
+
+  const SequentialRecommender* model_;
+  const int32_t num_items_;
+  const DaemonOptions options_;
+
+  std::unique_ptr<eval::RetrievalIndex> index_;  // null for "exact"
+  std::unique_ptr<EncodedStateCache> cache_;
+  std::unique_ptr<RequestBatcher> batcher_;
+  std::unique_ptr<ScoreBatcher> scorer_;  // exact backend only
+  std::unique_ptr<RecommendService> service_;
+  obs::HttpServer http_;
+  std::atomic<bool> ready_{false};
+  bool started_ = false;
+};
+
+}  // namespace serve
+}  // namespace vsan
+
+#endif  // VSAN_SERVE_DAEMON_H_

@@ -1,0 +1,133 @@
+#include "serve/service.h"
+
+#include <unordered_set>
+
+#include "obs/metrics.h"
+#include "tensor/int8_dot.h"
+#include "util/logging.h"
+
+namespace vsan {
+namespace serve {
+
+RecommendService::RecommendService(const SequentialRecommender* model,
+                                   int32_t num_items,
+                                   const eval::RetrievalIndex* index,
+                                   RequestBatcher* batcher,
+                                   ScoreBatcher* scorer,
+                                   EncodedStateCache* cache,
+                                   const ServiceOptions& options)
+    : model_(model),
+      num_items_(num_items),
+      index_(index),
+      batcher_(batcher),
+      scorer_(scorer),
+      cache_(cache),
+      options_(options) {
+  VSAN_CHECK(model_ != nullptr);
+  VSAN_CHECK(batcher_ != nullptr);
+  VSAN_CHECK(cache_ != nullptr);
+  VSAN_CHECK_GT(num_items_, 0);
+  VSAN_CHECK(model_->GetFactorizedHead(&head_))
+      << "the serving daemon requires a factorized-head model";
+}
+
+ServeStatus RecommendService::Recommend(const RecommendRequest& request,
+                                        RecommendResult* result) const {
+  result->items.clear();
+  result->cache_hit = false;
+  if (request.k < 1 || request.k > options_.max_k) return ServeStatus::kInvalid;
+  if (request.history.empty()) return ServeStatus::kInvalid;
+  for (int32_t item : request.history) {
+    if (item < 1 || item > num_items_) return ServeStatus::kInvalid;
+  }
+
+  std::vector<float> query;
+  const ServeStatus status =
+      EncodeCached(request, &query, &result->cache_hit);
+  if (status != ServeStatus::kOk) return status;
+  return SearchTopK(query, request, &result->items);
+}
+
+ServeStatus RecommendService::EncodeCached(const RecommendRequest& request,
+                                           std::vector<float>* query,
+                                           bool* cache_hit) const {
+  const uint64_t hash = HashHistory(request.history);
+  if (cache_->Lookup(request.user_id, hash, query)) {
+    *cache_hit = true;
+    return ServeStatus::kOk;
+  }
+  switch (batcher_->Encode(request.history, query)) {
+    case EncodeStatus::kOk:
+      break;
+    case EncodeStatus::kRejected:
+      return ServeStatus::kOverloaded;
+    case EncodeStatus::kShutdown:
+      return ServeStatus::kShutdown;
+    case EncodeStatus::kError:
+      return ServeStatus::kError;
+  }
+  cache_->Insert(request.user_id, hash, *query);
+  return ServeStatus::kOk;
+}
+
+ServeStatus RecommendService::SearchTopK(
+    const std::vector<float>& query, const RecommendRequest& request,
+    std::vector<eval::ScoredItem>* out) const {
+  // The evaluator's exclusion recipe: over-fetch k + |seen| candidates so
+  // that after dropping already-seen items at least k distinct ones remain
+  // (when the catalog has that many), then truncate.
+  std::unordered_set<int32_t> seen;
+  if (options_.exclude_seen) {
+    seen.insert(request.history.begin(), request.history.end());
+  }
+  const int32_t fetch = request.k + static_cast<int32_t>(seen.size());
+
+  std::vector<eval::ScoredItem> candidates;
+  if (index_ != nullptr) {
+    thread_local eval::RetrievalIndex::Scratch scratch;
+    index_->Search(query.data(), fetch, &scratch, &candidates);
+  } else if (scorer_ != nullptr) {
+    // Exact backend: the batched scoring stage runs one M=batch GEMM over
+    // the factorized head per flush; each row is bitwise the model's
+    // ScoreInto entries (tensor/gemm.h M-blocking invariance), ranked in
+    // TopNIndices order.
+    switch (scorer_->Score(query, fetch, &candidates)) {
+      case EncodeStatus::kOk:
+        break;
+      case EncodeStatus::kRejected:
+        return ServeStatus::kOverloaded;
+      case EncodeStatus::kShutdown:
+        return ServeStatus::kShutdown;
+      case EncodeStatus::kError:
+        return ServeStatus::kError;
+    }
+  } else {
+    // No scoring stage wired (tests, degraded setups): inline per-request
+    // scan with the same ascending-index FMA chain the blocked logits GEMM
+    // uses per element (tensor/int8_dot.h), bias after — identical results,
+    // no cross-request batching.
+    eval::TopKCollector collector(fetch);
+    const int64_t dim = head_.dim;
+    for (int64_t row = 1; row < head_.num_rows; ++row) {
+      float score =
+          head_.items_are_rows
+              ? internal::DotFma(query.data(), head_.weights + row * dim, dim)
+              : internal::DotFmaStrided(query.data(), head_.weights + row,
+                                        dim, head_.num_rows);
+      if (head_.bias != nullptr) score += head_.bias[row];
+      collector.Offer(static_cast<int32_t>(row), score);
+    }
+    collector.DrainSortedTo(&candidates);
+  }
+
+  out->reserve(static_cast<size_t>(request.k));
+  for (const eval::ScoredItem& item : candidates) {
+    if (static_cast<int32_t>(out->size()) >= request.k) break;
+    if (options_.exclude_seen && seen.count(item.index) > 0) continue;
+    out->push_back(item);
+  }
+  return ServeStatus::kOk;
+}
+
+}  // namespace serve
+}  // namespace vsan

@@ -1,0 +1,102 @@
+#ifndef VSAN_SERVE_SERVICE_H_
+#define VSAN_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/retrieval.h"
+#include "eval/topk.h"
+#include "models/recommender.h"
+#include "serve/batcher.h"
+#include "serve/state_cache.h"
+
+// The request path of the serving daemon, independent of HTTP: validate ->
+// encoded-state cache -> dynamic-batching encode -> top-k retrieval (a
+// dynamic-batching scoring stage for the exact backend, a per-request
+// RetrievalIndex search otherwise).  The daemon (serve/daemon.h) wraps this
+// in JSON; tests call it directly to assert response bytes against the
+// offline oracle (ScoreBatch + RetrievalIndex) without a socket in the
+// loop.
+//
+// Determinism contract: for a given history, the returned ranking is
+// bitwise-identical to encoding offline with EncodeQueryInto and searching
+// the same RetrievalIndex (or, for the exact path, to ranking the model's
+// full ScoreInto vector with TopNIndices).  Each link is individually
+// pinned: batched encode == per-query encode (recommender.h), cached query
+// == freshly encoded query (the cache stores the encoder's exact output
+// bytes), and the batched exact scoring GEMM produces per-row results
+// bitwise-identical to the per-query ascending-index FMA chain of the
+// model's logits GEMM (tensor/gemm.h M-blocking invariance), ranked in the
+// evaluator's (score desc, index asc) order.  Batching policy, cache hits,
+// and concurrency therefore never change what a request returns — only how
+// fast.
+
+namespace vsan {
+namespace serve {
+
+enum class ServeStatus {
+  kOk,
+  kInvalid,     // malformed request (empty history, bad ids, k < 1)
+  kOverloaded,  // batching queue full — HTTP 429
+  kShutdown,    // daemon stopping
+  kError,       // encode failure (should not happen on a healthy model)
+};
+
+struct RecommendRequest {
+  int64_t user_id = 0;
+  std::vector<int32_t> history;  // chronological item ids in [1, num_items]
+  int32_t k = 10;
+};
+
+struct RecommendResult {
+  std::vector<eval::ScoredItem> items;  // score desc, ties toward smaller id
+  bool cache_hit = false;
+};
+
+struct ServiceOptions {
+  int32_t max_k = 1000;
+  // Drop items the user has already interacted with from the results (the
+  // usual serving behavior; over-fetches k + history size and filters, the
+  // evaluator's exclusion recipe).
+  bool exclude_seen = true;
+};
+
+class RecommendService {
+ public:
+  // `index` may be null: the service then scores the full catalog through
+  // the model's FactorizedHead (the exact backend).  On that path `scorer`
+  // carries the batched scoring stage; when it is also null the service
+  // falls back to an inline per-request scan (same results, no batching).
+  // All pointers are borrowed and must outlive the service.
+  RecommendService(const SequentialRecommender* model, int32_t num_items,
+                   const eval::RetrievalIndex* index, RequestBatcher* batcher,
+                   ScoreBatcher* scorer, EncodedStateCache* cache,
+                   const ServiceOptions& options);
+
+  // Thread-safe: any number of handler threads may call concurrently.
+  ServeStatus Recommend(const RecommendRequest& request,
+                        RecommendResult* result) const;
+
+  int32_t num_items() const { return num_items_; }
+
+ private:
+  ServeStatus EncodeCached(const RecommendRequest& request,
+                           std::vector<float>* query, bool* cache_hit) const;
+  ServeStatus SearchTopK(const std::vector<float>& query,
+                         const RecommendRequest& request,
+                         std::vector<eval::ScoredItem>* out) const;
+
+  const SequentialRecommender* model_;
+  const int32_t num_items_;
+  const eval::RetrievalIndex* index_;  // null = exact full scan
+  RequestBatcher* batcher_;
+  ScoreBatcher* scorer_;  // exact-path scoring stage; may be null
+  EncodedStateCache* cache_;
+  const ServiceOptions options_;
+  FactorizedHead head_;
+};
+
+}  // namespace serve
+}  // namespace vsan
+
+#endif  // VSAN_SERVE_SERVICE_H_

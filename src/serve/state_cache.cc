@@ -1,0 +1,93 @@
+#include "serve/state_cache.h"
+
+#include "obs/metrics.h"
+
+namespace vsan {
+namespace serve {
+
+uint64_t HashHistory(const std::vector<int32_t>& history) {
+  // FNV-1a over the little-endian bytes of each id, in sequence order.
+  uint64_t h = 1469598103934665603ULL;
+  for (int32_t item : history) {
+    uint32_t w = static_cast<uint32_t>(item);
+    for (int b = 0; b < 4; ++b) {
+      h ^= (w >> (8 * b)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+EncodedStateCache::EncodedStateCache(int64_t budget_bytes)
+    : budget_(budget_bytes < 0 ? 0 : budget_bytes) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  hit_counter_ = registry.GetCounter("serve.cache.hits");
+  miss_counter_ = registry.GetCounter("serve.cache.misses");
+  eviction_counter_ = registry.GetCounter("serve.cache.evictions");
+  entries_gauge_ = registry.GetGauge("serve.cache.entries");
+  bytes_gauge_ = registry.GetGauge("serve.cache.bytes");
+}
+
+bool EncodedStateCache::Lookup(int64_t user_id, uint64_t history_hash,
+                               std::vector<float>* query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{user_id, history_hash};
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    miss_counter_->Increment();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *query = it->second->query;
+  ++hits_;
+  hit_counter_->Increment();
+  return true;
+}
+
+void EncodedStateCache::Insert(int64_t user_id, uint64_t history_hash,
+                               const std::vector<float>& query) {
+  const int64_t cost = EntryBytes(query);
+  if (cost > budget_) return;  // also covers the budget == 0 (disabled) case
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{user_id, history_hash};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh: same key means same history hash, so the payload can only
+    // differ if the model was swapped under the cache — overwrite anyway.
+    bytes_ -= EntryBytes(it->second->query);
+    it->second->query = query;
+    bytes_ += cost;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    while (bytes_ + cost > budget_ && !lru_.empty()) EvictTailLocked();
+    lru_.push_front(Entry{key, query});
+    map_[key] = lru_.begin();
+    bytes_ += cost;
+  }
+  entries_gauge_->Set(static_cast<double>(lru_.size()));
+  bytes_gauge_->Set(static_cast<double>(bytes_));
+}
+
+void EncodedStateCache::EvictTailLocked() {
+  const Entry& victim = lru_.back();
+  bytes_ -= EntryBytes(victim.query);
+  map_.erase(victim.key);
+  lru_.pop_back();
+  ++evictions_;
+  eviction_counter_->Increment();
+}
+
+CacheStats EncodedStateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = static_cast<int64_t>(lru_.size());
+  stats.bytes = bytes_;
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace vsan

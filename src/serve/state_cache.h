@@ -1,0 +1,124 @@
+#ifndef VSAN_SERVE_STATE_CACHE_H_
+#define VSAN_SERVE_STATE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+// Per-user encoded-state cache for the serving daemon: a returning user
+// whose history has not changed skips the encoder forward pass entirely and
+// goes straight to the retrieval scan.  Entries are keyed on
+// (user id, 64-bit history hash), so any change to the history — a new
+// interaction, a reorder, a truncation — produces a different key and a
+// clean miss; the stale entry for the old history ages out through LRU
+// eviction rather than being invalidated in place (the invalidation rule
+// the serving plane documents: keys are immutable, histories version them).
+//
+// Memory is bounded: each entry charges its query vector plus a fixed
+// per-entry overhead estimate against `budget_bytes`, and inserts evict
+// from the LRU tail until the charge fits.  A 64-bit FNV-1a hash makes an
+// accidental (user, hash) collision — which would serve the wrong encoded
+// state — a ~2^-64 event per pair; the serving daemon accepts that risk in
+// exchange for never storing full histories in the key.
+//
+// Thread-safety: all operations take one mutex.  A lookup is a hash probe
+// plus a list splice and an insert is a bounded eviction sweep, both
+// nanoseconds-to-microseconds — negligible against the encoder forward
+// (milliseconds) this cache exists to skip, so a sharded design is not
+// worth its complexity here.
+
+namespace vsan {
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
+namespace serve {
+
+// FNV-1a over the little-endian bytes of the item ids, in order.
+uint64_t HashHistory(const std::vector<int32_t>& history);
+
+// Point-in-time counters (process-lifetime totals for this cache instance).
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t entries = 0;
+  int64_t bytes = 0;
+};
+
+class EncodedStateCache {
+ public:
+  // `budget_bytes` bounds the cache's accounted memory; 0 disables caching
+  // (Lookup always misses, Insert is a no-op) so the daemon's cache-off
+  // benchmark arm runs the identical code path.
+  explicit EncodedStateCache(int64_t budget_bytes);
+
+  // On hit, copies the cached query vector into `*query` (resized) and
+  // refreshes the entry's LRU position.
+  bool Lookup(int64_t user_id, uint64_t history_hash,
+              std::vector<float>* query);
+
+  // Inserts or refreshes (user_id, history_hash) -> query.  Evicts
+  // least-recently-used entries until the budget holds the newcomer; a
+  // query bigger than the whole budget is simply not cached.
+  void Insert(int64_t user_id, uint64_t history_hash,
+              const std::vector<float>& query);
+
+  CacheStats stats() const;
+  int64_t budget_bytes() const { return budget_; }
+
+ private:
+  struct Key {
+    int64_t user;
+    uint64_t hash;
+    bool operator==(const Key& other) const {
+      return user == other.user && hash == other.hash;
+    }
+  };
+  struct KeyHasher {
+    size_t operator()(const Key& k) const {
+      // Mix the two words; both are already well-distributed (the hash by
+      // construction, user ids by the splitmix-style multiply).
+      uint64_t x = static_cast<uint64_t>(k.user) * 0x9e3779b97f4a7c15ULL;
+      x ^= k.hash + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+      return static_cast<size_t>(x);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::vector<float> query;
+  };
+
+  // Accounted footprint of one entry: payload + map/list node overhead
+  // estimate (keeps the budget honest without malloc introspection).
+  static int64_t EntryBytes(const std::vector<float>& query) {
+    return static_cast<int64_t>(query.size() * sizeof(float)) + 96;
+  }
+
+  void EvictTailLocked();
+
+  const int64_t budget_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> map_;
+  int64_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+
+  // Global instruments (obs/metrics.h): serve.cache.{hits,misses,
+  // evictions} counters and serve.cache.{entries,bytes} gauges.
+  obs::Counter* hit_counter_;
+  obs::Counter* miss_counter_;
+  obs::Counter* eviction_counter_;
+  obs::Gauge* entries_gauge_;
+  obs::Gauge* bytes_gauge_;
+};
+
+}  // namespace serve
+}  // namespace vsan
+
+#endif  // VSAN_SERVE_STATE_CACHE_H_

@@ -4,9 +4,11 @@
   check_bench.py BASELINE FRESH [--tolerance=0.15] [--metric=ns_per_iter]
 
 Records are matched by identity key (op, shape, threads, precision, pool,
-blocks — whichever are present in the baseline record); a fresh record's
-`ns_per_iter` more than `tolerance` above its baseline twin is a
-regression.  Exit status:
+blocks, and — for the serving-daemon records of BENCH_serve.json — model,
+policy, cache, workers; whichever are present in the baseline record); a
+fresh record's `ns_per_iter` more than `tolerance` above its baseline twin
+is a regression.  Serve records carry ns_per_iter = 1e9 / qps, so the same
+time-per-unit gate direction applies (higher = slower).  Exit status:
 
   0  every matched record within tolerance
   1  at least one regression (or a baseline record with no fresh twin)
@@ -24,7 +26,8 @@ import json
 import os
 import sys
 
-KEY_FIELDS = ("op", "shape", "threads", "precision", "pool", "blocks")
+KEY_FIELDS = ("op", "shape", "threads", "precision", "pool", "blocks",
+              "model", "policy", "cache", "workers")
 
 
 def record_key(rec):

@@ -1,0 +1,252 @@
+// Closed-loop HTTP load generator for vsan_serve: N worker threads each
+// fire one POST /recommend, wait for the response, and immediately fire the
+// next — so offered load scales with workers and measured latency includes
+// queueing inside the daemon, the regime the latency-vs-QPS curves in
+// BENCH_serve.json sweep.
+//
+//   vsan_loadgen --port=8080 --dataset=beauty --workers=8 --duration-s=5
+//
+// Traffic model: user popularity is Zipf-skewed (rank r drawn with
+// probability proportional to 1/r^zipf over the dataset's users), and with
+// probability `repeat-mix` a request replays the chosen user's current
+// history verbatim — a returning user whose state the daemon's encoded-
+// state cache can hit.  Otherwise the request extends the user's history by
+// one item (a fresh interaction: guaranteed cache miss, and the new history
+// becomes what later repeats replay).  Histories come from the BeautyLike /
+// ML1MLike synthetic corpora so sequence lengths and item skew match what
+// the checkpoint was trained on.
+//
+// Reports qps and p50/p95/p99 latency; --json emits one machine-readable
+// line for tools/run_bench.sh --serve.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "obs/http_server.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace vsan {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage: vsan_loadgen --port=P [flags]\n"
+      "  --host=127.0.0.1     daemon address\n"
+      "  --dataset=beauty     beauty|ml1m synthetic corpus for histories\n"
+      "  --scale=0.05         corpus scale (match the checkpoint's training)\n"
+      "  --workers=4          closed-loop worker threads\n"
+      "  --duration-s=5       measurement window\n"
+      "  --repeat-mix=0.5     fraction of requests replaying a history\n"
+      "  --zipf=1.0           user-popularity skew exponent\n"
+      "  --k=10               top-k per request\n"
+      "  --history-len=30     max history items sent per request\n"
+      "  --seed=1             traffic RNG seed\n"
+      "  --json               print one JSON result line\n";
+  return 2;
+}
+
+struct UserState {
+  std::mutex mu;
+  int64_t user_id;
+  std::vector<int32_t> history;
+};
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  int64_t ok = 0;
+  int64_t rejected = 0;   // HTTP 429
+  int64_t errors = 0;     // transport failures / other statuses
+  int64_t cache_hits = 0; // from the response's cache_hit field
+};
+
+// Inverse-CDF Zipf sampler over ranks [0, n): rank r with probability
+// proportional to 1/(r+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double s) : cdf_(static_cast<size_t>(n)) {
+    double total = 0.0;
+    for (int64_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[static_cast<size_t>(r)] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  int64_t Sample(Rng* rng) const {
+    const double u = rng->Uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? static_cast<int64_t>(cdf_.size()) - 1
+                            : it - cdf_.begin();
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+std::string BuildRequestBody(int64_t user, const std::vector<int32_t>& history,
+                             int32_t k) {
+  std::string body = "{\"user\": " + std::to_string(user) + ", \"k\": " +
+                     std::to_string(k) + ", \"history\": [";
+  for (size_t i = 0; i < history.size(); ++i) {
+    if (i > 0) body += ", ";
+    body += std::to_string(history[i]);
+  }
+  body += "]}";
+  return body;
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted->size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted->size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (*sorted)[lo] * (1.0 - frac) + (*sorted)[hi] * frac;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port == 0) return Usage();
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const std::string dataset_name = flags.GetString("dataset", "beauty");
+  const double scale = flags.GetDouble("scale", 0.05);
+  const int workers = static_cast<int>(flags.GetInt("workers", 4));
+  const double duration_s = flags.GetDouble("duration-s", 5.0);
+  const double repeat_mix = flags.GetDouble("repeat-mix", 0.5);
+  const double zipf = flags.GetDouble("zipf", 1.0);
+  const int32_t k = static_cast<int32_t>(flags.GetInt("k", 10));
+  const size_t history_len =
+      static_cast<size_t>(flags.GetInt("history-len", 30));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const bool as_json = flags.GetBool("json", false);
+
+  data::SyntheticConfig config;
+  if (dataset_name == "beauty") {
+    config = data::BeautyLikeConfig(scale);
+  } else if (dataset_name == "ml1m") {
+    config = data::ML1MLikeConfig(scale);
+  } else {
+    std::cerr << "error: --dataset must be beauty|ml1m\n";
+    return 1;
+  }
+  const data::SequenceDataset corpus = data::GenerateSynthetic(config);
+
+  // Shared mutable user table: repeats replay the current history, fresh
+  // interactions extend it (so the cacheable state evolves like a real
+  // user's would).
+  std::vector<std::unique_ptr<UserState>> users;
+  users.reserve(static_cast<size_t>(corpus.num_users()));
+  for (int32_t u = 0; u < corpus.num_users(); ++u) {
+    auto state = std::make_unique<UserState>();
+    state->user_id = u;
+    state->history = corpus.sequence(u);
+    if (state->history.size() > history_len) {
+      state->history.erase(
+          state->history.begin(),
+          state->history.end() - static_cast<int64_t>(history_len));
+    }
+    users.push_back(std::move(state));
+  }
+  const ZipfSampler user_sampler(corpus.num_users(), zipf);
+
+  std::atomic<bool> stop{false};
+  std::vector<WorkerResult> results(static_cast<size_t>(workers));
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      WorkerResult& result = results[static_cast<size_t>(w)];
+      Rng rng(seed + 1000003ull * static_cast<uint64_t>(w + 1));
+      std::vector<int32_t> history;
+      while (!stop.load(std::memory_order_relaxed)) {
+        UserState& user = *users[static_cast<size_t>(
+            user_sampler.Sample(&rng))];
+        const bool repeat = rng.Uniform() < repeat_mix;
+        {
+          std::lock_guard<std::mutex> lock(user.mu);
+          if (!repeat) {
+            user.history.push_back(static_cast<int32_t>(
+                rng.UniformInt(1, corpus.num_items())));
+            if (user.history.size() > history_len) {
+              user.history.erase(user.history.begin());
+            }
+          }
+          history = user.history;
+        }
+        const std::string body = BuildRequestBody(user.user_id, history, k);
+        int status = 0;
+        std::string response;
+        Stopwatch timer;
+        const bool transported = obs::HttpPost(
+            host, port, "/recommend", body, "application/json", &status,
+            &response);
+        const double ms = timer.ElapsedMillis();
+        if (transported && status == 200) {
+          ++result.ok;
+          result.latencies_ms.push_back(ms);
+          if (response.find("\"cache_hit\": true") != std::string::npos) {
+            ++result.cache_hits;
+          }
+        } else if (transported && status == 429) {
+          ++result.rejected;
+        } else {
+          ++result.errors;
+        }
+      }
+    });
+  }
+  while (wall.ElapsedSeconds() < duration_s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  std::vector<double> latencies;
+  int64_t ok = 0, rejected = 0, errors = 0, cache_hits = 0;
+  for (WorkerResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    ok += r.ok;
+    rejected += r.rejected;
+    errors += r.errors;
+    cache_hits += r.cache_hits;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps = static_cast<double>(ok) / elapsed;
+  const double p50 = Percentile(&latencies, 50.0);
+  const double p95 = Percentile(&latencies, 95.0);
+  const double p99 = Percentile(&latencies, 99.0);
+
+  if (as_json) {
+    std::cout << "{\"workers\": " << workers << ", \"duration_s\": " << elapsed
+              << ", \"requests\": " << ok << ", \"rejected\": " << rejected
+              << ", \"errors\": " << errors << ", \"cache_hits\": "
+              << cache_hits << ", \"repeat_mix\": " << repeat_mix
+              << ", \"qps\": " << qps << ", \"p50_ms\": " << p50
+              << ", \"p95_ms\": " << p95 << ", \"p99_ms\": " << p99 << "}\n";
+  } else {
+    std::cout << "workers=" << workers << " qps=" << qps << " ok=" << ok
+              << " rejected=" << rejected << " errors=" << errors
+              << " cache_hits=" << cache_hits << "\np50=" << p50
+              << "ms p95=" << p95 << "ms p99=" << p99 << "ms\n";
+  }
+  return errors > ok ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace vsan
+
+int main(int argc, char** argv) { return vsan::Main(argc, argv); }

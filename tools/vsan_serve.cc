@@ -1,0 +1,145 @@
+// Online serving daemon: loads a VSAN checkpoint, optionally builds a
+// quantized/IVF retrieval index, and serves per-user top-k recommendations
+// over HTTP with dynamic request batching and an encoded-state cache
+// (src/serve/).
+//
+//   vsan_serve --checkpoint=m.ckpt --port=8080 --retrieval=quantized
+//
+// Routes (see serve/daemon.h): POST /recommend, GET /healthz (503 until the
+// checkpoint and index are loaded), GET /metrics (Prometheus, including the
+// serve.* instruments vsan_top renders).
+//
+// Once serving, the process prints a machine-parsable line
+//
+//   READY port=<port> model=vsan items=<n>
+//
+// so scripts (tools/run_bench.sh --serve) can wait for readiness and
+// discover an ephemeral port.  SIGTERM/SIGINT trigger a graceful shutdown:
+// the HTTP server stops accepting, in-flight requests complete, the batch
+// queue drains, then the process exits 0.
+
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/vsan.h"
+#include "eval/retrieval.h"
+#include "obs/trace.h"
+#include "serve/daemon.h"
+#include "tensor/gemm.h"
+#include "util/flags.h"
+
+#if defined(_WIN32)
+#error "vsan_serve is POSIX-only (signalfd-free sigwait shutdown)"
+#endif
+#include <unistd.h>
+
+namespace vsan {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage: vsan_serve --checkpoint=m.ckpt [flags]\n"
+      "  --port=0               listen port (0 = ephemeral, see READY line)\n"
+      "  --threads=4            HTTP handler threads\n"
+      "  --max-batch=32         dynamic batching: flush at this many requests\n"
+      "  --max-wait-us=2000     ... or when the oldest waited this long\n"
+      "  --max-queue=256        reject (HTTP 429) beyond this backlog\n"
+      "  --cache-mb=64          encoded-state cache budget (0 disables)\n"
+      "  --retrieval=exact      exact|quantized|ivf top-k backend\n"
+      "  --clusters=0 --nprobe=8  ivf parameters (eval/retrieval.h)\n"
+      "  --k-max=1000           largest accepted per-request k\n"
+      "  --include-seen         do not filter the user's history from results\n"
+      "  --precision=fp32       fp32|bf16 encoder GEMM storage precision\n";
+  return 2;
+}
+
+std::atomic<int> g_signal{0};
+
+void OnSignal(int sig) { g_signal.store(sig); }
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::string checkpoint = flags.GetString("checkpoint");
+  if (checkpoint.empty()) return Usage();
+
+#if !VSAN_OBS_ENABLED
+  std::cerr << "error: vsan_serve needs the HTTP server; rebuild with "
+               "-DVSAN_OBS=ON\n";
+  return 1;
+#endif
+
+  auto loaded = core::Vsan::Load(checkpoint);
+  if (!loaded.ok()) {
+    std::cerr << "error: " << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  std::unique_ptr<core::Vsan> model = std::move(loaded).value();
+  const std::string precision = flags.GetString("precision", "fp32");
+  if (precision == "bf16") {
+    model->set_eval_precision(MatMulPrecision::kBf16);
+  } else if (precision != "fp32") {
+    std::cerr << "error: --precision must be fp32|bf16\n";
+    return 1;
+  }
+
+  serve::DaemonOptions options;
+  options.port = static_cast<int>(flags.GetInt("port", 0));
+  options.handler_threads = static_cast<int>(flags.GetInt("threads", 4));
+  options.batcher.max_batch =
+      static_cast<int32_t>(flags.GetInt("max-batch", 32));
+  options.batcher.max_wait_us = flags.GetInt("max-wait-us", 2000);
+  options.batcher.max_queue =
+      static_cast<int32_t>(flags.GetInt("max-queue", 256));
+  options.cache_bytes = flags.GetInt("cache-mb", 64) << 20;
+  options.service.max_k = static_cast<int32_t>(flags.GetInt("k-max", 1000));
+  options.service.exclude_seen = !flags.GetBool("include-seen", false);
+  const std::string backend = flags.GetString("retrieval", "exact");
+  if (!eval::ParseRetrievalBackend(backend, &options.retrieval.backend)) {
+    std::cerr << "error: --retrieval must be exact|quantized|ivf\n";
+    return 1;
+  }
+  options.retrieval.clusters =
+      static_cast<int32_t>(flags.GetInt("clusters", 0));
+  options.retrieval.nprobe = static_cast<int32_t>(flags.GetInt("nprobe", 8));
+
+  const std::vector<std::string> typos = flags.UnqueriedFlags();
+  if (!typos.empty()) {
+    std::cerr << "error: unknown flag --" << typos.front() << "\n";
+    return Usage();
+  }
+
+  serve::ServeDaemon daemon(model.get(), model->num_items(), options);
+  if (!daemon.StartHttp()) {
+    std::cerr << "error: could not bind port " << options.port << "\n";
+    return 1;
+  }
+  daemon.Activate();
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
+  std::cout << "READY port=" << daemon.port() << " model=vsan items="
+            << model->num_items() << " retrieval=" << backend << "\n"
+            << std::flush;
+
+  while (g_signal.load() == 0) {
+    usleep(50 * 1000);
+  }
+  std::cerr << "signal " << g_signal.load() << ": draining\n";
+  daemon.Shutdown();
+
+  const serve::CacheStats cache = daemon.cache()->stats();
+  const int64_t lookups = cache.hits + cache.misses;
+  std::cerr << "served: cache hits=" << cache.hits << "/" << lookups
+            << " evictions=" << cache.evictions << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsan
+
+int main(int argc, char** argv) { return vsan::Main(argc, argv); }

@@ -130,12 +130,24 @@ std::string Render(const Snapshot& snap, const Snapshot& prev,
     }
   }
 
-  // Derived headline: pool hit rate, when the acquire counters are present.
+  // Derived headlines: pool hit rate (training/eval processes) and
+  // encoded-state cache hit rate (a vsan_serve target), whichever counters
+  // the scraped process exposes.
   const double hits = Lookup(snap, "vsan_pool_acquire_hits_total", -1.0);
   const double misses = Lookup(snap, "vsan_pool_acquire_misses_total", -1.0);
   if (hits >= 0.0 && misses >= 0.0 && hits + misses > 0.0) {
     os << "pool hit rate: "
        << FormatDouble(100.0 * hits / (hits + misses), 1) << "%\n\n";
+  }
+  const double cache_hits = Lookup(snap, "vsan_serve_cache_hits_total", -1.0);
+  const double cache_misses =
+      Lookup(snap, "vsan_serve_cache_misses_total", -1.0);
+  if (cache_hits >= 0.0 && cache_misses >= 0.0 &&
+      cache_hits + cache_misses > 0.0) {
+    os << "serve cache hit rate: "
+       << FormatDouble(100.0 * cache_hits / (cache_hits + cache_misses), 1)
+       << "%  (" << FormatDouble(cache_hits, 0) << "/"
+       << FormatDouble(cache_hits + cache_misses, 0) << " lookups)\n\n";
   }
   if (any_counter) {
     counters.Print(os);
