@@ -57,6 +57,17 @@ ctest --test-dir build -L http 2>&1 | tee test_output_http.txt
 ctest --test-dir build -L serve 2>&1 | tee test_output_serve.txt
 ctest --test-dir build-tsan -L serve 2>&1 | tee test_output_serve_tsan.txt
 
+# Chaos sweep by label: the VSAN_FAULT serve directives driven through the
+# real daemon — encoder stalls vs request deadlines (504), mid-response
+# socket resets, corrupt-checkpoint hot reloads (409, old generation keeps
+# serving), cache-write loss, the malformed-body fuzz matrix, and hot
+# reload under concurrent load.  Plain build plus explicit TSan (reload/
+# shutdown vs in-flight traffic races) and ASan (the fuzz matrix walks the
+# JSON parser's depth cap and every truncation point) passes.
+ctest --test-dir build -L chaos 2>&1 | tee test_output_chaos.txt
+ctest --test-dir build-tsan -L chaos 2>&1 | tee test_output_chaos_tsan.txt
+ctest --test-dir build-asan -L chaos 2>&1 | tee test_output_chaos_asan.txt
+
 # Autotuner + bf16 storage path by label: VSANTUNE1 corruption rejection,
 # tuned-block bitwise equivalence, bf16 RNE edge cases and error bounds,
 # and the fp32-vs-bf16 eval accuracy delta on BeautyLike.  (Also in the
@@ -86,4 +97,5 @@ VSAN_BENCH_TOLERANCE="${VSAN_BENCH_TOLERANCE:-0.35}" \
 echo "done: test_output.txt," \
      "test_output_{asan,tsan,ubsan,fault,retrieval,autotune,http}.txt," \
      "test_output_serve{,_tsan}.txt," \
+     "test_output_chaos{,_tsan,_asan}.txt," \
      "bench_output.txt, bench_gate.txt, build/bench/*.csv"

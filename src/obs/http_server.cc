@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -38,6 +39,8 @@ const char* StatusText(int status) {
       return "Request Header Fields Too Large";
     case 503:
       return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
     default:
       return "Internal Server Error";
   }
@@ -116,8 +119,10 @@ bool ParseRequestLine(const std::string& header, HttpRequest* request) {
   return true;
 }
 
-// Content-Length of a raw header block, or -1 when absent/unparsable.
-// Field names are case-insensitive (RFC 9110); values are plain digits.
+// Content-Length of a raw header block: -1 when the header is absent
+// (RFC 9110: no Content-Length and no Transfer-Encoding means no body),
+// -2 when present but unparsable.  Field names are case-insensitive;
+// values are plain digits.
 int64_t ParseContentLength(const std::string& header) {
   size_t pos = header.find("\r\n");
   while (pos != std::string::npos && pos + 2 < header.size()) {
@@ -136,7 +141,7 @@ int64_t ParseContentLength(const std::string& header) {
         while (*value == ' ' || *value == '\t') ++value;
         char* end = nullptr;
         const long long n = std::strtoll(value, &end, 10);
-        return (end == value || n < 0) ? -1 : static_cast<int64_t>(n);
+        return (end == value || n < 0) ? -2 : static_cast<int64_t>(n);
       }
     }
     pos = line_end;
@@ -288,6 +293,7 @@ void HttpServer::ServeConnection(Socket conn) {
   const auto start = std::chrono::steady_clock::now();
 
   conn.SetRecvTimeout(options_.recv_timeout_ms);
+  conn.SetSendTimeout(options_.send_timeout_ms);
   // Read until the end of the header block; only POST requests carry a
   // body, read afterwards up to Content-Length.
   std::string raw;
@@ -323,8 +329,11 @@ void HttpServer::ServeConnection(Socket conn) {
     }
   } else if (request.method == "POST") {
     const auto it = post_handlers_.find(request.path);
-    const int64_t content_length =
+    // An absent Content-Length is a body-less POST (`curl -X POST /reload`);
+    // a present-but-garbled one is a client bug worth rejecting loudly.
+    const int64_t parsed_length =
         ParseContentLength(raw.substr(0, header_end + 2));
+    const int64_t content_length = parsed_length == -1 ? 0 : parsed_length;
     if (it == post_handlers_.end()) {
       // No POST route for this path: 405 whether or not a GET route
       // exists, so monitoring paths never accept mutations.
@@ -332,7 +341,7 @@ void HttpServer::ServeConnection(Socket conn) {
       response.body = "method not allowed\n";
     } else if (content_length < 0) {
       response.status = 400;
-      response.body = "POST requires Content-Length\n";
+      response.body = "malformed Content-Length\n";
     } else if (content_length > options_.max_body_bytes) {
       response.status = 413;
       response.body = "body too large\n";
@@ -363,7 +372,20 @@ void HttpServer::ServeConnection(Socket conn) {
 
   requests->Increment();
   if (response.status >= 400) errors->Increment();
-  conn.SendAll(RenderResponse(response));
+  const std::string rendered = RenderResponse(response);
+  int64_t truncate_to = 0;
+  if (fault::ShouldResetSocketSend(&truncate_to)) {
+    // Chaos tap: cut the response short and slam the connection — the
+    // client sees a mid-response reset, exactly what a dying proxy or
+    // kernel RST delivers.  The daemon itself must not care.
+    const size_t n = std::min(rendered.size(),
+                              static_cast<size_t>(std::max<int64_t>(
+                                  truncate_to, 0)));
+    if (n > 0) conn.SendAll(rendered.data(), n);
+    conn.Close();
+  } else {
+    conn.SendAll(rendered);
+  }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   latency->Observe(std::chrono::duration_cast<std::chrono::microseconds>(
                        std::chrono::steady_clock::now() - start)

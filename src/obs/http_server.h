@@ -62,6 +62,10 @@ struct HttpServerOptions {
   bool bind_any = false;   // default loopback-only
   int handler_threads = 3;
   int64_t recv_timeout_ms = 5000;  // per-connection header-read timeout
+  // Send-side twin (SO_SNDTIMEO): a client that stops draining its receive
+  // window makes the response send fail instead of pinning the handler
+  // thread indefinitely.
+  int64_t send_timeout_ms = 5000;
   // Largest accepted POST body; bigger requests get 413.  A recommendation
   // request is a few hundred bytes, so the default is generous.
   int64_t max_body_bytes = 1 << 20;

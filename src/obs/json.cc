@@ -55,9 +55,9 @@ class Parser {
     const char c = text_[pos_];
     switch (c) {
       case '{':
-        return ParseObject(out);
+        return ParseNested(out, &Parser::ParseObject);
       case '[':
-        return ParseArray(out);
+        return ParseNested(out, &Parser::ParseArray);
       case '"':
         out->type = JsonValue::Type::kString;
         return ParseString(&out->str);
@@ -78,6 +78,17 @@ class Parser {
       default:
         return ParseNumber(out);
     }
+  }
+
+  // The parser recurses once per nesting level, so adversarial input
+  // ("[[[[..." a megabyte deep) would otherwise trade 1 byte of body for a
+  // stack frame and crash the handler thread.  128 levels is far beyond
+  // any legitimate payload this plane exchanges.
+  bool ParseNested(JsonValue* out, bool (Parser::*parse)(JsonValue*)) {
+    if (++depth_ > 128) return Fail("nesting too deep");
+    const bool ok = (this->*parse)(out);
+    --depth_;
+    return ok;
   }
 
   bool ParseObject(JsonValue* out) {
@@ -206,6 +217,7 @@ class Parser {
   const std::string& text_;
   std::string* error_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -6,19 +6,11 @@
 
 #include "obs/metrics.h"
 #include "tensor/gemm.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace vsan {
 namespace serve {
-namespace {
-
-int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 BatchQueue::BatchQueue(FlushFn flush, const Options& options)
     : flush_(std::move(flush)), options_(options) {
@@ -39,6 +31,7 @@ BatchQueue::BatchQueue(FlushFn flush, const Options& options)
       prefix + ".queue_wait_us", obs::ExponentialBuckets(10.0, 2.0, 16));
   queue_depth_gauge_ = registry.GetGauge(prefix + ".queue_depth");
   rejected_counter_ = registry.GetCounter(prefix + ".rejected");
+  deadline_counter_ = registry.GetCounter(prefix + ".deadline_expired");
 }
 
 BatchQueue::~BatchQueue() { Stop(); }
@@ -72,7 +65,13 @@ void BatchQueue::Stop() {
 }
 
 EncodeStatus BatchQueue::Submit(Job* job) {
-  job->enqueue_ns = NowNs();
+  job->enqueue_ns = SteadyNowNs();
+  // Already late on arrival (e.g. stage 1 ate the whole budget): shed here
+  // rather than spending a queue slot on work no one is waiting for.
+  if (job->deadline_ns > 0 && job->enqueue_ns >= job->deadline_ns) {
+    deadline_counter_->Increment();
+    return EncodeStatus::kDeadlineExceeded;
+  }
   std::future<EncodeStatus> done = job->done.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -122,6 +121,28 @@ void BatchQueue::FlushLoop() {
       });
       if (queue_.empty()) continue;  // raced with nothing left to do
     }
+    // Shed expired jobs before they consume batch slots: a GEMM row for a
+    // request whose client already timed out is pure waste, and worse, it
+    // delays the requests that can still make their deadlines.
+    const int64_t shed_now_ns = SteadyNowNs();
+    int64_t shed = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      Job* job = *it;
+      if (job->deadline_ns > 0 && shed_now_ns >= job->deadline_ns) {
+        it = queue_.erase(it);
+        ++shed;
+        deadline_counter_->Increment();
+        // Waking the submitter under the lock is safe: Submit blocks on
+        // the future without holding mu_.
+        job->done.set_value(EncodeStatus::kDeadlineExceeded);
+      } else {
+        ++it;
+      }
+    }
+    if (shed > 0) {
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      if (queue_.empty()) continue;
+    }
     const int32_t take = std::min<int32_t>(
         options_.max_batch, static_cast<int32_t>(queue_.size()));
     slice.assign(queue_.begin(), queue_.begin() + take);
@@ -129,7 +150,8 @@ void BatchQueue::FlushLoop() {
     queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
     ++flushes_;
     lock.unlock();
-    const int64_t now_ns = NowNs();
+    fault::MaybeDelayServeFlush();  // chaos: flush-thread scheduler jitter
+    const int64_t now_ns = SteadyNowNs();
     for (Job* job : slice) {
       queue_wait_hist_->Observe(
           static_cast<double>(now_ns - job->enqueue_ns) / 1000.0);
@@ -154,14 +176,17 @@ RequestBatcher::RequestBatcher(EncodeFn encode, int64_t dim,
 }
 
 EncodeStatus RequestBatcher::Encode(const std::vector<int32_t>& history,
-                                    std::vector<float>* query) {
+                                    std::vector<float>* query,
+                                    int64_t deadline_ns) {
   EncodeJob job;
+  job.deadline_ns = deadline_ns;
   job.history = &history;
   job.query = query;
   return queue_.Submit(&job);
 }
 
 void RequestBatcher::Flush(const std::vector<BatchQueue::Job*>& slice) {
+  fault::MaybeStallServeEncode();  // chaos: slow/overloaded encoder
   std::vector<std::vector<int32_t>> fold_ins;
   fold_ins.reserve(slice.size());
   for (BatchQueue::Job* job : slice) {
@@ -196,9 +221,11 @@ ScoreBatcher::ScoreBatcher(const FactorizedHead& head,
 
 EncodeStatus ScoreBatcher::Score(const std::vector<float>& query,
                                  int32_t fetch,
-                                 std::vector<eval::ScoredItem>* top) {
+                                 std::vector<eval::ScoredItem>* top,
+                                 int64_t deadline_ns) {
   VSAN_CHECK_EQ(static_cast<int64_t>(query.size()), head_.dim);
   ScoreJob job;
+  job.deadline_ns = deadline_ns;
   job.query = &query;
   job.fetch = fetch;
   job.top = top;

@@ -1,6 +1,7 @@
 #ifndef VSAN_SERVE_BATCHER_H_
 #define VSAN_SERVE_BATCHER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -68,10 +69,20 @@ namespace serve {
 
 enum class EncodeStatus {
   kOk,
-  kRejected,  // queue full — shed load now, retry later
-  kShutdown,  // queue stopped before this job was accepted
-  kError,     // the flush callback reported failure
+  kRejected,          // queue full — shed load now, retry later
+  kShutdown,          // queue stopped before this job was accepted
+  kError,             // the flush callback reported failure
+  kDeadlineExceeded,  // the job's deadline expired before it was flushed
 };
+
+// Monotonic nanoseconds since an arbitrary epoch (steady_clock) — the time
+// base for job enqueue stamps and request deadlines, shared by the batcher,
+// the service layer, and tests.
+inline int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // The shared queue/flush-thread core under RequestBatcher and ScoreBatcher.
 // Jobs are stage-specific structs derived from BatchQueue::Job; the flush
@@ -90,6 +101,11 @@ class BatchQueue {
 
   struct Job {
     int64_t enqueue_ns = 0;
+    // Absolute steady-clock expiry (SteadyNowNs time base); 0 = no
+    // deadline.  An expired job is shed — at Submit if already late, or by
+    // the flush thread before it would waste a batch slot — and resolves
+    // kDeadlineExceeded instead of being flushed.
+    int64_t deadline_ns = 0;
     std::promise<EncodeStatus> done;
   };
 
@@ -134,6 +150,7 @@ class BatchQueue {
   obs::SlidingWindowHistogram* queue_wait_hist_;
   obs::Gauge* queue_depth_gauge_;
   obs::Counter* rejected_counter_;
+  obs::Counter* deadline_counter_;
 };
 
 // Stage 1: fold-in histories -> encoded query states ("serve.*" metrics).
@@ -154,9 +171,11 @@ class RequestBatcher {
   void Stop() { queue_.Stop(); }
 
   // Blocks the calling thread until its request is encoded (or rejected).
-  // On kOk, `*query` holds the dim-float encoded state.
+  // On kOk, `*query` holds the dim-float encoded state.  `deadline_ns` is
+  // an absolute SteadyNowNs expiry (0 = none): a job still queued past it
+  // returns kDeadlineExceeded without consuming encoder work.
   EncodeStatus Encode(const std::vector<int32_t>& history,
-                      std::vector<float>* query);
+                      std::vector<float>* query, int64_t deadline_ns = 0);
 
   int64_t queue_depth() const { return queue_.queue_depth(); }
   int64_t flushes() const { return queue_.flushes(); }
@@ -195,9 +214,11 @@ class ScoreBatcher {
 
   // Blocks until this query's row of the batched head GEMM is scored.  On
   // kOk, `*top` holds the `fetch` highest-scoring items in TopNIndices
-  // order (score descending, ties to the smaller index).
+  // order (score descending, ties to the smaller index).  `deadline_ns` as
+  // in RequestBatcher::Encode.
   EncodeStatus Score(const std::vector<float>& query, int32_t fetch,
-                     std::vector<eval::ScoredItem>* top);
+                     std::vector<eval::ScoredItem>* top,
+                     int64_t deadline_ns = 0);
 
   int64_t queue_depth() const { return queue_.queue_depth(); }
   int64_t flushes() const { return queue_.flushes(); }

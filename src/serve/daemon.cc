@@ -1,10 +1,14 @@
 #include "serve/daemon.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -28,50 +32,101 @@ void AppendFloat(float value, std::string* out) {
   out->append(buf);
 }
 
+// Strict integer read: the value must exist, be a JSON number, and be an
+// exact integer in int64 range.  `"7"`, `7.5`, `true`, `null`, `1e300` all
+// fail — wrong-typed fields are a client bug the daemon reports as 400
+// rather than silently coercing into something that "works".
+bool ReadInt(const obs::JsonValue* value, int64_t* out) {
+  if (value == nullptr || !value->is_number()) return false;
+  const double number = value->number;
+  if (!(number >= -9.2233720368547758e18 && number <= 9.2233720368547758e18)) {
+    return false;  // NaN and out-of-range compare false
+  }
+  if (number != std::floor(number)) return false;
+  *out = static_cast<int64_t>(number);
+  return true;
+}
+
 }  // namespace
 
 ServeDaemon::ServeDaemon(const SequentialRecommender* model, int32_t num_items,
                          const DaemonOptions& options)
-    : model_(model), num_items_(num_items), options_(options) {
+    : model_(model),
+      num_items_(num_items),
+      options_(options),
+      checkpoint_path_(options.checkpoint_path) {
   VSAN_CHECK(model_ != nullptr);
 }
 
 ServeDaemon::~ServeDaemon() { Shutdown(); }
 
+std::shared_ptr<GenerationState> ServeDaemon::BuildGeneration(
+    std::shared_ptr<const SequentialRecommender> model, int32_t num_items,
+    int64_t id, std::string* error) {
+  FactorizedHead head;
+  if (model == nullptr || !model->GetFactorizedHead(&head)) {
+    *error = "model has no factorized head";
+    return nullptr;
+  }
+  if (num_items <= 0) {
+    *error = "model reports no items";
+    return nullptr;
+  }
+  auto generation = std::make_shared<GenerationState>();
+  generation->id = id;
+  generation->model = std::move(model);
+  generation->num_items = num_items;
+  if (options_.retrieval.backend != eval::RetrievalBackend::kExact) {
+    generation->index = std::make_unique<eval::RetrievalIndex>(
+        eval::RetrievalIndex::Build(head, options_.retrieval));
+  }
+  const SequentialRecommender* raw_model = generation->model.get();
+  generation->batcher = std::make_unique<RequestBatcher>(
+      [raw_model](const std::vector<std::vector<int32_t>>& fold_ins,
+                  std::vector<float>* queries) {
+        return raw_model->EncodeBatchInto(fold_ins, queries);
+      },
+      head.dim, options_.batcher);
+  if (generation->index == nullptr) {
+    // Exact backend: scoring goes through its own batching stage so the
+    // head GEMM runs at M=batch instead of M=1 per request.  Admission
+    // control happens once, at the encode queue: a request that reaches
+    // this stage already spent its encode GEMM, so shedding it here would
+    // waste that work and turn a race between two admitted requests into a
+    // spurious 429.  The score backlog is intrinsically bounded by the
+    // handler threads (each carries at most one in-flight request), so the
+    // queue bound only needs to cover them.
+    ScoreBatcher::Options score_options = options_.batcher;
+    score_options.metric_prefix = "serve.score";
+    score_options.max_queue = std::max(
+        options_.batcher.max_queue,
+        std::max(options_.handler_threads, 1));
+    generation->scorer = std::make_unique<ScoreBatcher>(head, score_options);
+  }
+  generation->service = std::make_unique<RecommendService>(
+      raw_model, num_items, generation->index.get(),
+      generation->batcher.get(), generation->scorer.get(), cache_.get(),
+      options_.service, id);
+  generation->batcher->Start();
+  if (generation->scorer != nullptr) generation->scorer->Start();
+  return generation;
+}
+
 bool ServeDaemon::StartHttp() {
   VSAN_CHECK(!started_) << "ServeDaemon::StartHttp called twice";
 
-  if (options_.retrieval.backend != eval::RetrievalBackend::kExact) {
-    FactorizedHead head;
-    VSAN_CHECK(model_->GetFactorizedHead(&head))
-        << "retrieval backend '"
-        << eval::RetrievalBackendName(options_.retrieval.backend)
-        << "' needs a factorized head";
-    index_ = std::make_unique<eval::RetrievalIndex>(
-        eval::RetrievalIndex::Build(head, options_.retrieval));
-  }
   cache_ = std::make_unique<EncodedStateCache>(options_.cache_bytes);
-  FactorizedHead head;
-  VSAN_CHECK(model_->GetFactorizedHead(&head))
-      << "the serving daemon requires a factorized-head model";
-  batcher_ = std::make_unique<RequestBatcher>(
-      [this](const std::vector<std::vector<int32_t>>& fold_ins,
-             std::vector<float>* queries) {
-        return model_->EncodeBatchInto(fold_ins, queries);
-      },
-      head.dim, options_.batcher);
-  if (index_ == nullptr) {
-    // Exact backend: scoring goes through its own batching stage so the
-    // head GEMM runs at M=batch instead of M=1 per request.
-    ScoreBatcher::Options score_options = options_.batcher;
-    score_options.metric_prefix = "serve.score";
-    scorer_ = std::make_unique<ScoreBatcher>(head, score_options);
-  }
-  service_ = std::make_unique<RecommendService>(
-      model_, num_items_, index_.get(), batcher_.get(), scorer_.get(),
-      cache_.get(), options_.service);
-  batcher_->Start();
-  if (scorer_ != nullptr) scorer_->Start();
+  // Generation 0 aliases the borrowed ctor model (empty owner: the daemon
+  // does not manage its lifetime, the caller does).
+  std::string error;
+  std::shared_ptr<GenerationState> generation = BuildGeneration(
+      std::shared_ptr<const SequentialRecommender>(
+          std::shared_ptr<const SequentialRecommender>(), model_),
+      num_items_, /*id=*/0, &error);
+  VSAN_CHECK(generation != nullptr)
+      << "the serving daemon cannot start: " << error;
+  registry_.Publish(std::move(generation));
+  next_generation_ = 1;
 
   http_.Handle("/healthz", [this](const obs::HttpRequest&) {
     obs::HttpResponse response;
@@ -86,13 +141,15 @@ bool ServeDaemon::StartHttp() {
   http_.HandlePost("/recommend", [this](const obs::HttpRequest& request) {
     return HandleRecommend(request);
   });
+  http_.HandlePost("/reload", [this](const obs::HttpRequest& request) {
+    return HandleReload(request);
+  });
 
   obs::HttpServerOptions http_opts;
   http_opts.port = options_.port;
   http_opts.handler_threads = options_.handler_threads;
   if (!http_.Start(http_opts)) {
-    batcher_->Stop();
-    if (scorer_ != nullptr) scorer_->Stop();
+    registry_.Clear();
     return false;
   }
   started_ = true;
@@ -103,16 +160,85 @@ void ServeDaemon::Activate() {
   ready_.store(true, std::memory_order_release);
 }
 
+Status ServeDaemon::Reload(const std::string& path,
+                           int64_t* new_generation) {
+  static obs::Counter* reloads =
+      obs::MetricsRegistry::Global().GetCounter("serve.reloads");
+  static obs::Counter* reload_failures =
+      obs::MetricsRegistry::Global().GetCounter("serve.reload_failures");
+
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  if (options_.loader == nullptr) {
+    return Status::InvalidArgument(
+        "no model loader configured (static model)");
+  }
+  const std::string target = path.empty() ? checkpoint_path_ : path;
+  if (target.empty()) {
+    return Status::InvalidArgument("no checkpoint path to reload");
+  }
+  // Chaos tap: corrupt the file as it is about to be read, exercising the
+  // reject-and-keep-serving path end to end.
+  fault::MaybeCorruptReloadFile(target);
+
+  LoadedModel loaded;
+  Status status = options_.loader(target, &loaded);
+  if (!status.ok()) {
+    reload_failures->Increment();
+    return status;
+  }
+  std::string error;
+  std::shared_ptr<GenerationState> generation = BuildGeneration(
+      std::move(loaded.model), loaded.num_items, next_generation_, &error);
+  if (generation == nullptr) {
+    reload_failures->Increment();
+    return Status::InvalidArgument(error);
+  }
+  const int64_t id = next_generation_++;
+  registry_.Publish(std::move(generation));
+  // Superseded encodings can never be served again (wrong generation key);
+  // reclaim their bytes now instead of waiting out LRU pressure.
+  cache_->PurgeGenerationsBelow(id);
+  checkpoint_path_ = target;
+  reloads->Increment();
+  if (new_generation != nullptr) *new_generation = id;
+  return Status::Ok();
+}
+
 void ServeDaemon::Shutdown() {
   if (!started_) return;
   ready_.store(false, std::memory_order_release);
-  // HTTP first: handler threads finishing /recommend calls still have live
-  // batching stages underneath them, so every in-flight request completes
-  // with a real response before the drains below.
+  // HTTP first: handler threads finishing /recommend calls hold their
+  // generation, so its batching stages are still live underneath them and
+  // every in-flight request completes with a real response.  Clearing the
+  // registry afterwards releases the last reference, draining and joining
+  // the flush threads.
   http_.Stop();
-  batcher_->Stop();
-  if (scorer_ != nullptr) scorer_->Stop();
+  registry_.Clear();
   started_ = false;
+}
+
+const RecommendService* ServeDaemon::service() const {
+  const std::shared_ptr<const GenerationState> generation =
+      registry_.Acquire();
+  return generation != nullptr ? generation->service.get() : nullptr;
+}
+
+RequestBatcher* ServeDaemon::batcher() {
+  const std::shared_ptr<const GenerationState> generation =
+      registry_.Acquire();
+  return generation != nullptr ? generation->batcher.get() : nullptr;
+}
+
+ScoreBatcher* ServeDaemon::scorer() {
+  const std::shared_ptr<const GenerationState> generation =
+      registry_.Acquire();
+  return generation != nullptr ? generation->scorer.get() : nullptr;
+}
+
+const eval::RetrievalIndex* ServeDaemon::index() const {
+  const std::shared_ptr<const GenerationState> generation =
+      registry_.Acquire();
+  return generation != nullptr ? generation->index.get() : nullptr;
 }
 
 obs::HttpResponse ServeDaemon::HandleRecommend(
@@ -122,6 +248,11 @@ obs::HttpResponse ServeDaemon::HandleRecommend(
           "serve.request_ms", obs::ExponentialBuckets(0.05, 1.6, 24));
   Stopwatch timer;
   if (!ready()) return JsonError(503, "not ready");
+  // One Acquire per request: everything below — encode, cache, scoring —
+  // runs on this generation even if a reload publishes mid-request.
+  const std::shared_ptr<const GenerationState> generation =
+      registry_.Acquire();
+  if (generation == nullptr) return JsonError(503, "not ready");
 
   obs::JsonValue doc;
   std::string error;
@@ -129,20 +260,51 @@ obs::HttpResponse ServeDaemon::HandleRecommend(
     return JsonError(400, "bad json");
   }
   RecommendRequest request;
-  request.user_id = static_cast<int64_t>(doc.NumberOr("user", -1));
-  request.k = static_cast<int32_t>(doc.NumberOr("k", 10));
+  int64_t user = 0;
+  if (!ReadInt(doc.Find("user"), &user) || user < 0) {
+    return JsonError(400, "need integer user >= 0");
+  }
+  request.user_id = user;
+  int64_t k = 10;
+  if (doc.Find("k") != nullptr && !ReadInt(doc.Find("k"), &k)) {
+    return JsonError(400, "k must be an integer");
+  }
+  // Clamp into int32 so the service's own range check reports the
+  // out-of-range value instead of one mangled by the narrowing cast.
+  if (k < -(1ll << 31) || k >= (1ll << 31)) {
+    return JsonError(400, "invalid request");
+  }
+  request.k = static_cast<int32_t>(k);
   const obs::JsonValue* history = doc.Find("history");
-  if (request.user_id < 0 || history == nullptr || !history->is_array()) {
+  if (history == nullptr || !history->is_array()) {
     return JsonError(400, "need user and history");
+  }
+  const int32_t max_history = options_.service.max_history;
+  if (max_history > 0 &&
+      history->array.size() > static_cast<size_t>(max_history)) {
+    return JsonError(400, "history too long (max " +
+                              std::to_string(max_history) + " items)");
   }
   request.history.reserve(history->array.size());
   for (const obs::JsonValue& item : history->array) {
-    if (!item.is_number()) return JsonError(400, "history must be item ids");
-    request.history.push_back(static_cast<int32_t>(item.number));
+    int64_t id = 0;
+    if (!ReadInt(&item, &id) || id < -(1ll << 31) || id >= (1ll << 31)) {
+      return JsonError(400, "history must be item ids");
+    }
+    request.history.push_back(static_cast<int32_t>(id));
+  }
+  int64_t deadline_us = options_.service.default_deadline_us;
+  if (doc.Find("deadline_us") != nullptr) {
+    if (!ReadInt(doc.Find("deadline_us"), &deadline_us) || deadline_us < 0) {
+      return JsonError(400, "deadline_us must be an integer >= 0");
+    }
+  }
+  if (deadline_us > 0) {
+    request.deadline_ns = SteadyNowNs() + deadline_us * 1000;
   }
 
   RecommendResult result;
-  switch (service_->Recommend(request, &result)) {
+  switch (generation->service->Recommend(request, &result)) {
     case ServeStatus::kOk:
       break;
     case ServeStatus::kInvalid:
@@ -153,16 +315,20 @@ obs::HttpResponse ServeDaemon::HandleRecommend(
       return JsonError(503, "shutting down");
     case ServeStatus::kError:
       return JsonError(500, "encode failed");
+    case ServeStatus::kDeadlineExceeded:
+      return JsonError(504, "deadline exceeded");
   }
 
   obs::HttpResponse response;
   response.content_type = "application/json";
   std::string& body = response.body;
-  body.reserve(64 + result.items.size() * 32);
+  body.reserve(96 + result.items.size() * 32);
   body += "{\"user\": ";
   body += std::to_string(request.user_id);
   body += ", \"k\": ";
   body += std::to_string(request.k);
+  body += ", \"generation\": ";
+  body += std::to_string(generation->id);
   body += ", \"cache_hit\": ";
   body += result.cache_hit ? "true" : "false";
   body += ", \"items\": [";
@@ -176,6 +342,38 @@ obs::HttpResponse ServeDaemon::HandleRecommend(
   }
   body += "]}\n";
   request_ms->Observe(timer.ElapsedMillis());
+  return response;
+}
+
+obs::HttpResponse ServeDaemon::HandleReload(
+    const obs::HttpRequest& http_request) {
+  std::string path;
+  if (!http_request.body.empty()) {
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::ParseJson(http_request.body, &doc, &error) ||
+        !doc.is_object()) {
+      return JsonError(400, "bad json");
+    }
+    const obs::JsonValue* checkpoint = doc.Find("checkpoint");
+    if (checkpoint != nullptr) {
+      if (!checkpoint->is_string()) {
+        return JsonError(400, "checkpoint must be a string path");
+      }
+      path = checkpoint->str;
+    }
+  }
+  int64_t new_generation = -1;
+  const Status status = Reload(path, &new_generation);
+  if (!status.ok()) {
+    // 409: the reload conflicts with reality (bad file, wrong shape, no
+    // loader); the old generation is untouched and still serving.
+    return JsonError(409, status.ToString());
+  }
+  obs::HttpResponse response;
+  response.content_type = "application/json";
+  response.body =
+      "{\"generation\": " + std::to_string(new_generation) + "}\n";
   return response;
 }
 

@@ -3,47 +3,86 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "eval/retrieval.h"
 #include "models/recommender.h"
 #include "obs/http_server.h"
-#include "serve/batcher.h"
+#include "serve/model_registry.h"
 #include "serve/service.h"
 #include "serve/state_cache.h"
+#include "util/status.h"
 
-// The serving daemon: glues a loaded model, an optional retrieval index,
-// the dynamic batcher, the encoded-state cache, and the HTTP server into
-// one process (tools/vsan_serve is a thin flag wrapper around this class).
+// The serving daemon: glues model generations (serve/model_registry.h), an
+// optional retrieval index, the dynamic batchers, the encoded-state cache,
+// and the HTTP server into one process (tools/vsan_serve is a thin flag
+// wrapper around this class).
 //
 // Request lifecycle:
-//   POST /recommend {"user": 7, "history": [3, 1, 4], "k": 10}
-//     -> 200 {"user": 7, "k": 10, "cache_hit": false,
+//   POST /recommend {"user": 7, "history": [3, 1, 4], "k": 10,
+//                    "deadline_us": 50000}
+//     -> 200 {"user": 7, "k": 10, "generation": 0, "cache_hit": false,
 //             "items": [{"item": 42, "score": 3.1}, ...]}
-//     -> 400 on malformed JSON / bad ids / k out of range
+//     -> 400 on malformed JSON / bad ids / k out of range / history too long
 //     -> 429 when the batching queue is full (serve.rejected counts these)
 //     -> 503 before Activate() or during shutdown
+//     -> 504 when the request deadline expired before completion
+//            (serve.deadline_expired counts these)
+//   POST /reload {"checkpoint": "path"}   (empty body = reload the path the
+//     current model came from)
+//     -> 200 {"generation": N} once the new generation serves traffic
+//     -> 409 when the checkpoint is corrupt/incompatible or no loader is
+//            configured — the old generation keeps serving untouched
 //   GET /healthz   503 "loading" until Activate(), then 200 "ok" — the
 //                  readiness gate: a load balancer adds the task only once
 //                  the checkpoint (and index build) is actually done.
 //   GET /metrics   the standard Prometheus exposition, now carrying the
-//                  serve.* instruments.
+//                  serve.* instruments (serve.model_generation tracks hot
+//                  reloads).
+//
+// Hot reload: Reload() builds the complete next generation — load,
+// factorized-head check, index build, fresh batching stages — while the
+// current one keeps serving, then publishes it with a pointer swap.  Each
+// request runs start-to-finish on the generation it acquired, so a swap
+// never drops or mixes in-flight work; the superseded generation drains
+// itself when its last request releases it.  The encoded-state cache is
+// keyed by generation (entries from generation G can never serve G+1) and
+// superseded entries are purged at publish time.  A failed load — corrupt
+// file, CRC mismatch, wrong shapes, no factorized head — leaves the old
+// generation serving and returns the error.
 //
 // Startup is two-phase so the port can be bound (and health-checked) while
 // the expensive work happens: StartHttp() brings up routes answering 503,
 // Activate() flips readiness after the caller finishes loading/building.
 // Shutdown() stops the HTTP server first — handler threads blocked on
-// batcher futures finish their in-flight requests because both batching
-// stages are still running — then drains and stops the encode and scoring
-// stages.  That order is what makes SIGTERM graceful: accepted requests
-// are answered, never dropped.
+// batcher futures finish their in-flight requests because the generation
+// they hold keeps its batching stages alive — then releases the final
+// generation, which drains and joins its flush threads.  That order is
+// what makes SIGTERM graceful: accepted requests are answered, never
+// dropped.
 //
 // Under -DVSAN_OBS=OFF the HTTP server is a stub and StartHttp() returns
-// false; the service/batcher/cache layers still compile and are testable.
+// false; the service/batcher/cache/registry layers still compile and are
+// testable.
 
 namespace vsan {
 namespace serve {
+
+// What a checkpoint load hands back to the daemon.
+struct LoadedModel {
+  std::shared_ptr<const SequentialRecommender> model;
+  int32_t num_items = 0;
+};
+
+// Loads a checkpoint for hot reload.  Must be thread-compatible (the
+// daemon serializes reloads) and must fail cleanly — returning a non-OK
+// Status, never crashing — on a corrupt or incompatible file; the CRC'd
+// VSANCKP1 loader (core::Vsan::Load) already behaves this way.
+using ModelLoader =
+    std::function<Status(const std::string& path, LoadedModel* out)>;
 
 struct DaemonOptions {
   int port = 0;  // 0 = ephemeral, read back via port()
@@ -53,15 +92,21 @@ struct DaemonOptions {
   RequestBatcher::Options batcher;
   int64_t cache_bytes = 64ll << 20;  // 0 disables the encoded-state cache
   // "exact" serves from a full factorized-head scan (no index); otherwise
-  // a RetrievalIndex is built at startup.
+  // a RetrievalIndex is built per generation.
   eval::RetrievalOptions retrieval;
   ServiceOptions service;
+  // Hot reload: `loader` turns a checkpoint path into a model (null
+  // disables /reload with a clean 409); `checkpoint_path` is the path the
+  // startup model came from, used when a reload names no other.
+  ModelLoader loader;
+  std::string checkpoint_path;
 };
 
 class ServeDaemon {
  public:
   // `model` is borrowed and must stay alive (and unrefitted) for the
-  // daemon's lifetime.
+  // daemon's lifetime; it becomes generation 0.  Reloaded generations own
+  // their models outright.
   ServeDaemon(const SequentialRecommender* model, int32_t num_items,
               const DaemonOptions& options);
   ~ServeDaemon();
@@ -69,39 +114,60 @@ class ServeDaemon {
   ServeDaemon(const ServeDaemon&) = delete;
   ServeDaemon& operator=(const ServeDaemon&) = delete;
 
-  // Builds the retrieval index (when the backend needs one), starts the
-  // batcher, binds the HTTP server with routes answering 503.  False when
-  // the port cannot be bound or VSAN_OBS is off.
+  // Builds generation 0 (retrieval index when the backend needs one,
+  // batching stages started), binds the HTTP server with routes answering
+  // 503.  False when the port cannot be bound or VSAN_OBS is off.
   bool StartHttp();
 
   // Flips /healthz to 200 and opens /recommend for traffic.
   void Activate();
 
-  // Graceful stop: HTTP first (in-flight requests complete), then the
-  // batcher drain.  Idempotent; also runs on destruction.
+  // Loads `path` (empty = the path the current model came from), builds
+  // the next generation, swaps it in, and purges superseded cache entries.
+  // On any failure the current generation keeps serving and the error
+  // comes back; on success `*new_generation` (optional) receives the
+  // published id.  Serialized: concurrent calls queue on an internal
+  // mutex.  Also reachable as POST /reload and, in vsan_serve, SIGHUP.
+  Status Reload(const std::string& path, int64_t* new_generation = nullptr);
+
+  // Graceful stop: HTTP first (in-flight requests complete on their
+  // generation), then the final generation's drain.  Idempotent; also runs
+  // on destruction.
   void Shutdown();
 
   int port() const { return http_.port(); }
   bool ready() const { return ready_.load(std::memory_order_acquire); }
-  // Direct access for tests and the stats headline in vsan_serve.
-  const RecommendService* service() const { return service_.get(); }
+  // Published generation id (-1 before StartHttp / after Shutdown).
+  int64_t generation() const { return registry_.generation(); }
+
+  // Direct access for tests and the stats headline in vsan_serve.  The
+  // returned pointers belong to the *current* generation and stay valid
+  // until the next Reload or Shutdown — don't hold them across either.
+  const RecommendService* service() const;
   const EncodedStateCache* cache() const { return cache_.get(); }
-  RequestBatcher* batcher() { return batcher_.get(); }
-  ScoreBatcher* scorer() { return scorer_.get(); }
-  const eval::RetrievalIndex* index() const { return index_.get(); }
+  RequestBatcher* batcher();
+  ScoreBatcher* scorer();
+  const eval::RetrievalIndex* index() const;
 
  private:
+  // Assembles a ready-to-publish generation (batchers started).  Null plus
+  // `*error` on an incompatible model (e.g. no factorized head).
+  std::shared_ptr<GenerationState> BuildGeneration(
+      std::shared_ptr<const SequentialRecommender> model, int32_t num_items,
+      int64_t id, std::string* error);
+
   obs::HttpResponse HandleRecommend(const obs::HttpRequest& request);
+  obs::HttpResponse HandleReload(const obs::HttpRequest& request);
 
   const SequentialRecommender* model_;
   const int32_t num_items_;
   const DaemonOptions options_;
 
-  std::unique_ptr<eval::RetrievalIndex> index_;  // null for "exact"
-  std::unique_ptr<EncodedStateCache> cache_;
-  std::unique_ptr<RequestBatcher> batcher_;
-  std::unique_ptr<ScoreBatcher> scorer_;  // exact backend only
-  std::unique_ptr<RecommendService> service_;
+  std::unique_ptr<EncodedStateCache> cache_;  // shared across generations
+  ModelRegistry registry_;
+  std::mutex reload_mu_;          // serializes Reload
+  std::string checkpoint_path_;   // guarded by reload_mu_
+  int64_t next_generation_ = 0;   // guarded by reload_mu_ (0 = startup)
   obs::HttpServer http_;
   std::atomic<bool> ready_{false};
   bool started_ = false;

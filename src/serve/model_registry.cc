@@ -1,0 +1,56 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace vsan {
+namespace serve {
+
+GenerationState::~GenerationState() {
+  // Drain order mirrors ServeDaemon::Shutdown: encode stage first, then
+  // scoring.  By the time the last reference drops no request is inside
+  // either queue, so both Stops are quick joins.
+  if (batcher != nullptr) batcher->Stop();
+  if (scorer != nullptr) scorer->Stop();
+}
+
+ModelRegistry::ModelRegistry() {
+  generation_gauge_ =
+      obs::MetricsRegistry::Global().GetGauge("serve.model_generation");
+}
+
+std::shared_ptr<const GenerationState> ModelRegistry::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+void ModelRegistry::Publish(std::shared_ptr<const GenerationState> next) {
+  std::shared_ptr<const GenerationState> previous;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    previous = std::move(current_);
+    current_ = std::move(next);
+    if (current_ != nullptr) {
+      generation_gauge_->Set(static_cast<double>(current_->id));
+    }
+  }
+  // `previous` releases outside the lock: if this was its last reference,
+  // its flush threads join here rather than while Acquire() callers wait.
+}
+
+void ModelRegistry::Clear() {
+  std::shared_ptr<const GenerationState> previous;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    previous = std::move(current_);
+  }
+}
+
+int64_t ModelRegistry::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ != nullptr ? current_->id : -1;
+}
+
+}  // namespace serve
+}  // namespace vsan

@@ -15,20 +15,26 @@ RecommendService::RecommendService(const SequentialRecommender* model,
                                    RequestBatcher* batcher,
                                    ScoreBatcher* scorer,
                                    EncodedStateCache* cache,
-                                   const ServiceOptions& options)
+                                   const ServiceOptions& options,
+                                   int64_t generation)
     : model_(model),
       num_items_(num_items),
       index_(index),
       batcher_(batcher),
       scorer_(scorer),
       cache_(cache),
-      options_(options) {
+      options_(options),
+      generation_(generation) {
   VSAN_CHECK(model_ != nullptr);
   VSAN_CHECK(batcher_ != nullptr);
   VSAN_CHECK(cache_ != nullptr);
   VSAN_CHECK_GT(num_items_, 0);
   VSAN_CHECK(model_->GetFactorizedHead(&head_))
       << "the serving daemon requires a factorized-head model";
+  // Same name the encode-stage queue registers, deliberately: one counter
+  // totals deadline expiries wherever they are detected.
+  deadline_counter_ =
+      obs::MetricsRegistry::Global().GetCounter("serve.deadline_expired");
 }
 
 ServeStatus RecommendService::Recommend(const RecommendRequest& request,
@@ -37,6 +43,10 @@ ServeStatus RecommendService::Recommend(const RecommendRequest& request,
   result->cache_hit = false;
   if (request.k < 1 || request.k > options_.max_k) return ServeStatus::kInvalid;
   if (request.history.empty()) return ServeStatus::kInvalid;
+  if (options_.max_history > 0 &&
+      static_cast<int32_t>(request.history.size()) > options_.max_history) {
+    return ServeStatus::kInvalid;
+  }
   for (int32_t item : request.history) {
     if (item < 1 || item > num_items_) return ServeStatus::kInvalid;
   }
@@ -52,11 +62,11 @@ ServeStatus RecommendService::EncodeCached(const RecommendRequest& request,
                                            std::vector<float>* query,
                                            bool* cache_hit) const {
   const uint64_t hash = HashHistory(request.history);
-  if (cache_->Lookup(request.user_id, hash, query)) {
+  if (cache_->Lookup(generation_, request.user_id, hash, query)) {
     *cache_hit = true;
     return ServeStatus::kOk;
   }
-  switch (batcher_->Encode(request.history, query)) {
+  switch (batcher_->Encode(request.history, query, request.deadline_ns)) {
     case EncodeStatus::kOk:
       break;
     case EncodeStatus::kRejected:
@@ -65,8 +75,10 @@ ServeStatus RecommendService::EncodeCached(const RecommendRequest& request,
       return ServeStatus::kShutdown;
     case EncodeStatus::kError:
       return ServeStatus::kError;
+    case EncodeStatus::kDeadlineExceeded:
+      return ServeStatus::kDeadlineExceeded;
   }
-  cache_->Insert(request.user_id, hash, *query);
+  cache_->Insert(generation_, request.user_id, hash, *query);
   return ServeStatus::kOk;
 }
 
@@ -84,6 +96,12 @@ ServeStatus RecommendService::SearchTopK(
 
   std::vector<eval::ScoredItem> candidates;
   if (index_ != nullptr) {
+    // The index path runs inline on the handler thread — one expiry check
+    // here before the scan (the batching stages check their own queues).
+    if (request.deadline_ns > 0 && SteadyNowNs() >= request.deadline_ns) {
+      deadline_counter_->Increment();
+      return ServeStatus::kDeadlineExceeded;
+    }
     thread_local eval::RetrievalIndex::Scratch scratch;
     index_->Search(query.data(), fetch, &scratch, &candidates);
   } else if (scorer_ != nullptr) {
@@ -91,7 +109,7 @@ ServeStatus RecommendService::SearchTopK(
     // the factorized head per flush; each row is bitwise the model's
     // ScoreInto entries (tensor/gemm.h M-blocking invariance), ranked in
     // TopNIndices order.
-    switch (scorer_->Score(query, fetch, &candidates)) {
+    switch (scorer_->Score(query, fetch, &candidates, request.deadline_ns)) {
       case EncodeStatus::kOk:
         break;
       case EncodeStatus::kRejected:
@@ -100,8 +118,21 @@ ServeStatus RecommendService::SearchTopK(
         return ServeStatus::kShutdown;
       case EncodeStatus::kError:
         return ServeStatus::kError;
+      case EncodeStatus::kDeadlineExceeded:
+        // The scoring stage counted this under its own prefix
+        // (serve.score.deadline_expired); the daemon-wide total must see
+        // it too.  The encode stage needs no such mirror — its prefix is
+        // "serve", so its queue already increments the total itself.
+        deadline_counter_->Increment();
+        return ServeStatus::kDeadlineExceeded;
     }
   } else {
+    // Inline exact scan, also on the handler thread: same single expiry
+    // check as the index path.
+    if (request.deadline_ns > 0 && SteadyNowNs() >= request.deadline_ns) {
+      deadline_counter_->Increment();
+      return ServeStatus::kDeadlineExceeded;
+    }
     // No scoring stage wired (tests, degraded setups): inline per-request
     // scan with the same ascending-index FMA chain the blocked logits GEMM
     // uses per element (tensor/int8_dot.h), bias after — identical results,

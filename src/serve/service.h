@@ -36,16 +36,22 @@ namespace serve {
 
 enum class ServeStatus {
   kOk,
-  kInvalid,     // malformed request (empty history, bad ids, k < 1)
-  kOverloaded,  // batching queue full — HTTP 429
-  kShutdown,    // daemon stopping
-  kError,       // encode failure (should not happen on a healthy model)
+  kInvalid,           // malformed request (empty history, bad ids, k < 1)
+  kOverloaded,        // batching queue full — HTTP 429
+  kShutdown,          // daemon stopping
+  kError,             // encode failure (should not happen on a healthy model)
+  kDeadlineExceeded,  // request deadline expired before completion — HTTP 504
 };
 
 struct RecommendRequest {
   int64_t user_id = 0;
   std::vector<int32_t> history;  // chronological item ids in [1, num_items]
   int32_t k = 10;
+  // Absolute steady-clock expiry (SteadyNowNs time base); 0 = no deadline.
+  // The daemon computes this from the JSON `deadline_us` field (or the
+  // ServiceOptions default) at parse time, so queueing in either batching
+  // stage counts against the budget.
+  int64_t deadline_ns = 0;
 };
 
 struct RecommendResult {
@@ -55,6 +61,14 @@ struct RecommendResult {
 
 struct ServiceOptions {
   int32_t max_k = 1000;
+  // Longest accepted history (also the daemon's explicit 400 bound — a
+  // semantic cap with a clear message, independent of the transport-level
+  // max_body_bytes).
+  int32_t max_history = 1024;
+  // Default per-request deadline in microseconds, applied when a request
+  // carries none; 0 = no default (requests without deadline_us never
+  // expire).
+  int64_t default_deadline_us = 0;
   // Drop items the user has already interacted with from the results (the
   // usual serving behavior; over-fetches k + history size and filters, the
   // evaluator's exclusion recipe).
@@ -67,17 +81,22 @@ class RecommendService {
   // the model's FactorizedHead (the exact backend).  On that path `scorer`
   // carries the batched scoring stage; when it is also null the service
   // falls back to an inline per-request scan (same results, no batching).
-  // All pointers are borrowed and must outlive the service.
+  // All pointers are borrowed and must outlive the service.  `generation`
+  // is the model generation this service serves: the encoded-state cache is
+  // keyed by it, so a service built over a hot-reloaded model can never hit
+  // an entry encoded by its predecessor.
   RecommendService(const SequentialRecommender* model, int32_t num_items,
                    const eval::RetrievalIndex* index, RequestBatcher* batcher,
                    ScoreBatcher* scorer, EncodedStateCache* cache,
-                   const ServiceOptions& options);
+                   const ServiceOptions& options, int64_t generation = 0);
 
   // Thread-safe: any number of handler threads may call concurrently.
   ServeStatus Recommend(const RecommendRequest& request,
                         RecommendResult* result) const;
 
   int32_t num_items() const { return num_items_; }
+  int64_t generation() const { return generation_; }
+  const ServiceOptions& options() const { return options_; }
 
  private:
   ServeStatus EncodeCached(const RecommendRequest& request,
@@ -93,7 +112,9 @@ class RecommendService {
   ScoreBatcher* scorer_;  // exact-path scoring stage; may be null
   EncodedStateCache* cache_;
   const ServiceOptions options_;
+  const int64_t generation_;
   FactorizedHead head_;
+  obs::Counter* deadline_counter_;  // serve.deadline_expired
 };
 
 }  // namespace serve

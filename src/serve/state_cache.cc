@@ -1,6 +1,7 @@
 #include "serve/state_cache.h"
 
 #include "obs/metrics.h"
+#include "util/fault.h"
 
 namespace vsan {
 namespace serve {
@@ -28,10 +29,11 @@ EncodedStateCache::EncodedStateCache(int64_t budget_bytes)
   bytes_gauge_ = registry.GetGauge("serve.cache.bytes");
 }
 
-bool EncodedStateCache::Lookup(int64_t user_id, uint64_t history_hash,
+bool EncodedStateCache::Lookup(int64_t generation, int64_t user_id,
+                               uint64_t history_hash,
                                std::vector<float>* query) {
   std::lock_guard<std::mutex> lock(mu_);
-  const Key key{user_id, history_hash};
+  const Key key{generation, user_id, history_hash};
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
@@ -45,16 +47,21 @@ bool EncodedStateCache::Lookup(int64_t user_id, uint64_t history_hash,
   return true;
 }
 
-void EncodedStateCache::Insert(int64_t user_id, uint64_t history_hash,
+void EncodedStateCache::Insert(int64_t generation, int64_t user_id,
+                               uint64_t history_hash,
                                const std::vector<float>& query) {
   const int64_t cost = EntryBytes(query);
   if (cost > budget_) return;  // also covers the budget == 0 (disabled) case
+  if (fault::ShouldDropCacheInsert()) return;  // chaos: cache write failure
   std::lock_guard<std::mutex> lock(mu_);
-  const Key key{user_id, history_hash};
+  const Key key{generation, user_id, history_hash};
   auto it = map_.find(key);
   if (it != map_.end()) {
-    // Refresh: same key means same history hash, so the payload can only
-    // differ if the model was swapped under the cache — overwrite anyway.
+    // Refresh: the full key (generation, user, history hash) matched, so
+    // the payload is byte-identical by the bitwise-oracle invariant —
+    // overwrite anyway to keep the accounting simple.  A swapped model
+    // cannot land here: it carries a new generation and therefore a new
+    // key.
     bytes_ -= EntryBytes(it->second->query);
     it->second->query = query;
     bytes_ += cost;
@@ -67,6 +74,26 @@ void EncodedStateCache::Insert(int64_t user_id, uint64_t history_hash,
   }
   entries_gauge_->Set(static_cast<double>(lru_.size()));
   bytes_gauge_->Set(static_cast<double>(bytes_));
+}
+
+int64_t EncodedStateCache::PurgeGenerationsBelow(int64_t min_generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t purged = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.generation < min_generation) {
+      bytes_ -= EntryBytes(it->query);
+      map_.erase(it->key);
+      it = lru_.erase(it);
+      ++purged;
+      ++evictions_;
+      eviction_counter_->Increment();
+    } else {
+      ++it;
+    }
+  }
+  entries_gauge_->Set(static_cast<double>(lru_.size()));
+  bytes_gauge_->Set(static_cast<double>(bytes_));
+  return purged;
 }
 
 void EncodedStateCache::EvictTailLocked() {

@@ -10,11 +10,15 @@
 // Per-user encoded-state cache for the serving daemon: a returning user
 // whose history has not changed skips the encoder forward pass entirely and
 // goes straight to the retrieval scan.  Entries are keyed on
-// (user id, 64-bit history hash), so any change to the history — a new
-// interaction, a reorder, a truncation — produces a different key and a
-// clean miss; the stale entry for the old history ages out through LRU
-// eviction rather than being invalidated in place (the invalidation rule
-// the serving plane documents: keys are immutable, histories version them).
+// (model generation, user id, 64-bit history hash), so any change to the
+// history — a new interaction, a reorder, a truncation — produces a
+// different key and a clean miss; the stale entry for the old history ages
+// out through LRU eviction rather than being invalidated in place (the
+// invalidation rule the serving plane documents: keys are immutable,
+// histories version them).  The generation component closes the hot-reload
+// hazard: an encoding produced by model generation G can never satisfy a
+// lookup from generation G+1, and PurgeGenerationsBelow reclaims the bytes
+// superseded entries would otherwise hold until LRU pressure ages them out.
 //
 // Memory is bounded: each entry charges its query vector plus a fixed
 // per-entry overhead estimate against `budget_bytes`, and inserts evict
@@ -57,33 +61,46 @@ class EncodedStateCache {
   explicit EncodedStateCache(int64_t budget_bytes);
 
   // On hit, copies the cached query vector into `*query` (resized) and
-  // refreshes the entry's LRU position.
-  bool Lookup(int64_t user_id, uint64_t history_hash,
+  // refreshes the entry's LRU position.  Only entries encoded by exactly
+  // `generation` can hit.
+  bool Lookup(int64_t generation, int64_t user_id, uint64_t history_hash,
               std::vector<float>* query);
 
-  // Inserts or refreshes (user_id, history_hash) -> query.  Evicts
-  // least-recently-used entries until the budget holds the newcomer; a
-  // query bigger than the whole budget is simply not cached.
-  void Insert(int64_t user_id, uint64_t history_hash,
+  // Inserts or refreshes (generation, user_id, history_hash) -> query.
+  // Evicts least-recently-used entries until the budget holds the
+  // newcomer; a query bigger than the whole budget is simply not cached.
+  void Insert(int64_t generation, int64_t user_id, uint64_t history_hash,
               const std::vector<float>& query);
+
+  // Drops every entry from a generation below `min_generation` — called
+  // after a hot reload publishes a new generation, so superseded encodings
+  // release their bytes immediately instead of squatting in the LRU.
+  // Returns the number of entries purged.
+  int64_t PurgeGenerationsBelow(int64_t min_generation);
 
   CacheStats stats() const;
   int64_t budget_bytes() const { return budget_; }
 
  private:
   struct Key {
+    int64_t generation;
     int64_t user;
     uint64_t hash;
     bool operator==(const Key& other) const {
-      return user == other.user && hash == other.hash;
+      return generation == other.generation && user == other.user &&
+             hash == other.hash;
     }
   };
   struct KeyHasher {
     size_t operator()(const Key& k) const {
-      // Mix the two words; both are already well-distributed (the hash by
-      // construction, user ids by the splitmix-style multiply).
+      // Mix the three words; hash and user are already well-distributed
+      // (the hash by construction, user ids by the splitmix-style
+      // multiply); the generation is small but the final avalanche spreads
+      // it.
       uint64_t x = static_cast<uint64_t>(k.user) * 0x9e3779b97f4a7c15ULL;
       x ^= k.hash + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+      x ^= static_cast<uint64_t>(k.generation) * 0xff51afd7ed558ccdULL +
+           (x << 6) + (x >> 2);
       return static_cast<size_t>(x);
     }
   };

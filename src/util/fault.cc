@@ -1,8 +1,11 @@
 #include "util/fault.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "util/logging.h"
 
@@ -15,6 +18,13 @@ struct Spec {
   int64_t stop_at_step = -1;
   int64_t nan_loss_at_step = -1;
   int64_t corrupt_checkpoint_bytes = 0;
+  // Serve-path chaos (see fault.h).
+  int64_t serve_encode_stall_ms = 0;
+  int64_t serve_flush_delay_ms = 0;
+  int64_t socket_reset_after_bytes = -1;  // -1 = disarmed (0 is a valid cut)
+  int64_t socket_reset_every = 1;
+  int64_t corrupt_reload_bytes = 0;
+  int64_t cache_insert_fail_every = 0;
 };
 
 Spec ParseSpec(const std::string& text) {
@@ -37,6 +47,18 @@ Spec ParseSpec(const std::string& text) {
         spec.nan_loss_at_step = value;
       } else if (key == "corrupt_checkpoint_bytes") {
         spec.corrupt_checkpoint_bytes = value;
+      } else if (key == "serve_encode_stall_ms") {
+        spec.serve_encode_stall_ms = value;
+      } else if (key == "serve_flush_delay_ms") {
+        spec.serve_flush_delay_ms = value;
+      } else if (key == "socket_reset_after_bytes") {
+        spec.socket_reset_after_bytes = value;
+      } else if (key == "socket_reset_every") {
+        spec.socket_reset_every = value > 0 ? value : 1;
+      } else if (key == "corrupt_reload_bytes") {
+        spec.corrupt_reload_bytes = value;
+      } else if (key == "cache_insert_fail_every") {
+        spec.cache_insert_fail_every = value;
       } else if (!key.empty()) {
         VSAN_LOG_WARNING << "VSAN_FAULT: unknown directive '" << key << "'";
       }
@@ -47,12 +69,51 @@ Spec ParseSpec(const std::string& text) {
 }
 
 struct State {
-  Spec spec;
+  // Published copy of the parsed spec, one atomic per directive: the serve
+  // taps read these from daemon handler/flush threads while the chaos tests
+  // re-arm directives on a live daemon via SetSpecForTest, so plain members
+  // would be a data race.  Store() writes the fields relaxed; the caller
+  // then flips `enabled` with a release store, and Enabled()'s acquire load
+  // guarantees a reader that observes the armed flag also observes the
+  // directive values published with it.
+  std::atomic<int64_t> abort_at_step{-1};
+  std::atomic<int64_t> stop_at_step{-1};
+  std::atomic<int64_t> nan_loss_at_step{-1};
+  std::atomic<int64_t> corrupt_checkpoint_bytes{0};
+  std::atomic<int64_t> serve_encode_stall_ms{0};
+  std::atomic<int64_t> serve_flush_delay_ms{0};
+  std::atomic<int64_t> socket_reset_after_bytes{-1};
+  std::atomic<int64_t> socket_reset_every{1};
+  std::atomic<int64_t> corrupt_reload_bytes{0};
+  std::atomic<int64_t> cache_insert_fail_every{0};
   std::atomic<bool> enabled{false};
   // One-shot latches: an injected fault models a transient, so a rollback
   // that replays the same step must not re-fire it.
   std::atomic<bool> stop_fired{false};
   std::atomic<bool> nan_fired{false};
+  // Process-wide every-Kth counters for the serve-path taps.
+  std::atomic<int64_t> socket_sends{0};
+  std::atomic<int64_t> cache_inserts{0};
+
+  void Store(const Spec& spec) {
+    abort_at_step.store(spec.abort_at_step, std::memory_order_relaxed);
+    stop_at_step.store(spec.stop_at_step, std::memory_order_relaxed);
+    nan_loss_at_step.store(spec.nan_loss_at_step, std::memory_order_relaxed);
+    corrupt_checkpoint_bytes.store(spec.corrupt_checkpoint_bytes,
+                                   std::memory_order_relaxed);
+    serve_encode_stall_ms.store(spec.serve_encode_stall_ms,
+                                std::memory_order_relaxed);
+    serve_flush_delay_ms.store(spec.serve_flush_delay_ms,
+                               std::memory_order_relaxed);
+    socket_reset_after_bytes.store(spec.socket_reset_after_bytes,
+                                   std::memory_order_relaxed);
+    socket_reset_every.store(spec.socket_reset_every,
+                             std::memory_order_relaxed);
+    corrupt_reload_bytes.store(spec.corrupt_reload_bytes,
+                               std::memory_order_relaxed);
+    cache_insert_fail_every.store(spec.cache_insert_fail_every,
+                                  std::memory_order_relaxed);
+  }
 };
 
 State& GlobalState() {
@@ -60,8 +121,8 @@ State& GlobalState() {
     auto* s = new State();
     const char* env = std::getenv("VSAN_FAULT");
     if (env != nullptr && env[0] != '\0') {
-      s->spec = ParseSpec(env);
-      s->enabled.store(true, std::memory_order_relaxed);
+      s->Store(ParseSpec(env));
+      s->enabled.store(true, std::memory_order_release);
     }
     return s;
   }();
@@ -71,26 +132,31 @@ State& GlobalState() {
 }  // namespace
 
 bool Enabled() {
-  return GlobalState().enabled.load(std::memory_order_relaxed);
+  // Acquire pairs with SetSpecForTest's release: seeing the armed flag
+  // implies seeing the directive fields stored before it.
+  return GlobalState().enabled.load(std::memory_order_acquire);
 }
 
 void SetSpecForTest(const char* spec) {
   State& state = GlobalState();
   state.stop_fired.store(false, std::memory_order_relaxed);
   state.nan_fired.store(false, std::memory_order_relaxed);
+  state.socket_sends.store(0, std::memory_order_relaxed);
+  state.cache_inserts.store(0, std::memory_order_relaxed);
   if (spec == nullptr || spec[0] == '\0') {
-    state.spec = Spec();
-    state.enabled.store(false, std::memory_order_relaxed);
+    state.Store(Spec());
+    state.enabled.store(false, std::memory_order_release);
     return;
   }
-  state.spec = ParseSpec(spec);
-  state.enabled.store(true, std::memory_order_relaxed);
+  state.Store(ParseSpec(spec));
+  state.enabled.store(true, std::memory_order_release);
 }
 
 void MaybeCrashAtStep(int64_t step) {
   if (!Enabled()) return;
   State& state = GlobalState();
-  if (state.spec.abort_at_step >= 0 && step == state.spec.abort_at_step) {
+  const int64_t at = state.abort_at_step.load(std::memory_order_relaxed);
+  if (at >= 0 && step == at) {
     VSAN_LOG_ERROR << "VSAN_FAULT: aborting at step " << step;
     // _Exit: no destructors, no stream flushes — a hard kill, so whatever
     // the checkpoint path already made durable is all that survives.
@@ -101,27 +167,22 @@ void MaybeCrashAtStep(int64_t step) {
 bool ShouldStopAtStep(int64_t step) {
   if (!Enabled()) return false;
   State& state = GlobalState();
-  if (state.spec.stop_at_step < 0 || step != state.spec.stop_at_step) {
-    return false;
-  }
+  const int64_t at = state.stop_at_step.load(std::memory_order_relaxed);
+  if (at < 0 || step != at) return false;
   return !state.stop_fired.exchange(true, std::memory_order_relaxed);
 }
 
 bool ShouldInjectNanLoss(int64_t step) {
   if (!Enabled()) return false;
   State& state = GlobalState();
-  if (state.spec.nan_loss_at_step < 0 ||
-      step != state.spec.nan_loss_at_step) {
-    return false;
-  }
+  const int64_t at = state.nan_loss_at_step.load(std::memory_order_relaxed);
+  if (at < 0 || step != at) return false;
   return !state.nan_fired.exchange(true, std::memory_order_relaxed);
 }
 
-void MaybeCorruptFile(const std::string& path) {
-  if (!Enabled()) return;
-  State& state = GlobalState();
-  const int64_t k = state.spec.corrupt_checkpoint_bytes;
-  if (k <= 0) return;
+namespace {
+
+void CorruptBytes(const std::string& path, int64_t k) {
   std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
   if (!f.good()) return;
   f.seekg(0, std::ios::end);
@@ -143,6 +204,72 @@ void MaybeCorruptFile(const std::string& path) {
   f.flush();
   VSAN_LOG_WARNING << "VSAN_FAULT: corrupted " << k << " byte(s) of "
                    << path;
+}
+
+}  // namespace
+
+void MaybeCorruptFile(const std::string& path) {
+  if (!Enabled()) return;
+  State& state = GlobalState();
+  const int64_t k =
+      state.corrupt_checkpoint_bytes.load(std::memory_order_relaxed);
+  if (k <= 0) return;
+  CorruptBytes(path, k);
+}
+
+void MaybeStallServeEncode() {
+  if (!Enabled()) return;
+  State& state = GlobalState();
+  const int64_t ms =
+      state.serve_encode_stall_ms.load(std::memory_order_relaxed);
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void MaybeDelayServeFlush() {
+  if (!Enabled()) return;
+  State& state = GlobalState();
+  const int64_t ms =
+      state.serve_flush_delay_ms.load(std::memory_order_relaxed);
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool ShouldResetSocketSend(int64_t* truncate_to) {
+  if (!Enabled()) return false;
+  State& state = GlobalState();
+  const int64_t after =
+      state.socket_reset_after_bytes.load(std::memory_order_relaxed);
+  if (after < 0) return false;
+  // ParseSpec clamps socket_reset_every to >= 1, but a concurrent re-arm
+  // could interleave field stores; guard the modulus anyway.
+  const int64_t every =
+      std::max<int64_t>(1, state.socket_reset_every.load(
+                               std::memory_order_relaxed));
+  const int64_t n =
+      state.socket_sends.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % every != 0) return false;
+  *truncate_to = after;
+  return true;
+}
+
+void MaybeCorruptReloadFile(const std::string& path) {
+  if (!Enabled()) return;
+  State& state = GlobalState();
+  const int64_t k = state.corrupt_reload_bytes.load(std::memory_order_relaxed);
+  if (k <= 0) return;
+  CorruptBytes(path, k);
+}
+
+bool ShouldDropCacheInsert() {
+  if (!Enabled()) return false;
+  State& state = GlobalState();
+  const int64_t every =
+      state.cache_insert_fail_every.load(std::memory_order_relaxed);
+  if (every <= 0) return false;
+  const int64_t n =
+      state.cache_inserts.fetch_add(1, std::memory_order_relaxed) + 1;
+  return n % every == 0;
 }
 
 }  // namespace fault

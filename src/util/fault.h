@@ -28,6 +28,34 @@ namespace fault {
 //   corrupt_checkpoint_bytes=K flip K bytes of every checkpoint file right
 //                              after it is written (deterministic positions).
 //
+// Serve-path chaos directives (the serving plane's injection points; see
+// tests/serve_chaos_test.cc — each models a production failure the daemon
+// must absorb without dropping or corrupting a response):
+//
+//   serve_encode_stall_ms=N    sleep N ms inside every encode-stage flush,
+//                              before the model forward — a slow/overloaded
+//                              encoder.  Queues back up behind it, so this
+//                              is how 429 shedding and deadline expiry are
+//                              driven deterministically.
+//   serve_flush_delay_ms=N     sleep N ms in the batch-queue flush thread
+//                              (both stages) before each flush — scheduler
+//                              jitter on the one thread the pipeline
+//                              serializes through.
+//   socket_reset_after_bytes=N truncate an HTTP response to its first N
+//                              bytes and close the connection — a client-
+//                              visible mid-response connection reset.
+//   socket_reset_every=K       ... on every Kth response only (default 1 =
+//                              every response), so mixed healthy/reset
+//                              traffic can flow in one run.
+//   corrupt_reload_bytes=K     flip K bytes of a checkpoint file as it is
+//                              opened for hot reload (ServeDaemon::Reload)
+//                              — the swap-validation path: the load must
+//                              fail cleanly and the old generation keep
+//                              serving.
+//   cache_insert_fail_every=K  silently drop every Kth encoded-state cache
+//                              insert — a cache write failure must cost
+//                              only hit rate, never correctness.
+//
 // Example: VSAN_FAULT=abort_at_step=37 vsan_cli train --checkpoint_dir=ck
 //
 // Steps are 1-based: directive N fires as the Nth optimizer step begins,
@@ -55,6 +83,32 @@ bool ShouldInjectNanLoss(int64_t step);
 // Tap after a checkpoint file is written: flips corrupt_checkpoint_bytes
 // bytes of `path` in place (no-op when unarmed).
 void MaybeCorruptFile(const std::string& path);
+
+// --- Serve-path chaos taps (src/serve/, src/obs/http_server.cc) ----------
+
+// Tap at the top of every encode-stage flush: sleeps serve_encode_stall_ms
+// milliseconds (no-op when unarmed).
+void MaybeStallServeEncode();
+
+// Tap in the batch-queue flush thread before each flush callback: sleeps
+// serve_flush_delay_ms milliseconds (no-op when unarmed).
+void MaybeDelayServeFlush();
+
+// Tap before an HTTP response is sent.  True when this response should be
+// cut short: `*truncate_to` receives socket_reset_after_bytes and the
+// caller sends at most that many bytes, then closes.  Fires on every
+// socket_reset_every'th response (process-wide counter).
+bool ShouldResetSocketSend(int64_t* truncate_to);
+
+// Tap as a checkpoint is opened for hot reload: flips corrupt_reload_bytes
+// bytes of `path` in place (no-op when unarmed).  Distinct from
+// MaybeCorruptFile so reload corruption can be armed without also
+// corrupting checkpoints the training path writes.
+void MaybeCorruptReloadFile(const std::string& path);
+
+// Tap on encoded-state cache inserts: true when this insert should be
+// dropped (every cache_insert_fail_every'th, process-wide counter).
+bool ShouldDropCacheInsert();
 
 }  // namespace fault
 }  // namespace vsan

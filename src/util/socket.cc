@@ -70,6 +70,13 @@ bool Socket::SetRecvTimeout(int64_t timeout_ms) {
   return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
 }
 
+bool Socket::SetSendTimeout(int64_t timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
 bool ListenSocket::Listen(int port, bool bind_any, int backlog) {
   Socket fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return false;

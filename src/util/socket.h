@@ -46,6 +46,11 @@ class Socket {
   // SO_RCVTIMEO, so a stuck peer cannot wedge a handler thread forever.
   bool SetRecvTimeout(int64_t timeout_ms);
 
+  // SO_SNDTIMEO, the write-side twin: a stalled reader (full receive
+  // window, never draining) makes SendAll fail instead of pinning the
+  // handler thread.
+  bool SetSendTimeout(int64_t timeout_ms);
+
  private:
   int fd_ = -1;
 };

@@ -59,42 +59,73 @@ TEST(EncodedStateCacheTest, LruEvictionUnderByteBudget) {
   // Each entry charges sizeof(float)*2 + 96 = 104 bytes; budget 220 holds
   // exactly two.
   EncodedStateCache cache(220);
-  cache.Insert(1, 11, q1);
-  cache.Insert(2, 22, {3.0f, 4.0f});
+  cache.Insert(0, 1, 11, q1);
+  cache.Insert(0, 2, 22, {3.0f, 4.0f});
   EXPECT_EQ(cache.stats().entries, 2);
 
   // Touch user 1 so user 2 becomes the LRU tail, then overflow.
   std::vector<float> out;
-  EXPECT_TRUE(cache.Lookup(1, 11, &out));
+  EXPECT_TRUE(cache.Lookup(0, 1, 11, &out));
   EXPECT_EQ(out, q1);
-  cache.Insert(3, 33, {5.0f, 6.0f});
+  cache.Insert(0, 3, 33, {5.0f, 6.0f});
 
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 2);
   EXPECT_EQ(stats.evictions, 1);
-  EXPECT_TRUE(cache.Lookup(1, 11, &out));   // refreshed -> survived
-  EXPECT_FALSE(cache.Lookup(2, 22, &out));  // LRU tail -> evicted
-  EXPECT_TRUE(cache.Lookup(3, 33, &out));
+  EXPECT_TRUE(cache.Lookup(0, 1, 11, &out));   // refreshed -> survived
+  EXPECT_FALSE(cache.Lookup(0, 2, 22, &out));  // LRU tail -> evicted
+  EXPECT_TRUE(cache.Lookup(0, 3, 33, &out));
   EXPECT_EQ(out, std::vector<float>({5.0f, 6.0f}));
 }
 
 TEST(EncodedStateCacheTest, KeyIsUserAndHistoryHash) {
   EncodedStateCache cache(1 << 20);
-  cache.Insert(7, HashHistory({1, 2}), {1.0f});
+  cache.Insert(0, 7, HashHistory({1, 2}), {1.0f});
   std::vector<float> out;
   // Same user, different history: miss (the stale-state invalidation rule).
-  EXPECT_FALSE(cache.Lookup(7, HashHistory({1, 2, 9}), &out));
+  EXPECT_FALSE(cache.Lookup(0, 7, HashHistory({1, 2, 9}), &out));
   // Different user, same history: miss.
-  EXPECT_FALSE(cache.Lookup(8, HashHistory({1, 2}), &out));
-  EXPECT_TRUE(cache.Lookup(7, HashHistory({1, 2}), &out));
+  EXPECT_FALSE(cache.Lookup(0, 8, HashHistory({1, 2}), &out));
+  EXPECT_TRUE(cache.Lookup(0, 7, HashHistory({1, 2}), &out));
 }
 
 TEST(EncodedStateCacheTest, ZeroBudgetDisablesCaching) {
   EncodedStateCache cache(0);
-  cache.Insert(1, 11, {1.0f});
+  cache.Insert(0, 1, 11, {1.0f});
   std::vector<float> out;
-  EXPECT_FALSE(cache.Lookup(1, 11, &out));
+  EXPECT_FALSE(cache.Lookup(0, 1, 11, &out));
   EXPECT_EQ(cache.stats().entries, 0);
+}
+
+TEST(EncodedStateCacheTest, KeyedByGenerationAndPurgeable) {
+  // The stale-cache-on-swap regression (state_cache.cc once admitted it
+  // would serve a pre-swap encoding after a model swap): an entry written
+  // under generation 0 must be invisible to generation 1, and a publish-
+  // time purge must reclaim superseded bytes.
+  EncodedStateCache cache(1 << 20);
+  const std::vector<float> old_q = {1.0f, 2.0f};
+  const std::vector<float> new_q = {9.0f, 8.0f};
+  cache.Insert(0, 7, 11, old_q);
+  std::vector<float> out;
+  // The new generation can never hit the old generation's encoding...
+  EXPECT_FALSE(cache.Lookup(1, 7, 11, &out));
+  // ...while the old generation (an in-flight request) still can.
+  EXPECT_TRUE(cache.Lookup(0, 7, 11, &out));
+  EXPECT_EQ(out, old_q);
+  // Both generations may coexist under the same (user, hash).
+  cache.Insert(1, 7, 11, new_q);
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_TRUE(cache.Lookup(1, 7, 11, &out));
+  EXPECT_EQ(out, new_q);
+
+  // Publish-time purge drops everything below the new generation and
+  // returns the byte accounting to just the survivors.
+  EXPECT_EQ(cache.PurgeGenerationsBelow(1), 1);
+  EXPECT_FALSE(cache.Lookup(0, 7, 11, &out));
+  EXPECT_TRUE(cache.Lookup(1, 7, 11, &out));
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.bytes, static_cast<int64_t>(2 * sizeof(float)) + 96);
 }
 
 // ---------------------------------------------------------------------------
@@ -670,6 +701,7 @@ class StubModel : public SequentialRecommender {
   bool EncodeBatchInto(const std::vector<std::vector<int32_t>>& fold_ins,
                        std::vector<float>* queries) const override {
     encodes_started_.fetch_add(1);
+    encode_rows_.fetch_add(static_cast<int>(fold_ins.size()));
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return gate_open_; });
@@ -691,6 +723,9 @@ class StubModel : public SequentialRecommender {
   void WaitForEncodeStart(int n) const {
     while (encodes_started_.load() < n) std::this_thread::yield();
   }
+  // Requests the flush thread has sliced out of the queue and carried into
+  // EncodeBatchInto (counted before the gate, so gated rows are included).
+  int encode_rows() const { return encode_rows_.load(); }
 
   static constexpr int64_t kDim = 4;
   static constexpr int64_t kRows = 51;  // 50 items + padding row
@@ -701,6 +736,7 @@ class StubModel : public SequentialRecommender {
   mutable std::condition_variable cv_;
   bool gate_open_ = true;
   mutable std::atomic<int> encodes_started_{0};
+  mutable std::atomic<int> encode_rows_{0};
 };
 
 int PostRecommend(int port, const std::string& body, std::string* response) {
@@ -842,7 +878,15 @@ TEST(ServeDaemonTest, GracefulShutdownAnswersInFlightRequests) {
           &responses[static_cast<size_t>(i)]);
     });
   }
-  model.WaitForEncodeStart(1);
+  // Wait until all three are provably admitted — sliced into the (gated)
+  // encoder or sitting in its queue — before starting Shutdown.  Waiting on
+  // encode-start alone races: a request still ahead of the handler's
+  // readiness check when Shutdown flips it would be turned away with a 503.
+  // The slice removes a request from the queue (under the queue lock)
+  // strictly before the encoder counts it, so this sum never double-counts.
+  while (model.encode_rows() + daemon.batcher()->queue_depth() < 3) {
+    std::this_thread::yield();
+  }
 
   // Shutdown while they are in flight; open the gate so the drain can run.
   std::thread shutdown([&] { daemon.Shutdown(); });

@@ -69,10 +69,14 @@
 # max_batch flushes promptly instead of idling out the window.  One record
 # per (policy, workers) point lands in BENCH_serve.json with qps,
 # p50/p95/p99 and ns_per_iter = 1e9/qps so the check_bench.py gate reads
-# it like any other time-per-unit metric.  The checked-in file is the
-# regression reference for the >= 2x dynamic-batching QPS claim and the
-# >= 30% cached-p50 claim.  Knobs: VSAN_SERVE_SCALE (corpus scale, default
-# 1.0), VSAN_SERVE_DURATION_S (seconds per point, default 4),
+# it like any other time-per-unit metric.  After the sweep, a hot-reload
+# latency record (op=serve_reload): median time from POST /reload to its
+# 200 response, which the daemon sends only once the next generation is
+# built, published, and serving — the control-plane cost of a zero-
+# downtime swap.  The checked-in file is the regression reference for the
+# >= 2x dynamic-batching QPS claim and the >= 30% cached-p50 claim.
+# Knobs: VSAN_SERVE_SCALE (corpus scale, default 1.0),
+# VSAN_SERVE_DURATION_S (seconds per point, default 4),
 # VSAN_SERVE_WORKERS (default "1 2 4 8 16").
 set -euo pipefail
 
@@ -144,7 +148,55 @@ if [[ "${1:-}" == "--serve" ]]; then
     SERVE_PID=""
   done
 
-  python3 - "$RESULTS" "$OUT" <<'EOF'
+  # Hot-reload latency: POST /reload with no body re-loads the same
+  # checkpoint; the 200 comes back only after the next generation is
+  # loaded, index/stages built, published, and the superseded cache
+  # entries purged — so response time IS time-to-first-new-generation-
+  # response.  The old generation serves throughout (zero downtime); this
+  # measures the control-plane swap cost, median of 5.
+  : > "$SERVE_LOG"
+  "$BUILD_DIR/tools/vsan_serve" --checkpoint="$CKPT" --port=0 \
+    --retrieval=exact --threads=16 --max-batch=32 --max-wait-us=200 \
+    --max-queue=1024 --cache-mb=64 > "$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q '^READY' "$SERVE_LOG" && break
+    sleep 0.2
+  done
+  PORT="$(sed -n 's/^READY port=\([0-9]*\).*/\1/p' "$SERVE_LOG")"
+  if [[ -z "$PORT" ]]; then
+    echo "error: vsan_serve did not come up for the reload measurement" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  RELOAD_JSON="$(python3 - "$PORT" <<'EOF'
+import http.client, json, statistics, sys, time
+port = int(sys.argv[1])
+reload_ms = []
+for _ in range(5):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    start = time.monotonic_ns()
+    conn.request("POST", "/reload", body=b"",
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    body = response.read()
+    elapsed_ms = (time.monotonic_ns() - start) / 1e6
+    conn.close()
+    if response.status != 200:
+        sys.stderr.write(f"error: POST /reload -> {response.status}: "
+                         f"{body!r}\n")
+        sys.exit(1)
+    reload_ms.append(elapsed_ms)
+print(json.dumps({"reloads": len(reload_ms),
+                  "p50_ms": round(statistics.median(reload_ms), 3),
+                  "max_ms": round(max(reload_ms), 3)}))
+EOF
+)"
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID" || true
+  SERVE_PID=""
+
+  python3 - "$RESULTS" "$OUT" "$RELOAD_JSON" <<'EOF'
 import json, sys
 benchmarks = []
 for line in open(sys.argv[1]):
@@ -162,6 +214,9 @@ for line in open(sys.argv[1]):
         "p99_ms": round(rec["p99_ms"], 4),
         "requests": rec["requests"],
         "rejected": rec["rejected"],
+        "resets": rec.get("resets", 0),
+        "retries": rec.get("retries", 0),
+        "gave_ups": rec.get("gave_ups", 0),
         "errors": rec["errors"],
         "cache_hits": rec["cache_hits"],
         "repeat_mix": rec["repeat_mix"],
@@ -169,6 +224,18 @@ for line in open(sys.argv[1]):
         # higher-is-worse gate applies unchanged.
         "ns_per_iter": round(1e9 / rec["qps"], 1) if rec["qps"] > 0 else None,
     })
+reload_rec = json.loads(sys.argv[3])
+benchmarks.append({
+    "op": "serve_reload",
+    "model": "vsan",
+    "policy": "dynamic_cache",
+    "reloads": reload_rec["reloads"],
+    "p50_ms": reload_rec["p50_ms"],
+    "max_ms": reload_rec["max_ms"],
+    # Median swap latency as ns so a check_bench.py diff of two
+    # BENCH_serve.json files gates reload cost like any other record.
+    "ns_per_iter": round(reload_rec["p50_ms"] * 1e6, 1),
+})
 json.dump({"op_note": "serving daemon latency-vs-QPS (closed loop)",
            "benchmarks": benchmarks}, open(sys.argv[2], "w"), indent=1)
 print(f"wrote {sys.argv[2]} ({len(benchmarks)} records)")

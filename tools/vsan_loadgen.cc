@@ -16,6 +16,13 @@
 // ML1MLike synthetic corpora so sequence lengths and item skew match what
 // the checkpoint was trained on.
 //
+// Overload behavior: a 429 (shed) or a transport failure (connection
+// reset) is retried with capped exponential backoff plus jitter, up to
+// --retries attempts; a request that exhausts its budget is a give-up.
+// The summary reports retries and give-ups separately from errors, so an
+// overload experiment can tell traffic the daemon deliberately shed (and
+// the client absorbed) from traffic that was actually lost.
+//
 // Reports qps and p50/p95/p99 latency; --json emits one machine-readable
 // line for tools/run_bench.sh --serve.
 
@@ -52,6 +59,11 @@ int Usage() {
       "  --zipf=1.0           user-popularity skew exponent\n"
       "  --k=10               top-k per request\n"
       "  --history-len=30     max history items sent per request\n"
+      "  --retries=3          attempts per request on 429/connection reset\n"
+      "                       (0 = fail immediately, the old behavior)\n"
+      "  --backoff-ms=2       initial retry backoff (doubles per attempt,\n"
+      "                       +/-50% jitter)\n"
+      "  --backoff-cap-ms=50  backoff ceiling\n"
       "  --seed=1             traffic RNG seed\n"
       "  --json               print one JSON result line\n";
   return 2;
@@ -66,8 +78,11 @@ struct UserState {
 struct WorkerResult {
   std::vector<double> latencies_ms;
   int64_t ok = 0;
-  int64_t rejected = 0;   // HTTP 429
-  int64_t errors = 0;     // transport failures / other statuses
+  int64_t rejected = 0;   // HTTP 429 responses seen (including retried ones)
+  int64_t resets = 0;     // transport failures seen (including retried ones)
+  int64_t retries = 0;    // re-attempts after a 429 or reset
+  int64_t gave_ups = 0;   // requests abandoned after the retry budget
+  int64_t errors = 0;     // non-retryable statuses (400/5xx)
   int64_t cache_hits = 0; // from the response's cache_hit field
 };
 
@@ -129,6 +144,9 @@ int Main(int argc, char** argv) {
   const int32_t k = static_cast<int32_t>(flags.GetInt("k", 10));
   const size_t history_len =
       static_cast<size_t>(flags.GetInt("history-len", 30));
+  const int64_t retries = flags.GetInt("retries", 3);
+  const int64_t backoff_ms = flags.GetInt("backoff-ms", 2);
+  const int64_t backoff_cap_ms = flags.GetInt("backoff-cap-ms", 50);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const bool as_json = flags.GetBool("json", false);
 
@@ -186,23 +204,43 @@ int Main(int argc, char** argv) {
           history = user.history;
         }
         const std::string body = BuildRequestBody(user.user_id, history, k);
-        int status = 0;
-        std::string response;
+        // One logical request: retry 429s and transport failures with
+        // capped exponential backoff + jitter until the budget runs out.
+        // Latency is the client's view — the whole loop, retries included.
         Stopwatch timer;
-        const bool transported = obs::HttpPost(
-            host, port, "/recommend", body, "application/json", &status,
-            &response);
-        const double ms = timer.ElapsedMillis();
-        if (transported && status == 200) {
-          ++result.ok;
-          result.latencies_ms.push_back(ms);
-          if (response.find("\"cache_hit\": true") != std::string::npos) {
-            ++result.cache_hits;
+        for (int64_t attempt = 0;; ++attempt) {
+          int status = 0;
+          std::string response;
+          const bool transported = obs::HttpPost(
+              host, port, "/recommend", body, "application/json", &status,
+              &response);
+          if (transported && status == 200) {
+            ++result.ok;
+            result.latencies_ms.push_back(timer.ElapsedMillis());
+            if (response.find("\"cache_hit\": true") != std::string::npos) {
+              ++result.cache_hits;
+            }
+            break;
           }
-        } else if (transported && status == 429) {
-          ++result.rejected;
-        } else {
-          ++result.errors;
+          const bool retryable = !transported || status == 429;
+          if (transported && status == 429) ++result.rejected;
+          if (!transported) ++result.resets;
+          if (!retryable) {
+            ++result.errors;
+            break;
+          }
+          if (attempt >= retries || stop.load(std::memory_order_relaxed)) {
+            ++result.gave_ups;
+            break;
+          }
+          ++result.retries;
+          const double base = static_cast<double>(
+              std::min(backoff_cap_ms, backoff_ms << std::min<int64_t>(
+                                           attempt, 20)));
+          // +/-50% jitter decorrelates workers that were shed together.
+          const int64_t sleep_us = static_cast<int64_t>(
+              base * 1000.0 * (0.5 + rng.Uniform()));
+          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
         }
       }
     });
@@ -215,12 +253,16 @@ int Main(int argc, char** argv) {
   const double elapsed = wall.ElapsedSeconds();
 
   std::vector<double> latencies;
-  int64_t ok = 0, rejected = 0, errors = 0, cache_hits = 0;
+  int64_t ok = 0, rejected = 0, resets = 0, total_retries = 0, gave_ups = 0,
+          errors = 0, cache_hits = 0;
   for (WorkerResult& r : results) {
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
     ok += r.ok;
     rejected += r.rejected;
+    resets += r.resets;
+    total_retries += r.retries;
+    gave_ups += r.gave_ups;
     errors += r.errors;
     cache_hits += r.cache_hits;
   }
@@ -233,15 +275,19 @@ int Main(int argc, char** argv) {
   if (as_json) {
     std::cout << "{\"workers\": " << workers << ", \"duration_s\": " << elapsed
               << ", \"requests\": " << ok << ", \"rejected\": " << rejected
+              << ", \"resets\": " << resets << ", \"retries\": "
+              << total_retries << ", \"gave_ups\": " << gave_ups
               << ", \"errors\": " << errors << ", \"cache_hits\": "
               << cache_hits << ", \"repeat_mix\": " << repeat_mix
               << ", \"qps\": " << qps << ", \"p50_ms\": " << p50
               << ", \"p95_ms\": " << p95 << ", \"p99_ms\": " << p99 << "}\n";
   } else {
     std::cout << "workers=" << workers << " qps=" << qps << " ok=" << ok
-              << " rejected=" << rejected << " errors=" << errors
-              << " cache_hits=" << cache_hits << "\np50=" << p50
-              << "ms p95=" << p95 << "ms p99=" << p99 << "ms\n";
+              << " rejected=" << rejected << " resets=" << resets
+              << " retries=" << total_retries << " gave_ups=" << gave_ups
+              << " errors=" << errors << " cache_hits=" << cache_hits
+              << "\np50=" << p50 << "ms p95=" << p95 << "ms p99=" << p99
+              << "ms\n";
   }
   return errors > ok ? 1 : 0;
 }

@@ -5,9 +5,10 @@
 //
 //   vsan_serve --checkpoint=m.ckpt --port=8080 --retrieval=quantized
 //
-// Routes (see serve/daemon.h): POST /recommend, GET /healthz (503 until the
-// checkpoint and index are loaded), GET /metrics (Prometheus, including the
-// serve.* instruments vsan_top renders).
+// Routes (see serve/daemon.h): POST /recommend, POST /reload (hot checkpoint
+// swap), GET /healthz (503 until the checkpoint and index are loaded),
+// GET /metrics (Prometheus, including the serve.* instruments vsan_top
+// renders).
 //
 // Once serving, the process prints a machine-parsable line
 //
@@ -16,7 +17,11 @@
 // so scripts (tools/run_bench.sh --serve) can wait for readiness and
 // discover an ephemeral port.  SIGTERM/SIGINT trigger a graceful shutdown:
 // the HTTP server stops accepting, in-flight requests complete, the batch
-// queue drains, then the process exits 0.
+// queue drains, then the process exits 0.  SIGHUP hot-reloads the current
+// checkpoint path in place (same as POST /reload with no body): the new
+// generation is built while the old one serves, then swapped in with zero
+// downtime; a corrupt checkpoint is rejected and the old model keeps
+// serving.
 
 #include <atomic>
 #include <csignal>
@@ -52,14 +57,20 @@ int Usage() {
       "  --retrieval=exact      exact|quantized|ivf top-k backend\n"
       "  --clusters=0 --nprobe=8  ivf parameters (eval/retrieval.h)\n"
       "  --k-max=1000           largest accepted per-request k\n"
+      "  --max-history=1024     reject (HTTP 400) histories longer than this\n"
+      "  --deadline-us=0        default per-request deadline (0 = none;\n"
+      "                         requests may override via deadline_us)\n"
       "  --include-seen         do not filter the user's history from results\n"
       "  --precision=fp32       fp32|bf16 encoder GEMM storage precision\n";
   return 2;
 }
 
 std::atomic<int> g_signal{0};
+std::atomic<bool> g_reload{false};
 
 void OnSignal(int sig) { g_signal.store(sig); }
+
+void OnHup(int) { g_reload.store(true); }
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
@@ -96,6 +107,9 @@ int Main(int argc, char** argv) {
       static_cast<int32_t>(flags.GetInt("max-queue", 256));
   options.cache_bytes = flags.GetInt("cache-mb", 64) << 20;
   options.service.max_k = static_cast<int32_t>(flags.GetInt("k-max", 1000));
+  options.service.max_history =
+      static_cast<int32_t>(flags.GetInt("max-history", 1024));
+  options.service.default_deadline_us = flags.GetInt("deadline-us", 0);
   options.service.exclude_seen = !flags.GetBool("include-seen", false);
   const std::string backend = flags.GetString("retrieval", "exact");
   if (!eval::ParseRetrievalBackend(backend, &options.retrieval.backend)) {
@@ -105,6 +119,21 @@ int Main(int argc, char** argv) {
   options.retrieval.clusters =
       static_cast<int32_t>(flags.GetInt("clusters", 0));
   options.retrieval.nprobe = static_cast<int32_t>(flags.GetInt("nprobe", 8));
+
+  // Hot reload (POST /reload, SIGHUP): load through the same CRC-checked
+  // VSANCKP1 path as startup, with the same eval precision.
+  options.checkpoint_path = checkpoint;
+  options.loader = [precision](const std::string& path,
+                               serve::LoadedModel* out) {
+    auto reloaded = core::Vsan::Load(path);
+    if (!reloaded.ok()) return reloaded.status();
+    std::unique_ptr<core::Vsan> fresh = std::move(reloaded).value();
+    if (precision == "bf16") fresh->set_eval_precision(MatMulPrecision::kBf16);
+    out->num_items = fresh->num_items();
+    out->model =
+        std::shared_ptr<const SequentialRecommender>(std::move(fresh));
+    return Status::Ok();
+  };
 
   const std::vector<std::string> typos = flags.UnqueriedFlags();
   if (!typos.empty()) {
@@ -121,12 +150,23 @@ int Main(int argc, char** argv) {
 
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
+  std::signal(SIGHUP, OnHup);
 
   std::cout << "READY port=" << daemon.port() << " model=vsan items="
             << model->num_items() << " retrieval=" << backend << "\n"
             << std::flush;
 
   while (g_signal.load() == 0) {
+    if (g_reload.exchange(false)) {
+      int64_t generation = -1;
+      const Status status = daemon.Reload("", &generation);
+      if (status.ok()) {
+        std::cerr << "SIGHUP: reloaded, generation " << generation << "\n";
+      } else {
+        std::cerr << "SIGHUP: reload failed (" << status.ToString()
+                  << "), old generation keeps serving\n";
+      }
+    }
     usleep(50 * 1000);
   }
   std::cerr << "signal " << g_signal.load() << ": draining\n";
